@@ -1,0 +1,35 @@
+// Command fig3 regenerates Figure 3 of the paper: the end-to-end QoS of
+// the four scripted service configuration events (mobile audio-on-demand
+// with PC→PDA→PC handoffs, then on-demand video conferencing) on the
+// emulated smart-space testbed.
+//
+// Usage:
+//
+//	fig3 [-scale 0.1] [-play 4s]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"ubiqos/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fig3: ")
+	scale := flag.Float64("scale", 0.1, "emulation time scale (1 = real time)")
+	play := flag.Duration("play", 4*time.Second, "modeled playback per event")
+	flag.Parse()
+
+	r, err := experiments.RunFig34(experiments.Fig34Config{Scale: *scale, PlayModeled: *play})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Figure 3. End-to-end QoS of different service configurations.")
+	fmt.Println()
+	fmt.Print(experiments.FormatFig3(r))
+	fmt.Println("(paper reference: 40 fps audio across events 1-3; 25 fps video / 6 fps audio for event 4)")
+}

@@ -1,0 +1,36 @@
+// Command fig4 regenerates Figure 4 of the paper: the overhead breakdown
+// (service composition, service distribution, dynamic downloading,
+// initialization or state handoff) of each dynamic service configuration
+// action of the Figure 3 scenario.
+//
+// Usage:
+//
+//	fig4 [-scale 0.1] [-play 4s]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"ubiqos/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fig4: ")
+	scale := flag.Float64("scale", 0.1, "emulation time scale (1 = real time)")
+	play := flag.Duration("play", 4*time.Second, "modeled playback per event")
+	flag.Parse()
+
+	r, err := experiments.RunFig34(experiments.Fig34Config{Scale: *scale, PlayModeled: *play})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Figure 4. Overhead of each dynamic service configuration action (ms, modeled).")
+	fmt.Println()
+	fmt.Print(experiments.FormatFig4(r))
+	fmt.Println("\n(paper reference shape: downloading dominates when components are not pre-installed;")
+	fmt.Println(" the PC→PDA state handoff exceeds PDA→PC because of the wireless link)")
+}

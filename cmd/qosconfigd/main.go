@@ -1,0 +1,87 @@
+// Command qosconfigd runs a domain server — the smart space's
+// infrastructure node hosting service discovery, the event service, the
+// component repository, and the dynamic QoS-aware service configuration
+// model — and exposes it over a newline-delimited JSON TCP protocol for
+// qosctl.
+//
+// Usage:
+//
+//	qosconfigd [-addr 127.0.0.1:7420] [-space audio|conf] [-config FILE.space] [-scale 0.1]
+//
+// The daemon boots one of the paper's two testbed smart spaces — "audio"
+// (three desktops + a Jornada PDA with the mobile audio-on-demand
+// components) or "conf" (three workstations with the video-conferencing
+// components, downloaded on demand) — or, with -config, an arbitrary
+// smart space described in the space configuration language (see
+// internal/spec and testdata/lab.space).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"ubiqos/internal/domain"
+	"ubiqos/internal/experiments"
+	"ubiqos/internal/spec"
+	"ubiqos/internal/wire"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags)
+	log.SetPrefix("qosconfigd: ")
+	addr := flag.String("addr", "127.0.0.1:7420", "listen address")
+	space := flag.String("space", "audio", `built-in smart space to boot: "audio" or "conf"`)
+	config := flag.String("config", "", "space configuration file (overrides -space)")
+	scale := flag.Float64("scale", 0.1, "emulation time scale (1 = real time)")
+	flag.Parse()
+
+	if err := run(*addr, *space, *config, *scale); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(addr, space, config string, scale float64) error {
+	var dom *domain.Domain
+	var err error
+	switch {
+	case config != "":
+		var data []byte
+		data, err = os.ReadFile(config)
+		if err != nil {
+			return err
+		}
+		dom, err = spec.LoadSpace(string(data), domain.Options{Scale: scale})
+	case space == "audio":
+		dom, err = experiments.BuildAudioSpace(scale)
+	case space == "conf":
+		dom, err = experiments.BuildConfSpace(scale)
+	default:
+		return fmt.Errorf("unknown space %q (want audio or conf, or use -config)", space)
+	}
+	if err != nil {
+		return err
+	}
+	defer dom.Close()
+
+	srv, err := wire.NewServer(dom)
+	if err != nil {
+		return err
+	}
+	bound, err := srv.Listen(addr)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	log.Printf("domain %s serving on %s (%d devices, %d services, scale %g)",
+		dom.Name, bound, dom.Devices.Len(), dom.Registry.Len(), scale)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Print("shutting down")
+	return nil
+}

@@ -1,0 +1,349 @@
+// Command qosctl is the client CLI for qosconfigd.
+//
+// Usage:
+//
+//	qosctl devices|services|sessions|metrics [-addr 127.0.0.1:7420]
+//	qosctl start   -session ID [-app audio|conf|FILE.json|FILE.spec] [-client DEV] [-qos "framerate=38-44"]
+//	qosctl check   [-app ...] [-client DEV] [-qos ...]   (dry-run composition)
+//	qosctl session -session ID
+//	qosctl switch  -session ID -to DEV
+//	qosctl stop    -session ID
+//	qosctl crash   -to DEV                               (simulate a device crash)
+//	qosctl register   -instance FILE.json [-installed "dev1,dev2"|"*"]
+//	qosctl unregister -name INSTANCE
+//
+// The -app flag accepts the two built-in application graphs ("audio" for
+// mobile audio-on-demand, "conf" for video conferencing), a path to a
+// JSON abstract service graph (*.json), or a path to an application
+// specification in the spec language (any other extension; see
+// internal/spec). A spec file's qos block is merged under any -qos flag.
+// The -qos flag accepts comma-separated name=value requirements where
+// value is a number, a lo-hi range, or a symbol.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"ubiqos/internal/composer"
+	"ubiqos/internal/experiments"
+	"ubiqos/internal/qos"
+	"ubiqos/internal/registry"
+	"ubiqos/internal/spec"
+	"ubiqos/internal/wire"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("qosctl: ")
+	addr := flag.String("addr", "127.0.0.1:7420", "qosconfigd address")
+	session := flag.String("session", "", "session ID")
+	app := flag.String("app", "audio", "application graph: audio, conf, or a JSON file path")
+	client := flag.String("client", "", "client (portal) device")
+	to := flag.String("to", "", "handoff target device")
+	userQoS := flag.String("qos", "", `user QoS, e.g. "framerate=38-44,format=MPEG"`)
+	dot := flag.Bool("dot", false, "print the session's service graph in Graphviz dot syntax")
+	instanceFile := flag.String("instance", "", "service instance JSON file (register)")
+	installed := flag.String("installed", "", `comma-separated devices the instance is pre-installed on ("*" = all)`)
+	name := flag.String("name", "", "instance name (unregister)")
+
+	if len(os.Args) < 2 || strings.HasPrefix(os.Args[1], "-") {
+		log.Fatal("usage: qosctl devices|services|sessions|metrics|start|check|session|switch|stop|crash|register|unregister [flags]")
+	}
+	verb := os.Args[1]
+	if err := flag.CommandLine.Parse(os.Args[2:]); err != nil {
+		log.Fatal(err)
+	}
+	if err := run(runArgs{
+		verb: verb, addr: *addr, session: *session, app: *app, client: *client,
+		to: *to, userQoS: *userQoS, dot: *dot,
+		instanceFile: *instanceFile, installed: *installed, name: *name,
+	}); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// runArgs carries the parsed command line.
+type runArgs struct {
+	verb, addr, session, app, client, to, userQoS string
+	dot                                           bool
+	instanceFile, installed, name                 string
+}
+
+func run(a runArgs) error {
+	verb, addr, session, app, client, to, userQoS, dot := a.verb, a.addr, a.session, a.app, a.client, a.to, a.userQoS, a.dot
+	c, err := wire.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+
+	switch verb {
+	case "devices":
+		resp, err := c.Call(wire.Request{Op: wire.OpListDevices})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-12s %-12s %-20s %-20s %s\n", "DEVICE", "CLASS", "CAPACITY", "AVAILABLE", "UP")
+		for _, d := range resp.Devices {
+			fmt.Printf("%-12s %-12s %-20s %-20s %v\n", d.ID, d.Class, vec(d.Capacity), vec(d.Available), d.Up)
+		}
+	case "services":
+		resp, err := c.Call(wire.Request{Op: wire.OpListInst})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-20s %-22s %-10s %s\n", "INSTANCE", "TYPE", "SIZE(MB)", "ATTRS")
+		for _, s := range resp.Services {
+			fmt.Printf("%-20s %-22s %-10g %s\n", s.Name, s.Type, s.SizeMB, attrs(s.Attrs))
+		}
+	case "sessions":
+		resp, err := c.Call(wire.Request{Op: wire.OpSessions})
+		if err != nil {
+			return err
+		}
+		for _, id := range resp.Sessions {
+			fmt.Println(id)
+		}
+	case "start":
+		if session == "" {
+			return fmt.Errorf("start requires -session")
+		}
+		ag, specQoS, err := loadApp(app)
+		if err != nil {
+			return err
+		}
+		uq, err := parseQoS(userQoS)
+		if err != nil {
+			return err
+		}
+		uq = specQoS.Merge(uq)
+		resp, err := c.Call(wire.Request{
+			Op:           wire.OpStart,
+			SessionID:    session,
+			App:          ag,
+			UserQoS:      uq,
+			ClientDevice: client,
+		})
+		if err != nil {
+			return err
+		}
+		printSession(resp.Session)
+	case "session":
+		if session == "" {
+			return fmt.Errorf("session requires -session")
+		}
+		resp, err := c.Call(wire.Request{Op: wire.OpSession, SessionID: session})
+		if err != nil {
+			return err
+		}
+		if dot {
+			fmt.Print(resp.Session.DOT)
+			return nil
+		}
+		printSession(resp.Session)
+	case "switch":
+		if session == "" || to == "" {
+			return fmt.Errorf("switch requires -session and -to")
+		}
+		resp, err := c.Call(wire.Request{Op: wire.OpSwitch, SessionID: session, ToDevice: to})
+		if err != nil {
+			return err
+		}
+		printSession(resp.Session)
+	case "stop":
+		if session == "" {
+			return fmt.Errorf("stop requires -session")
+		}
+		if _, err := c.Call(wire.Request{Op: wire.OpStop, SessionID: session}); err != nil {
+			return err
+		}
+		fmt.Println("stopped", session)
+	case "metrics":
+		resp, err := c.Call(wire.Request{Op: wire.OpMetrics})
+		if err != nil {
+			return err
+		}
+		fmt.Print(resp.Metrics)
+	case "check":
+		ag, specQoS, err := loadApp(app)
+		if err != nil {
+			return err
+		}
+		uq, err := parseQoS(userQoS)
+		if err != nil {
+			return err
+		}
+		resp, err := c.Call(wire.Request{Op: wire.OpCheck, App: ag, UserQoS: specQoS.Merge(uq), ClientDevice: client})
+		if err != nil {
+			return err
+		}
+		fmt.Println("composition would succeed:", resp.CheckSummary)
+	case "register":
+		if a.instanceFile == "" {
+			return fmt.Errorf("register requires -instance FILE.json")
+		}
+		data, err := os.ReadFile(a.instanceFile)
+		if err != nil {
+			return err
+		}
+		var inst registry.Instance
+		if err := json.Unmarshal(data, &inst); err != nil {
+			return fmt.Errorf("parse instance: %w", err)
+		}
+		var installedOn []string
+		if a.installed != "" {
+			for _, d := range strings.Split(a.installed, ",") {
+				installedOn = append(installedOn, strings.TrimSpace(d))
+			}
+		}
+		if _, err := c.Call(wire.Request{Op: wire.OpRegister, Instance: &inst, InstalledOn: installedOn}); err != nil {
+			return err
+		}
+		fmt.Println("registered", inst.Name)
+	case "unregister":
+		if a.name == "" {
+			return fmt.Errorf("unregister requires -name")
+		}
+		if _, err := c.Call(wire.Request{Op: wire.OpUnregister, Name: a.name}); err != nil {
+			return err
+		}
+		fmt.Println("unregistered", a.name)
+	case "crash":
+		if to == "" {
+			return fmt.Errorf("crash requires -to")
+		}
+		resp, err := c.Call(wire.Request{Op: wire.OpCrashDevice, ToDevice: to})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("device %s down; %d session(s) migrated: %v\n", to, len(resp.Moved), resp.Moved)
+		if resp.Error != "" {
+			fmt.Println("partial recovery:", resp.Error)
+		}
+	default:
+		return fmt.Errorf("unknown verb %q", verb)
+	}
+	return nil
+}
+
+// loadApp resolves the -app flag to an abstract service graph plus any
+// user QoS declared inside a spec file.
+func loadApp(name string) (*composer.AbstractGraph, qos.Vector, error) {
+	switch name {
+	case "audio":
+		return experiments.AudioOnDemandApp(), nil, nil
+	case "conf":
+		return experiments.VideoConferencingApp(), nil, nil
+	}
+	data, err := os.ReadFile(name)
+	if err != nil {
+		return nil, nil, fmt.Errorf("read app graph: %w", err)
+	}
+	if strings.HasSuffix(name, ".json") {
+		var ag composer.AbstractGraph
+		if err := json.Unmarshal(data, &ag); err != nil {
+			return nil, nil, fmt.Errorf("parse app graph: %w", err)
+		}
+		return &ag, nil, nil
+	}
+	ag, userQoS, _, err := spec.Load(string(data))
+	if err != nil {
+		return nil, nil, err
+	}
+	return ag, userQoS, nil
+}
+
+// parseQoS parses "name=value,..." where value is a number, lo-hi range,
+// or symbol.
+func parseQoS(s string) (qos.Vector, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var v qos.Vector
+	for _, part := range strings.Split(s, ",") {
+		name, raw, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("bad QoS term %q (want name=value)", part)
+		}
+		if lo, hi, ok := strings.Cut(raw, "-"); ok {
+			l, errL := strconv.ParseFloat(lo, 64)
+			h, errH := strconv.ParseFloat(hi, 64)
+			if errL == nil && errH == nil {
+				if !qos.ValidRange(l, h) {
+					return nil, fmt.Errorf("bad range %q", raw)
+				}
+				v = v.With(name, qos.Range(l, h))
+				continue
+			}
+		}
+		if n, err := strconv.ParseFloat(raw, 64); err == nil {
+			v = v.With(name, qos.Scalar(n))
+			continue
+		}
+		v = v.With(name, qos.Symbol(raw))
+	}
+	if err := v.Validate(); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+func printSession(s *wire.SessionInfo) {
+	if s == nil {
+		fmt.Println("(no session)")
+		return
+	}
+	fmt.Printf("session %s (portal %s, cost %.4f)\n", s.ID, s.ClientDevice, s.Cost)
+	fmt.Printf("  composition %.1fms  distribution %.1fms  downloading %.1fms  init/handoff %.1fms\n",
+		s.Timing.CompositionMs, s.Timing.DistributionMs, s.Timing.DownloadingMs, s.Timing.InitOrHandoffMs)
+	keys := make([]string, 0, len(s.Placement))
+	for k := range s.Placement {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("  %-24s -> %s\n", k, s.Placement[k])
+	}
+	rates := make([]string, 0, len(s.Rates))
+	for k := range s.Rates {
+		rates = append(rates, k)
+	}
+	sort.Strings(rates)
+	for _, k := range rates {
+		fmt.Printf("  rate %-22s = %.1f fps\n", k, s.Rates[k])
+	}
+	if s.Summary != "" {
+		fmt.Printf("  composition summary: %s\n", s.Summary)
+	}
+}
+
+func vec(v []float64) string {
+	parts := make([]string, len(v))
+	for i, x := range v {
+		parts[i] = strconv.FormatFloat(x, 'g', 5, 64)
+	}
+	return "[" + strings.Join(parts, ",") + "]"
+}
+
+func attrs(m map[string]string) string {
+	if len(m) == 0 {
+		return "-"
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + "=" + m[k]
+	}
+	return strings.Join(parts, " ")
+}

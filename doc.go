@@ -1,0 +1,22 @@
+// Package ubiqos is a complete Go implementation of the dynamic QoS-aware
+// multimedia service configuration model of Gu & Nahrstedt (ICDCS 2002):
+// a two-tier system that composes abstractly-specified multimedia
+// applications from the service instances discoverable in a ubiquitous
+// computing environment (with automatic QoS consistency checking and
+// correction — the Ordered Coordination algorithm) and then distributes
+// the composed service graph across the currently available heterogeneous
+// devices (a cost-aggregation-minimizing k-cut, NP-hard, attacked with the
+// paper's greedy heuristic).
+//
+// The implementation lives under internal/ (see README.md for the module
+// map); this root package carries the repository-wide benchmark suite,
+// which regenerates every table and figure of the paper's evaluation at
+// reduced scale. The cmd/ binaries regenerate them at full scale:
+//
+//	cmd/table1 — Table 1, the placement-algorithm comparison
+//	cmd/fig3   — Figure 3, end-to-end QoS of the scripted events
+//	cmd/fig4   — Figure 4, the configuration overhead breakdown
+//	cmd/fig5   — Figure 5, the 1000-hour success-rate simulation
+//
+// cmd/qosconfigd and cmd/qosctl expose a live domain server over TCP.
+package ubiqos

@@ -1,0 +1,143 @@
+// Roaming: the user carries a session between two smart spaces — the
+// paper's "user moves to a new location" case. Both spaces are described
+// in the space configuration language; the session is suspended in the
+// office, its checkpoint crosses a WAN link, and the home domain composes
+// a fresh service graph from its own (different!) service catalog,
+// resuming playback from the interruption point.
+//
+// Run with:
+//
+//	go run ./examples/roaming
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"ubiqos/internal/core"
+	"ubiqos/internal/domain"
+	"ubiqos/internal/netsim"
+	"ubiqos/internal/spec"
+)
+
+const scale = 0.05 // 20x fast-forward
+
+const officeSpace = `
+space "office" {
+    device work-desktop { class = "desktop" memory = 256 cpu = 100 attrs { platform = "pc" } }
+    device work-pda     { class = "pda"     memory = 32  cpu = 100 attrs { platform = "pda" } }
+    link work-desktop work-pda = "wlan"
+    uplink work-desktop = "ethernet"
+    uplink work-pda = "wlan"
+
+    instance "office-media-server" {
+        type = "audio-server"
+        output { format = "MPEG" framerate = 40 }
+        capability { framerate = 5..60 }
+        adjustable = ["framerate"]
+        resources { memory = 64 cpu = 50 }
+        installed = ["*"]
+    }
+    instance "office-player" {
+        type = "audio-player"
+        attrs { platform = "pc" }
+        input { format = "MPEG" framerate = 10..50 }
+        resources { memory = 16 cpu = 30 }
+        installed = ["*"]
+    }
+}
+`
+
+const homeSpace = `
+space "home" {
+    device living-room-pc { class = "desktop" memory = 128 cpu = 100 attrs { platform = "pc" } }
+    device kitchen-tablet { class = "laptop"  memory = 64  cpu = 100 attrs { platform = "pc" } }
+    link living-room-pc kitchen-tablet = "wlan"
+    uplink living-room-pc = "ethernet"
+    uplink kitchen-tablet = "wlan"
+
+    // The home catalog differs from the office's: a different server
+    // implementation and player — the configuration model re-composes
+    // from whatever the new environment offers.
+    instance "home-jukebox" {
+        type = "audio-server"
+        output { format = "MPEG" framerate = 40 }
+        capability { framerate = 5..60 }
+        adjustable = ["framerate"]
+        resources { memory = 48 cpu = 40 }
+        installed = ["*"]
+    }
+    instance "home-player" {
+        type = "audio-player"
+        attrs { platform = "pc" }
+        input { format = "MPEG" framerate = 10..50 }
+        resources { memory = 12 cpu = 20 }
+        installed = ["*"]
+    }
+}
+`
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	office, err := spec.LoadSpace(officeSpace, domain.Options{Scale: scale})
+	if err != nil {
+		return err
+	}
+	defer office.Close()
+	home, err := spec.LoadSpace(homeSpace, domain.Options{Scale: scale})
+	if err != nil {
+		return err
+	}
+	defer home.Close()
+
+	app, userQoS, name, err := spec.Load(`
+app "commute-music" {
+    qos { framerate = 30..44 }
+    service src  { type = "audio-server" }
+    service play { type = "audio-player" pin = client }
+    flow src -> play @ 1.5
+}`)
+	if err != nil {
+		return err
+	}
+
+	// Morning: music starts at the office.
+	active, err := office.StartApp(core.Request{
+		SessionID:    name,
+		App:          app,
+		UserQoS:      userQoS,
+		ClientDevice: "work-desktop",
+	})
+	if err != nil {
+		return err
+	}
+	listen(2)
+	fmt.Printf("at the office: server=%s (%s), position %d\n",
+		active.Placement["src"], active.Graph.Node("src").Instance, active.Runtime.Position())
+
+	// Evening: the user goes home. The checkpoint crosses a 2 Mbps WAN.
+	wan := netsim.Link{BandwidthMbps: 2, LatencyMs: 25}
+	moved, err := office.Migrate(name, home, "living-room-pc", wan)
+	if err != nil {
+		return err
+	}
+	listen(2)
+	fmt.Printf("at home:      server=%s (%s), position %d\n",
+		moved.Placement["src"], moved.Graph.Node("src").Instance, moved.Runtime.Position())
+	fmt.Printf("migration handoff cost (incl. WAN transfer): %v\n",
+		moved.Timing.InitOrHandoff.Round(time.Millisecond))
+
+	fps, _ := moved.Runtime.MeasuredOriginRate("play", "src")
+	fmt.Printf("measured QoS after roaming: %.1f fps (user window 30-44)\n", fps)
+	return home.StopApp(name)
+}
+
+func listen(modeledSeconds float64) {
+	time.Sleep(time.Duration(modeledSeconds * float64(time.Second) * scale))
+}

@@ -1,0 +1,69 @@
+// Video conferencing: the paper's §4 prototype scenario, event 4. A
+// non-linear service graph — video and audio recorders fanning into a
+// gateway, a lip-synchronizer, and fanning out to two players — is
+// composed on demand, its components downloaded from the component
+// repository, and distributed across three workstations.
+//
+// Run with:
+//
+//	go run ./examples/videoconf
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"ubiqos/internal/core"
+	"ubiqos/internal/experiments"
+	"ubiqos/internal/qos"
+)
+
+const scale = 0.1 // 10x fast-forward
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// The paper's conferencing smart space: three workstations, nothing
+	// pre-installed — every component is downloaded on demand.
+	dom, err := experiments.BuildConfSpace(scale)
+	if err != nil {
+		return err
+	}
+	defer dom.Close()
+
+	active, err := dom.StartApp(core.Request{
+		SessionID: "conf",
+		App:       experiments.VideoConferencingApp(),
+		UserQoS: qos.V(
+			qos.P("video-fps", qos.Range(20, 30)),
+			qos.P("audio-fps", qos.Range(5, 8)),
+		),
+		ClientDevice: "ws3",
+	})
+	if err != nil {
+		return err
+	}
+	defer dom.StopApp("conf")
+
+	fmt.Println("service graph placement (non-linear: fan-in at the gateway, fan-out at the lip-synchronizer):")
+	for id, dev := range active.Placement {
+		fmt.Printf("  %-10s -> %s\n", id, dev)
+	}
+	fmt.Printf("composition: %s\n", active.Report.Summary())
+	fmt.Printf("dynamic downloading took %v (modeled; components fetched on demand)\n",
+		active.Timing.Downloading.Round(time.Millisecond))
+
+	// Stream for 5 modeled seconds and read the two per-stream rates; the
+	// gateway multiplexes both streams over one edge, so the measurement
+	// is per origin.
+	time.Sleep(time.Duration(float64(5*time.Second) * scale))
+	vfps, _ := active.Runtime.MeasuredOriginRate("vplayer", "vrec")
+	afps, _ := active.Runtime.MeasuredOriginRate("aplayer", "arec")
+	fmt.Printf("measured QoS: video %.1f fps (requested 25), audio %.1f fps (requested 6)\n", vfps, afps)
+	return nil
+}

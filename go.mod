@@ -1,0 +1,3 @@
+module ubiqos
+
+go 1.22

@@ -1,0 +1,103 @@
+package checkpoint
+
+import (
+	"testing"
+	"time"
+
+	"ubiqos/internal/netsim"
+)
+
+func TestSaveLoadDelete(t *testing.T) {
+	st := NewStore()
+	if err := st.Save(State{}); err == nil {
+		t.Error("empty session ID should fail")
+	}
+	if err := st.Save(State{SessionID: "s1", SizeMB: -1}); err == nil {
+		t.Error("negative size should fail")
+	}
+	s := State{SessionID: "s1", Position: 1234, SizeMB: 0.5, Data: map[string]string{"track": "song.mp3"}}
+	if err := st.Save(s); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := st.Load("s1")
+	if !ok || got.Position != 1234 || got.Data["track"] != "song.mp3" {
+		t.Errorf("Load = %+v, %v", got, ok)
+	}
+	if got.SavedAt.IsZero() {
+		t.Error("SavedAt should be stamped")
+	}
+	// The store holds a deep copy.
+	got.Data["track"] = "mutated"
+	again, _ := st.Load("s1")
+	if again.Data["track"] != "song.mp3" {
+		t.Error("Load must return isolated copies")
+	}
+	if st.Len() != 1 {
+		t.Errorf("Len = %d", st.Len())
+	}
+	if !st.Delete("s1") || st.Delete("s1") {
+		t.Error("Delete semantics wrong")
+	}
+	if _, ok := st.Load("s1"); ok {
+		t.Error("loaded after delete")
+	}
+}
+
+func TestSaveReplaces(t *testing.T) {
+	st := NewStore()
+	if err := st.Save(State{SessionID: "s", Position: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Save(State{SessionID: "s", Position: 2}); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := st.Load("s")
+	if got.Position != 2 {
+		t.Errorf("Position = %d, want replacement", got.Position)
+	}
+	if st.Len() != 1 {
+		t.Errorf("Len = %d", st.Len())
+	}
+}
+
+func TestHandoffDirectionality(t *testing.T) {
+	// PC→PDA crosses the wireless link and must take longer than PDA→PC?
+	// Both cross the same wireless hop here; instead compare wireless vs
+	// wired handoffs, which is the mechanism behind the paper's asymmetry
+	// (state + buffered media cross the slow link toward the PDA).
+	net := netsim.MustNew(1e-6)
+	net.MustSetLink("pc", "pda", netsim.WLAN)
+	net.MustSetLink("pc", "desktop3", netsim.Ethernet)
+	st := NewStore()
+	if err := st.Save(State{SessionID: "s", Position: 10, SizeMB: 0.8}); err != nil {
+		t.Fatal(err)
+	}
+	toPDA, err := st.Handoff(net, "s", "pc", "pda")
+	if err != nil {
+		t.Fatal(err)
+	}
+	toDesktop, err := st.Handoff(net, "s", "pc", "desktop3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toPDA <= toDesktop {
+		t.Errorf("wireless handoff (%v) should exceed wired (%v)", toPDA, toDesktop)
+	}
+	if toPDA < time.Second { // 0.8MB*8/5Mbps = 1.28s
+		t.Errorf("wireless handoff = %v, want ≥ 1s", toPDA)
+	}
+}
+
+func TestHandoffErrors(t *testing.T) {
+	net := netsim.MustNew(1e-6)
+	st := NewStore()
+	if _, err := st.Handoff(net, "ghost", "a", "b"); err == nil {
+		t.Error("missing session should fail")
+	}
+	if err := st.Save(State{SessionID: "s", SizeMB: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Handoff(net, "s", "a", "b"); err == nil {
+		t.Error("missing link should fail")
+	}
+}

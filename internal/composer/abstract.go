@@ -1,0 +1,203 @@
+// Package composer implements the service composition tier of the dynamic
+// QoS-aware service configuration model (Gu & Nahrstedt, ICDCS 2002, §3.2):
+// it turns an abstract service graph — the developer's high-level
+// description of an application — into a QoS-consistent concrete service
+// graph by (1) discovering concrete service instances, (2) handling failed
+// discoveries (skipping optional services, recursively composing
+// replacements for mandatory ones, or notifying the user), and (3) running
+// the Ordered Coordination algorithm to check and automatically correct
+// QoS inconsistencies between interacting components.
+package composer
+
+import (
+	"fmt"
+
+	"ubiqos/internal/graph"
+	"ubiqos/internal/registry"
+)
+
+// AbstractNode is one abstractly-specified service in an abstract service
+// graph. Services are "not explicitly named, but rather specified in an
+// abstract manner" (§3.1).
+type AbstractNode struct {
+	// ID is unique within the abstract graph; concrete nodes inherit it.
+	ID graph.NodeID `json:"id"`
+	// Spec is the abstract service description handed to the discovery
+	// service.
+	Spec registry.Spec `json:"spec"`
+	// Optional services, "if present at runtime, enhance the application";
+	// when discovery fails for an optional service the composer simply
+	// neglects it.
+	Optional bool `json:"optional,omitempty"`
+	// Pin names the device the service must be instantiated on (e.g. the
+	// player on the client device); empty means the distributor chooses.
+	Pin string `json:"pin,omitempty"`
+}
+
+// AbstractEdge is a dependency between two abstract services with the
+// expected communication throughput.
+type AbstractEdge struct {
+	From           graph.NodeID `json:"from"`
+	To             graph.NodeID `json:"to"`
+	ThroughputMbps float64      `json:"throughputMbps"`
+}
+
+// AbstractGraph is the developer-supplied high-level application
+// description: a DAG of abstract services and their interactions.
+type AbstractGraph struct {
+	nodes map[graph.NodeID]*AbstractNode
+	order []graph.NodeID
+	edges []AbstractEdge
+}
+
+// NewAbstractGraph returns an empty abstract service graph.
+func NewAbstractGraph() *AbstractGraph {
+	return &AbstractGraph{nodes: make(map[graph.NodeID]*AbstractNode)}
+}
+
+// AddNode inserts an abstract service; duplicate or empty IDs fail.
+func (ag *AbstractGraph) AddNode(n *AbstractNode) error {
+	if n == nil || n.ID == "" {
+		return fmt.Errorf("composer: abstract node must have a non-empty ID")
+	}
+	if _, ok := ag.nodes[n.ID]; ok {
+		return fmt.Errorf("composer: duplicate abstract node %q", n.ID)
+	}
+	if n.Spec.Type == "" {
+		return fmt.Errorf("composer: abstract node %q has no service type", n.ID)
+	}
+	ag.nodes[n.ID] = n
+	ag.order = append(ag.order, n.ID)
+	return nil
+}
+
+// MustAddNode is AddNode that panics on error.
+func (ag *AbstractGraph) MustAddNode(n *AbstractNode) {
+	if err := ag.AddNode(n); err != nil {
+		panic(err)
+	}
+}
+
+// AddEdge declares that service `from` feeds service `to` at the given
+// throughput.
+func (ag *AbstractGraph) AddEdge(from, to graph.NodeID, throughputMbps float64) error {
+	if _, ok := ag.nodes[from]; !ok {
+		return fmt.Errorf("composer: abstract edge source %q does not exist", from)
+	}
+	if _, ok := ag.nodes[to]; !ok {
+		return fmt.Errorf("composer: abstract edge target %q does not exist", to)
+	}
+	if from == to {
+		return fmt.Errorf("composer: self-loop on %q", from)
+	}
+	if throughputMbps < 0 {
+		return fmt.Errorf("composer: negative throughput on %s->%s", from, to)
+	}
+	for _, e := range ag.edges {
+		if e.From == from && e.To == to {
+			return fmt.Errorf("composer: duplicate abstract edge %s->%s", from, to)
+		}
+	}
+	ag.edges = append(ag.edges, AbstractEdge{From: from, To: to, ThroughputMbps: throughputMbps})
+	return nil
+}
+
+// MustAddEdge is AddEdge that panics on error.
+func (ag *AbstractGraph) MustAddEdge(from, to graph.NodeID, throughputMbps float64) {
+	if err := ag.AddEdge(from, to, throughputMbps); err != nil {
+		panic(err)
+	}
+}
+
+// Node returns the abstract node with the given ID, or nil.
+func (ag *AbstractGraph) Node(id graph.NodeID) *AbstractNode { return ag.nodes[id] }
+
+// Nodes returns all abstract nodes in insertion order.
+func (ag *AbstractGraph) Nodes() []*AbstractNode {
+	out := make([]*AbstractNode, 0, len(ag.order))
+	for _, id := range ag.order {
+		out = append(out, ag.nodes[id])
+	}
+	return out
+}
+
+// Edges returns all abstract edges in insertion order.
+func (ag *AbstractGraph) Edges() []AbstractEdge {
+	return append([]AbstractEdge(nil), ag.edges...)
+}
+
+// NodeCount returns the number of abstract services.
+func (ag *AbstractGraph) NodeCount() int { return len(ag.nodes) }
+
+// preds returns the abstract predecessors of id in edge order.
+func (ag *AbstractGraph) preds(id graph.NodeID) []graph.NodeID {
+	var out []graph.NodeID
+	for _, e := range ag.edges {
+		if e.To == id {
+			out = append(out, e.From)
+		}
+	}
+	return out
+}
+
+// succs returns the abstract successors of id in edge order.
+func (ag *AbstractGraph) succs(id graph.NodeID) []graph.NodeID {
+	var out []graph.NodeID
+	for _, e := range ag.edges {
+		if e.From == id {
+			out = append(out, e.To)
+		}
+	}
+	return out
+}
+
+// Sinks returns the abstract nodes with no outgoing edges; these usually
+// correspond to client-facing services carrying the user's QoS
+// requirements.
+func (ag *AbstractGraph) Sinks() []graph.NodeID {
+	hasOut := make(map[graph.NodeID]bool)
+	for _, e := range ag.edges {
+		hasOut[e.From] = true
+	}
+	var out []graph.NodeID
+	for _, id := range ag.order {
+		if !hasOut[id] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Validate checks the abstract graph is a non-empty DAG.
+func (ag *AbstractGraph) Validate() error {
+	if len(ag.nodes) == 0 {
+		return fmt.Errorf("composer: empty abstract service graph")
+	}
+	// Kahn's algorithm for cycle detection.
+	indeg := make(map[graph.NodeID]int, len(ag.nodes))
+	for _, e := range ag.edges {
+		indeg[e.To]++
+	}
+	var ready []graph.NodeID
+	for _, id := range ag.order {
+		if indeg[id] == 0 {
+			ready = append(ready, id)
+		}
+	}
+	seen := 0
+	for len(ready) > 0 {
+		id := ready[0]
+		ready = ready[1:]
+		seen++
+		for _, s := range ag.succs(id) {
+			indeg[s]--
+			if indeg[s] == 0 {
+				ready = append(ready, s)
+			}
+		}
+	}
+	if seen != len(ag.nodes) {
+		return fmt.Errorf("composer: abstract service graph has a cycle")
+	}
+	return nil
+}

@@ -1,0 +1,36 @@
+package composer
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+type jsonAbstractGraph struct {
+	Nodes []*AbstractNode `json:"nodes"`
+	Edges []AbstractEdge  `json:"edges"`
+}
+
+// MarshalJSON encodes the abstract graph with deterministic ordering.
+func (ag *AbstractGraph) MarshalJSON() ([]byte, error) {
+	return json.Marshal(jsonAbstractGraph{Nodes: ag.Nodes(), Edges: ag.Edges()})
+}
+
+// UnmarshalJSON decodes an abstract graph, re-validating all constraints.
+func (ag *AbstractGraph) UnmarshalJSON(data []byte) error {
+	var jg jsonAbstractGraph
+	if err := json.Unmarshal(data, &jg); err != nil {
+		return fmt.Errorf("composer: decode abstract graph: %w", err)
+	}
+	*ag = *NewAbstractGraph()
+	for _, n := range jg.Nodes {
+		if err := ag.AddNode(n); err != nil {
+			return err
+		}
+	}
+	for _, e := range jg.Edges {
+		if err := ag.AddEdge(e.From, e.To, e.ThroughputMbps); err != nil {
+			return err
+		}
+	}
+	return nil
+}

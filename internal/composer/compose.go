@@ -1,0 +1,398 @@
+package composer
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ubiqos/internal/graph"
+	"ubiqos/internal/qos"
+	"ubiqos/internal/registry"
+)
+
+// MaxRecursionDepth bounds the recursive composition of replacement
+// sub-graphs for missing services: "we limit the depth of recursion to 2 in
+// the practical implementation" (paper §3.2, footnote 1).
+const MaxRecursionDepth = 2
+
+// Request is one composition request handed to the service composer.
+type Request struct {
+	// App is the abstract service graph describing the application.
+	App *AbstractGraph
+	// UserQoS carries the user's QoS requirements; the composer merges it
+	// into the desired output of the sink (client-facing) services before
+	// discovery and enforces it as their input requirement during the
+	// consistency check.
+	UserQoS qos.Vector
+	// ClientAttrs are properties of the client device (screen size,
+	// computing capability, ...); they are merged into the discovery specs
+	// of services pinned to ClientDevice.
+	ClientAttrs map[string]string
+	// ClientDevice names the device whose pinned services receive
+	// ClientAttrs (matched against AbstractNode.Pin).
+	ClientDevice string
+}
+
+// MissingServiceError reports mandatory services the discovery service
+// could not find and that no recursive composition could replace; the
+// domain "sends a notification to the user", who may download and install
+// an instance or quit the application.
+type MissingServiceError struct {
+	// Types lists the missing abstract service types, sorted.
+	Types []string
+}
+
+// Error lists the missing service types.
+func (e *MissingServiceError) Error() string {
+	return fmt.Sprintf("composer: no instance discovered for mandatory service(s): %s",
+		strings.Join(e.Types, ", "))
+}
+
+// Discovery is the slice of the service discovery service the composer
+// needs: resolve an abstract spec to the closest concrete instance, or nil
+// when discovery fails. *registry.Registry implements it; hierarchical
+// domains provide a federated implementation that escalates to parent
+// domains.
+type Discovery interface {
+	Best(spec registry.Spec) *registry.Instance
+}
+
+// Composer is the service composition tier. It is configured with the
+// discovery service and optional task decompositions, then used for any
+// number of Compose calls. The zero Composer is unusable; use New.
+type Composer struct {
+	reg Discovery
+	// decompositions maps a service type to an abstract graph that
+	// "performs the same task as the missing service does".
+	decompositions map[string]*AbstractGraph
+	// checkOrder is the consistency-check direction (see SetCheckOrder).
+	checkOrder CheckOrder
+}
+
+// New returns a composer bound to the given discovery service.
+func New(reg Discovery) *Composer {
+	return &Composer{reg: reg, decompositions: make(map[string]*AbstractGraph)}
+}
+
+// RegisterDecomposition teaches the composer that the given service type
+// can be realized by composing the given abstract sub-graph, enabling
+// recursive composition when discovery fails for the type.
+func (c *Composer) RegisterDecomposition(serviceType string, ag *AbstractGraph) error {
+	if serviceType == "" {
+		return fmt.Errorf("composer: empty service type")
+	}
+	if err := ag.Validate(); err != nil {
+		return err
+	}
+	c.decompositions[serviceType] = ag
+	return nil
+}
+
+// Compose runs the four protocol steps of the service composer: acquire
+// the abstract graph, discover instances, check and correct QoS
+// consistencies (the Ordered Coordination algorithm), and return the QoS
+// consistent service graph for the service distribution tier.
+func (c *Composer) Compose(req Request) (*graph.Graph, *Report, error) {
+	if req.App == nil {
+		return nil, nil, fmt.Errorf("composer: nil abstract service graph")
+	}
+	if err := req.App.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if err := req.UserQoS.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("composer: user QoS: %w", err)
+	}
+
+	report := newReport()
+	g := graph.New()
+	inst := &instantiation{
+		c:       c,
+		req:     req,
+		g:       g,
+		report:  report,
+		entries: make(map[graph.NodeID][]graph.NodeID),
+		exits:   make(map[graph.NodeID][]graph.NodeID),
+		missing: make(map[string]bool),
+	}
+	if err := inst.run(req.App, "", 0); err != nil {
+		return nil, nil, err
+	}
+	if len(inst.missing) > 0 {
+		types := make([]string, 0, len(inst.missing))
+		for t := range inst.missing {
+			types = append(types, t)
+		}
+		sort.Strings(types)
+		return nil, nil, &MissingServiceError{Types: types}
+	}
+	if g.NodeCount() == 0 {
+		return nil, nil, fmt.Errorf("composer: all services optional and none discovered")
+	}
+
+	// Enforce the user's QoS requirements as input requirements of the
+	// client-facing (sink) services so the Ordered Coordination algorithm
+	// preserves them. A user demand is intersected with the sink's own
+	// capability window: demanding more than the discovered client service
+	// can render is an unsatisfiable request, not a correctable mismatch.
+	for _, id := range g.Sinks() {
+		n := g.Node(id)
+		merged, err := intersectRequirements(n.In, req.UserQoS)
+		if err != nil {
+			return nil, nil, fmt.Errorf("composer: user QoS vs %s (%s): %w", n.ID, n.Instance, err)
+		}
+		n.In = merged
+	}
+
+	if err := c.coordinate(g, report); err != nil {
+		return nil, nil, err
+	}
+	if err := g.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("composer: produced invalid graph: %w", err)
+	}
+	return g, report, nil
+}
+
+// intersectRequirements narrows the base requirement vector by the
+// demanded one: dimensions present in both must intersect (empty
+// intersections are unsatisfiable), dimensions only in the demand are
+// added verbatim.
+func intersectRequirements(base, demand qos.Vector) (qos.Vector, error) {
+	out := base.Clone()
+	for _, p := range demand {
+		existing, ok := out.Get(p.Name)
+		if !ok {
+			out = out.With(p.Name, p.Value)
+			continue
+		}
+		narrowed, ok := existing.Intersect(p.Value)
+		if !ok {
+			return nil, fmt.Errorf("composer: demanded %s=%s conflicts with accepted %s", p.Name, p.Value, existing)
+		}
+		out = out.With(p.Name, narrowed)
+	}
+	return out, nil
+}
+
+// instantiation carries the state of one discovery/instantiation pass,
+// including the splice maps for skipped optional services and recursively
+// composed replacements.
+type instantiation struct {
+	c      *Composer
+	req    Request
+	g      *graph.Graph
+	report *Report
+	// entries/exits map an abstract node (qualified by prefix) to the
+	// concrete nodes that represent its upstream/downstream boundary.
+	// A skipped optional node has empty entries and exits.
+	entries map[graph.NodeID][]graph.NodeID
+	exits   map[graph.NodeID][]graph.NodeID
+	missing map[string]bool
+}
+
+func qualify(prefix string, id graph.NodeID) graph.NodeID {
+	return graph.NodeID(prefix + string(id))
+}
+
+// run instantiates one abstract graph (the application's, or a
+// decomposition's at depth > 0) into the shared concrete graph.
+func (in *instantiation) run(ag *AbstractGraph, prefix string, depth int) error {
+	sinkSet := make(map[graph.NodeID]bool)
+	if depth == 0 {
+		for _, id := range ag.Sinks() {
+			sinkSet[id] = true
+		}
+	}
+	for _, an := range ag.Nodes() {
+		qid := qualify(prefix, an.ID)
+		spec := an.Spec
+		if sinkSet[an.ID] && len(in.req.UserQoS) > 0 {
+			spec.Output = spec.Output.Merge(in.req.UserQoS)
+		}
+		if an.Pin != "" && an.Pin == in.req.ClientDevice && len(in.req.ClientAttrs) > 0 {
+			merged := make(map[string]string, len(spec.Attrs)+len(in.req.ClientAttrs))
+			for k, v := range in.req.ClientAttrs {
+				merged[k] = v
+			}
+			for k, v := range spec.Attrs {
+				merged[k] = v
+			}
+			spec.Attrs = merged
+		}
+
+		best := in.c.reg.Best(spec)
+		switch {
+		case best != nil:
+			node := nodeFromInstance(qid, an, best)
+			if err := in.g.AddNode(node); err != nil {
+				return err
+			}
+			in.entries[qid] = []graph.NodeID{qid}
+			in.exits[qid] = []graph.NodeID{qid}
+			in.report.Discovered[qid] = best.Name
+
+		case an.Optional:
+			// "If the service that cannot be discovered is optional, then
+			// the service composer may simply neglect it."
+			in.entries[qid] = nil
+			in.exits[qid] = nil
+			in.report.Skipped = append(in.report.Skipped, qid)
+
+		case depth < MaxRecursionDepth:
+			sub, ok := in.c.decompositions[an.Spec.Type]
+			if !ok {
+				in.missing[an.Spec.Type] = true
+				continue
+			}
+			// Recursively apply the composition algorithm to find a
+			// service graph that performs the same task as the missing
+			// service.
+			subPrefix := string(qid) + "/"
+			if err := in.run(sub, subPrefix, depth+1); err != nil {
+				return err
+			}
+			in.entries[qid] = in.subBoundary(sub, subPrefix, true)
+			in.exits[qid] = in.subBoundary(sub, subPrefix, false)
+			in.report.Expanded[qid] = an.Spec.Type
+			// Propagate the pin to boundary nodes so e.g. a decomposed
+			// player still lands on the client device.
+			if an.Pin != "" {
+				for _, id := range in.exits[qid] {
+					if n := in.g.Node(id); n != nil && n.Pin == "" {
+						n.Pin = an.Pin
+					}
+				}
+			}
+
+		default:
+			in.missing[an.Spec.Type] = true
+		}
+	}
+
+	// Wire the edges, bypassing skipped optional services.
+	for _, e := range ag.Edges() {
+		srcs := in.resolveExits(ag, prefix, e.From, make(map[graph.NodeID]bool))
+		dsts := in.resolveEntries(ag, prefix, e.To, make(map[graph.NodeID]bool))
+		for _, s := range srcs {
+			for _, d := range dsts {
+				if s == d {
+					continue
+				}
+				if err := in.g.AddEdge(s, d, e.ThroughputMbps); err != nil {
+					// A bypass may produce an edge that already exists;
+					// keep the first declaration.
+					continue
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// subBoundary returns the concrete sources (entry=true) or sinks of an
+// instantiated decomposition. Skipped optional nodes inside the
+// decomposition resolve through to their neighbors.
+func (in *instantiation) subBoundary(sub *AbstractGraph, prefix string, entry bool) []graph.NodeID {
+	var out []graph.NodeID
+	seen := make(map[graph.NodeID]bool)
+	for _, an := range sub.Nodes() {
+		boundary := false
+		if entry {
+			boundary = len(sub.preds(an.ID)) == 0
+		} else {
+			boundary = len(sub.succs(an.ID)) == 0
+		}
+		if !boundary {
+			continue
+		}
+		var ids []graph.NodeID
+		if entry {
+			ids = in.resolveEntries(sub, prefix, an.ID, make(map[graph.NodeID]bool))
+		} else {
+			ids = in.resolveExits(sub, prefix, an.ID, make(map[graph.NodeID]bool))
+		}
+		for _, id := range ids {
+			if !seen[id] {
+				seen[id] = true
+				out = append(out, id)
+			}
+		}
+	}
+	return out
+}
+
+// resolveExits returns the concrete nodes that act as the downstream
+// boundary of abstract node id; a skipped node resolves to the exits of its
+// abstract predecessors (the bypass).
+func (in *instantiation) resolveExits(ag *AbstractGraph, prefix string, id graph.NodeID, visiting map[graph.NodeID]bool) []graph.NodeID {
+	qid := qualify(prefix, id)
+	if visiting[qid] {
+		return nil
+	}
+	visiting[qid] = true
+	if ex, ok := in.exits[qid]; ok && ex != nil {
+		return ex
+	}
+	var out []graph.NodeID
+	for _, p := range ag.preds(id) {
+		out = append(out, in.resolveExits(ag, prefix, p, visiting)...)
+	}
+	return dedupe(out)
+}
+
+// resolveEntries is the upstream analogue of resolveExits: a skipped node
+// resolves to the entries of its abstract successors.
+func (in *instantiation) resolveEntries(ag *AbstractGraph, prefix string, id graph.NodeID, visiting map[graph.NodeID]bool) []graph.NodeID {
+	qid := qualify(prefix, id)
+	if visiting[qid] {
+		return nil
+	}
+	visiting[qid] = true
+	if en, ok := in.entries[qid]; ok && en != nil {
+		return en
+	}
+	var out []graph.NodeID
+	for _, s := range ag.succs(id) {
+		out = append(out, in.resolveEntries(ag, prefix, s, visiting)...)
+	}
+	return dedupe(out)
+}
+
+func dedupe(ids []graph.NodeID) []graph.NodeID {
+	seen := make(map[graph.NodeID]bool, len(ids))
+	out := ids[:0]
+	for _, id := range ids {
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// nodeFromInstance builds a concrete graph node from a discovered instance.
+func nodeFromInstance(id graph.NodeID, an *AbstractNode, inst *registry.Instance) *graph.Node {
+	return &graph.Node{
+		ID:            id,
+		Type:          inst.Type,
+		Instance:      inst.Name,
+		In:            inst.Input.Clone(),
+		Out:           inst.Output.Clone(),
+		OutCapability: inst.OutCapability.Clone(),
+		Adjustable:    cloneBools(inst.Adjustable),
+		PassThrough:   cloneBools(inst.PassThrough),
+		Resources:     inst.Resources.Clone(),
+		Pin:           an.Pin,
+		SizeMB:        inst.SizeMB,
+	}
+}
+
+func cloneBools(m map[string]bool) map[string]bool {
+	if m == nil {
+		return nil
+	}
+	out := make(map[string]bool, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,665 @@
+// Package core implements the paper's primary contribution: the integrated
+// dynamic QoS-aware service configuration model. A Configurator drives the
+// two tiers end-to-end — service composition (discover instances, run the
+// Ordered Coordination consistency check and corrections) followed by
+// service distribution (fit the consistent graph into the currently
+// available devices with minimum cost aggregation) — then deploys the
+// resulting placement onto the emulated smart space, downloading missing
+// components from the repository and, on re-configuration, handing session
+// state off from the old service graph to the new one so "the user can
+// continue to perform tasks".
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"ubiqos/internal/checkpoint"
+	"ubiqos/internal/composer"
+	"ubiqos/internal/device"
+	"ubiqos/internal/distributor"
+	"ubiqos/internal/graph"
+	"ubiqos/internal/metrics"
+	"ubiqos/internal/netsim"
+	"ubiqos/internal/profiler"
+	"ubiqos/internal/qos"
+	"ubiqos/internal/repository"
+	"ubiqos/internal/resource"
+	"ubiqos/internal/runtime"
+)
+
+// PlaceFunc chooses a placement for a composed graph; the default is the
+// paper's greedy heuristic.
+type PlaceFunc func(p *distributor.Problem) (distributor.Assignment, float64, error)
+
+// Config wires a Configurator to the domain's infrastructure services.
+type Config struct {
+	Composer    *composer.Composer
+	Devices     *device.Table
+	Links       *device.Links
+	Net         *netsim.Network
+	Repo        *repository.Repository
+	Checkpoints *checkpoint.Store
+	Engine      *runtime.Engine
+	Weights     resource.Weights
+	// Place overrides the placement algorithm (default: Heuristic).
+	Place PlaceFunc
+	// StateSizeMB is the serialized session state size used for handoffs.
+	StateSizeMB float64
+	// StateSizeFor, when set, sizes the checkpoint by the portal device it
+	// is taken on (e.g. a PC's playback buffer is larger than a PDA's, so
+	// PC→PDA handoffs carry more data than PDA→PC — the asymmetry in the
+	// paper's Figure 4). It overrides StateSizeMB.
+	StateSizeFor func(from device.ID) float64
+	// Profiler, when set, supplies online-profiled resource requirement
+	// estimates that override the instances' declared vectors during
+	// distribution (the paper's §3.1 assumption that "profiling or
+	// monitoring services are available to automatically measure the
+	// resource requirements for all application services").
+	Profiler *profiler.Profiler
+	// DegradeFactors is the QoS degradation ladder: when configuration
+	// fails for feasibility reasons, the user's numeric QoS requirements
+	// are scaled by each factor in turn (e.g. 0.75 then 0.5) until a
+	// configuration fits — the paper's "continue his or her tasks with
+	// minimum QoS degradations". Empty means no degradation is attempted.
+	DegradeFactors []float64
+	// Metrics, when set, receives operational counters and the per-tier
+	// overhead histograms.
+	Metrics *metrics.Registry
+}
+
+// Configurator is the integrated service configuration model. All methods
+// are safe for concurrent use.
+type Configurator struct {
+	cfg Config
+
+	mu       sync.Mutex
+	sessions map[string]*ActiveSession
+}
+
+// New validates the wiring and returns a Configurator.
+func New(cfg Config) (*Configurator, error) {
+	switch {
+	case cfg.Composer == nil:
+		return nil, fmt.Errorf("core: nil composer")
+	case cfg.Devices == nil:
+		return nil, fmt.Errorf("core: nil device table")
+	case cfg.Links == nil:
+		return nil, fmt.Errorf("core: nil link table")
+	case cfg.Net == nil:
+		return nil, fmt.Errorf("core: nil network")
+	case cfg.Repo == nil:
+		return nil, fmt.Errorf("core: nil repository")
+	case cfg.Checkpoints == nil:
+		return nil, fmt.Errorf("core: nil checkpoint store")
+	case cfg.Engine == nil:
+		return nil, fmt.Errorf("core: nil runtime engine")
+	}
+	if err := cfg.Weights.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Place == nil {
+		cfg.Place = distributor.Heuristic
+	}
+	if cfg.StateSizeMB <= 0 {
+		cfg.StateSizeMB = 0.5
+	}
+	return &Configurator{cfg: cfg, sessions: make(map[string]*ActiveSession)}, nil
+}
+
+// Request describes one application configuration request.
+type Request struct {
+	// SessionID names the application session; re-configuring an existing
+	// ID performs a state handoff.
+	SessionID string
+	// App is the abstract service graph.
+	App *composer.AbstractGraph
+	// UserQoS carries the user's QoS requirements.
+	UserQoS qos.Vector
+	// ClientDevice is the user's portal device; abstract nodes pinned to
+	// "client" are bound to it and its attributes steer discovery.
+	ClientDevice device.ID
+	// MaxFrames bounds the emulated sources (0 = unbounded).
+	MaxFrames int64
+}
+
+// ClientRole is the pin role in abstract graphs that Request.ClientDevice
+// resolves.
+const ClientRole = "client"
+
+// Timing is the Figure 4 overhead breakdown of one configuration action.
+type Timing struct {
+	// Composition is the wall time of the service composition tier.
+	Composition time.Duration
+	// Distribution is the wall time of the service distribution tier.
+	Distribution time.Duration
+	// Downloading is the modeled dynamic-downloading time (0 when every
+	// component is pre-installed on its target device).
+	Downloading time.Duration
+	// InitOrHandoff is the modeled initialization or state-handoff time,
+	// including the buffering time for the first frame at the interruption
+	// point.
+	InitOrHandoff time.Duration
+}
+
+// Total sums the breakdown.
+func (t Timing) Total() time.Duration {
+	return t.Composition + t.Distribution + t.Downloading + t.InitOrHandoff
+}
+
+// ActiveSession is one configured, running application.
+type ActiveSession struct {
+	ID string
+	// Request is the configuration request that produced this session,
+	// kept so the domain can re-issue it on runtime changes (device crash,
+	// user mobility).
+	Request Request
+	// Graph is the QoS-consistent concrete service graph.
+	Graph *graph.Graph
+	// Placement maps every component to its device.
+	Placement map[graph.NodeID]device.ID
+	// Cost is the cost aggregation of the chosen placement.
+	Cost float64
+	// DegradeFactor records the QoS degradation applied to admit the
+	// session (1 = full requested quality).
+	DegradeFactor float64
+	// Report is the composition report (corrections applied).
+	Report *composer.Report
+	// Timing is the configuration overhead breakdown.
+	Timing Timing
+	// Runtime is the running emulated pipeline.
+	Runtime *runtime.Session
+	// ClientDevice is the session's current portal device.
+	ClientDevice device.ID
+
+	loads   []resource.Vector
+	devIDs  []device.ID
+	demands map[[2]device.ID]float64
+}
+
+// Configure runs the full pipeline for a new session: compose → distribute
+// → admit → download → deploy. If the session ID already has a saved
+// checkpoint (from a prior Reconfigure), playback resumes from the
+// interruption point.
+func (c *Configurator) Configure(req Request) (*ActiveSession, error) {
+	c.mu.Lock()
+	_, exists := c.sessions[req.SessionID]
+	c.mu.Unlock()
+	if exists {
+		return nil, fmt.Errorf("core: session %q already active (use Reconfigure)", req.SessionID)
+	}
+	return c.configure(req, false)
+}
+
+// configure runs the pipeline, walking the QoS degradation ladder when
+// the full-quality configuration does not fit the current environment.
+func (c *Configurator) configure(req Request, handoff bool) (*ActiveSession, error) {
+	active, err := c.configureLadder(req, handoff)
+	c.recordOutcome(active, err)
+	return active, err
+}
+
+// recordOutcome feeds the metrics registry after a configuration attempt.
+func (c *Configurator) recordOutcome(active *ActiveSession, err error) {
+	m := c.cfg.Metrics
+	if m == nil {
+		return
+	}
+	m.Counter(metrics.ConfigsTotal).Inc()
+	if err != nil {
+		m.Counter(metrics.ConfigsFailed).Inc()
+		return
+	}
+	if active.DegradeFactor != 1 {
+		m.Counter(metrics.ConfigsDegraded).Inc()
+	}
+	m.Counter(metrics.TranscodersInserted).Add(int64(len(active.Report.Transcoders)))
+	m.Counter(metrics.BuffersInserted).Add(int64(len(active.Report.Buffers)))
+	m.Counter(metrics.Adjustments).Add(int64(len(active.Report.Adjustments)))
+	m.Histogram(metrics.CompositionTime).Observe(active.Timing.Composition)
+	m.Histogram(metrics.DistributionTime).Observe(active.Timing.Distribution)
+	m.Histogram(metrics.DownloadTime).Observe(active.Timing.Downloading)
+	m.Histogram(metrics.HandoffTime).Observe(active.Timing.InitOrHandoff)
+	m.Gauge(metrics.ActiveSessions).Set(float64(c.Sessions()))
+}
+
+func (c *Configurator) configureLadder(req Request, handoff bool) (*ActiveSession, error) {
+	active, err := c.configureOnce(req, handoff)
+	if err == nil {
+		active.DegradeFactor = 1
+		return active, nil
+	}
+	// Missing services cannot be fixed by lowering quality; notify the
+	// user instead of degrading.
+	var miss *composer.MissingServiceError
+	if errors.As(err, &miss) || len(c.cfg.DegradeFactors) == 0 || len(req.UserQoS) == 0 {
+		return nil, err
+	}
+	for _, f := range c.cfg.DegradeFactors {
+		if f <= 0 || f >= 1 {
+			continue
+		}
+		degraded := req
+		degraded.UserQoS = degradeVector(req.UserQoS, f)
+		active, derr := c.configureOnce(degraded, handoff)
+		if derr == nil {
+			active.DegradeFactor = f
+			return active, nil
+		}
+	}
+	return nil, err
+}
+
+// degradeVector scales the numeric dimensions of a QoS requirement by f,
+// leaving symbolic dimensions untouched: a range [lo,hi] becomes
+// [lo·f, hi·f], a scalar v becomes v·f.
+func degradeVector(v qos.Vector, f float64) qos.Vector {
+	out := v.Clone()
+	for i, p := range out {
+		switch p.Value.Kind {
+		case qos.KindScalar:
+			out[i].Value = qos.Scalar(p.Value.Num * f)
+		case qos.KindRange:
+			out[i].Value = qos.Range(p.Value.Lo*f, p.Value.Hi*f)
+		}
+	}
+	return out
+}
+
+func (c *Configurator) configureOnce(req Request, handoff bool) (*ActiveSession, error) {
+	if req.SessionID == "" {
+		return nil, fmt.Errorf("core: empty session ID")
+	}
+
+	// --- Tier 1: service composition. ---
+	var clientAttrs map[string]string
+	if d := c.cfg.Devices.Get(req.ClientDevice); d != nil {
+		clientAttrs = d.Attrs
+	}
+	t0 := time.Now()
+	app := resolveClientPins(req.App, req.ClientDevice)
+	g, rep, err := c.cfg.Composer.Compose(composer.Request{
+		App:          app,
+		UserQoS:      req.UserQoS,
+		ClientAttrs:  clientAttrs,
+		ClientDevice: string(req.ClientDevice),
+	})
+	compTime := time.Since(t0)
+	if err != nil {
+		return nil, fmt.Errorf("core: composition: %w", err)
+	}
+
+	// Online profiling refines the declared requirement vectors.
+	if c.cfg.Profiler != nil {
+		for _, n := range g.Nodes() {
+			if n.Instance != "" {
+				n.Resources = c.cfg.Profiler.EstimateOr(n.Instance, n.Resources)
+			}
+		}
+	}
+
+	// --- Tier 2: service distribution. ---
+	t1 := time.Now()
+	up := c.cfg.Devices.UpDevices()
+	if len(up) == 0 {
+		return nil, fmt.Errorf("core: no devices available")
+	}
+	devInfos := make([]distributor.DeviceInfo, len(up))
+	devIDs := make([]device.ID, len(up))
+	for i, d := range up {
+		devInfos[i] = distributor.DeviceInfo{ID: d.ID, Avail: d.Available()}
+		devIDs[i] = d.ID
+	}
+	prob := &distributor.Problem{
+		Graph:     g,
+		Devices:   devInfos,
+		Bandwidth: c.cfg.Links.Available,
+		Weights:   c.cfg.Weights,
+	}
+	assignment, cost, err := c.cfg.Place(prob)
+	distTime := time.Since(t1)
+	if err != nil {
+		return nil, fmt.Errorf("core: distribution: %w", err)
+	}
+
+	// --- Admission: reserve device resources and link bandwidth. ---
+	loads := prob.DeviceLoads(assignment)
+	admitted := make([]int, 0, len(up))
+	rollback := func() {
+		for _, i := range admitted {
+			up[i].Release(loads[i])
+		}
+	}
+	for i, d := range up {
+		if loads[i].IsZero() {
+			continue
+		}
+		if err := d.Admit(loads[i]); err != nil {
+			rollback()
+			return nil, fmt.Errorf("core: admission: %w", err)
+		}
+		admitted = append(admitted, i)
+	}
+	demands := prob.LinkDemands(assignment)
+	reserved := make([][2]device.ID, 0, len(demands))
+	rollbackLinks := func() {
+		for _, pair := range reserved {
+			c.cfg.Links.ReleaseBandwidth(pair[0], pair[1], demands[pair])
+		}
+	}
+	for pair, mbps := range demands {
+		if err := c.cfg.Links.Reserve(pair[0], pair[1], mbps); err != nil {
+			rollbackLinks()
+			rollback()
+			return nil, fmt.Errorf("core: bandwidth reservation: %w", err)
+		}
+		reserved = append(reserved, pair)
+	}
+
+	// --- Dynamic downloading: components missing on their targets. ---
+	placement := make(map[graph.NodeID]device.ID, g.NodeCount())
+	for id, di := range assignment {
+		placement[id] = devInfos[di].ID
+	}
+	dlTime, err := c.download(g, placement)
+	if err != nil {
+		rollbackLinks()
+		rollback()
+		return nil, err
+	}
+
+	// --- Initialization or state handoff. ---
+	// Both a fresh initialization and a resume pay the buffering time for
+	// the first frame (at the start, or at the interruption point).
+	startPos := int64(0)
+	initTime := firstFrameBuffering(g)
+	if st, ok := c.cfg.Checkpoints.Load(req.SessionID); ok && handoff {
+		startPos = st.Position
+	}
+
+	sess, err := c.cfg.Engine.Deploy(g, placement, startPos, req.MaxFrames)
+	if err != nil {
+		rollbackLinks()
+		rollback()
+		return nil, fmt.Errorf("core: deploy: %w", err)
+	}
+	if err := sess.Start(); err != nil {
+		rollbackLinks()
+		rollback()
+		return nil, fmt.Errorf("core: start: %w", err)
+	}
+
+	active := &ActiveSession{
+		ID:           req.SessionID,
+		Request:      req,
+		Graph:        g,
+		Placement:    placement,
+		Cost:         cost,
+		Report:       rep,
+		Runtime:      sess,
+		ClientDevice: req.ClientDevice,
+		loads:        loads,
+		devIDs:       devIDs,
+		demands:      demands,
+		Timing: Timing{
+			Composition:   compTime,
+			Distribution:  distTime,
+			Downloading:   dlTime,
+			InitOrHandoff: initTime,
+		},
+	}
+	c.mu.Lock()
+	c.sessions[req.SessionID] = active
+	c.mu.Unlock()
+	return active, nil
+}
+
+// download fetches every component missing on its target device. Devices
+// download in parallel, so the modeled cost is the per-device maximum of
+// sequential download times.
+func (c *Configurator) download(g *graph.Graph, placement map[graph.NodeID]device.ID) (time.Duration, error) {
+	perDevice := make(map[device.ID]time.Duration)
+	for _, n := range g.Nodes() {
+		if n.Instance == "" {
+			continue
+		}
+		dev := placement[n.ID]
+		d, err := c.cfg.Repo.Ensure(string(dev), n.Instance)
+		if err != nil {
+			return 0, fmt.Errorf("core: %w", err)
+		}
+		perDevice[dev] += d
+	}
+	var maxD time.Duration
+	for _, d := range perDevice {
+		if d > maxD {
+			maxD = d
+		}
+	}
+	return maxD, nil
+}
+
+// firstFrameBuffering models the wait for the first frame after resuming:
+// one frame interval at the slowest sink rate.
+func firstFrameBuffering(g *graph.Graph) time.Duration {
+	rate := runtime.DefaultFrameRate
+	for _, id := range g.Sinks() {
+		n := g.Node(id)
+		if v, ok := n.In.Get(qos.DimFrameRate); ok {
+			switch v.Kind {
+			case qos.KindScalar:
+				if v.Num > 0 {
+					rate = v.Num
+				}
+			case qos.KindRange:
+				if v.Lo > 0 {
+					rate = v.Lo
+				}
+			}
+		}
+	}
+	return time.Duration(float64(time.Second) / rate)
+}
+
+// resolveClientPins rewrites the ClientRole pin to the concrete client
+// device, returning a copy when rewriting is needed.
+func resolveClientPins(app *composer.AbstractGraph, client device.ID) *composer.AbstractGraph {
+	if app == nil || client == "" {
+		return app
+	}
+	needs := false
+	for _, n := range app.Nodes() {
+		if n.Pin == ClientRole {
+			needs = true
+			break
+		}
+	}
+	if !needs {
+		return app
+	}
+	out := composer.NewAbstractGraph()
+	for _, n := range app.Nodes() {
+		cp := *n
+		if cp.Pin == ClientRole {
+			cp.Pin = string(client)
+		}
+		out.MustAddNode(&cp)
+	}
+	for _, e := range app.Edges() {
+		out.MustAddEdge(e.From, e.To, e.ThroughputMbps)
+	}
+	return out
+}
+
+// Session returns the active session with the given ID, or nil.
+func (c *Configurator) Session(id string) *ActiveSession {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sessions[id]
+}
+
+// Sessions returns the number of active sessions.
+func (c *Configurator) Sessions() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.sessions)
+}
+
+// SessionIDs returns the IDs of all active sessions, sorted.
+func (c *Configurator) SessionIDs() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.sessions))
+	for id := range c.sessions {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Stop terminates a session and releases its resources.
+func (c *Configurator) Stop(sessionID string) error {
+	c.mu.Lock()
+	active, ok := c.sessions[sessionID]
+	if ok {
+		delete(c.sessions, sessionID)
+	}
+	c.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("core: unknown session %q", sessionID)
+	}
+	active.Runtime.Stop()
+	c.release(active)
+	c.cfg.Checkpoints.Delete(sessionID)
+	if c.cfg.Metrics != nil {
+		c.cfg.Metrics.Gauge(metrics.ActiveSessions).Set(float64(c.Sessions()))
+	}
+	return nil
+}
+
+func (c *Configurator) release(active *ActiveSession) {
+	for i, id := range active.devIDs {
+		if active.loads[i].IsZero() {
+			continue
+		}
+		if d := c.cfg.Devices.Get(id); d != nil {
+			d.Release(active.loads[i])
+		}
+	}
+	for pair, mbps := range active.demands {
+		c.cfg.Links.ReleaseBandwidth(pair[0], pair[1], mbps)
+	}
+}
+
+// Suspend checkpoints a session at its interruption point, tears it down,
+// releases its resources, and returns the exported state. Unlike
+// Reconfigure, nothing is re-created: the state can be carried to another
+// domain (the user moved to a new location) and resumed there with
+// ResumeFrom.
+func (c *Configurator) Suspend(sessionID string) (checkpoint.State, error) {
+	c.mu.Lock()
+	active, ok := c.sessions[sessionID]
+	if ok {
+		delete(c.sessions, sessionID)
+	}
+	c.mu.Unlock()
+	if !ok {
+		return checkpoint.State{}, fmt.Errorf("core: unknown session %q", sessionID)
+	}
+	stateSize := c.cfg.StateSizeMB
+	if c.cfg.StateSizeFor != nil {
+		stateSize = c.cfg.StateSizeFor(active.ClientDevice)
+	}
+	st := checkpoint.State{
+		SessionID: sessionID,
+		Position:  active.Runtime.Position(),
+		SizeMB:    stateSize,
+		SavedAt:   time.Now(),
+	}
+	active.Runtime.Stop()
+	c.release(active)
+	c.cfg.Checkpoints.Delete(sessionID)
+	if c.cfg.Metrics != nil {
+		c.cfg.Metrics.Gauge(metrics.ActiveSessions).Set(float64(c.Sessions()))
+	}
+	return st, nil
+}
+
+// ResumeFrom configures a session that continues from imported state —
+// the receiving side of a cross-domain migration. The request's session ID
+// takes precedence over the state's.
+func (c *Configurator) ResumeFrom(req Request, st checkpoint.State) (*ActiveSession, error) {
+	c.mu.Lock()
+	_, exists := c.sessions[req.SessionID]
+	c.mu.Unlock()
+	if exists {
+		return nil, fmt.Errorf("core: session %q already active", req.SessionID)
+	}
+	st.SessionID = req.SessionID
+	if err := c.cfg.Checkpoints.Save(st); err != nil {
+		return nil, err
+	}
+	return c.configure(req, true)
+}
+
+// Reconfigure re-runs the configuration model for an existing session —
+// invoked "whenever some significant changes are detected during runtime",
+// e.g. the user switches devices or a device crashes. The old service
+// graph is checkpointed at its interruption point, torn down, and a new
+// graph composed, distributed, and resumed from the saved position; the
+// returned session's Timing includes the state-handoff cost.
+func (c *Configurator) Reconfigure(req Request) (*ActiveSession, error) {
+	c.mu.Lock()
+	old, ok := c.sessions[req.SessionID]
+	if ok {
+		delete(c.sessions, req.SessionID)
+	}
+	c.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("core: unknown session %q", req.SessionID)
+	}
+
+	// Checkpoint at the interruption point, then tear down.
+	pos := old.Runtime.Position()
+	stateSize := c.cfg.StateSizeMB
+	if c.cfg.StateSizeFor != nil {
+		stateSize = c.cfg.StateSizeFor(old.ClientDevice)
+	}
+	if err := c.cfg.Checkpoints.Save(checkpoint.State{
+		SessionID: req.SessionID,
+		Position:  pos,
+		SizeMB:    stateSize,
+	}); err != nil {
+		// Restore bookkeeping: the old session keeps running.
+		c.mu.Lock()
+		c.sessions[req.SessionID] = old
+		c.mu.Unlock()
+		return nil, err
+	}
+	old.Runtime.Stop()
+	c.release(old)
+
+	// Transfer the state between the portal devices.
+	var handoffTime time.Duration
+	if old.ClientDevice != "" && req.ClientDevice != "" && old.ClientDevice != req.ClientDevice {
+		d, err := c.cfg.Checkpoints.Handoff(c.cfg.Net, req.SessionID, string(old.ClientDevice), string(req.ClientDevice))
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		handoffTime = d
+	}
+
+	active, err := c.configure(req, true)
+	if err != nil {
+		return nil, err
+	}
+	active.Timing.InitOrHandoff += handoffTime
+	if c.cfg.Metrics != nil {
+		c.cfg.Metrics.Counter(metrics.Handoffs).Inc()
+		c.cfg.Metrics.Histogram(metrics.HandoffTime).Observe(handoffTime)
+	}
+	return active, nil
+}

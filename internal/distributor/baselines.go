@@ -1,0 +1,205 @@
+package distributor
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+
+	"ubiqos/internal/graph"
+	"ubiqos/internal/resource"
+)
+
+// Random is the random baseline of the paper's evaluation: it draws
+// uniform random assignments (pins respected) and returns the first one
+// satisfying the fit-into constraints, giving up — and reporting
+// ErrInfeasible — after tries attempts. The paper's comparison uses a
+// single attempt per request; larger values make the baseline stronger.
+func Random(p *Problem, rng *rand.Rand, tries int) (Assignment, float64, error) {
+	if err := p.Validate(); err != nil {
+		return nil, 0, err
+	}
+	if tries < 1 {
+		tries = 1
+	}
+	seed, err := p.pinnedAssignment()
+	if err != nil {
+		return nil, 0, err
+	}
+	nodes := p.Graph.Nodes()
+	for t := 0; t < tries; t++ {
+		a := seed.Clone()
+		for _, n := range nodes {
+			if _, ok := a[n.ID]; ok {
+				continue
+			}
+			a[n.ID] = rng.Intn(len(p.Devices))
+		}
+		if p.FitInto(a) == nil {
+			return a, p.CostAggregation(a), nil
+		}
+	}
+	return nil, 0, ErrInfeasible
+}
+
+// RandomAdmit is the feasibility-biased random baseline: it visits the
+// components in a random order and assigns each uniformly among the
+// devices that still have the end-system resources to hold it, then
+// verifies the full fit-into constraints (including bandwidth). Unlike
+// Random it rarely fails on resource constraints, but it ignores both the
+// cost objective and graph locality, so its cuts are large and its cost
+// aggregation high.
+func RandomAdmit(p *Problem, rng *rand.Rand) (Assignment, float64, error) {
+	if err := p.Validate(); err != nil {
+		return nil, 0, err
+	}
+	a, err := p.pinnedAssignment()
+	if err != nil {
+		return nil, 0, err
+	}
+	remaining := make([]resource.Vector, len(p.Devices))
+	for i, d := range p.Devices {
+		remaining[i] = d.Avail.Clone()
+	}
+	for id, di := range a {
+		remaining[di] = remaining[di].Sub(p.Graph.Node(id).Resources)
+	}
+	nodes := p.Graph.Nodes()
+	order := rng.Perm(len(nodes))
+	candidates := make([]int, 0, len(p.Devices))
+	for _, oi := range order {
+		n := nodes[oi]
+		if _, ok := a[n.ID]; ok {
+			continue
+		}
+		candidates = candidates[:0]
+		for di := range p.Devices {
+			if n.Resources.LessEq(remaining[di]) {
+				candidates = append(candidates, di)
+			}
+		}
+		if len(candidates) == 0 {
+			return nil, 0, ErrInfeasible
+		}
+		di := candidates[rng.Intn(len(candidates))]
+		a[n.ID] = di
+		remaining[di] = remaining[di].Sub(n.Resources)
+	}
+	if err := p.FitInto(a); err != nil {
+		return nil, 0, err
+	}
+	return a, p.CostAggregation(a), nil
+}
+
+// FirstFit is an ablation of the heuristic's component-selection rule: it
+// walks the components in graph order and places each on the first device
+// (in declaration order) with enough remaining resources, ignoring
+// neighborhood structure. It shows how much the paper's
+// largest-requirement-neighbor rule contributes.
+func FirstFit(p *Problem) (Assignment, float64, error) {
+	if err := p.Validate(); err != nil {
+		return nil, 0, err
+	}
+	a, err := p.pinnedAssignment()
+	if err != nil {
+		return nil, 0, err
+	}
+	remaining := make([]resource.Vector, len(p.Devices))
+	for i, d := range p.Devices {
+		remaining[i] = d.Avail.Clone()
+	}
+	for id, di := range a {
+		remaining[di] = remaining[di].Sub(p.Graph.Node(id).Resources)
+	}
+	for _, n := range p.Graph.Nodes() {
+		if _, ok := a[n.ID]; ok {
+			continue
+		}
+		placed := false
+		for di := range p.Devices {
+			if n.Resources.LessEq(remaining[di]) {
+				a[n.ID] = di
+				remaining[di] = remaining[di].Sub(n.Resources)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			return nil, 0, ErrInfeasible
+		}
+	}
+	if err := p.FitInto(a); err != nil {
+		return nil, 0, err
+	}
+	return a, p.CostAggregation(a), nil
+}
+
+// Fixed is the static baseline of the Figure 5 experiment: the placement
+// for each application is computed once, against the devices' initial
+// (unloaded) availability, and never recomputed — the policy "lacks
+// dynamic service distribution considerations". At request time the cached
+// placement is only re-checked against the current conditions.
+//
+// Fixed is safe for concurrent use.
+type Fixed struct {
+	mu    sync.Mutex
+	cache map[string]Assignment
+	// Initial are the devices with their initial availability used to
+	// precompute placements.
+	initial []DeviceInfo
+}
+
+// NewFixed returns a fixed policy precomputing against the given initial
+// device availability.
+func NewFixed(initial []DeviceInfo) *Fixed {
+	cloned := make([]DeviceInfo, len(initial))
+	for i, d := range initial {
+		cloned[i] = DeviceInfo{ID: d.ID, Avail: d.Avail.Clone()}
+	}
+	return &Fixed{cache: make(map[string]Assignment), initial: cloned}
+}
+
+// Place returns the static placement for the application identified by
+// key, computing it on first use with the heuristic against the initial
+// availability, then validates it against the current problem (current
+// availability and bandwidth). It fails with ErrInfeasible when the static
+// placement does not fit the current conditions.
+func (f *Fixed) Place(key string, p *Problem) (Assignment, float64, error) {
+	f.mu.Lock()
+	a, ok := f.cache[key]
+	f.mu.Unlock()
+	if !ok {
+		initial := &Problem{
+			Graph:     p.Graph,
+			Devices:   f.initial,
+			Bandwidth: p.Bandwidth,
+			Weights:   p.Weights,
+		}
+		var err error
+		a, _, err = Heuristic(initial)
+		if err != nil {
+			return nil, 0, err
+		}
+		f.mu.Lock()
+		f.cache[key] = a
+		f.mu.Unlock()
+	}
+	if err := p.FitInto(a); err != nil {
+		return nil, 0, err
+	}
+	return a.Clone(), p.CostAggregation(a), nil
+}
+
+// Partitions renders the assignment as the node sets V1..Vk in device
+// order, each sorted by node ID — the k-cut of Definition 3.3.
+func Partitions(p *Problem, a Assignment) [][]graph.NodeID {
+	out := make([][]graph.NodeID, len(p.Devices))
+	for id, di := range a {
+		if di >= 0 && di < len(out) {
+			out[di] = append(out[di], id)
+		}
+	}
+	for i := range out {
+		sort.Slice(out[i], func(x, y int) bool { return out[i][x] < out[i][y] })
+	}
+	return out
+}

@@ -1,0 +1,129 @@
+package distributor
+
+import (
+	"sort"
+
+	"ubiqos/internal/graph"
+	"ubiqos/internal/resource"
+)
+
+// Heuristic runs the paper's polynomial greedy algorithm (§3.3):
+//
+//  1. insert the service components that cannot be instantiated
+//     arbitrarily (pinned components) into their proper devices;
+//  2. repeatedly sort the k available devices in decreasing order of their
+//     (weighted) remaining resource availability and insert the next
+//     chosen component into the head device — the device that currently
+//     has the largest availability. If the head device already hosts a
+//     component A, the next chosen component is A's unassigned neighbor
+//     with the largest weighted resource requirement (merging it with A
+//     keeps their edge off the cut); if the head device is empty, the next
+//     chosen component is the unassigned component with the largest
+//     weighted requirement overall;
+//  3. repeat until every component is placed.
+//
+// When the chosen component does not fit on the head device, the algorithm
+// tries the remaining devices in decreasing availability order; if it fits
+// nowhere the instance is infeasible for this heuristic. The final
+// assignment is verified against the full fit-into constraints (including
+// link bandwidth).
+func Heuristic(p *Problem) (Assignment, float64, error) {
+	if err := p.Validate(); err != nil {
+		return nil, 0, err
+	}
+	a, err := p.pinnedAssignment()
+	if err != nil {
+		return nil, 0, err
+	}
+
+	remaining := make([]resource.Vector, len(p.Devices))
+	for i, d := range p.Devices {
+		remaining[i] = d.Avail.Clone()
+	}
+	for id, di := range a {
+		remaining[di] = remaining[di].Sub(p.Graph.Node(id).Resources)
+	}
+
+	unassigned := make(map[graph.NodeID]bool)
+	for _, n := range p.Graph.Nodes() {
+		if _, ok := a[n.ID]; !ok {
+			unassigned[n.ID] = true
+		}
+	}
+
+	// bySize caches the global decreasing-requirement order.
+	bySize := p.sortedNodesByRequirement()
+
+	devOrder := make([]int, len(p.Devices))
+	for len(unassigned) > 0 {
+		// Sort devices by decreasing weighted remaining availability.
+		for i := range devOrder {
+			devOrder[i] = i
+		}
+		sort.SliceStable(devOrder, func(x, y int) bool {
+			ax := remaining[devOrder[x]].WeightedSum(p.Weights.EndSystem())
+			ay := remaining[devOrder[y]].WeightedSum(p.Weights.EndSystem())
+			if ax != ay {
+				return ax > ay
+			}
+			return devOrder[x] < devOrder[y]
+		})
+
+		head := devOrder[0]
+		chosen := p.chooseComponent(a, unassigned, bySize, head)
+
+		// Insert into the head device, falling back down the sorted list
+		// when the component does not fit.
+		placed := false
+		for _, di := range devOrder {
+			if p.Graph.Node(chosen).Resources.LessEq(remaining[di]) {
+				a[chosen] = di
+				remaining[di] = remaining[di].Sub(p.Graph.Node(chosen).Resources)
+				delete(unassigned, chosen)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			return nil, 0, ErrInfeasible
+		}
+	}
+
+	if err := p.FitInto(a); err != nil {
+		return nil, 0, err
+	}
+	return a, p.CostAggregation(a), nil
+}
+
+// chooseComponent picks the next component to place given the head device:
+// the largest-requirement unassigned neighbor of the head's current
+// occupants when there is one, otherwise the largest-requirement
+// unassigned component overall.
+func (p *Problem) chooseComponent(a Assignment, unassigned map[graph.NodeID]bool, bySize []*graph.Node, head int) graph.NodeID {
+	var best graph.NodeID
+	bestReq := -1.0
+	for id, di := range a {
+		if di != head {
+			continue
+		}
+		for _, nb := range p.Graph.Neighbors(id) {
+			if !unassigned[nb] {
+				continue
+			}
+			req := p.weightedRequirement(p.Graph.Node(nb))
+			if req > bestReq || (req == bestReq && nb < best) {
+				best, bestReq = nb, req
+			}
+		}
+	}
+	if best != "" {
+		return best
+	}
+	for _, n := range bySize {
+		if unassigned[n.ID] {
+			return n.ID
+		}
+	}
+	// Unreachable: callers only invoke with a non-empty unassigned set.
+	return ""
+}

@@ -1,0 +1,171 @@
+package distributor
+
+import (
+	"math"
+
+	"ubiqos/internal/graph"
+	"ubiqos/internal/resource"
+)
+
+// Optimal finds the minimum-cost-aggregation feasible k-cut by exhaustive
+// branch-and-bound search. The optimal service distribution problem is
+// NP-hard (Theorem 1), so this solver is intended for the small instances
+// of the paper's Table 1 comparison (10–20 components, 2 devices) and as a
+// test oracle; the search prunes on partial resource violations and on
+// partial cost exceeding the best complete solution.
+func Optimal(p *Problem) (Assignment, float64, error) {
+	if err := p.Validate(); err != nil {
+		return nil, 0, err
+	}
+	seed, err := p.pinnedAssignment()
+	if err != nil {
+		return nil, 0, err
+	}
+
+	s := &obbState{
+		p:     p,
+		m:     p.Weights.Dims(),
+		nodes: p.sortedNodesByRequirement(), // big components first: stronger pruning
+		best:  math.Inf(1),
+	}
+	// Index nodes and collect internal adjacency (edges between node
+	// indices) for incremental cost updates.
+	s.index = make(map[graph.NodeID]int, len(s.nodes))
+	for i, n := range s.nodes {
+		s.index[n.ID] = i
+	}
+	s.adj = make([][]obbEdge, len(s.nodes))
+	for _, e := range p.Graph.Edges() {
+		fi, ti := s.index[e.From], s.index[e.To]
+		s.adj[fi] = append(s.adj[fi], obbEdge{other: ti, tp: e.ThroughputMbps})
+		s.adj[ti] = append(s.adj[ti], obbEdge{other: fi, tp: e.ThroughputMbps})
+	}
+	s.loads = make([]resource.Vector, len(p.Devices))
+	for i := range s.loads {
+		s.loads[i] = resource.New(s.m)
+	}
+	s.pairTP = make([][]float64, len(p.Devices))
+	for i := range s.pairTP {
+		s.pairTP[i] = make([]float64, len(p.Devices))
+	}
+	s.bw = make([][]float64, len(p.Devices))
+	for i := range s.bw {
+		s.bw[i] = make([]float64, len(p.Devices))
+		for j := range s.bw[i] {
+			if i != j {
+				s.bw[i][j] = p.Bandwidth(p.Devices[i].ID, p.Devices[j].ID)
+			}
+		}
+	}
+	s.assign = make([]int, len(s.nodes))
+	for i := range s.assign {
+		s.assign[i] = -1
+	}
+	s.pin = make([]int, len(s.nodes))
+	for i, n := range s.nodes {
+		s.pin[i] = -1
+		if di, ok := seed[n.ID]; ok {
+			s.pin[i] = di
+		}
+	}
+
+	s.search(0, 0)
+	if s.bestAssign == nil {
+		return nil, 0, ErrInfeasible
+	}
+	out := make(Assignment, len(s.nodes))
+	for i, n := range s.nodes {
+		out[n.ID] = s.bestAssign[i]
+	}
+	return out, s.best, nil
+}
+
+type obbEdge struct {
+	other int
+	tp    float64
+}
+
+type obbState struct {
+	p     *Problem
+	m     int
+	nodes []*graph.Node
+	index map[graph.NodeID]int
+	adj   [][]obbEdge
+	pin   []int
+
+	loads  []resource.Vector
+	pairTP [][]float64 // symmetric cumulative cut throughput
+	bw     [][]float64
+
+	assign     []int
+	best       float64
+	bestAssign []int
+}
+
+// search assigns node i with accumulated partial cost. The partial cost is
+// a lower bound on any completion (both cost terms are nonnegative and
+// additive), so pruning at cost ≥ best is safe.
+func (s *obbState) search(i int, cost float64) {
+	if cost >= s.best {
+		return
+	}
+	if i == len(s.nodes) {
+		s.best = cost
+		s.bestAssign = append([]int(nil), s.assign...)
+		return
+	}
+	n := s.nodes[i]
+	wNet := s.p.Weights.Network()
+	type tpUpdate struct {
+		od int
+		tp float64
+	}
+	for d := range s.p.Devices {
+		if s.pin[i] >= 0 && s.pin[i] != d {
+			continue
+		}
+		// Resource feasibility.
+		avail := s.p.Devices[d].Avail
+		ok := true
+		for dim := 0; dim < s.m; dim++ {
+			if s.loads[d][dim]+n.Resources[dim] > avail[dim] {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		// Incremental cost: resource term for this component, plus the
+		// network term for edges to already-assigned neighbors, with
+		// bandwidth feasibility checked as reservations accumulate.
+		delta := n.Resources.RelativeLoad(avail, s.p.Weights.EndSystem())
+		feasible := true
+		var applied []tpUpdate
+		for _, e := range s.adj[i] {
+			od := s.assign[e.other]
+			if od < 0 || od == d {
+				continue
+			}
+			if s.bw[d][od] <= 0 || s.pairTP[d][od]+e.tp > s.bw[d][od] {
+				feasible = false
+				break
+			}
+			delta += wNet * e.tp / s.bw[d][od]
+			s.pairTP[d][od] += e.tp
+			s.pairTP[od][d] += e.tp
+			applied = append(applied, tpUpdate{od: od, tp: e.tp})
+		}
+		if feasible {
+			s.loads[d].AddInPlace(n.Resources)
+			s.assign[i] = d
+			s.search(i+1, cost+delta)
+			s.assign[i] = -1
+			s.loads[d] = s.loads[d].Sub(n.Resources)
+		}
+		for _, u := range applied {
+			s.pairTP[d][u.od] -= u.tp
+			s.pairTP[u.od][d] -= u.tp
+		}
+	}
+}

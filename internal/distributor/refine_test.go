@@ -1,0 +1,161 @@
+package distributor
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"ubiqos/internal/resource"
+	"ubiqos/internal/workload"
+)
+
+func TestRefineImprovesOrKeepsCost(t *testing.T) {
+	w := defaultWeights(t)
+	rng := rand.New(rand.NewSource(17))
+	improved := 0
+	for trial := 0; trial < 50; trial++ {
+		g := workload.MustRandomGraph(rng, workload.Table1Params())
+		p := twoDeviceProblem(t, g, 100, w)
+		a, heuCost, err := Heuristic(p)
+		if err != nil {
+			continue
+		}
+		ra, refCost, err := Refine(p, a, 0) // 0 -> default passes
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if refCost > heuCost+1e-9 {
+			t.Fatalf("trial %d: refine worsened cost %g -> %g", trial, heuCost, refCost)
+		}
+		if err := p.FitInto(ra); err != nil {
+			t.Fatalf("trial %d: refined assignment infeasible: %v", trial, err)
+		}
+		if got := p.CostAggregation(ra); math.Abs(got-refCost) > 1e-9 {
+			t.Fatalf("trial %d: reported %g, recomputed %g", trial, refCost, got)
+		}
+		if refCost < heuCost-1e-9 {
+			improved++
+		}
+	}
+	if improved == 0 {
+		t.Error("refinement never improved any instance; local search is inert")
+	}
+}
+
+func TestRefineNeverWorseThanOptimalBound(t *testing.T) {
+	w := defaultWeights(t)
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 25; trial++ {
+		g := workload.MustRandomGraph(rng, workload.GraphParams{
+			MinNodes: 5, MaxNodes: 10, MinOutDegree: 1, MaxOutDegree: 3,
+			MemMB: 16, CPUPct: 25, EdgeMbps: 4,
+		})
+		p := twoDeviceProblem(t, g, 100, w)
+		_, optCost, err := Optimal(p)
+		if err != nil {
+			continue
+		}
+		a, _, err := Heuristic(p)
+		if err != nil {
+			continue
+		}
+		_, refCost, err := Refine(p, a, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if refCost < optCost-1e-9 {
+			t.Fatalf("trial %d: refined cost %g beats the optimum %g", trial, refCost, optCost)
+		}
+	}
+}
+
+func TestRefineRespectsPins(t *testing.T) {
+	w := defaultWeights(t)
+	g := chainGraph([]resource.Vector{resource.MB(10, 10), resource.MB(10, 10)}, 1)
+	g.Node("a").Pin = "pda"
+	p := twoDeviceProblem(t, g, 100, w)
+	a, _, err := Heuristic(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, _, err := Refine(p, a, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Devices[ra["a"]].ID != "pda" {
+		t.Error("refine moved a pinned component")
+	}
+}
+
+func TestRefineRejectsInfeasibleInput(t *testing.T) {
+	w := defaultWeights(t)
+	g := chainGraph([]resource.Vector{resource.MB(200, 200)}, 1)
+	p := twoDeviceProblem(t, g, 100, w)
+	// Place the 200MB component on the 32MB PDA: infeasible.
+	if _, _, err := Refine(p, Assignment{"a": 1}, 2); err == nil {
+		t.Error("refine must reject an infeasible starting assignment")
+	}
+	if _, _, err := Refine(p, Assignment{}, 2); err == nil {
+		t.Error("refine must reject an incomplete assignment")
+	}
+}
+
+func TestHeuristicRefined(t *testing.T) {
+	w := defaultWeights(t)
+	rng := rand.New(rand.NewSource(33))
+	g := workload.MustRandomGraph(rng, workload.Table1Params())
+	p := twoDeviceProblem(t, g, 100, w)
+	_, heuCost, err := Heuristic(p)
+	if err != nil {
+		t.Skip("instance infeasible for the heuristic")
+	}
+	a, cost, err := HeuristicRefined(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost > heuCost+1e-9 {
+		t.Errorf("refined %g > heuristic %g", cost, heuCost)
+	}
+	if err := p.FitInto(a); err != nil {
+		t.Error(err)
+	}
+
+	bad := twoDeviceProblem(t, chainGraph([]resource.Vector{resource.MB(999, 1)}, 1), 10, w)
+	if _, _, err := HeuristicRefined(bad); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestMoveCount(t *testing.T) {
+	a := Assignment{"x": 0, "y": 1, "z": 0}
+	b := Assignment{"x": 0, "y": 0, "z": 1}
+	if got := MoveCount(a, b); got != 2 {
+		t.Errorf("MoveCount = %d", got)
+	}
+	if got := MoveCount(a, a); got != 0 {
+		t.Errorf("MoveCount identical = %d", got)
+	}
+}
+
+func TestRefineDeterministic(t *testing.T) {
+	w := defaultWeights(t)
+	rng := rand.New(rand.NewSource(44))
+	g := workload.MustRandomGraph(rng, workload.Table1Params())
+	p := twoDeviceProblem(t, g, 100, w)
+	a, _, err := Heuristic(p)
+	if err != nil {
+		t.Skip("instance infeasible")
+	}
+	r1, c1, err := Refine(p, a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, c2, err := Refine(p, a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 != c2 || MoveCount(r1, r2) != 0 {
+		t.Error("refine is non-deterministic")
+	}
+}

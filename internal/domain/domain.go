@@ -1,0 +1,481 @@
+// Package domain implements the Gaia-style domain server (paper §1): the
+// smart space is structured hierarchically by grouping devices into
+// domains, and each domain runs one domain server providing the key
+// infrastructure services for the entire domain space — service discovery,
+// the event service, the component repository, checkpointing, profiling,
+// and the service configuration model itself — "in the same way as today's
+// operating systems do for a single desktop."
+package domain
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"ubiqos/internal/checkpoint"
+	"ubiqos/internal/composer"
+	"ubiqos/internal/core"
+	"ubiqos/internal/device"
+	"ubiqos/internal/eventbus"
+	"ubiqos/internal/metrics"
+	"ubiqos/internal/netsim"
+	"ubiqos/internal/profiler"
+	"ubiqos/internal/registry"
+	"ubiqos/internal/repository"
+	"ubiqos/internal/resource"
+	"ubiqos/internal/runtime"
+)
+
+// Options configures a new domain.
+type Options struct {
+	// Scale is the emulation time scale (1 = real time).
+	Scale float64
+	// Weights are the cost-aggregation significance weights; default: 0.3
+	// memory, 0.3 CPU, 0.4 network.
+	Weights resource.Weights
+	// RepoHost names the network endpoint serving the component
+	// repository; default "<domain>-server".
+	RepoHost string
+	// StateSizeMB sizes serialized session state for handoffs.
+	StateSizeMB float64
+	// StateSizeFor sizes the checkpoint by the portal device it is taken
+	// on; overrides StateSizeMB when set.
+	StateSizeFor func(from device.ID) float64
+	// DegradeFactors is the QoS degradation ladder applied when a request
+	// does not fit at full quality (see core.Config.DegradeFactors).
+	DegradeFactors []float64
+	// Place overrides the placement algorithm (default: the paper's
+	// greedy heuristic).
+	Place core.PlaceFunc
+}
+
+// Domain is one smart-space domain and its domain server.
+type Domain struct {
+	Name string
+
+	Registry     *registry.Registry
+	Bus          *eventbus.Bus
+	Devices      *device.Table
+	Links        *device.Links
+	Net          *netsim.Network
+	Repo         *repository.Repository
+	Checkpoints  *checkpoint.Store
+	Profiler     *profiler.Profiler
+	Metrics      *metrics.Registry
+	Composer     *composer.Composer
+	Configurator *core.Configurator
+
+	mu       sync.Mutex
+	parent   *Domain
+	children map[string]*Domain
+}
+
+// New builds a domain with all infrastructure services wired together.
+func New(name string, opts Options) (*Domain, error) {
+	if name == "" {
+		return nil, fmt.Errorf("domain: empty name")
+	}
+	if opts.Scale <= 0 {
+		opts.Scale = 1
+	}
+	if opts.Weights == nil {
+		w, err := resource.NewWeights(0.3, 0.3, 0.4)
+		if err != nil {
+			return nil, err
+		}
+		opts.Weights = w
+	}
+	if err := opts.Weights.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.RepoHost == "" {
+		opts.RepoHost = name + "-server"
+	}
+
+	d := &Domain{
+		Name:        name,
+		Registry:    registry.New(),
+		Bus:         eventbus.New(),
+		Devices:     device.NewTable(),
+		Links:       device.NewLinks(),
+		Checkpoints: checkpoint.NewStore(),
+		Profiler:    profiler.MustNew(profiler.DefaultAlpha),
+		Metrics:     metrics.NewRegistry(),
+		children:    make(map[string]*Domain),
+	}
+	net, err := netsim.New(opts.Scale)
+	if err != nil {
+		return nil, err
+	}
+	d.Net = net
+	repo, err := repository.New(opts.RepoHost, net)
+	if err != nil {
+		return nil, err
+	}
+	d.Repo = repo
+	engine, err := runtime.NewEngine(opts.Scale, net)
+	if err != nil {
+		return nil, err
+	}
+	d.Composer = composer.New(&federatedDiscovery{domain: d})
+	cfg, err := core.New(core.Config{
+		Composer:       d.Composer,
+		Devices:        d.Devices,
+		Links:          d.Links,
+		Net:            net,
+		Repo:           repo,
+		Checkpoints:    d.Checkpoints,
+		Engine:         engine,
+		Weights:        opts.Weights,
+		StateSizeMB:    opts.StateSizeMB,
+		StateSizeFor:   opts.StateSizeFor,
+		DegradeFactors: opts.DegradeFactors,
+		Place:          opts.Place,
+		Profiler:       d.Profiler,
+		Metrics:        d.Metrics,
+	})
+	if err != nil {
+		return nil, err
+	}
+	d.Configurator = cfg
+	return d, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(name string, opts Options) *Domain {
+	d, err := New(name, opts)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// federatedDiscovery resolves specs against the local registry first and
+// escalates to ancestor domains on failed discovery — the hierarchical
+// lookup of the Gaia smart-space structure.
+type federatedDiscovery struct {
+	domain *Domain
+}
+
+// Best implements composer.Discovery.
+func (f *federatedDiscovery) Best(spec registry.Spec) *registry.Instance {
+	for d := f.domain; d != nil; d = d.Parent() {
+		if inst := d.Registry.Best(spec); inst != nil {
+			return inst
+		}
+	}
+	return nil
+}
+
+// Parent returns the parent domain, or nil at the root.
+func (d *Domain) Parent() *Domain {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.parent
+}
+
+// AddChild attaches a sub-domain; a domain has at most one parent.
+func (d *Domain) AddChild(child *Domain) error {
+	if child == nil {
+		return fmt.Errorf("domain: nil child")
+	}
+	if child == d {
+		return fmt.Errorf("domain: cannot parent itself")
+	}
+	child.mu.Lock()
+	if child.parent != nil {
+		child.mu.Unlock()
+		return fmt.Errorf("domain: %s already has a parent", child.Name)
+	}
+	child.parent = d
+	child.mu.Unlock()
+
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.children[child.Name]; ok {
+		return fmt.Errorf("domain: duplicate child %s", child.Name)
+	}
+	d.children[child.Name] = child
+	return nil
+}
+
+// Children returns the attached sub-domains.
+func (d *Domain) Children() []*Domain {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]*Domain, 0, len(d.children))
+	for _, c := range d.children {
+		out = append(out, c)
+	}
+	return out
+}
+
+// Root walks to the top of the hierarchy.
+func (d *Domain) Root() *Domain {
+	cur := d
+	for {
+		p := cur.Parent()
+		if p == nil {
+			return cur
+		}
+		cur = p
+	}
+}
+
+// AddDevice registers a device with raw (device-local) capacity: the
+// domain normalizes it to benchmark units using the class's speed ratio,
+// declares the repository link if missing, and announces the join on the
+// event bus.
+func (d *Domain) AddDevice(id device.ID, class device.Class, rawCapacity resource.Vector, attrs map[string]string) (*device.Device, error) {
+	norm, err := resource.SpeedNormalizer(class.DefaultSpeedRatio())
+	if err != nil {
+		return nil, err
+	}
+	if len(rawCapacity) != resource.Dims {
+		return nil, fmt.Errorf("domain: capacity must have %d dimensions", resource.Dims)
+	}
+	dev, err := device.New(id, class, norm.Availability(rawCapacity), attrs)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.Devices.Add(dev); err != nil {
+		return nil, err
+	}
+	d.Bus.Publish(eventbus.TopicDeviceJoined, string(id))
+	return dev, nil
+}
+
+// Connect declares both the emulated network link and the distributor's
+// bandwidth table entry between two endpoints.
+func (d *Domain) Connect(a, b device.ID, link netsim.Link) error {
+	if err := d.Net.SetLink(string(a), string(b), link); err != nil {
+		return err
+	}
+	return d.Links.Set(a, b, link.BandwidthMbps)
+}
+
+// ConnectServer links a device to the domain server host (for component
+// downloads).
+func (d *Domain) ConnectServer(a device.ID, link netsim.Link) error {
+	return d.Net.SetLink(string(a), d.Repo.Host, link)
+}
+
+// RemoveDevice marks a device as gone, publishes the leave event, and
+// reconfigures every session that had components on it (the paper: "if
+// one of old devices crashes, the service distributor needs to calculate
+// new service distributions ... so the user can continue his or her tasks
+// with minimum QoS degradations"). It returns the IDs of sessions that
+// were successfully reconfigured and an error naming any that could not
+// be.
+func (d *Domain) RemoveDevice(id device.ID) ([]string, error) {
+	dev := d.Devices.Get(id)
+	if dev == nil {
+		return nil, fmt.Errorf("domain: unknown device %s", id)
+	}
+	dev.SetUp(false)
+	d.Bus.Publish(eventbus.TopicDeviceLeft, string(id))
+
+	var moved []string
+	var firstErr error
+	for _, sid := range d.sessionsOn(id) {
+		active := d.Configurator.Session(sid)
+		if active == nil {
+			continue
+		}
+		req := active.Request
+		if req.ClientDevice == id {
+			// The portal device itself is gone; the session cannot
+			// continue until the user picks a new portal.
+			if firstErr == nil {
+				firstErr = fmt.Errorf("domain: session %s lost its portal device %s", sid, id)
+			}
+			continue
+		}
+		if _, err := d.Configurator.Reconfigure(req); err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("domain: reconfigure %s: %w", sid, err)
+			}
+			continue
+		}
+		moved = append(moved, sid)
+	}
+	return moved, firstErr
+}
+
+// sessionsOn returns the session IDs with at least one component placed on
+// the device.
+func (d *Domain) sessionsOn(id device.ID) []string {
+	var out []string
+	for _, sid := range d.Configurator.SessionIDs() {
+		active := d.Configurator.Session(sid)
+		if active == nil {
+			continue
+		}
+		for _, dev := range active.Placement {
+			if dev == id {
+				out = append(out, sid)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// SwitchDevice moves a session's portal to a new device — the paper's
+// PC→PDA handoff — by re-running the configuration model with the new
+// client binding. The event service announces the switch.
+func (d *Domain) SwitchDevice(sessionID string, to device.ID) (*core.ActiveSession, error) {
+	active := d.Configurator.Session(sessionID)
+	if active == nil {
+		return nil, fmt.Errorf("domain: unknown session %q", sessionID)
+	}
+	if d.Devices.Get(to) == nil {
+		return nil, fmt.Errorf("domain: unknown device %s", to)
+	}
+	req := active.Request
+	req.ClientDevice = to
+	d.Bus.Publish(eventbus.TopicDeviceSwitched, string(to))
+	return d.Configurator.Reconfigure(req)
+}
+
+// ResizeDevice models a significant resource fluctuation on a device (raw
+// capacity, normalized by the device's class as in AddDevice): the event
+// service announces the change, and when the device's existing
+// commitments no longer fit, the domain re-distributes its sessions one
+// at a time — in ID order — until the remaining commitments fit, so "the
+// user can continue his or her tasks with minimum QoS degradations". It
+// returns the IDs of reconfigured sessions.
+func (d *Domain) ResizeDevice(id device.ID, rawCapacity resource.Vector) ([]string, error) {
+	dev := d.Devices.Get(id)
+	if dev == nil {
+		return nil, fmt.Errorf("domain: unknown device %s", id)
+	}
+	norm, err := resource.SpeedNormalizer(dev.Class.DefaultSpeedRatio())
+	if err != nil {
+		return nil, err
+	}
+	if len(rawCapacity) != resource.Dims {
+		return nil, fmt.Errorf("domain: capacity must have %d dimensions", resource.Dims)
+	}
+	fits, err := dev.Resize(norm.Availability(rawCapacity))
+	if err != nil {
+		return nil, err
+	}
+	d.Bus.Publish(eventbus.TopicResourceChanged, string(id))
+	if fits {
+		return nil, nil
+	}
+
+	var moved []string
+	var firstErr error
+	for _, sid := range d.sessionsOn(id) {
+		active := d.Configurator.Session(sid)
+		if active == nil {
+			continue
+		}
+		if _, err := d.Configurator.Reconfigure(active.Request); err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("domain: reconfigure %s after fluctuation: %w", sid, err)
+			}
+			continue
+		}
+		moved = append(moved, sid)
+		if dev.Committed().LessEq(dev.Capacity()) {
+			break
+		}
+	}
+	if !dev.Committed().LessEq(dev.Capacity()) && firstErr == nil {
+		firstErr = fmt.Errorf("domain: device %s still overcommitted after redistribution", id)
+	}
+	return moved, firstErr
+}
+
+// Migrate moves a running session to another domain — the paper's "when
+// the user moves to a new location, the previous service components may
+// no longer be available" scenario. The session is suspended here, its
+// state crosses the inter-domain link, and the target domain composes a
+// fresh service graph from its own environment, resuming playback from
+// the interruption point on the new portal device. If the target domain
+// cannot host the session, the migration is rolled back by resuming it in
+// this domain.
+func (d *Domain) Migrate(sessionID string, target *Domain, newClient device.ID, wan netsim.Link) (*core.ActiveSession, error) {
+	if target == nil || target == d {
+		return nil, fmt.Errorf("domain: migration target must be a different domain")
+	}
+	if !wan.Valid() {
+		return nil, fmt.Errorf("domain: invalid inter-domain link")
+	}
+	active := d.Configurator.Session(sessionID)
+	if active == nil {
+		return nil, fmt.Errorf("domain: unknown session %q", sessionID)
+	}
+	req := active.Request
+	req.ClientDevice = newClient
+
+	st, err := d.Configurator.Suspend(sessionID)
+	if err != nil {
+		return nil, err
+	}
+	d.Bus.Publish(eventbus.TopicUserMoved, sessionID)
+
+	// The checkpoint crosses the inter-domain link (modeled at the target
+	// domain's time scale).
+	transfer := wan.TransferTime(st.SizeMB)
+	time.Sleep(time.Duration(float64(transfer) * target.Net.Scale()))
+
+	resumed, err := target.Configurator.ResumeFrom(req, st)
+	if err != nil {
+		// Roll back: resume in the origin domain on the original portal.
+		restore := active.Request
+		if restored, rerr := d.Configurator.ResumeFrom(restore, st); rerr == nil {
+			return restored, fmt.Errorf("domain: target %s rejected session (resumed at origin): %w", target.Name, err)
+		}
+		return nil, fmt.Errorf("domain: migration failed and origin resume failed too: %w", err)
+	}
+	resumed.Timing.InitOrHandoff += transfer
+	target.Bus.Publish(eventbus.TopicSessionStarted, sessionID)
+	return resumed, nil
+}
+
+// MissingServiceNotice is the payload of a TopicUserNotification event
+// raised when composition fails for missing mandatory services: the user
+// may download and install an instance, or quit the application.
+type MissingServiceNotice struct {
+	SessionID string
+	Types     []string
+}
+
+// StartApp configures and starts an application session, announcing it on
+// the event bus. When composition fails because mandatory services are
+// missing, the event service notifies the user (paper §3.2) before the
+// error is returned.
+func (d *Domain) StartApp(req core.Request) (*core.ActiveSession, error) {
+	active, err := d.Configurator.Configure(req)
+	if err != nil {
+		var miss *composer.MissingServiceError
+		if errors.As(err, &miss) {
+			d.Bus.Publish(eventbus.TopicUserNotification, MissingServiceNotice{
+				SessionID: req.SessionID,
+				Types:     miss.Types,
+			})
+		}
+		return nil, err
+	}
+	d.Bus.Publish(eventbus.TopicSessionStarted, req.SessionID)
+	return active, nil
+}
+
+// StopApp stops a session and announces it.
+func (d *Domain) StopApp(sessionID string) error {
+	if err := d.Configurator.Stop(sessionID); err != nil {
+		return err
+	}
+	d.Bus.Publish(eventbus.TopicSessionStopped, sessionID)
+	return nil
+}
+
+// Close shuts down the domain's event bus.
+func (d *Domain) Close() {
+	d.Bus.Close()
+}

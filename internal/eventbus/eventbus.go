@@ -1,0 +1,195 @@
+// Package eventbus implements the domain event service the configuration
+// model cooperates with (paper §1): a topic-based publish/subscribe bus
+// over which the smart space signals the runtime changes — user mobility,
+// device switches, device joins/leaves, resource fluctuations — that
+// trigger dynamic re-configuration.
+package eventbus
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Topic classifies an event.
+type Topic string
+
+// The event topics used by the domain.
+const (
+	// TopicUserMoved fires when the user moves to a new location.
+	TopicUserMoved Topic = "user.moved"
+	// TopicDeviceSwitched fires when the user switches the portal device
+	// (e.g. from PC to PDA).
+	TopicDeviceSwitched Topic = "device.switched"
+	// TopicDeviceJoined fires when a device joins the smart space.
+	TopicDeviceJoined Topic = "device.joined"
+	// TopicDeviceLeft fires when a device leaves or crashes.
+	TopicDeviceLeft Topic = "device.left"
+	// TopicResourceChanged fires on significant resource fluctuations.
+	TopicResourceChanged Topic = "resource.changed"
+	// TopicSessionStarted and TopicSessionStopped track application
+	// sessions.
+	TopicSessionStarted Topic = "session.started"
+	TopicSessionStopped Topic = "session.stopped"
+	// TopicUserNotification carries messages the user must act on — e.g.
+	// a mandatory service could not be discovered and the user may
+	// "download and install an instance for the missing service into the
+	// current environment, or simply quit the application" (paper §3.2).
+	TopicUserNotification Topic = "user.notification"
+)
+
+// Event is one published occurrence.
+type Event struct {
+	Topic Topic
+	// Time is the publication timestamp.
+	Time time.Time
+	// Payload carries topic-specific data (e.g. the device ID).
+	Payload any
+}
+
+// Subscription receives events for the topics it was subscribed to.
+type Subscription struct {
+	bus    *Bus
+	id     int
+	topics map[Topic]bool
+	ch     chan Event
+
+	mu      sync.Mutex
+	dropped int
+	closed  bool
+}
+
+// C returns the receive channel. The channel is closed when the
+// subscription is cancelled or the bus is closed.
+func (s *Subscription) C() <-chan Event { return s.ch }
+
+// Dropped reports how many events were discarded because the subscriber
+// was not draining its channel.
+func (s *Subscription) Dropped() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+// Cancel removes the subscription from the bus and closes the channel.
+// Cancel is idempotent.
+func (s *Subscription) Cancel() {
+	s.bus.cancel(s)
+}
+
+// Bus is the event service. All methods are safe for concurrent use.
+type Bus struct {
+	mu     sync.Mutex
+	nextID int
+	subs   map[int]*Subscription
+	closed bool
+}
+
+// New returns an open event bus.
+func New() *Bus {
+	return &Bus{subs: make(map[int]*Subscription)}
+}
+
+// DefaultBuffer is the per-subscription channel capacity used by
+// Subscribe. Publishing to a full subscriber drops the event rather than
+// blocking the publisher (the event service favors liveness; reconfig
+// triggers are level-style and re-published on further changes).
+const DefaultBuffer = 16
+
+// Subscribe registers interest in the given topics (at least one) and
+// returns the subscription.
+func (b *Bus) Subscribe(topics ...Topic) (*Subscription, error) {
+	if len(topics) == 0 {
+		return nil, fmt.Errorf("eventbus: subscribe with no topics")
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil, fmt.Errorf("eventbus: bus closed")
+	}
+	ts := make(map[Topic]bool, len(topics))
+	for _, t := range topics {
+		ts[t] = true
+	}
+	sub := &Subscription{
+		bus:    b,
+		id:     b.nextID,
+		topics: ts,
+		ch:     make(chan Event, DefaultBuffer),
+	}
+	b.subs[b.nextID] = sub
+	b.nextID++
+	return sub, nil
+}
+
+// Publish delivers the event to every matching subscriber without
+// blocking; slow subscribers lose events (counted per subscription). It
+// returns the number of subscribers that received the event.
+func (b *Bus) Publish(topic Topic, payload any) int {
+	ev := Event{Topic: topic, Time: time.Now(), Payload: payload}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return 0
+	}
+	delivered := 0
+	for _, sub := range b.subs {
+		if !sub.topics[topic] {
+			continue
+		}
+		select {
+		case sub.ch <- ev:
+			delivered++
+		default:
+			sub.mu.Lock()
+			sub.dropped++
+			sub.mu.Unlock()
+		}
+	}
+	return delivered
+}
+
+// Close shuts the bus down, closing all subscriber channels. Close is
+// idempotent.
+func (b *Bus) Close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	for id, sub := range b.subs {
+		sub.markClosed()
+		close(sub.ch)
+		delete(b.subs, id)
+	}
+}
+
+func (s *Subscription) markClosed() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+}
+
+func (b *Bus) cancel(s *Subscription) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s.mu.Lock()
+	alreadyClosed := s.closed
+	s.closed = true
+	s.mu.Unlock()
+	if alreadyClosed {
+		return
+	}
+	if _, ok := b.subs[s.id]; ok {
+		delete(b.subs, s.id)
+		close(s.ch)
+	}
+}
+
+// Subscribers returns the number of active subscriptions.
+func (b *Bus) Subscribers() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.subs)
+}

@@ -1,0 +1,147 @@
+package eventbus
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func recv(t *testing.T, sub *Subscription) Event {
+	t.Helper()
+	select {
+	case ev, ok := <-sub.C():
+		if !ok {
+			t.Fatal("subscription channel closed")
+		}
+		return ev
+	case <-time.After(2 * time.Second):
+		t.Fatal("timed out waiting for event")
+		return Event{}
+	}
+}
+
+func TestPublishSubscribe(t *testing.T) {
+	b := New()
+	defer b.Close()
+	sub, err := b.Subscribe(TopicDeviceJoined, TopicDeviceLeft)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := b.Publish(TopicDeviceJoined, "pda1"); n != 1 {
+		t.Errorf("delivered = %d", n)
+	}
+	ev := recv(t, sub)
+	if ev.Topic != TopicDeviceJoined || ev.Payload.(string) != "pda1" {
+		t.Errorf("event = %+v", ev)
+	}
+	// Non-matching topic is not delivered.
+	if n := b.Publish(TopicUserMoved, nil); n != 0 {
+		t.Errorf("delivered = %d for unsubscribed topic", n)
+	}
+}
+
+func TestSubscribeValidation(t *testing.T) {
+	b := New()
+	defer b.Close()
+	if _, err := b.Subscribe(); err == nil {
+		t.Error("no topics should fail")
+	}
+}
+
+func TestMultipleSubscribers(t *testing.T) {
+	b := New()
+	defer b.Close()
+	s1, _ := b.Subscribe(TopicSessionStarted)
+	s2, _ := b.Subscribe(TopicSessionStarted)
+	if n := b.Publish(TopicSessionStarted, 7); n != 2 {
+		t.Errorf("delivered = %d", n)
+	}
+	if recv(t, s1).Payload.(int) != 7 || recv(t, s2).Payload.(int) != 7 {
+		t.Error("payload mismatch")
+	}
+	if b.Subscribers() != 2 {
+		t.Errorf("Subscribers = %d", b.Subscribers())
+	}
+}
+
+func TestSlowSubscriberDrops(t *testing.T) {
+	b := New()
+	defer b.Close()
+	sub, _ := b.Subscribe(TopicResourceChanged)
+	for i := 0; i < DefaultBuffer+5; i++ {
+		b.Publish(TopicResourceChanged, i)
+	}
+	if got := sub.Dropped(); got != 5 {
+		t.Errorf("Dropped = %d, want 5", got)
+	}
+	// The buffered events are still readable in order.
+	for i := 0; i < DefaultBuffer; i++ {
+		if ev := recv(t, sub); ev.Payload.(int) != i {
+			t.Fatalf("event %d payload = %v", i, ev.Payload)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	b := New()
+	defer b.Close()
+	sub, _ := b.Subscribe(TopicUserMoved)
+	sub.Cancel()
+	sub.Cancel() // idempotent
+	if b.Subscribers() != 0 {
+		t.Errorf("Subscribers = %d after cancel", b.Subscribers())
+	}
+	if _, ok := <-sub.C(); ok {
+		t.Error("channel should be closed after cancel")
+	}
+	if n := b.Publish(TopicUserMoved, nil); n != 0 {
+		t.Errorf("delivered = %d after cancel", n)
+	}
+}
+
+func TestClose(t *testing.T) {
+	b := New()
+	sub, _ := b.Subscribe(TopicUserMoved)
+	b.Close()
+	b.Close() // idempotent
+	if _, ok := <-sub.C(); ok {
+		t.Error("channel should be closed after bus close")
+	}
+	if _, err := b.Subscribe(TopicUserMoved); err == nil {
+		t.Error("subscribe after close should fail")
+	}
+	if n := b.Publish(TopicUserMoved, nil); n != 0 {
+		t.Errorf("publish after close delivered %d", n)
+	}
+	sub.Cancel() // must not panic after close
+}
+
+func TestConcurrentPublishSubscribe(t *testing.T) {
+	b := New()
+	defer b.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sub, err := b.Subscribe(TopicSessionStarted)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer sub.Cancel()
+			for j := 0; j < 50; j++ {
+				b.Publish(TopicSessionStarted, j)
+			}
+			// Drain whatever arrived.
+			for {
+				select {
+				case <-sub.C():
+				default:
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

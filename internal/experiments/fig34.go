@@ -1,0 +1,443 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"ubiqos/internal/composer"
+	"ubiqos/internal/core"
+	"ubiqos/internal/device"
+	"ubiqos/internal/domain"
+	"ubiqos/internal/netsim"
+	"ubiqos/internal/qos"
+	"ubiqos/internal/registry"
+	"ubiqos/internal/repository"
+	"ubiqos/internal/resource"
+)
+
+// Fig34Config parameterizes the prototype scenario behind Figures 3 and 4:
+// the four scripted events of the paper's lab experiment, run on an
+// emulated smart space (the substitution for the Sun Ultra-60 /
+// Pentium-III / ThinkPad / Jornada testbed).
+type Fig34Config struct {
+	// Scale is the emulation time scale (0.1 = 10× fast-forward).
+	Scale float64
+	// PlayModeled is how long each event's session streams before its QoS
+	// is measured.
+	PlayModeled time.Duration
+}
+
+// DefaultFig34Config returns a configuration that completes in a couple of
+// seconds of wall time while reporting full-scale numbers. The scale keeps
+// per-frame intervals well above the Go timer granularity so measured
+// rates are accurate.
+func DefaultFig34Config() Fig34Config {
+	return Fig34Config{Scale: 0.1, PlayModeled: 4 * time.Second}
+}
+
+// Fig34Event is one row of Figure 3 plus its Figure 4 overhead bar.
+type Fig34Event struct {
+	// Label is the event number (1–4).
+	Label int
+	// Description is the event content column of Figure 3.
+	Description string
+	// Configuration maps "type(instance)" to the hosting device — the
+	// service configuration result column.
+	Configuration map[string]string
+	// MeasuredQoS maps a stream name to the delivered modeled fps.
+	MeasuredQoS map[string]float64
+	// Timing is the Figure 4 overhead breakdown.
+	Timing core.Timing
+}
+
+// Fig34Result holds the scenario outcome.
+type Fig34Result struct {
+	Events []Fig34Event
+}
+
+// audioFormatMPEG matches the paper's "MPEG2wav" transcoder naming: the
+// audio server streams MPEG audio; the PDA player accepts WAV.
+const (
+	audioFormatMPEG = "MPEG"
+	audioFormatWAV  = "WAV"
+)
+
+// BuildAudioSpace constructs the audio-on-demand domain: three desktops
+// and the Jornada PDA. All audio components are pre-installed (the paper
+// assumes so for this application).
+func BuildAudioSpace(scale float64) (*domain.Domain, error) {
+	d, err := newDomain("audio-space", scale, func(from device.ID) float64 {
+		// A desktop portal buffers ~0.5 MB of media; the PDA holds only a
+		// ~0.1 MB buffer — the source of the PC→PDA vs PDA→PC handoff
+		// asymmetry.
+		if from == "jornada" {
+			return 0.1
+		}
+		return 0.5
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, id := range []device.ID{"desktop1", "desktop2", "desktop3"} {
+		if _, err := d.AddDevice(id, device.ClassDesktop, resource.MB(256, 100), map[string]string{"platform": "pc"}); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := d.AddDevice("jornada", device.ClassPDA, resource.MB(32, 100), map[string]string{"platform": "pda"}); err != nil {
+		return nil, err
+	}
+	desktops := []device.ID{"desktop1", "desktop2", "desktop3"}
+	for i, a := range desktops {
+		for _, b := range desktops[i+1:] {
+			if err := d.Connect(a, b, netsim.Ethernet); err != nil {
+				return nil, err
+			}
+		}
+		if err := d.Connect(a, "jornada", netsim.WLAN); err != nil {
+			return nil, err
+		}
+		if err := d.ConnectServer(a, netsim.Ethernet); err != nil {
+			return nil, err
+		}
+	}
+	if err := d.ConnectServer("jornada", netsim.WLAN); err != nil {
+		return nil, err
+	}
+
+	d.Registry.MustRegister(&registry.Instance{
+		Name:          "audio-server-1",
+		Type:          "audio-server",
+		Output:        qos.V(qos.P(qos.DimFormat, qos.Symbol(audioFormatMPEG)), qos.P(qos.DimFrameRate, qos.Scalar(40))),
+		OutCapability: qos.V(qos.P(qos.DimFrameRate, qos.Range(5, 60))),
+		Adjustable:    map[string]bool{qos.DimFrameRate: true},
+		Resources:     resource.MB(64, 50),
+		SizeMB:        12,
+	})
+	d.Registry.MustRegister(&registry.Instance{
+		Name:      "audio-player-pc",
+		Type:      "audio-player",
+		Attrs:     map[string]string{"platform": "pc"},
+		Input:     qos.V(qos.P(qos.DimFormat, qos.Symbol(audioFormatMPEG)), qos.P(qos.DimFrameRate, qos.Range(10, 50))),
+		Resources: resource.MB(16, 30),
+		SizeMB:    4,
+	})
+	d.Registry.MustRegister(&registry.Instance{
+		Name:      "audio-player-pda",
+		Type:      "audio-player",
+		Attrs:     map[string]string{"platform": "pda"},
+		Input:     qos.V(qos.P(qos.DimFormat, qos.Symbol(audioFormatWAV)), qos.P(qos.DimFrameRate, qos.Range(10, 44))),
+		Resources: resource.MB(8, 10),
+		SizeMB:    2,
+	})
+	d.Registry.MustRegister(&registry.Instance{
+		Name:        "mpeg2wav-1",
+		Type:        composer.TypeTranscoder,
+		Attrs:       map[string]string{"from": audioFormatMPEG, "to": audioFormatWAV},
+		Input:       qos.V(qos.P(qos.DimFormat, qos.Symbol(audioFormatMPEG))),
+		Output:      qos.V(qos.P(qos.DimFormat, qos.Symbol(audioFormatWAV))),
+		PassThrough: map[string]bool{qos.DimFrameRate: true},
+		Resources:   resource.MB(12, 25),
+		SizeMB:      3,
+	})
+	// "We assume that the required service components are already
+	// installed on the target devices in advance" (no downloading
+	// overhead for the audio application).
+	for _, dev := range []string{"desktop1", "desktop2", "desktop3", "jornada"} {
+		for _, comp := range []string{"audio-server-1", "audio-player-pc", "audio-player-pda", "mpeg2wav-1"} {
+			d.Repo.MarkInstalled(dev, comp)
+		}
+	}
+	return d, nil
+}
+
+// BuildConfSpace constructs the video-conferencing domain: three
+// workstations with all components downloaded on demand from the
+// component repository.
+func BuildConfSpace(scale float64) (*domain.Domain, error) {
+	d, err := newDomain("conf-space", scale, nil)
+	if err != nil {
+		return nil, err
+	}
+	ws := []device.ID{"ws1", "ws2", "ws3"}
+	for _, id := range ws {
+		if _, err := d.AddDevice(id, device.ClassWorkstation, resource.MB(512, 100), map[string]string{"platform": "workstation"}); err != nil {
+			return nil, err
+		}
+	}
+	for i, a := range ws {
+		for _, b := range ws[i+1:] {
+			if err := d.Connect(a, b, netsim.Ethernet); err != nil {
+				return nil, err
+			}
+		}
+		if err := d.ConnectServer(a, netsim.Ethernet); err != nil {
+			return nil, err
+		}
+	}
+
+	// Multiplexed stream QoS dimensions carried by the gateway/lip-sync
+	// components.
+	muxOut := qos.V(
+		qos.P("video-format", qos.Symbol(qos.FormatH261)),
+		qos.P("video-fps", qos.Scalar(25)),
+		qos.P("audio-format", qos.Symbol(qos.FormatPCM)),
+		qos.P("audio-fps", qos.Scalar(6)),
+	)
+	d.Registry.MustRegister(&registry.Instance{
+		Name:      "video-recorder-1",
+		Type:      "video-recorder",
+		Output:    qos.V(qos.P(qos.DimFormat, qos.Symbol(qos.FormatH261)), qos.P(qos.DimFrameRate, qos.Scalar(25))),
+		Resources: resource.MB(32, 60),
+		SizeMB:    8,
+	})
+	d.Registry.MustRegister(&registry.Instance{
+		Name:      "audio-recorder-1",
+		Type:      "audio-recorder",
+		Output:    qos.V(qos.P(qos.DimFormat, qos.Symbol(qos.FormatPCM)), qos.P(qos.DimFrameRate, qos.Scalar(6))),
+		Resources: resource.MB(8, 15),
+		SizeMB:    4,
+	})
+	d.Registry.MustRegister(&registry.Instance{
+		Name:      "gateway-1",
+		Type:      "gateway",
+		Output:    muxOut,
+		Resources: resource.MB(24, 40),
+		SizeMB:    10,
+	})
+	d.Registry.MustRegister(&registry.Instance{
+		Name:      "lipsync-1",
+		Type:      "lip-synchronizer",
+		Output:    muxOut,
+		Resources: resource.MB(16, 30),
+		SizeMB:    8,
+	})
+	d.Registry.MustRegister(&registry.Instance{
+		Name:      "video-player-1",
+		Type:      "video-player",
+		Attrs:     map[string]string{"platform": "workstation"},
+		Input:     qos.V(qos.P("video-format", qos.Symbol(qos.FormatH261)), qos.P("video-fps", qos.Range(20, 30))),
+		Resources: resource.MB(32, 50),
+		SizeMB:    10,
+	})
+	d.Registry.MustRegister(&registry.Instance{
+		Name:      "audio-player-ws",
+		Type:      "conference-audio-player",
+		Attrs:     map[string]string{"platform": "workstation"},
+		Input:     qos.V(qos.P("audio-format", qos.Symbol(qos.FormatPCM)), qos.P("audio-fps", qos.Range(5, 8))),
+		Resources: resource.MB(8, 10),
+		SizeMB:    6,
+	})
+	// Publish for on-demand download; nothing pre-installed.
+	for _, p := range []struct {
+		name string
+		size float64
+	}{
+		{"video-recorder-1", 8}, {"audio-recorder-1", 4}, {"gateway-1", 10},
+		{"lipsync-1", 8}, {"video-player-1", 10}, {"audio-player-ws", 6},
+	} {
+		if err := d.Repo.Publish(repositoryPackage(p.name, p.size)); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// AudioOnDemandApp is the abstract graph of the mobile audio-on-demand
+// application: the content server lives on desktop1; the player follows
+// the user's portal device.
+func AudioOnDemandApp() *composer.AbstractGraph {
+	ag := composer.NewAbstractGraph()
+	ag.MustAddNode(&composer.AbstractNode{ID: "server", Spec: registry.Spec{Type: "audio-server"}, Pin: "desktop1"})
+	ag.MustAddNode(&composer.AbstractNode{ID: "player", Spec: registry.Spec{Type: "audio-player"}, Pin: core.ClientRole})
+	ag.MustAddEdge("server", "player", 1.5)
+	return ag
+}
+
+// VideoConferencingApp is the non-linear conferencing graph: recorders on
+// the speaker's workstation, gateway and lip-synchronizer placed by the
+// distributor, players on the viewer's workstation.
+func VideoConferencingApp() *composer.AbstractGraph {
+	ag := composer.NewAbstractGraph()
+	ag.MustAddNode(&composer.AbstractNode{ID: "vrec", Spec: registry.Spec{Type: "video-recorder"}, Pin: "ws1"})
+	ag.MustAddNode(&composer.AbstractNode{ID: "arec", Spec: registry.Spec{Type: "audio-recorder"}, Pin: "ws1"})
+	ag.MustAddNode(&composer.AbstractNode{ID: "gateway", Spec: registry.Spec{Type: "gateway"}})
+	ag.MustAddNode(&composer.AbstractNode{ID: "lipsync", Spec: registry.Spec{Type: "lip-synchronizer"}})
+	ag.MustAddNode(&composer.AbstractNode{ID: "vplayer", Spec: registry.Spec{Type: "video-player"}, Pin: core.ClientRole})
+	ag.MustAddNode(&composer.AbstractNode{ID: "aplayer", Spec: registry.Spec{Type: "conference-audio-player"}, Pin: core.ClientRole})
+	ag.MustAddEdge("vrec", "gateway", 4)
+	ag.MustAddEdge("arec", "gateway", 0.2)
+	ag.MustAddEdge("gateway", "lipsync", 4.2)
+	ag.MustAddEdge("lipsync", "vplayer", 4)
+	ag.MustAddEdge("lipsync", "aplayer", 0.2)
+	return ag
+}
+
+// RunFig34 runs the four scripted events and returns both the Figure 3
+// rows (configuration result, measured QoS) and the Figure 4 overhead
+// breakdowns.
+func RunFig34(cfg Fig34Config) (*Fig34Result, error) {
+	if cfg.Scale <= 0 || cfg.PlayModeled <= 0 {
+		return nil, fmt.Errorf("experiments: invalid fig34 config")
+	}
+	audio, err := BuildAudioSpace(cfg.Scale)
+	if err != nil {
+		return nil, err
+	}
+	defer audio.Close()
+
+	result := &Fig34Result{}
+	play := func() { time.Sleep(time.Duration(float64(cfg.PlayModeled) * cfg.Scale)) }
+	cdQuality := qos.V(qos.P(qos.DimFrameRate, qos.Range(38, 44)))
+
+	// Event 1: start mobile audio-on-demand on the desktop.
+	active, err := audio.StartApp(core.Request{
+		SessionID:    "audio-on-demand",
+		App:          AudioOnDemandApp(),
+		UserQoS:      cdQuality,
+		ClientDevice: "desktop2",
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: event 1: %w", err)
+	}
+	play()
+	result.Events = append(result.Events, audioEvent(1,
+		`Start "mobile audio-on-demand" on the desktop. User QoS request: CD quality music`, active))
+
+	// Event 2: switch from desktop to PDA over the wireless link; music
+	// continues from the interruption point.
+	active, err = audio.SwitchDevice("audio-on-demand", "jornada")
+	if err != nil {
+		return nil, fmt.Errorf("experiments: event 2: %w", err)
+	}
+	play()
+	result.Events = append(result.Events, audioEvent(2,
+		"Switch from desktop to PDA with a wireless link. Music continues from the interruption point.", active))
+
+	// Event 3: switch back from the PDA to another desktop.
+	active, err = audio.SwitchDevice("audio-on-demand", "desktop3")
+	if err != nil {
+		return nil, fmt.Errorf("experiments: event 3: %w", err)
+	}
+	play()
+	result.Events = append(result.Events, audioEvent(3,
+		"Switch back from PDA to another desktop.", active))
+	if err := audio.StopApp("audio-on-demand"); err != nil {
+		return nil, err
+	}
+
+	// Event 4: start video conferencing on the workstations, all
+	// components downloaded on demand.
+	conf, err := BuildConfSpace(cfg.Scale)
+	if err != nil {
+		return nil, err
+	}
+	defer conf.Close()
+	active, err = conf.StartApp(core.Request{
+		SessionID:    "video-conf",
+		App:          VideoConferencingApp(),
+		UserQoS:      qos.V(qos.P("video-fps", qos.Range(20, 30)), qos.P("audio-fps", qos.Range(5, 8))),
+		ClientDevice: "ws3",
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: event 4: %w", err)
+	}
+	play()
+	ev := Fig34Event{
+		Label:         4,
+		Description:   "Start video conferencing on the workstations. User QoS request: video(25fps), audio(6fps)",
+		Configuration: configurationOf(active),
+		MeasuredQoS:   map[string]float64{},
+		Timing:        active.Timing,
+	}
+	vfps, _ := active.Runtime.MeasuredOriginRate("vplayer", "vrec")
+	afps, _ := active.Runtime.MeasuredOriginRate("aplayer", "arec")
+	ev.MeasuredQoS["video"] = vfps
+	ev.MeasuredQoS["audio"] = afps
+	result.Events = append(result.Events, ev)
+	if err := conf.StopApp("video-conf"); err != nil {
+		return nil, err
+	}
+	return result, nil
+}
+
+// audioEvent summarizes one audio-on-demand event.
+func audioEvent(label int, desc string, active *core.ActiveSession) Fig34Event {
+	ev := Fig34Event{
+		Label:         label,
+		Description:   desc,
+		Configuration: configurationOf(active),
+		MeasuredQoS:   map[string]float64{},
+		Timing:        active.Timing,
+	}
+	fps, _ := active.Runtime.MeasuredOriginRate("player", "server")
+	ev.MeasuredQoS["audio"] = fps
+	return ev
+}
+
+// configurationOf renders the session placement.
+func configurationOf(active *core.ActiveSession) map[string]string {
+	out := make(map[string]string, len(active.Placement))
+	for id, dev := range active.Placement {
+		n := active.Graph.Node(id)
+		out[fmt.Sprintf("%s(%s)", n.Type, n.Instance)] = string(dev)
+	}
+	return out
+}
+
+// FormatFig3 renders the Figure 3 rows.
+func FormatFig3(r *Fig34Result) string {
+	var b strings.Builder
+	for _, ev := range r.Events {
+		fmt.Fprintf(&b, "Event %d: %s\n", ev.Label, ev.Description)
+		keys := make([]string, 0, len(ev.Configuration))
+		for k := range ev.Configuration {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&b, "  %-40s -> %s\n", k, ev.Configuration[k])
+		}
+		streams := make([]string, 0, len(ev.MeasuredQoS))
+		for s := range ev.MeasuredQoS {
+			streams = append(streams, s)
+		}
+		sort.Strings(streams)
+		for _, s := range streams {
+			fmt.Fprintf(&b, "  measured QoS %-7s: %.1f fps\n", s, ev.MeasuredQoS[s])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// FormatFig4 renders the Figure 4 stacked-bar data (milliseconds per
+// configuration action).
+func FormatFig4(r *Fig34Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s  %12s  %12s  %12s  %18s  %10s\n",
+		"event", "composition", "distribution", "downloading", "init/state-handoff", "total")
+	for _, ev := range r.Events {
+		t := ev.Timing
+		fmt.Fprintf(&b, "%-6d  %10.1fms  %10.1fms  %10.1fms  %16.1fms  %8.1fms\n",
+			ev.Label,
+			ms(t.Composition), ms(t.Distribution), ms(t.Downloading), ms(t.InitOrHandoff), ms(t.Total()))
+	}
+	return b.String()
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// newDomain builds a scenario domain with the shared options.
+func newDomain(name string, scale float64, stateSizeFor func(device.ID) float64) (*domain.Domain, error) {
+	return domain.New(name, domain.Options{
+		Scale:        scale,
+		StateSizeFor: stateSizeFor,
+	})
+}
+
+// repositoryPackage is a small readability helper.
+func repositoryPackage(name string, sizeMB float64) repository.Package {
+	return repository.Package{Name: name, SizeMB: sizeMB}
+}

@@ -1,0 +1,191 @@
+// Package experiments contains the reproduction harnesses for every table
+// and figure of the paper's evaluation (§4): the Table 1 algorithm
+// comparison, the Figure 5 success-rate simulation, and the Figure 3/4
+// prototype scenario. Each harness is deterministic given its seed and is
+// shared by the cmd/ regenerator binaries and the benchmark suite.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ubiqos/internal/device"
+	"ubiqos/internal/distributor"
+	"ubiqos/internal/resource"
+	"ubiqos/internal/workload"
+)
+
+// Table1Config parameterizes the Table 1 experiment: "we compare the
+// relative performances of different heuristic algorithms (random and
+// ours) with the optimal algorithm ... limited to the special case of
+// two-way cut. We assume two heterogeneous devices (PC, PDA) ... RA1 =
+// [256MB, 300%], RA2 = [32MB, 100%]. We consider service graphs with 10 to
+// 20 service components, ... on average, 3 to 6 outbound edges. Other
+// parameters ... are uniformly distributed. ... 150 randomly generated
+// service graphs."
+type Table1Config struct {
+	// Graphs is the number of feasible random graphs evaluated (150 in the
+	// paper).
+	Graphs int
+	// Seed makes the experiment deterministic.
+	Seed int64
+	// Params generates the random service graphs.
+	Params workload.GraphParams
+	// Devices are the two (or more) heterogeneous devices.
+	Devices []distributor.DeviceInfo
+	// LinkMbps is the available bandwidth between every device pair.
+	LinkMbps float64
+	// MaxAttemptsPerGraph bounds regeneration when a drawn graph does not
+	// fit the devices at all (the paper evaluates feasible graphs).
+	MaxAttemptsPerGraph int
+	// Extended adds rows beyond the paper's table: the heuristic with
+	// local-search refinement, and the first-fit ablation.
+	Extended bool
+}
+
+// DefaultTable1Config returns the paper's setting.
+func DefaultTable1Config() Table1Config {
+	return Table1Config{
+		Graphs: 150,
+		Seed:   2002,
+		Params: workload.Table1Params(),
+		Devices: []distributor.DeviceInfo{
+			{ID: "pc", Avail: resource.MB(256, 300)},
+			{ID: "pda", Avail: resource.MB(32, 100)},
+		},
+		LinkMbps:            100,
+		MaxAttemptsPerGraph: 50,
+	}
+}
+
+// Table1Row is one line of Table 1: the algorithm's mean cost-aggregation
+// ratio against the optimal solution, and the percentage of graphs for
+// which it found the exact optimum.
+type Table1Row struct {
+	Name string
+	// AvgRatio is mean(CA_optimal / CA_algorithm) over all graphs, with 0
+	// contributed when the algorithm found no feasible cut.
+	AvgRatio float64
+	// OptimalPct is the fraction of graphs (in percent) where the
+	// algorithm's cost equals the optimal cost.
+	OptimalPct float64
+	// FeasiblePct is the fraction of graphs (in percent) where the
+	// algorithm produced any feasible cut (diagnostic; not in the paper's
+	// table).
+	FeasiblePct float64
+}
+
+// Table1Result holds the regenerated table.
+type Table1Result struct {
+	Rows []Table1Row
+	// Generated counts all graphs drawn, including infeasible discards.
+	Generated int
+}
+
+// costEqualityTolerance treats two cost aggregations as the same solution
+// value.
+const costEqualityTolerance = 1e-9
+
+// RunTable1 regenerates Table 1.
+func RunTable1(cfg Table1Config) (*Table1Result, error) {
+	if cfg.Graphs <= 0 {
+		return nil, fmt.Errorf("experiments: Graphs must be positive")
+	}
+	if cfg.MaxAttemptsPerGraph <= 0 {
+		cfg.MaxAttemptsPerGraph = 50
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	type tally struct {
+		ratioSum float64
+		optimal  int
+		feasible int
+	}
+	var randT, heuT, refT, ffT, optT tally
+	generated := 0
+	score := func(t *tally, cost float64, err error, optCost float64) {
+		if err != nil {
+			return
+		}
+		t.feasible++
+		t.ratioSum += optCost / cost
+		if math.Abs(cost-optCost) <= costEqualityTolerance {
+			t.optimal++
+		}
+	}
+
+	for g := 0; g < cfg.Graphs; g++ {
+		var prob *distributor.Problem
+		var optCost float64
+		found := false
+		for attempt := 0; attempt < cfg.MaxAttemptsPerGraph; attempt++ {
+			generated++
+			sg, err := workload.RandomGraph(rng, cfg.Params)
+			if err != nil {
+				return nil, err
+			}
+			weights := workload.RandomWeights(rng, resource.Dims)
+			prob = &distributor.Problem{
+				Graph:     sg,
+				Devices:   cfg.Devices,
+				Bandwidth: func(a, b device.ID) float64 { return cfg.LinkMbps },
+				Weights:   weights,
+			}
+			_, cost, err := distributor.Optimal(prob)
+			if err == nil {
+				optCost, found = cost, true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("experiments: could not draw a feasible graph in %d attempts; loosen parameters", cfg.MaxAttemptsPerGraph)
+		}
+
+		optT.ratioSum++
+		optT.optimal++
+		optT.feasible++
+
+		_, heuCost, heuErr := distributor.Heuristic(prob)
+		score(&heuT, heuCost, heuErr, optCost)
+		_, randCost, randErr := distributor.RandomAdmit(prob, rng)
+		score(&randT, randCost, randErr, optCost)
+		if cfg.Extended {
+			_, refCost, refErr := distributor.HeuristicRefined(prob)
+			score(&refT, refCost, refErr, optCost)
+			_, ffCost, ffErr := distributor.FirstFit(prob)
+			score(&ffT, ffCost, ffErr, optCost)
+		}
+	}
+
+	n := float64(cfg.Graphs)
+	row := func(name string, t tally) Table1Row {
+		return Table1Row{
+			Name:        name,
+			AvgRatio:    t.ratioSum / n,
+			OptimalPct:  100 * float64(t.optimal) / n,
+			FeasiblePct: 100 * float64(t.feasible) / n,
+		}
+	}
+	rows := []Table1Row{
+		row("Random", randT),
+		row("Our Heuristic", heuT),
+	}
+	if cfg.Extended {
+		rows = append(rows,
+			row("Heu+Refine", refT),
+			row("First-Fit", ffT),
+		)
+	}
+	rows = append(rows, row("Optimal", optT))
+	return &Table1Result{Rows: rows, Generated: generated}, nil
+}
+
+// FormatTable1 renders the result in the paper's layout.
+func FormatTable1(r *Table1Result) string {
+	out := fmt.Sprintf("%-14s  %-8s  %-8s\n", "Algorithms", "Average", "Optimal")
+	for _, row := range r.Rows {
+		out += fmt.Sprintf("%-14s  %6.0f%%   %6.0f%%\n", row.Name, row.AvgRatio*100, row.OptimalPct)
+	}
+	return out
+}

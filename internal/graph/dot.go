@@ -1,0 +1,57 @@
+package graph
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the service graph in Graphviz dot syntax. Nodes are labeled
+// with their type and instance, edges with their throughput; when a
+// non-nil placement is given, nodes are clustered by device — a quick way
+// to visualize a k-cut.
+func (g *Graph) DOT(name string, placement map[NodeID]string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	b.WriteString("  rankdir=LR;\n  node [shape=box, fontsize=10];\n")
+
+	if placement == nil {
+		for _, n := range g.Nodes() {
+			fmt.Fprintf(&b, "  %q [label=%q];\n", n.ID, nodeLabel(n))
+		}
+	} else {
+		// Group nodes into device clusters, preserving insertion order for
+		// determinism.
+		order := make([]string, 0)
+		byDev := make(map[string][]*Node)
+		for _, n := range g.Nodes() {
+			dev := placement[n.ID]
+			if _, ok := byDev[dev]; !ok {
+				order = append(order, dev)
+			}
+			byDev[dev] = append(byDev[dev], n)
+		}
+		for i, dev := range order {
+			label := dev
+			if label == "" {
+				label = "(unplaced)"
+			}
+			fmt.Fprintf(&b, "  subgraph cluster_%d {\n    label=%q;\n", i, label)
+			for _, n := range byDev[dev] {
+				fmt.Fprintf(&b, "    %q [label=%q];\n", n.ID, nodeLabel(n))
+			}
+			b.WriteString("  }\n")
+		}
+	}
+	for _, e := range g.Edges() {
+		fmt.Fprintf(&b, "  %q -> %q [label=\"%.2g Mbps\"];\n", e.From, e.To, e.ThroughputMbps)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func nodeLabel(n *Node) string {
+	if n.Instance != "" && n.Instance != string(n.ID) {
+		return fmt.Sprintf("%s\n%s", n.Type, n.Instance)
+	}
+	return n.Type
+}

@@ -1,0 +1,39 @@
+package graph
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// jsonGraph is the wire representation of a Graph.
+type jsonGraph struct {
+	Nodes []*Node `json:"nodes"`
+	Edges []Edge  `json:"edges"`
+}
+
+// MarshalJSON encodes the graph as {"nodes": [...], "edges": [...]} with
+// deterministic ordering.
+func (g *Graph) MarshalJSON() ([]byte, error) {
+	return json.Marshal(jsonGraph{Nodes: g.Nodes(), Edges: g.Edges()})
+}
+
+// UnmarshalJSON decodes a graph previously encoded with MarshalJSON,
+// re-validating node and edge constraints.
+func (g *Graph) UnmarshalJSON(data []byte) error {
+	var jg jsonGraph
+	if err := json.Unmarshal(data, &jg); err != nil {
+		return fmt.Errorf("graph: decode: %w", err)
+	}
+	*g = *New()
+	for _, n := range jg.Nodes {
+		if err := g.AddNode(n); err != nil {
+			return err
+		}
+	}
+	for _, e := range jg.Edges {
+		if err := g.AddEdge(e.From, e.To, e.ThroughputMbps); err != nil {
+			return err
+		}
+	}
+	return nil
+}

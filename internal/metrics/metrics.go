@@ -1,0 +1,238 @@
+// Package metrics collects operational counters and latency statistics for
+// the service configuration model: how many configurations ran, how many
+// failed and why, how often corrections were applied, and the distribution
+// of per-tier overheads. The domain server exposes a Registry so
+// deployments can observe the system the way the paper's Figure 4
+// instrumentation did, continuously.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Counter is a monotonically increasing counter. The zero value is ready
+// to use.
+type Counter struct {
+	mu sync.Mutex
+	n  int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds delta (negative deltas are ignored: counters are monotonic).
+func (c *Counter) Add(delta int64) {
+	if delta < 0 {
+		return
+	}
+	c.mu.Lock()
+	c.n += delta
+	c.mu.Unlock()
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// Histogram accumulates duration observations with streaming count, sum,
+// min, max, and mean. The zero value is ready to use.
+type Histogram struct {
+	mu       sync.Mutex
+	count    int64
+	sum      time.Duration
+	min, max time.Duration
+}
+
+// Observe records one duration (negative observations are ignored).
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 || d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+	h.count++
+	h.sum += d
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Mean returns the mean observation, or 0 when empty.
+func (h *Histogram) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return time.Duration(int64(h.sum) / h.count)
+}
+
+// Min returns the smallest observation, or 0 when empty.
+func (h *Histogram) Min() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.min
+}
+
+// Max returns the largest observation, or 0 when empty.
+func (h *Histogram) Max() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.max
+}
+
+// Gauge is a last-value metric.
+type Gauge struct {
+	mu sync.Mutex
+	v  float64
+	ok bool
+}
+
+// Set records the value.
+func (g *Gauge) Set(v float64) {
+	g.mu.Lock()
+	g.v, g.ok = v, true
+	g.mu.Unlock()
+}
+
+// Value returns the last value and whether one was ever set.
+func (g *Gauge) Value() (float64, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.v, g.ok
+}
+
+// Registry is a named collection of metrics. All methods are safe for
+// concurrent use; metric instances are created on first use.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	histograms map[string]*Histogram
+	gauges     map[string]*Gauge
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		histograms: make(map[string]*Histogram),
+		gauges:     make(map[string]*Gauge),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Snapshot renders every metric as sorted "name value" lines — a plain
+// text exposition suitable for logs or a debug endpoint.
+func (r *Registry) Snapshot() string {
+	r.mu.Lock()
+	type entry struct {
+		name, line string
+	}
+	var entries []entry
+	for name, c := range r.counters {
+		entries = append(entries, entry{name, fmt.Sprintf("%s %d", name, c.Value())})
+	}
+	for name, h := range r.histograms {
+		entries = append(entries, entry{name, fmt.Sprintf("%s count=%d mean=%v min=%v max=%v",
+			name, h.Count(), h.Mean(), h.Min(), h.Max())})
+	}
+	for name, g := range r.gauges {
+		if v, ok := g.Value(); ok {
+			entries = append(entries, entry{name, fmt.Sprintf("%s %s", name, trimFloat(v))})
+		} else {
+			entries = append(entries, entry{name, fmt.Sprintf("%s <unset>", name)})
+		}
+	}
+	r.mu.Unlock()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].name < entries[j].name })
+	var b strings.Builder
+	for _, e := range entries {
+		b.WriteString(e.line)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func trimFloat(f float64) string {
+	if f == math.Trunc(f) && math.Abs(f) < 1e15 {
+		return fmt.Sprintf("%d", int64(f))
+	}
+	return fmt.Sprintf("%g", f)
+}
+
+// Metric names recorded by the configurator.
+const (
+	// ConfigsTotal counts configuration attempts.
+	ConfigsTotal = "configs_total"
+	// ConfigsFailed counts failed attempts.
+	ConfigsFailed = "configs_failed"
+	// ConfigsDegraded counts sessions admitted below full quality.
+	ConfigsDegraded = "configs_degraded"
+	// Handoffs counts re-configurations of live sessions.
+	Handoffs = "handoffs_total"
+	// TranscodersInserted and BuffersInserted count OC corrections.
+	TranscodersInserted = "transcoders_inserted_total"
+	BuffersInserted     = "buffers_inserted_total"
+	Adjustments         = "qos_adjustments_total"
+	// CompositionTime/DistributionTime/DownloadTime/HandoffTime are the
+	// per-tier overhead histograms (Figure 4's four bars).
+	CompositionTime  = "composition_time"
+	DistributionTime = "distribution_time"
+	DownloadTime     = "download_time"
+	HandoffTime      = "init_or_handoff_time"
+	// ActiveSessions gauges the live session count.
+	ActiveSessions = "active_sessions"
+)

@@ -1,0 +1,118 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(5)
+	c.Add(-3) // ignored: monotonic
+	if got := c.Value(); got != 6 {
+		t.Errorf("Value = %d", got)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 1600 {
+		t.Errorf("Value = %d", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	var h Histogram
+	if h.Mean() != 0 || h.Count() != 0 {
+		t.Error("empty histogram stats wrong")
+	}
+	h.Observe(10 * time.Millisecond)
+	h.Observe(30 * time.Millisecond)
+	h.Observe(-1) // ignored
+	if h.Count() != 2 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	if h.Mean() != 20*time.Millisecond {
+		t.Errorf("Mean = %v", h.Mean())
+	}
+	if h.Min() != 10*time.Millisecond || h.Max() != 30*time.Millisecond {
+		t.Errorf("Min/Max = %v/%v", h.Min(), h.Max())
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	if _, ok := g.Value(); ok {
+		t.Error("unset gauge should report !ok")
+	}
+	g.Set(3.5)
+	if v, ok := g.Value(); !ok || v != 3.5 {
+		t.Errorf("Value = %v, %v", v, ok)
+	}
+}
+
+func TestRegistryReuse(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Inc()
+	r.Counter("a").Inc()
+	if got := r.Counter("a").Value(); got != 2 {
+		t.Errorf("same name must return the same counter: %d", got)
+	}
+	r.Histogram("h").Observe(time.Second)
+	if got := r.Histogram("h").Count(); got != 1 {
+		t.Errorf("histogram reuse broken: %d", got)
+	}
+	r.Gauge("g").Set(1)
+	if v, _ := r.Gauge("g").Value(); v != 1 {
+		t.Error("gauge reuse broken")
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(ConfigsTotal).Add(7)
+	r.Histogram(CompositionTime).Observe(2 * time.Millisecond)
+	r.Gauge(ActiveSessions).Set(3)
+	r.Gauge("unset_gauge")
+	snap := r.Snapshot()
+	for _, want := range []string{
+		"configs_total 7",
+		"composition_time count=1",
+		"active_sessions 3",
+		"unset_gauge <unset>",
+	} {
+		if !strings.Contains(snap, want) {
+			t.Errorf("Snapshot missing %q:\n%s", want, snap)
+		}
+	}
+	// Lines are sorted.
+	lines := strings.Split(strings.TrimSpace(snap), "\n")
+	for i := 1; i < len(lines); i++ {
+		if lines[i] < lines[i-1] {
+			t.Errorf("snapshot not sorted: %q after %q", lines[i], lines[i-1])
+		}
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	if got := trimFloat(3); got != "3" {
+		t.Errorf("trimFloat(3) = %q", got)
+	}
+	if got := trimFloat(3.25); got != "3.25" {
+		t.Errorf("trimFloat(3.25) = %q", got)
+	}
+}

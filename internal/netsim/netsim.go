@@ -1,0 +1,158 @@
+// Package netsim emulates the testbed network of the paper's prototype
+// experiments: wired Ethernet between workstations/PCs and an 802.11b-era
+// wireless link to the PDA. The emulation models per-link bandwidth and
+// latency, computes transfer times for component downloads and state
+// handoffs, and can "execute" transfers by sleeping a scaled-down amount
+// of real time so experiments finish quickly while reporting modeled
+// durations at full scale.
+package netsim
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Link describes one end-to-end network path.
+type Link struct {
+	// BandwidthMbps is the sustained throughput in megabits per second.
+	BandwidthMbps float64
+	// LatencyMs is the one-way latency in milliseconds, paid once per
+	// transfer (connection setup + first byte).
+	LatencyMs float64
+}
+
+// Common 2002-era link presets.
+var (
+	// Ethernet is switched 100 Mbps wired LAN.
+	Ethernet = Link{BandwidthMbps: 100, LatencyMs: 0.3}
+	// LAN10 is legacy 10 Mbps shared Ethernet.
+	LAN10 = Link{BandwidthMbps: 10, LatencyMs: 0.8}
+	// WLAN is 802.11b wireless (~5 Mbps effective) to a PDA.
+	WLAN = Link{BandwidthMbps: 5, LatencyMs: 5}
+	// Loopback models intra-device communication.
+	Loopback = Link{BandwidthMbps: 10000, LatencyMs: 0.01}
+)
+
+// Valid reports whether the link parameters are usable.
+func (l Link) Valid() bool {
+	return l.BandwidthMbps > 0 && l.LatencyMs >= 0
+}
+
+// TransferTime returns the modeled time to move size megabytes across the
+// link: latency + size / bandwidth.
+func (l Link) TransferTime(sizeMB float64) time.Duration {
+	if sizeMB < 0 {
+		sizeMB = 0
+	}
+	seconds := l.LatencyMs/1000 + sizeMB*8/l.BandwidthMbps
+	return time.Duration(seconds * float64(time.Second))
+}
+
+// Network is a symmetric table of links between named endpoints with a
+// configurable time scale for emulated transfers. All methods are safe for
+// concurrent use.
+type Network struct {
+	mu    sync.RWMutex
+	links map[[2]string]Link
+	// scale multiplies modeled durations to obtain real sleep times;
+	// 0.01 runs a 1.6 s download in 16 ms of wall time.
+	scale float64
+}
+
+// New returns an empty network emulating at the given time scale
+// (1 = real time). Scale must be positive.
+func New(scale float64) (*Network, error) {
+	if scale <= 0 {
+		return nil, fmt.Errorf("netsim: scale must be positive, got %g", scale)
+	}
+	return &Network{links: make(map[[2]string]Link), scale: scale}, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(scale float64) *Network {
+	n, err := New(scale)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// Scale returns the configured time scale.
+func (n *Network) Scale() float64 {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.scale
+}
+
+func key(a, b string) [2]string {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]string{a, b}
+}
+
+// SetLink declares the symmetric link between two endpoints. Endpoints
+// must differ and the link must be valid.
+func (n *Network) SetLink(a, b string, l Link) error {
+	if a == b {
+		return fmt.Errorf("netsim: endpoints must differ, got %q", a)
+	}
+	if !l.Valid() {
+		return fmt.Errorf("netsim: invalid link %+v between %s and %s", l, a, b)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.links[key(a, b)] = l
+	return nil
+}
+
+// MustSetLink is SetLink that panics on error.
+func (n *Network) MustSetLink(a, b string, l Link) {
+	if err := n.SetLink(a, b, l); err != nil {
+		panic(err)
+	}
+}
+
+// LinkBetween returns the link between two endpoints. Identical endpoints
+// yield the loopback link; an undeclared pair reports ok=false.
+func (n *Network) LinkBetween(a, b string) (Link, bool) {
+	if a == b {
+		return Loopback, true
+	}
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	l, ok := n.links[key(a, b)]
+	return l, ok
+}
+
+// TransferTime returns the modeled duration to move size megabytes from a
+// to b, or an error when no link is declared.
+func (n *Network) TransferTime(a, b string, sizeMB float64) (time.Duration, error) {
+	l, ok := n.LinkBetween(a, b)
+	if !ok {
+		return 0, fmt.Errorf("netsim: no link between %s and %s", a, b)
+	}
+	return l.TransferTime(sizeMB), nil
+}
+
+// Transfer emulates moving size megabytes from a to b: it sleeps the
+// scaled-down real time and returns the full-scale modeled duration.
+func (n *Network) Transfer(a, b string, sizeMB float64) (time.Duration, error) {
+	d, err := n.TransferTime(a, b, sizeMB)
+	if err != nil {
+		return 0, err
+	}
+	time.Sleep(time.Duration(float64(d) * n.Scale()))
+	return d, nil
+}
+
+// BandwidthMbps reports the bandwidth between two endpoints, or 0 when no
+// link is declared — the shape expected by the distributor's Problem.
+func (n *Network) BandwidthMbps(a, b string) float64 {
+	l, ok := n.LinkBetween(a, b)
+	if !ok {
+		return 0
+	}
+	return l.BandwidthMbps
+}

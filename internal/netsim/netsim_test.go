@@ -1,0 +1,121 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestLinkTransferTime(t *testing.T) {
+	tests := []struct {
+		name   string
+		link   Link
+		sizeMB float64
+		want   time.Duration
+	}{
+		{"1MB over 8Mbps", Link{BandwidthMbps: 8, LatencyMs: 0}, 1, time.Second},
+		{"latency only", Link{BandwidthMbps: 8, LatencyMs: 50}, 0, 50 * time.Millisecond},
+		{"negative size clamps", Link{BandwidthMbps: 8, LatencyMs: 10}, -5, 10 * time.Millisecond},
+		{"10MB over WLAN", WLAN, 10, 16005 * time.Millisecond},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := tt.link.TransferTime(tt.sizeMB)
+			if math.Abs(float64(got-tt.want)) > float64(time.Millisecond) {
+				t.Errorf("TransferTime = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestLinkValid(t *testing.T) {
+	if !Ethernet.Valid() || !WLAN.Valid() || !LAN10.Valid() || !Loopback.Valid() {
+		t.Error("presets must be valid")
+	}
+	if (Link{BandwidthMbps: 0, LatencyMs: 1}).Valid() {
+		t.Error("zero bandwidth invalid")
+	}
+	if (Link{BandwidthMbps: 1, LatencyMs: -1}).Valid() {
+		t.Error("negative latency invalid")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Error("zero scale should fail")
+	}
+	if _, err := New(-1); err == nil {
+		t.Error("negative scale should fail")
+	}
+	n := MustNew(0.5)
+	if n.Scale() != 0.5 {
+		t.Errorf("Scale = %g", n.Scale())
+	}
+}
+
+func TestSetLinkValidation(t *testing.T) {
+	n := MustNew(1)
+	if err := n.SetLink("a", "a", Ethernet); err == nil {
+		t.Error("self link should fail")
+	}
+	if err := n.SetLink("a", "b", Link{}); err == nil {
+		t.Error("invalid link should fail")
+	}
+}
+
+func TestLinkBetweenSymmetricAndLoopback(t *testing.T) {
+	n := MustNew(1)
+	n.MustSetLink("pc", "pda", WLAN)
+	l, ok := n.LinkBetween("pda", "pc")
+	if !ok || l != WLAN {
+		t.Errorf("LinkBetween reversed = %+v, %v", l, ok)
+	}
+	l, ok = n.LinkBetween("pc", "pc")
+	if !ok || l != Loopback {
+		t.Errorf("loopback = %+v, %v", l, ok)
+	}
+	if _, ok := n.LinkBetween("pc", "ghost"); ok {
+		t.Error("undeclared link should report false")
+	}
+}
+
+func TestTransferTimeErrors(t *testing.T) {
+	n := MustNew(1)
+	if _, err := n.TransferTime("a", "b", 1); err == nil {
+		t.Error("undeclared link should fail")
+	}
+	if _, err := n.Transfer("a", "b", 1); err == nil {
+		t.Error("undeclared transfer should fail")
+	}
+}
+
+func TestTransferScalesSleep(t *testing.T) {
+	n := MustNew(0.001) // 1000x faster than modeled
+	n.MustSetLink("pc", "pda", Link{BandwidthMbps: 8, LatencyMs: 0})
+	start := time.Now()
+	modeled, err := n.Transfer("pc", "pda", 2) // modeled 2s
+	if err != nil {
+		t.Fatal(err)
+	}
+	wall := time.Since(start)
+	if math.Abs(float64(modeled-2*time.Second)) > float64(10*time.Millisecond) {
+		t.Errorf("modeled = %v, want ~2s", modeled)
+	}
+	if wall > 500*time.Millisecond {
+		t.Errorf("wall = %v, scaling not applied", wall)
+	}
+}
+
+func TestBandwidthMbps(t *testing.T) {
+	n := MustNew(1)
+	n.MustSetLink("a", "b", Ethernet)
+	if got := n.BandwidthMbps("b", "a"); got != 100 {
+		t.Errorf("BandwidthMbps = %g", got)
+	}
+	if got := n.BandwidthMbps("a", "z"); got != 0 {
+		t.Errorf("undeclared = %g", got)
+	}
+	if got := n.BandwidthMbps("a", "a"); got != Loopback.BandwidthMbps {
+		t.Errorf("loopback = %g", got)
+	}
+}

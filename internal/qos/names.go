@@ -1,0 +1,33 @@
+package qos
+
+// Conventional QoS dimension names used throughout the examples, the
+// emulated media runtime, and the experiment harnesses. The qos package
+// itself treats names opaquely; these constants only establish a shared
+// vocabulary.
+const (
+	// DimFormat is the media encoding format, a symbol/set dimension
+	// (e.g. "MPEG", "WAV", "JPEG", "PCM").
+	DimFormat = "format"
+	// DimFrameRate is the delivery rate in frames per second, a
+	// scalar/range dimension.
+	DimFrameRate = "framerate"
+	// DimResolution is the horizontal pixel resolution, a scalar/range
+	// dimension (the paper quotes e.g. 1600*1200; we track the width).
+	DimResolution = "resolution"
+	// DimSampleRate is the audio sampling rate in Hz.
+	DimSampleRate = "samplerate"
+	// DimChannels is the audio channel count.
+	DimChannels = "channels"
+	// DimBitDepth is the audio sample width in bits.
+	DimBitDepth = "bitdepth"
+)
+
+// Common media format symbols.
+const (
+	FormatMPEG = "MPEG"
+	FormatMP3  = "MP3"
+	FormatWAV  = "WAV"
+	FormatPCM  = "PCM"
+	FormatJPEG = "JPEG"
+	FormatH261 = "H261"
+)

@@ -1,0 +1,147 @@
+package qos
+
+import (
+	"fmt"
+	"strings"
+)
+
+// MismatchKind classifies why one dimension of an input requirement is not
+// satisfied by the producer's output. The classification drives the
+// automatic corrections of the Ordered Coordination algorithm: format
+// mismatches call for a transcoder, performance mismatches for an output
+// adjustment or a buffer component.
+type MismatchKind int
+
+// Mismatch kinds.
+const (
+	// MismatchMissing: the consumer requires a dimension the producer's
+	// output does not carry at all.
+	MismatchMissing MismatchKind = iota + 1
+	// MismatchFormat: a symbolic (type-like) dimension differs, e.g. the
+	// producer emits MPEG while the consumer accepts WAV. Correctable by
+	// inserting a transcoder.
+	MismatchFormat
+	// MismatchPerformance: a numeric dimension falls outside the accepted
+	// value/range, e.g. frame rate too high. Correctable by adjusting a
+	// configurable producer output or by inserting a buffer component.
+	MismatchPerformance
+	// MismatchIncomparable: the two values have kinds with no defined
+	// containment relation (e.g. symbol offered where a range is required).
+	MismatchIncomparable
+)
+
+// String returns the mismatch kind name.
+func (k MismatchKind) String() string {
+	switch k {
+	case MismatchMissing:
+		return "missing"
+	case MismatchFormat:
+		return "format"
+	case MismatchPerformance:
+		return "performance"
+	case MismatchIncomparable:
+		return "incomparable"
+	default:
+		return fmt.Sprintf("MismatchKind(%d)", int(k))
+	}
+}
+
+// Mismatch describes one violated dimension of the satisfy relation.
+type Mismatch struct {
+	// Name is the parameter name on the consumer side.
+	Name string
+	// Kind classifies the violation.
+	Kind MismatchKind
+	// Offered is the producer-side value (zero Value when Kind is
+	// MismatchMissing).
+	Offered Value
+	// Required is the consumer-side value.
+	Required Value
+}
+
+// Error renders the mismatch as a message; Mismatch also satisfies the
+// error interface so a single mismatch can be returned directly.
+func (m Mismatch) Error() string {
+	if m.Kind == MismatchMissing {
+		return fmt.Sprintf("qos: required parameter %q (%s) not offered", m.Name, m.Required)
+	}
+	return fmt.Sprintf("qos: parameter %q: offered %s does not satisfy required %s (%s mismatch)",
+		m.Name, m.Offered, m.Required, m.Kind)
+}
+
+// Satisfies implements the inter-component relation "satisfy"
+// (Qout_A ⪯ Qin_B, equation (1) of the paper): for every dimension i of the
+// consumer requirement `in`, there must exist a dimension of the producer
+// output `out` with the same name whose value equals the required single
+// value, or is contained in the required range/set value.
+func Satisfies(out, in Vector) bool {
+	return len(Mismatches(out, in)) == 0
+}
+
+// Mismatches returns every dimension of `in` not satisfied by `out`,
+// classified for automatic correction. A nil return means out ⪯ in.
+func Mismatches(out, in Vector) []Mismatch {
+	var ms []Mismatch
+	for _, req := range in {
+		offered, ok := out.Get(req.Name)
+		if !ok {
+			ms = append(ms, Mismatch{Name: req.Name, Kind: MismatchMissing, Required: req.Value})
+			continue
+		}
+		if offered.ContainedIn(req.Value) {
+			continue
+		}
+		ms = append(ms, Mismatch{
+			Name:     req.Name,
+			Kind:     classifyMismatch(offered, req.Value),
+			Offered:  offered,
+			Required: req.Value,
+		})
+	}
+	return ms
+}
+
+func classifyMismatch(offered, required Value) MismatchKind {
+	switch required.Kind {
+	case KindSymbol, KindSet:
+		if offered.Kind == KindSymbol || offered.Kind == KindSet {
+			return MismatchFormat
+		}
+		return MismatchIncomparable
+	case KindScalar, KindRange:
+		if offered.Kind == KindScalar || offered.Kind == KindRange {
+			return MismatchPerformance
+		}
+		return MismatchIncomparable
+	default:
+		return MismatchIncomparable
+	}
+}
+
+// ConsistencyError aggregates the mismatches found on one producer→consumer
+// edge during a QoS consistency check.
+type ConsistencyError struct {
+	// Producer and Consumer identify the two interacting components
+	// (free-form labels supplied by the caller).
+	Producer, Consumer string
+	Mismatches         []Mismatch
+}
+
+// Error summarizes all violated dimensions.
+func (e *ConsistencyError) Error() string {
+	parts := make([]string, len(e.Mismatches))
+	for i, m := range e.Mismatches {
+		parts[i] = m.Error()
+	}
+	return fmt.Sprintf("qos: %s -> %s inconsistent: %s", e.Producer, e.Consumer, strings.Join(parts, "; "))
+}
+
+// Check verifies out ⪯ in and returns a *ConsistencyError naming the two
+// components on failure.
+func Check(producer, consumer string, out, in Vector) error {
+	ms := Mismatches(out, in)
+	if len(ms) == 0 {
+		return nil
+	}
+	return &ConsistencyError{Producer: producer, Consumer: consumer, Mismatches: ms}
+}

@@ -1,0 +1,241 @@
+package qos
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSatisfiesPaperExamples(t *testing.T) {
+	// The paper's running example: an audio server emitting MP3 at 40 fps
+	// feeding a player accepting MP3 within [10,50] fps.
+	server := V(P(DimFormat, Symbol(FormatMP3)), P(DimFrameRate, Scalar(40)))
+	player := V(P(DimFormat, Symbol(FormatMP3)), P(DimFrameRate, Range(10, 50)))
+	if !Satisfies(server, player) {
+		t.Error("MP3@40 must satisfy MP3 [10,50]")
+	}
+
+	// The PDA player only accepts WAV: a format mismatch a transcoder must fix.
+	pdaPlayer := V(P(DimFormat, Symbol(FormatWAV)), P(DimFrameRate, Range(10, 50)))
+	ms := Mismatches(server, pdaPlayer)
+	if len(ms) != 1 {
+		t.Fatalf("got %d mismatches, want 1: %v", len(ms), ms)
+	}
+	if ms[0].Kind != MismatchFormat || ms[0].Name != DimFormat {
+		t.Errorf("mismatch = %+v, want format mismatch on %q", ms[0], DimFormat)
+	}
+}
+
+func TestMismatchesClassification(t *testing.T) {
+	tests := []struct {
+		name string
+		out  Vector
+		in   Vector
+		want []MismatchKind
+	}{
+		{
+			"satisfied",
+			V(P("f", Symbol("a")), P("r", Scalar(20))),
+			V(P("f", Symbol("a")), P("r", Range(10, 30))),
+			nil,
+		},
+		{
+			"missing dimension",
+			V(P("f", Symbol("a"))),
+			V(P("f", Symbol("a")), P("r", Range(10, 30))),
+			[]MismatchKind{MismatchMissing},
+		},
+		{
+			"format mismatch symbol vs symbol",
+			V(P("f", Symbol("a"))),
+			V(P("f", Symbol("b"))),
+			[]MismatchKind{MismatchFormat},
+		},
+		{
+			"format mismatch symbol vs set",
+			V(P("f", Symbol("a"))),
+			V(P("f", Set("b", "c"))),
+			[]MismatchKind{MismatchFormat},
+		},
+		{
+			"performance mismatch scalar vs range",
+			V(P("r", Scalar(60))),
+			V(P("r", Range(10, 30))),
+			[]MismatchKind{MismatchPerformance},
+		},
+		{
+			"performance mismatch range vs range",
+			V(P("r", Range(5, 60))),
+			V(P("r", Range(10, 30))),
+			[]MismatchKind{MismatchPerformance},
+		},
+		{
+			"performance mismatch scalar vs scalar",
+			V(P("r", Scalar(25))),
+			V(P("r", Scalar(30))),
+			[]MismatchKind{MismatchPerformance},
+		},
+		{
+			"incomparable symbol vs range",
+			V(P("r", Symbol("fast"))),
+			V(P("r", Range(10, 30))),
+			[]MismatchKind{MismatchIncomparable},
+		},
+		{
+			"incomparable scalar vs set",
+			V(P("f", Scalar(1))),
+			V(P("f", Set("a"))),
+			[]MismatchKind{MismatchIncomparable},
+		},
+		{
+			"multiple mismatches",
+			V(P("f", Symbol("a")), P("r", Scalar(60))),
+			V(P("f", Symbol("b")), P("r", Range(10, 30)), P("q", Scalar(1))),
+			[]MismatchKind{MismatchFormat, MismatchPerformance, MismatchMissing},
+		},
+		{
+			"producer extras ignored",
+			V(P("f", Symbol("a")), P("extra", Scalar(1))),
+			V(P("f", Symbol("a"))),
+			nil,
+		},
+		{
+			"empty requirement always satisfied",
+			V(P("f", Symbol("a"))),
+			V(),
+			nil,
+		},
+		{
+			"range offered into required single scalar",
+			V(P("r", Range(10, 30))),
+			V(P("r", Scalar(20))),
+			[]MismatchKind{MismatchPerformance},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			ms := Mismatches(tt.out, tt.in)
+			if len(ms) != len(tt.want) {
+				t.Fatalf("got %d mismatches (%v), want %d", len(ms), ms, len(tt.want))
+			}
+			got := make(map[MismatchKind]int)
+			for _, m := range ms {
+				got[m.Kind]++
+			}
+			want := make(map[MismatchKind]int)
+			for _, k := range tt.want {
+				want[k]++
+			}
+			for k, n := range want {
+				if got[k] != n {
+					t.Errorf("mismatch kinds = %v, want %v", ms, tt.want)
+				}
+			}
+			if (len(ms) == 0) != Satisfies(tt.out, tt.in) {
+				t.Error("Satisfies disagrees with Mismatches")
+			}
+		})
+	}
+}
+
+func TestMismatchKindString(t *testing.T) {
+	tests := []struct {
+		k    MismatchKind
+		want string
+	}{
+		{MismatchMissing, "missing"},
+		{MismatchFormat, "format"},
+		{MismatchPerformance, "performance"},
+		{MismatchIncomparable, "incomparable"},
+		{MismatchKind(9), "MismatchKind(9)"},
+	}
+	for _, tt := range tests {
+		if got := tt.k.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestMismatchError(t *testing.T) {
+	m := Mismatch{Name: "r", Kind: MismatchMissing, Required: Range(10, 30)}
+	if msg := m.Error(); !strings.Contains(msg, "not offered") || !strings.Contains(msg, `"r"`) {
+		t.Errorf("missing mismatch message: %q", msg)
+	}
+	m = Mismatch{Name: "f", Kind: MismatchFormat, Offered: Symbol("a"), Required: Symbol("b")}
+	if msg := m.Error(); !strings.Contains(msg, "format mismatch") {
+		t.Errorf("format mismatch message: %q", msg)
+	}
+}
+
+func TestCheck(t *testing.T) {
+	out := V(P("f", Symbol("MPEG")))
+	in := V(P("f", Symbol("WAV")))
+	err := Check("server", "player", out, in)
+	if err == nil {
+		t.Fatal("Check should fail")
+	}
+	var ce *ConsistencyError
+	if !errors.As(err, &ce) {
+		t.Fatalf("error type = %T, want *ConsistencyError", err)
+	}
+	if ce.Producer != "server" || ce.Consumer != "player" || len(ce.Mismatches) != 1 {
+		t.Errorf("ConsistencyError = %+v", ce)
+	}
+	if !strings.Contains(err.Error(), "server -> player") {
+		t.Errorf("error message = %q", err.Error())
+	}
+	if err := Check("a", "b", out, out); err != nil {
+		t.Errorf("identical vectors must be consistent, got %v", err)
+	}
+}
+
+func TestPropSatisfyReflexiveForSingles(t *testing.T) {
+	// A vector of single values always satisfies itself (equality arm).
+	prop := func(g vectorGen) bool {
+		singles := make(Vector, 0, len(g.V))
+		for _, p := range g.V {
+			singles = append(singles, P(p.Name, p.Value.Pick()))
+		}
+		if err := singles.Validate(); err != nil {
+			return true // skip degenerate generated vectors (empty set picks)
+		}
+		for _, p := range singles {
+			if !p.Value.Single() {
+				return true
+			}
+		}
+		return Satisfies(singles, singles)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropSatisfyMonotoneInRequirement(t *testing.T) {
+	// Dropping a requirement dimension can never break satisfaction.
+	prop := func(g, h vectorGen) bool {
+		if !Satisfies(g.V, h.V) {
+			return true
+		}
+		for _, p := range h.V {
+			if !Satisfies(g.V, h.V.Without(p.Name)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropMismatchCountBounded(t *testing.T) {
+	// There is at most one mismatch per requirement dimension.
+	prop := func(g, h vectorGen) bool {
+		return len(Mismatches(g.V, h.V)) <= h.V.Dim()
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

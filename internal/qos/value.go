@@ -1,0 +1,302 @@
+// Package qos models application-level Quality-of-Service parameters as used
+// by the service configuration model of Gu & Nahrstedt (ICDCS 2002).
+//
+// A component accepts input with QoS level Qin and produces output with QoS
+// level Qout; both are vectors of named parameter values (media format,
+// resolution, frame rate, ...). Parameters are either single values (a
+// symbol such as "MPEG", or a scalar such as 1600) or range values (an
+// interval such as [10,30] fps) or finite sets of symbols (e.g. the set of
+// formats a player accepts). The inter-component relation "satisfy"
+// (Qout_A ⪯ Qin_B, equation (1) of the paper) is implemented in satisfy.go.
+package qos
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Kind discriminates the representation of a parameter value.
+type Kind int
+
+// The supported parameter value kinds.
+const (
+	// KindSymbol is a single symbolic value such as a media format ("MPEG").
+	KindSymbol Kind = iota + 1
+	// KindScalar is a single numeric value such as a resolution width.
+	KindScalar
+	// KindRange is a closed numeric interval [Lo, Hi], e.g. a frame-rate
+	// range [10, 30].
+	KindRange
+	// KindSet is a finite set of symbols, e.g. the set of media formats a
+	// component accepts.
+	KindSet
+)
+
+// String returns the human-readable kind name.
+func (k Kind) String() string {
+	switch k {
+	case KindSymbol:
+		return "symbol"
+	case KindScalar:
+		return "scalar"
+	case KindRange:
+		return "range"
+	case KindSet:
+		return "set"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Value is one QoS parameter value. Exactly the fields relevant to Kind are
+// meaningful; the zero Value is invalid.
+type Value struct {
+	Kind Kind     `json:"kind"`
+	Sym  string   `json:"sym,omitempty"`  // KindSymbol
+	Num  float64  `json:"num,omitempty"`  // KindScalar
+	Lo   float64  `json:"lo,omitempty"`   // KindRange
+	Hi   float64  `json:"hi,omitempty"`   // KindRange
+	Syms []string `json:"syms,omitempty"` // KindSet, kept sorted
+}
+
+// Symbol returns a single symbolic value.
+func Symbol(s string) Value { return Value{Kind: KindSymbol, Sym: s} }
+
+// Scalar returns a single numeric value.
+func Scalar(v float64) Value { return Value{Kind: KindScalar, Num: v} }
+
+// Range returns the closed interval [lo, hi]. Range panics if lo > hi or
+// either bound is NaN; construct ranges from trusted literals or validate
+// beforehand with ValidRange.
+func Range(lo, hi float64) Value {
+	if !ValidRange(lo, hi) {
+		panic(fmt.Sprintf("qos: invalid range [%g, %g]", lo, hi))
+	}
+	return Value{Kind: KindRange, Lo: lo, Hi: hi}
+}
+
+// ValidRange reports whether [lo, hi] is a well-formed closed interval.
+func ValidRange(lo, hi float64) bool {
+	return !math.IsNaN(lo) && !math.IsNaN(hi) && lo <= hi
+}
+
+// Set returns a set value containing the given symbols (deduplicated,
+// sorted). An empty set is valid but satisfies nothing.
+func Set(syms ...string) Value {
+	seen := make(map[string]bool, len(syms))
+	out := make([]string, 0, len(syms))
+	for _, s := range syms {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	sort.Strings(out)
+	return Value{Kind: KindSet, Syms: out}
+}
+
+// Valid reports whether v is a well-formed value of its kind.
+func (v Value) Valid() bool {
+	switch v.Kind {
+	case KindSymbol:
+		return v.Sym != ""
+	case KindScalar:
+		return !math.IsNaN(v.Num)
+	case KindRange:
+		return ValidRange(v.Lo, v.Hi)
+	case KindSet:
+		if !sort.StringsAreSorted(v.Syms) {
+			return false
+		}
+		for i := 1; i < len(v.Syms); i++ {
+			if v.Syms[i] == v.Syms[i-1] {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// Single reports whether v is a single value (symbol or scalar) as opposed
+// to a range or set value. The distinction drives the two arms of the
+// satisfy relation in the paper.
+func (v Value) Single() bool { return v.Kind == KindSymbol || v.Kind == KindScalar }
+
+// Equal reports exact equality of two values (same kind, same content).
+func (v Value) Equal(o Value) bool {
+	if v.Kind != o.Kind {
+		return false
+	}
+	switch v.Kind {
+	case KindSymbol:
+		return v.Sym == o.Sym
+	case KindScalar:
+		return v.Num == o.Num
+	case KindRange:
+		return v.Lo == o.Lo && v.Hi == o.Hi
+	case KindSet:
+		if len(v.Syms) != len(o.Syms) {
+			return false
+		}
+		for i := range v.Syms {
+			if v.Syms[i] != o.Syms[i] {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// ContainedIn reports whether v ⊆ o in the sense of the satisfy relation:
+//
+//   - a scalar is contained in a range that covers it, and in an equal scalar;
+//   - a range is contained in a covering range;
+//   - a symbol is contained in a set holding it, and in an equal symbol;
+//   - a set is contained in a superset.
+//
+// Kind combinations with no meaningful containment (e.g. symbol vs range)
+// report false.
+func (v Value) ContainedIn(o Value) bool {
+	switch o.Kind {
+	case KindSymbol:
+		return v.Kind == KindSymbol && v.Sym == o.Sym
+	case KindScalar:
+		return v.Kind == KindScalar && v.Num == o.Num
+	case KindRange:
+		switch v.Kind {
+		case KindScalar:
+			return o.Lo <= v.Num && v.Num <= o.Hi
+		case KindRange:
+			return o.Lo <= v.Lo && v.Hi <= o.Hi
+		default:
+			return false
+		}
+	case KindSet:
+		switch v.Kind {
+		case KindSymbol:
+			return containsString(o.Syms, v.Sym)
+		case KindSet:
+			for _, s := range v.Syms {
+				if !containsString(o.Syms, s) {
+					return false
+				}
+			}
+			return true
+		default:
+			return false
+		}
+	default:
+		return false
+	}
+}
+
+// Intersect returns the intersection of v and o when both are of the same
+// comparable family, and ok=false when the intersection is empty or the
+// kinds are incomparable. It is used by the Ordered Coordination algorithm
+// to narrow a configurable output capability to the portion accepted by a
+// successor.
+func (v Value) Intersect(o Value) (Value, bool) {
+	switch {
+	case v.Kind == KindRange && o.Kind == KindRange:
+		lo, hi := math.Max(v.Lo, o.Lo), math.Min(v.Hi, o.Hi)
+		if lo > hi {
+			return Value{}, false
+		}
+		return Range(lo, hi), true
+	case v.Kind == KindRange && o.Kind == KindScalar:
+		if v.Lo <= o.Num && o.Num <= v.Hi {
+			return o, true
+		}
+		return Value{}, false
+	case v.Kind == KindScalar && o.Kind == KindRange:
+		if o.Lo <= v.Num && v.Num <= o.Hi {
+			return v, true
+		}
+		return Value{}, false
+	case v.Kind == KindScalar && o.Kind == KindScalar:
+		if v.Num == o.Num {
+			return v, true
+		}
+		return Value{}, false
+	case v.Kind == KindSet && o.Kind == KindSet:
+		var common []string
+		for _, s := range v.Syms {
+			if containsString(o.Syms, s) {
+				common = append(common, s)
+			}
+		}
+		if len(common) == 0 {
+			return Value{}, false
+		}
+		return Set(common...), true
+	case v.Kind == KindSet && o.Kind == KindSymbol:
+		if containsString(v.Syms, o.Sym) {
+			return o, true
+		}
+		return Value{}, false
+	case v.Kind == KindSymbol && o.Kind == KindSet:
+		if containsString(o.Syms, v.Sym) {
+			return v, true
+		}
+		return Value{}, false
+	case v.Kind == KindSymbol && o.Kind == KindSymbol:
+		if v.Sym == o.Sym {
+			return v, true
+		}
+		return Value{}, false
+	default:
+		return Value{}, false
+	}
+}
+
+// Pick collapses a (possibly multi-valued) value to a concrete single value:
+// ranges collapse to their upper bound (best quality within the window) and
+// sets to their first symbol; single values are returned unchanged. It is
+// used when a configurable output capability must be fixed to an operating
+// point.
+func (v Value) Pick() Value {
+	switch v.Kind {
+	case KindRange:
+		return Scalar(v.Hi)
+	case KindSet:
+		if len(v.Syms) == 0 {
+			return v
+		}
+		return Symbol(v.Syms[0])
+	default:
+		return v
+	}
+}
+
+// String renders the value compactly, e.g. "MPEG", "30", "[10,30]",
+// "{JPEG,MPEG}".
+func (v Value) String() string {
+	switch v.Kind {
+	case KindSymbol:
+		return v.Sym
+	case KindScalar:
+		return trimFloat(v.Num)
+	case KindRange:
+		return "[" + trimFloat(v.Lo) + "," + trimFloat(v.Hi) + "]"
+	case KindSet:
+		return "{" + strings.Join(v.Syms, ",") + "}"
+	default:
+		return "<invalid>"
+	}
+}
+
+func trimFloat(f float64) string {
+	s := fmt.Sprintf("%g", f)
+	return s
+}
+
+func containsString(sorted []string, s string) bool {
+	i := sort.SearchStrings(sorted, s)
+	return i < len(sorted) && sorted[i] == s
+}

@@ -1,0 +1,373 @@
+package qos
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	tests := []struct {
+		kind Kind
+		want string
+	}{
+		{KindSymbol, "symbol"},
+		{KindScalar, "scalar"},
+		{KindRange, "range"},
+		{KindSet, "set"},
+		{Kind(0), "Kind(0)"},
+		{Kind(99), "Kind(99)"},
+	}
+	for _, tt := range tests {
+		if got := tt.kind.String(); got != tt.want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(tt.kind), got, tt.want)
+		}
+	}
+}
+
+func TestConstructors(t *testing.T) {
+	if v := Symbol("MPEG"); v.Kind != KindSymbol || v.Sym != "MPEG" {
+		t.Errorf("Symbol: got %+v", v)
+	}
+	if v := Scalar(30); v.Kind != KindScalar || v.Num != 30 {
+		t.Errorf("Scalar: got %+v", v)
+	}
+	if v := Range(10, 30); v.Kind != KindRange || v.Lo != 10 || v.Hi != 30 {
+		t.Errorf("Range: got %+v", v)
+	}
+	if v := Set("b", "a", "b"); v.Kind != KindSet || !reflect.DeepEqual(v.Syms, []string{"a", "b"}) {
+		t.Errorf("Set should dedupe+sort: got %+v", v)
+	}
+}
+
+func TestRangePanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Range(30,10) should panic")
+		}
+	}()
+	Range(30, 10)
+}
+
+func TestValidRange(t *testing.T) {
+	tests := []struct {
+		lo, hi float64
+		want   bool
+	}{
+		{0, 0, true},
+		{10, 30, true},
+		{30, 10, false},
+		{math.NaN(), 1, false},
+		{1, math.NaN(), false},
+		{math.Inf(-1), math.Inf(1), true},
+	}
+	for _, tt := range tests {
+		if got := ValidRange(tt.lo, tt.hi); got != tt.want {
+			t.Errorf("ValidRange(%g,%g) = %v, want %v", tt.lo, tt.hi, got, tt.want)
+		}
+	}
+}
+
+func TestValueValid(t *testing.T) {
+	tests := []struct {
+		name string
+		v    Value
+		want bool
+	}{
+		{"zero value", Value{}, false},
+		{"symbol", Symbol("WAV"), true},
+		{"empty symbol", Value{Kind: KindSymbol}, false},
+		{"scalar", Scalar(1), true},
+		{"nan scalar", Value{Kind: KindScalar, Num: math.NaN()}, false},
+		{"range", Range(1, 2), true},
+		{"inverted range", Value{Kind: KindRange, Lo: 2, Hi: 1}, false},
+		{"set", Set("a", "b"), true},
+		{"empty set", Set(), true},
+		{"unsorted set", Value{Kind: KindSet, Syms: []string{"b", "a"}}, false},
+		{"duplicate set", Value{Kind: KindSet, Syms: []string{"a", "a"}}, false},
+		{"unknown kind", Value{Kind: Kind(42)}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.v.Valid(); got != tt.want {
+				t.Errorf("Valid() = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestValueSingle(t *testing.T) {
+	if !Symbol("x").Single() || !Scalar(1).Single() {
+		t.Error("symbol and scalar must be single values")
+	}
+	if Range(1, 2).Single() || Set("a").Single() {
+		t.Error("range and set must not be single values")
+	}
+}
+
+func TestValueEqual(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Value
+		want bool
+	}{
+		{"same symbol", Symbol("a"), Symbol("a"), true},
+		{"diff symbol", Symbol("a"), Symbol("b"), false},
+		{"kind mismatch", Symbol("a"), Scalar(1), false},
+		{"same scalar", Scalar(2.5), Scalar(2.5), true},
+		{"diff scalar", Scalar(2.5), Scalar(2.6), false},
+		{"same range", Range(1, 2), Range(1, 2), true},
+		{"diff range lo", Range(0, 2), Range(1, 2), false},
+		{"diff range hi", Range(1, 3), Range(1, 2), false},
+		{"same set", Set("a", "b"), Set("b", "a"), true},
+		{"subset not equal", Set("a"), Set("a", "b"), false},
+		{"diff set", Set("a", "c"), Set("a", "b"), false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.a.Equal(tt.b); got != tt.want {
+				t.Errorf("%s.Equal(%s) = %v, want %v", tt.a, tt.b, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestContainedIn(t *testing.T) {
+	tests := []struct {
+		name  string
+		v, in Value
+		want  bool
+	}{
+		{"symbol in equal symbol", Symbol("MPEG"), Symbol("MPEG"), true},
+		{"symbol in other symbol", Symbol("MPEG"), Symbol("WAV"), false},
+		{"scalar in equal scalar", Scalar(30), Scalar(30), true},
+		{"scalar in other scalar", Scalar(30), Scalar(25), false},
+		{"scalar in covering range", Scalar(20), Range(10, 30), true},
+		{"scalar at range bound", Scalar(10), Range(10, 30), true},
+		{"scalar outside range", Scalar(40), Range(10, 30), false},
+		{"range in covering range", Range(12, 25), Range(10, 30), true},
+		{"range equal range", Range(10, 30), Range(10, 30), true},
+		{"range exceeding range", Range(5, 25), Range(10, 30), false},
+		{"symbol in holding set", Symbol("WAV"), Set("WAV", "MP3"), true},
+		{"symbol in missing set", Symbol("MPEG"), Set("WAV", "MP3"), false},
+		{"set in superset", Set("a"), Set("a", "b"), true},
+		{"set in non-superset", Set("a", "c"), Set("a", "b"), false},
+		{"empty set in any set", Set(), Set("a"), true},
+		{"range in scalar", Range(1, 2), Scalar(1), false},
+		{"symbol in range incomparable", Symbol("x"), Range(0, 1), false},
+		{"range in set incomparable", Range(0, 1), Set("a"), false},
+		{"scalar in set incomparable", Scalar(1), Set("a"), false},
+		{"set in symbol", Set("a"), Symbol("a"), false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.v.ContainedIn(tt.in); got != tt.want {
+				t.Errorf("%s.ContainedIn(%s) = %v, want %v", tt.v, tt.in, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	tests := []struct {
+		name   string
+		a, b   Value
+		want   Value
+		wantOK bool
+	}{
+		{"overlapping ranges", Range(10, 30), Range(20, 40), Range(20, 30), true},
+		{"nested ranges", Range(10, 40), Range(20, 30), Range(20, 30), true},
+		{"disjoint ranges", Range(10, 20), Range(30, 40), Value{}, false},
+		{"touching ranges", Range(10, 20), Range(20, 40), Range(20, 20), true},
+		{"range and inner scalar", Range(10, 30), Scalar(15), Scalar(15), true},
+		{"range and outer scalar", Range(10, 30), Scalar(45), Value{}, false},
+		{"scalar and covering range", Scalar(15), Range(10, 30), Scalar(15), true},
+		{"equal scalars", Scalar(5), Scalar(5), Scalar(5), true},
+		{"unequal scalars", Scalar(5), Scalar(6), Value{}, false},
+		{"overlapping sets", Set("a", "b"), Set("b", "c"), Set("b"), true},
+		{"disjoint sets", Set("a"), Set("c"), Value{}, false},
+		{"set and member symbol", Set("a", "b"), Symbol("a"), Symbol("a"), true},
+		{"set and nonmember symbol", Set("a", "b"), Symbol("z"), Value{}, false},
+		{"symbol and holding set", Symbol("a"), Set("a", "b"), Symbol("a"), true},
+		{"equal symbols", Symbol("a"), Symbol("a"), Symbol("a"), true},
+		{"unequal symbols", Symbol("a"), Symbol("b"), Value{}, false},
+		{"incomparable symbol/range", Symbol("a"), Range(0, 1), Value{}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, ok := tt.a.Intersect(tt.b)
+			if ok != tt.wantOK {
+				t.Fatalf("Intersect ok = %v, want %v", ok, tt.wantOK)
+			}
+			if ok && !got.Equal(tt.want) {
+				t.Errorf("Intersect = %s, want %s", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestPick(t *testing.T) {
+	tests := []struct {
+		v, want Value
+	}{
+		{Range(10, 30), Scalar(30)},
+		{Set("b", "a"), Symbol("a")},
+		{Symbol("x"), Symbol("x")},
+		{Scalar(7), Scalar(7)},
+		{Set(), Set()},
+	}
+	for _, tt := range tests {
+		if got := tt.v.Pick(); !got.Equal(tt.want) {
+			t.Errorf("%s.Pick() = %s, want %s", tt.v, got, tt.want)
+		}
+	}
+}
+
+func TestValueString(t *testing.T) {
+	tests := []struct {
+		v    Value
+		want string
+	}{
+		{Symbol("MPEG"), "MPEG"},
+		{Scalar(30), "30"},
+		{Scalar(2.5), "2.5"},
+		{Range(10, 30), "[10,30]"},
+		{Set("b", "a"), "{a,b}"},
+		{Value{}, "<invalid>"},
+	}
+	for _, tt := range tests {
+		if got := tt.v.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+// genValue produces a random valid Value for property tests.
+func genValue(r *rand.Rand) Value {
+	syms := []string{"MPEG", "WAV", "MP3", "PCM", "JPEG", "H261"}
+	switch r.Intn(4) {
+	case 0:
+		return Symbol(syms[r.Intn(len(syms))])
+	case 1:
+		return Scalar(float64(r.Intn(100)))
+	case 2:
+		lo := float64(r.Intn(50))
+		return Range(lo, lo+float64(r.Intn(50)))
+	default:
+		n := 1 + r.Intn(3)
+		pick := make([]string, n)
+		for i := range pick {
+			pick[i] = syms[r.Intn(len(syms))]
+		}
+		return Set(pick...)
+	}
+}
+
+// valueGen adapts genValue to testing/quick.
+type valueGen struct{ V Value }
+
+// Generate implements quick.Generator.
+func (valueGen) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(valueGen{V: genValue(r)})
+}
+
+func TestPropContainedInReflexive(t *testing.T) {
+	// Every valid value is contained in itself.
+	prop := func(g valueGen) bool { return g.V.ContainedIn(g.V) }
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropIntersectCommutativeNonEmpty(t *testing.T) {
+	// Intersection emptiness is symmetric, and when non-empty both results
+	// are contained in both operands.
+	prop := func(a, b valueGen) bool {
+		x, okx := a.V.Intersect(b.V)
+		y, oky := b.V.Intersect(a.V)
+		if okx != oky {
+			return false
+		}
+		if !okx {
+			return true
+		}
+		return x.ContainedIn(a.V) && x.ContainedIn(b.V) &&
+			y.ContainedIn(a.V) && y.ContainedIn(b.V)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropPickContained(t *testing.T) {
+	// Pick of a non-empty value is contained in the original value.
+	prop := func(g valueGen) bool {
+		p := g.V.Pick()
+		if g.V.Kind == KindSet && len(g.V.Syms) == 0 {
+			return true
+		}
+		return p.ContainedIn(g.V)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropContainedInTransitive(t *testing.T) {
+	// a ⊆ b and b ⊆ c implies a ⊆ c.
+	prop := func(a, b, c valueGen) bool {
+		if a.V.ContainedIn(b.V) && b.V.ContainedIn(c.V) {
+			return a.V.ContainedIn(c.V)
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 2000}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropGeneratedValuesValid(t *testing.T) {
+	prop := func(g valueGen) bool { return g.V.Valid() }
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValueJSONRoundTrip(t *testing.T) {
+	vals := []Value{
+		Symbol("MPEG"),
+		Scalar(40),
+		Range(10, 30),
+		Set("MP3", "WAV"),
+	}
+	for _, v := range vals {
+		data, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Value
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatal(err)
+		}
+		if !back.Equal(v) {
+			t.Errorf("round trip %s -> %s", v, back)
+		}
+	}
+	// Vectors round-trip too.
+	vec := V(P(DimFormat, Symbol("MPEG")), P(DimFrameRate, Range(10, 30)))
+	data, err := json.Marshal(vec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var backVec Vector
+	if err := json.Unmarshal(data, &backVec); err != nil {
+		t.Fatal(err)
+	}
+	if !backVec.Equal(vec) {
+		t.Errorf("vector round trip %s -> %s", vec, backVec)
+	}
+}

@@ -1,0 +1,156 @@
+package qos
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Param is one dimension of a QoS vector: a named parameter value.
+// Dimension names follow the conventions in names.go (e.g. "format",
+// "framerate") but arbitrary names are allowed.
+type Param struct {
+	Name  string `json:"name"`
+	Value Value  `json:"value"`
+}
+
+// Vector is an ordered list of QoS parameters (Qin or Qout in the paper).
+// Order is preserved for deterministic output; lookup is by name. A vector
+// must not contain two parameters with the same name.
+type Vector []Param
+
+// V builds a vector from alternating name/value arguments for concise
+// literals in tests and examples. It panics on duplicate names.
+func V(params ...Param) Vector {
+	v := Vector(params)
+	if err := v.Validate(); err != nil {
+		panic("qos.V: " + err.Error())
+	}
+	return v
+}
+
+// P is a convenience constructor for a Param.
+func P(name string, value Value) Param { return Param{Name: name, Value: value} }
+
+// Validate checks that the vector is well-formed: no duplicate names and
+// every value valid.
+func (v Vector) Validate() error {
+	seen := make(map[string]bool, len(v))
+	for _, p := range v {
+		if p.Name == "" {
+			return fmt.Errorf("qos: parameter with empty name")
+		}
+		if seen[p.Name] {
+			return fmt.Errorf("qos: duplicate parameter %q", p.Name)
+		}
+		seen[p.Name] = true
+		if !p.Value.Valid() {
+			return fmt.Errorf("qos: parameter %q has invalid %s value", p.Name, p.Value.Kind)
+		}
+	}
+	return nil
+}
+
+// Get returns the value for the named parameter.
+func (v Vector) Get(name string) (Value, bool) {
+	for _, p := range v {
+		if p.Name == name {
+			return p.Value, true
+		}
+	}
+	return Value{}, false
+}
+
+// Has reports whether the named parameter is present.
+func (v Vector) Has(name string) bool {
+	_, ok := v.Get(name)
+	return ok
+}
+
+// With returns a copy of v with the named parameter set to value,
+// overwriting an existing entry or appending a new one.
+func (v Vector) With(name string, value Value) Vector {
+	out := make(Vector, len(v), len(v)+1)
+	copy(out, v)
+	for i, p := range out {
+		if p.Name == name {
+			out[i].Value = value
+			return out
+		}
+	}
+	return append(out, Param{Name: name, Value: value})
+}
+
+// Without returns a copy of v with the named parameter removed.
+func (v Vector) Without(name string) Vector {
+	out := make(Vector, 0, len(v))
+	for _, p := range v {
+		if p.Name != name {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of v.
+func (v Vector) Clone() Vector {
+	if v == nil {
+		return nil
+	}
+	out := make(Vector, len(v))
+	copy(out, v)
+	for i := range out {
+		if out[i].Value.Kind == KindSet {
+			out[i].Value.Syms = append([]string(nil), out[i].Value.Syms...)
+		}
+	}
+	return out
+}
+
+// Dim returns the dimension (number of parameters) of the vector,
+// Dim(Q) in the paper's notation.
+func (v Vector) Dim() int { return len(v) }
+
+// Names returns the sorted parameter names.
+func (v Vector) Names() []string {
+	names := make([]string, len(v))
+	for i, p := range v {
+		names[i] = p.Name
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Merge returns a vector containing all parameters of v, overridden or
+// extended by those of o. v and o are unchanged.
+func (v Vector) Merge(o Vector) Vector {
+	out := v.Clone()
+	for _, p := range o {
+		out = out.With(p.Name, p.Value)
+	}
+	return out
+}
+
+// Equal reports whether two vectors contain exactly the same parameters
+// with equal values, independent of order.
+func (v Vector) Equal(o Vector) bool {
+	if len(v) != len(o) {
+		return false
+	}
+	for _, p := range v {
+		ov, ok := o.Get(p.Name)
+		if !ok || !p.Value.Equal(ov) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the vector as "{name=value, ...}" in declaration order.
+func (v Vector) String() string {
+	parts := make([]string, len(v))
+	for i, p := range v {
+		parts[i] = p.Name + "=" + p.Value.String()
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}

@@ -1,0 +1,195 @@
+package qos
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestVectorValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		v       Vector
+		wantErr string
+	}{
+		{"empty", Vector{}, ""},
+		{"nil", nil, ""},
+		{"ok", Vector{P(DimFormat, Symbol("WAV")), P(DimFrameRate, Scalar(40))}, ""},
+		{"empty name", Vector{P("", Scalar(1))}, "empty name"},
+		{"duplicate", Vector{P("x", Scalar(1)), P("x", Scalar(2))}, "duplicate"},
+		{"invalid value", Vector{P("x", Value{Kind: KindRange, Lo: 2, Hi: 1})}, "invalid"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.v.Validate()
+			if tt.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tt.wantErr) {
+				t.Fatalf("Validate() = %v, want error containing %q", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestVPanicsOnDuplicate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("V with duplicate names should panic")
+		}
+	}()
+	V(P("x", Scalar(1)), P("x", Scalar(2)))
+}
+
+func TestVectorGetHas(t *testing.T) {
+	v := V(P(DimFormat, Symbol("WAV")), P(DimFrameRate, Range(10, 30)))
+	if got, ok := v.Get(DimFormat); !ok || !got.Equal(Symbol("WAV")) {
+		t.Errorf("Get(format) = %v, %v", got, ok)
+	}
+	if _, ok := v.Get("nope"); ok {
+		t.Error("Get of missing parameter should report false")
+	}
+	if !v.Has(DimFrameRate) || v.Has("nope") {
+		t.Error("Has mismatch")
+	}
+}
+
+func TestVectorWith(t *testing.T) {
+	v := V(P("a", Scalar(1)))
+	v2 := v.With("a", Scalar(2))
+	if got, _ := v.Get("a"); !got.Equal(Scalar(1)) {
+		t.Error("With must not mutate the receiver")
+	}
+	if got, _ := v2.Get("a"); !got.Equal(Scalar(2)) {
+		t.Error("With must overwrite")
+	}
+	v3 := v.With("b", Symbol("x"))
+	if v3.Dim() != 2 || !v3.Has("b") {
+		t.Error("With must append new parameters")
+	}
+}
+
+func TestVectorWithout(t *testing.T) {
+	v := V(P("a", Scalar(1)), P("b", Scalar(2)))
+	v2 := v.Without("a")
+	if v2.Has("a") || !v2.Has("b") || v2.Dim() != 1 {
+		t.Errorf("Without: got %s", v2)
+	}
+	if !v.Has("a") {
+		t.Error("Without must not mutate the receiver")
+	}
+	if got := v.Without("zz"); got.Dim() != 2 {
+		t.Error("Without of a missing name must be a no-op copy")
+	}
+}
+
+func TestVectorClone(t *testing.T) {
+	v := V(P("fmt", Set("a", "b")), P("r", Range(1, 2)))
+	c := v.Clone()
+	if !v.Equal(c) {
+		t.Fatal("clone must equal original")
+	}
+	c[0].Value.Syms[0] = "zzz"
+	if got, _ := v.Get("fmt"); !got.Equal(Set("a", "b")) {
+		t.Error("Clone must deep-copy set symbols")
+	}
+	if Vector(nil).Clone() != nil {
+		t.Error("Clone of nil should be nil")
+	}
+}
+
+func TestVectorMerge(t *testing.T) {
+	a := V(P("x", Scalar(1)), P("y", Scalar(2)))
+	b := V(P("y", Scalar(3)), P("z", Scalar(4)))
+	m := a.Merge(b)
+	want := V(P("x", Scalar(1)), P("y", Scalar(3)), P("z", Scalar(4)))
+	if !m.Equal(want) {
+		t.Errorf("Merge = %s, want %s", m, want)
+	}
+	if got, _ := a.Get("y"); !got.Equal(Scalar(2)) {
+		t.Error("Merge must not mutate the receiver")
+	}
+}
+
+func TestVectorEqual(t *testing.T) {
+	a := V(P("x", Scalar(1)), P("y", Symbol("s")))
+	b := V(P("y", Symbol("s")), P("x", Scalar(1)))
+	if !a.Equal(b) {
+		t.Error("Equal must be order-independent")
+	}
+	if a.Equal(a.Without("x")) {
+		t.Error("different dims must not be equal")
+	}
+	if a.Equal(a.With("x", Scalar(9))) {
+		t.Error("different values must not be equal")
+	}
+}
+
+func TestVectorNamesSorted(t *testing.T) {
+	v := V(P("z", Scalar(1)), P("a", Scalar(2)))
+	if got := v.Names(); !reflect.DeepEqual(got, []string{"a", "z"}) {
+		t.Errorf("Names() = %v", got)
+	}
+}
+
+func TestVectorString(t *testing.T) {
+	v := V(P(DimFormat, Symbol("WAV")), P(DimFrameRate, Range(10, 30)))
+	want := "{format=WAV, framerate=[10,30]}"
+	if got := v.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+// genVector produces a random valid Vector for property tests.
+func genVector(r *rand.Rand) Vector {
+	dims := []string{DimFormat, DimFrameRate, DimResolution, DimSampleRate, DimChannels}
+	n := r.Intn(len(dims) + 1)
+	idx := r.Perm(len(dims))[:n]
+	v := make(Vector, 0, n)
+	for _, i := range idx {
+		v = append(v, P(dims[i], genValue(r)))
+	}
+	return v
+}
+
+type vectorGen struct{ V Vector }
+
+// Generate implements quick.Generator.
+func (vectorGen) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(vectorGen{V: genVector(r)})
+}
+
+func TestPropVectorCloneEqual(t *testing.T) {
+	prop := func(g vectorGen) bool {
+		return g.V.Clone().Equal(g.V) && g.V.Validate() == nil
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropVectorMergeIdempotent(t *testing.T) {
+	prop := func(g vectorGen) bool {
+		m := g.V.Merge(g.V)
+		return m.Equal(g.V)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropVectorWithGet(t *testing.T) {
+	prop := func(g vectorGen, h valueGen) bool {
+		v := g.V.With("probe", h.V)
+		got, ok := v.Get("probe")
+		return ok && got.Equal(h.V)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,106 @@
+package registry
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// LeasedRegistry decorates a Registry with lease-based liveness, the way
+// wide-area discovery services track "devices and services coming and
+// going frequently": instances register with a time-to-live and disappear
+// from discovery unless renewed. The clock is injectable so tests and the
+// discrete-event simulator can drive expiry deterministically.
+type LeasedRegistry struct {
+	*Registry
+
+	now func() time.Time
+
+	mu     sync.Mutex
+	expiry map[string]time.Time
+}
+
+// NewLeased wraps a fresh registry. A nil clock uses time.Now.
+func NewLeased(clock func() time.Time) *LeasedRegistry {
+	if clock == nil {
+		clock = time.Now
+	}
+	return &LeasedRegistry{
+		Registry: New(),
+		now:      clock,
+		expiry:   make(map[string]time.Time),
+	}
+}
+
+// RegisterWithTTL registers the instance with a lease; a non-positive TTL
+// is rejected. Re-registering renews the lease.
+func (l *LeasedRegistry) RegisterWithTTL(in *Instance, ttl time.Duration) error {
+	if ttl <= 0 {
+		return fmt.Errorf("registry: lease TTL must be positive, got %v", ttl)
+	}
+	if err := l.Registry.Register(in); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	l.expiry[in.Name] = l.now().Add(ttl)
+	l.mu.Unlock()
+	return nil
+}
+
+// Renew extends an existing lease and reports whether the instance was
+// still registered.
+func (l *LeasedRegistry) Renew(name string, ttl time.Duration) bool {
+	if ttl <= 0 || l.Registry.Get(name) == nil {
+		return false
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, leased := l.expiry[name]; !leased {
+		// A permanent registration (via the embedded Register) cannot be
+		// converted to a lease by Renew.
+		return false
+	}
+	l.expiry[name] = l.now().Add(ttl)
+	return true
+}
+
+// Sweep removes every instance whose lease has expired and returns their
+// names (sorted by expiry order of discovery — map order is not
+// guaranteed, so callers needing determinism should sort).
+func (l *LeasedRegistry) Sweep() []string {
+	now := l.now()
+	l.mu.Lock()
+	var expired []string
+	for name, at := range l.expiry {
+		if !at.After(now) {
+			expired = append(expired, name)
+			delete(l.expiry, name)
+		}
+	}
+	l.mu.Unlock()
+	for _, name := range expired {
+		l.Registry.Unregister(name)
+	}
+	return expired
+}
+
+// Find sweeps expired leases before delegating, so discovery never returns
+// a dead instance.
+func (l *LeasedRegistry) Find(spec Spec) []Match {
+	l.Sweep()
+	return l.Registry.Find(spec)
+}
+
+// Best sweeps expired leases before delegating.
+func (l *LeasedRegistry) Best(spec Spec) *Instance {
+	l.Sweep()
+	return l.Registry.Best(spec)
+}
+
+// Unregister drops the lease along with the instance.
+func (l *LeasedRegistry) Unregister(name string) bool {
+	l.mu.Lock()
+	delete(l.expiry, name)
+	l.mu.Unlock()
+	return l.Registry.Unregister(name)
+}

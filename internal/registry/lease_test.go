@@ -1,0 +1,134 @@
+package registry
+
+import (
+	"sort"
+	"testing"
+	"time"
+)
+
+// fakeClock is an adjustable clock for lease tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1000, 0)} }
+func leased(c *fakeClock) *LeasedRegistry    { return NewLeased(c.now) }
+func inst(name, typ string) *Instance        { return &Instance{Name: name, Type: typ} }
+func specOf(typ string) Spec                 { return Spec{Type: typ} }
+func names(ms []Match) (out []string) {
+	for _, m := range ms {
+		out = append(out, m.Instance.Name)
+	}
+	sort.Strings(out)
+	return
+}
+
+func TestRegisterWithTTLAndExpiry(t *testing.T) {
+	c := newFakeClock()
+	r := leased(c)
+	if err := r.RegisterWithTTL(inst("a", "player"), 0); err == nil {
+		t.Error("non-positive TTL should fail")
+	}
+	if err := r.RegisterWithTTL(inst("a", "player"), 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if r.Best(specOf("player")) == nil {
+		t.Fatal("instance should be discoverable while leased")
+	}
+	c.advance(9 * time.Second)
+	if r.Best(specOf("player")) == nil {
+		t.Fatal("lease still valid at 9s")
+	}
+	c.advance(2 * time.Second)
+	if r.Best(specOf("player")) != nil {
+		t.Error("expired instance still discoverable")
+	}
+	if r.Get("a") != nil {
+		t.Error("expired instance still registered after sweep")
+	}
+}
+
+func TestRenew(t *testing.T) {
+	c := newFakeClock()
+	r := leased(c)
+	if err := r.RegisterWithTTL(inst("a", "player"), 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	c.advance(8 * time.Second)
+	if !r.Renew("a", 10*time.Second) {
+		t.Fatal("renew of live lease failed")
+	}
+	c.advance(8 * time.Second) // 16s after registration, 8s after renewal
+	if r.Best(specOf("player")) == nil {
+		t.Error("renewed lease expired early")
+	}
+	if r.Renew("ghost", time.Second) {
+		t.Error("renewing an unknown instance should fail")
+	}
+	if r.Renew("a", 0) {
+		t.Error("non-positive renewal should fail")
+	}
+}
+
+func TestRenewPermanentRegistration(t *testing.T) {
+	c := newFakeClock()
+	r := leased(c)
+	r.MustRegister(inst("perm", "player")) // embedded permanent registration
+	if r.Renew("perm", time.Second) {
+		t.Error("permanent registrations have no lease to renew")
+	}
+	c.advance(time.Hour)
+	if r.Best(specOf("player")) == nil {
+		t.Error("permanent registration must never expire")
+	}
+}
+
+func TestSweepReturnsExpired(t *testing.T) {
+	c := newFakeClock()
+	r := leased(c)
+	for _, n := range []string{"a", "b"} {
+		if err := r.RegisterWithTTL(inst(n, "t"), 5*time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.RegisterWithTTL(inst("c", "t"), time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	c.advance(6 * time.Second)
+	expired := r.Sweep()
+	sort.Strings(expired)
+	if len(expired) != 2 || expired[0] != "a" || expired[1] != "b" {
+		t.Errorf("Sweep = %v", expired)
+	}
+	if got := names(r.Find(specOf("t"))); len(got) != 1 || got[0] != "c" {
+		t.Errorf("survivors = %v", got)
+	}
+	if again := r.Sweep(); len(again) != 0 {
+		t.Errorf("second sweep = %v", again)
+	}
+}
+
+func TestLeasedUnregisterDropsLease(t *testing.T) {
+	c := newFakeClock()
+	r := leased(c)
+	if err := r.RegisterWithTTL(inst("a", "t"), time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Unregister("a") {
+		t.Fatal("unregister failed")
+	}
+	c.advance(time.Hour)
+	if expired := r.Sweep(); len(expired) != 0 {
+		t.Errorf("lease survived unregister: %v", expired)
+	}
+}
+
+func TestNewLeasedDefaultClock(t *testing.T) {
+	r := NewLeased(nil)
+	if err := r.RegisterWithTTL(inst("a", "t"), time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if r.Best(specOf("t")) == nil {
+		t.Error("instance should be live under the wall clock")
+	}
+}

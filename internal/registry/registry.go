@@ -1,0 +1,263 @@
+// Package registry implements the service discovery service the
+// configuration model assumes (paper §3.1): a concurrency-safe catalog of
+// the concrete service instances currently available in the environment,
+// queried with abstract service descriptions and ranked by closeness to the
+// description, the user's QoS requirements, and client device properties.
+package registry
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"ubiqos/internal/qos"
+	"ubiqos/internal/resource"
+)
+
+// Spec is an abstract service description: what the application developer
+// writes in the abstract service graph. Components are "not explicitly
+// named, but rather specified in an abstract manner".
+type Spec struct {
+	// Type is the abstract service type (e.g. "audio-player"). Matching is
+	// exact and mandatory.
+	Type string `json:"type"`
+	// Attrs are required instance attributes (exact key/value matches),
+	// e.g. {"platform": "pda"}.
+	Attrs map[string]string `json:"attrs,omitempty"`
+	// Input is the desired input QoS: what the surrounding graph will feed
+	// this service. Instances that accept it score higher.
+	Input qos.Vector `json:"input,omitempty"`
+	// Output is the desired output QoS (often derived from the user's QoS
+	// requirements). Instances whose output capability can produce it score
+	// higher.
+	Output qos.Vector `json:"output,omitempty"`
+}
+
+// Instance is a concrete service component discovered in the environment.
+// Instances include "more detailed and specific information than their
+// abstract descriptions".
+type Instance struct {
+	// Name uniquely identifies the instance within the registry.
+	Name string `json:"name"`
+	// Type is the service type the instance implements.
+	Type string `json:"type"`
+	// Attrs are descriptive properties (platform, vendor, codec, ...).
+	Attrs map[string]string `json:"attrs,omitempty"`
+	// Input is the QoS vector the instance requires of its predecessors
+	// (Qin).
+	Input qos.Vector `json:"input,omitempty"`
+	// Output is the default output QoS vector (Qout).
+	Output qos.Vector `json:"output,omitempty"`
+	// OutCapability is the full configurable output capability; dimensions
+	// listed in Adjustable may be re-tuned anywhere within it.
+	OutCapability qos.Vector `json:"outCapability,omitempty"`
+	// Adjustable marks dynamically configurable output dimensions.
+	Adjustable map[string]bool `json:"adjustable,omitempty"`
+	// PassThrough marks dimensions the instance forwards unchanged from
+	// input to output.
+	PassThrough map[string]bool `json:"passThrough,omitempty"`
+	// Resources is the profiled end-system requirement vector R in
+	// benchmark units.
+	Resources resource.Vector `json:"resources,omitempty"`
+	// SizeMB is the downloadable package size.
+	SizeMB float64 `json:"sizeMB,omitempty"`
+}
+
+// Validate checks the instance is well-formed.
+func (in *Instance) Validate() error {
+	if in.Name == "" {
+		return fmt.Errorf("registry: instance with empty name")
+	}
+	if in.Type == "" {
+		return fmt.Errorf("registry: instance %q with empty type", in.Name)
+	}
+	for _, v := range []qos.Vector{in.Input, in.Output, in.OutCapability} {
+		if err := v.Validate(); err != nil {
+			return fmt.Errorf("registry: instance %q: %w", in.Name, err)
+		}
+	}
+	if err := in.Resources.Validate(); err != nil {
+		return fmt.Errorf("registry: instance %q: %w", in.Name, err)
+	}
+	if in.SizeMB < 0 {
+		return fmt.Errorf("registry: instance %q has negative size", in.Name)
+	}
+	return nil
+}
+
+// Capability returns the effective output capability: OutCapability where
+// present, falling back to the fixed Output values.
+func (in *Instance) Capability() qos.Vector {
+	return in.Output.Merge(in.OutCapability)
+}
+
+// Match is one ranked discovery result.
+type Match struct {
+	Instance *Instance
+	// Score counts the satisfied desired QoS dimensions; higher is closer
+	// to the abstract description.
+	Score int
+}
+
+// Registry is the service discovery service. All methods are safe for
+// concurrent use.
+type Registry struct {
+	mu        sync.RWMutex
+	instances map[string]*Instance
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{instances: make(map[string]*Instance)}
+}
+
+// Register adds or replaces an instance after validation.
+func (r *Registry) Register(in *Instance) error {
+	if err := in.Validate(); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.instances[in.Name] = in
+	return nil
+}
+
+// MustRegister is Register that panics on error.
+func (r *Registry) MustRegister(in *Instance) {
+	if err := r.Register(in); err != nil {
+		panic(err)
+	}
+}
+
+// Unregister removes an instance (e.g. when its host leaves the space) and
+// reports whether it was present.
+func (r *Registry) Unregister(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.instances[name]; !ok {
+		return false
+	}
+	delete(r.instances, name)
+	return true
+}
+
+// Get returns the named instance, or nil.
+func (r *Registry) Get(name string) *Instance {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.instances[name]
+}
+
+// Len returns the number of registered instances.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.instances)
+}
+
+// All returns every instance sorted by name.
+func (r *Registry) All() []*Instance {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*Instance, 0, len(r.instances))
+	for _, in := range r.instances {
+		out = append(out, in)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Find returns the instances matching the abstract spec, ranked best-first:
+// exact type match and attribute superset are mandatory; the rank counts
+// how many desired input/output QoS dimensions the instance can satisfy
+// (ties broken by smaller resource footprint, then name). An empty result
+// models the paper's "failed discovery of a service instance".
+func (r *Registry) Find(spec Spec) []Match {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []Match
+	for _, in := range r.instances {
+		if in.Type != spec.Type {
+			continue
+		}
+		if !attrsSubset(spec.Attrs, in.Attrs) {
+			continue
+		}
+		out = append(out, Match{Instance: in, Score: scoreQoS(spec, in)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		ri := footprint(out[i].Instance.Resources)
+		rj := footprint(out[j].Instance.Resources)
+		if ri != rj {
+			return ri < rj
+		}
+		return out[i].Instance.Name < out[j].Instance.Name
+	})
+	return out
+}
+
+// Best returns the single closest instance for the spec, or nil when
+// discovery fails.
+func (r *Registry) Best(spec Spec) *Instance {
+	ms := r.Find(spec)
+	if len(ms) == 0 {
+		return nil
+	}
+	return ms[0].Instance
+}
+
+func attrsSubset(want, have map[string]string) bool {
+	for k, v := range want {
+		if have[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// scoreQoS counts the desired dimensions the instance can honor: a desired
+// output dimension counts when the instance's capability intersects it; a
+// desired input dimension counts when the offered value satisfies the
+// instance's input requirement for that dimension (or the instance does not
+// constrain it).
+func scoreQoS(spec Spec, in *Instance) int {
+	score := 0
+	capability := in.Capability()
+	for _, want := range spec.Output {
+		got, ok := capability.Get(want.Name)
+		if !ok {
+			continue
+		}
+		if got.ContainedIn(want.Value) {
+			score++
+			continue
+		}
+		if _, ok := got.Intersect(want.Value); ok {
+			score++
+		}
+	}
+	for _, offered := range spec.Input {
+		req, ok := in.Input.Get(offered.Name)
+		if !ok {
+			score++ // unconstrained: accepts anything for this dimension
+			continue
+		}
+		if offered.Value.ContainedIn(req) {
+			score++
+		} else if _, ok := offered.Value.Intersect(req); ok {
+			score++
+		}
+	}
+	return score
+}
+
+func footprint(r resource.Vector) float64 {
+	var s float64
+	for _, x := range r {
+		s += x
+	}
+	return s
+}

@@ -1,0 +1,216 @@
+// Package resource implements the end-system resource model of the service
+// distribution tier (Gu & Nahrstedt, ICDCS 2002, §3.3): resource requirement
+// vectors R, resource availability vectors RA, vector addition (Definition
+// 3.1), the component-wise ≤ relation (Definition 3.2), weighted sums used
+// by the distribution heuristic, and normalization of heterogeneous device
+// capacities against a benchmark machine.
+//
+// By convention throughout this repository, dimension 0 is memory in MB and
+// dimension 1 is CPU in percent of one benchmark-machine processor (so a
+// device twice as fast as the benchmark has a normalized CPU availability of
+// 200%). The package itself supports any dimensionality m ≥ 1.
+package resource
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Conventional dimension indices. The package works with arbitrary
+// dimensions; these constants name the two the paper's evaluation uses.
+const (
+	// Memory is the index of the memory dimension (MB).
+	Memory = 0
+	// CPU is the index of the CPU dimension (% of a benchmark processor).
+	CPU = 1
+)
+
+// Dims is the dimensionality used by the paper's evaluation (memory, CPU).
+const Dims = 2
+
+// Vector is an end-system resource vector: a requirement R or an
+// availability RA. All values are normalized to the benchmark machine
+// (see Normalizer). The zero-length vector is valid and acts as "no
+// resources".
+type Vector []float64
+
+// New returns a zero vector of dimension m.
+func New(m int) Vector { return make(Vector, m) }
+
+// MB constructs the conventional two-dimensional [memory MB, cpu %] vector.
+func MB(memMB, cpuPct float64) Vector { return Vector{memMB, cpuPct} }
+
+// Validate reports an error if the vector contains NaN or negative entries.
+func (v Vector) Validate() error {
+	for i, x := range v {
+		if math.IsNaN(x) {
+			return fmt.Errorf("resource: dimension %d is NaN", i)
+		}
+		if x < 0 {
+			return fmt.Errorf("resource: dimension %d is negative (%g)", i, x)
+		}
+	}
+	return nil
+}
+
+// Clone returns a copy of v.
+func (v Vector) Clone() Vector {
+	if v == nil {
+		return nil
+	}
+	out := make(Vector, len(v))
+	copy(out, v)
+	return out
+}
+
+// Add returns v + o (Definition 3.1). It panics if the dimensions differ;
+// the model requires R and RA to "represent the same set of resources and
+// obey the same order".
+func (v Vector) Add(o Vector) Vector {
+	mustSameDim(v, o)
+	out := make(Vector, len(v))
+	for i := range v {
+		out[i] = v[i] + o[i]
+	}
+	return out
+}
+
+// Sub returns v − o, clamped at zero per dimension. It is used for
+// availability accounting when admitting a component.
+func (v Vector) Sub(o Vector) Vector {
+	mustSameDim(v, o)
+	out := make(Vector, len(v))
+	for i := range v {
+		out[i] = v[i] - o[i]
+		if out[i] < 0 {
+			out[i] = 0
+		}
+	}
+	return out
+}
+
+// AddInPlace accumulates o into v.
+func (v Vector) AddInPlace(o Vector) {
+	mustSameDim(v, o)
+	for i := range v {
+		v[i] += o[i]
+	}
+}
+
+// LessEq reports v ≤ o component-wise (Definition 3.2): a requirement
+// vector fits an availability vector.
+func (v Vector) LessEq(o Vector) bool {
+	mustSameDim(v, o)
+	for i := range v {
+		if v[i] > o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports exact component-wise equality.
+func (v Vector) Equal(o Vector) bool {
+	if len(v) != len(o) {
+		return false
+	}
+	for i := range v {
+		if v[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsZero reports whether every component is zero.
+func (v Vector) IsZero() bool {
+	for _, x := range v {
+		if x != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Scale returns v with every component multiplied by f.
+func (v Vector) Scale(f float64) Vector {
+	out := make(Vector, len(v))
+	for i := range v {
+		out[i] = v[i] * f
+	}
+	return out
+}
+
+// WeightedSum returns Σ w_i·v_i over the end-system dimensions. The
+// distribution heuristic measures "resource availability" and "resource
+// requirement" of a device or component by this weighted sum (§3.3,
+// footnote 3). weights may carry m+1 entries (the last being the network
+// weight); only the first len(v) are used.
+func (v Vector) WeightedSum(weights []float64) float64 {
+	var s float64
+	for i := range v {
+		if i < len(weights) {
+			s += weights[i] * v[i]
+		}
+	}
+	return s
+}
+
+// RelativeLoad returns Σ w_i · v_i/avail_i, the cost-aggregation
+// contribution of placing requirement v on a device with availability
+// avail (Definition 3.5, first term, for a single device). Dimensions with
+// zero availability contribute +Inf when the requirement is non-zero and 0
+// when it is zero.
+func (v Vector) RelativeLoad(avail Vector, weights []float64) float64 {
+	mustSameDim(v, avail)
+	var s float64
+	for i := range v {
+		var w float64
+		if i < len(weights) {
+			w = weights[i]
+		}
+		switch {
+		case v[i] == 0:
+			// no contribution
+		case avail[i] == 0:
+			return math.Inf(1)
+		default:
+			s += w * v[i] / avail[i]
+		}
+	}
+	return s
+}
+
+// String renders the vector as "[v0, v1, ...]" with conventional units for
+// the standard two dimensions.
+func (v Vector) String() string {
+	parts := make([]string, len(v))
+	for i, x := range v {
+		switch i {
+		case Memory:
+			parts[i] = fmt.Sprintf("%gMB", x)
+		case CPU:
+			parts[i] = fmt.Sprintf("%g%%", x)
+		default:
+			parts[i] = fmt.Sprintf("%g", x)
+		}
+	}
+	return "[" + strings.Join(parts, ", ") + "]"
+}
+
+func mustSameDim(a, b Vector) {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("resource: dimension mismatch %d vs %d", len(a), len(b)))
+	}
+}
+
+// Sum returns the component-wise sum of the given vectors; an empty input
+// yields a zero vector of dimension m.
+func Sum(m int, vs ...Vector) Vector {
+	out := New(m)
+	for _, v := range vs {
+		out.AddInPlace(v)
+	}
+	return out
+}

@@ -1,0 +1,64 @@
+package resource
+
+import (
+	"fmt"
+	"math"
+)
+
+// Weights holds the m+1 nonnegative significance weights of Definition 3.5:
+// one per end-system resource dimension plus a final weight for the network
+// resource. The weights must sum to 1. Higher weights mark more critical
+// resources, so that minimizing cost aggregation minimizes consumption of
+// the most critical resources first.
+type Weights []float64
+
+// weightSumTolerance absorbs floating-point error when validating Σw = 1.
+const weightSumTolerance = 1e-9
+
+// NewWeights validates and returns the weight vector. It expects at least
+// two entries (one resource dimension and the network dimension).
+func NewWeights(ws ...float64) (Weights, error) {
+	w := Weights(ws)
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// UniformWeights returns m+1 equal weights summing to 1 for m end-system
+// resource dimensions plus the network dimension.
+func UniformWeights(m int) Weights {
+	w := make(Weights, m+1)
+	for i := range w {
+		w[i] = 1 / float64(m+1)
+	}
+	return w
+}
+
+// Validate checks nonnegativity and Σw = 1 (within tolerance).
+func (w Weights) Validate() error {
+	if len(w) < 2 {
+		return fmt.Errorf("resource: need at least 2 weights (m resources + network), got %d", len(w))
+	}
+	var sum float64
+	for i, x := range w {
+		if math.IsNaN(x) || x < 0 {
+			return fmt.Errorf("resource: weight %d is invalid (%g)", i, x)
+		}
+		sum += x
+	}
+	if math.Abs(sum-1) > weightSumTolerance {
+		return fmt.Errorf("resource: weights sum to %g, want 1", sum)
+	}
+	return nil
+}
+
+// EndSystem returns the weights for the end-system dimensions (all but the
+// last entry).
+func (w Weights) EndSystem() []float64 { return w[:len(w)-1] }
+
+// Network returns the weight of the network resource (the last entry).
+func (w Weights) Network() float64 { return w[len(w)-1] }
+
+// Dims returns the number of end-system resource dimensions m.
+func (w Weights) Dims() int { return len(w) - 1 }

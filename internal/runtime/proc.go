@@ -1,0 +1,238 @@
+package runtime
+
+import (
+	"reflect"
+	"time"
+
+	"ubiqos/internal/graph"
+	"ubiqos/internal/qos"
+)
+
+// proc is one running component instance.
+type proc struct {
+	node    *graph.Node
+	session *Session
+	in      []inEdge
+	out     []outEdge
+}
+
+// run dispatches on the component's position in the graph: sources
+// generate, sinks consume and measure, everything else transforms and
+// forwards.
+func (p *proc) run() {
+	switch {
+	case len(p.in) == 0:
+		p.runSource()
+	case len(p.out) == 0:
+		p.runSink()
+	default:
+		p.runFilter()
+	}
+}
+
+// outRate reads the component's configured output frame rate.
+func (p *proc) outRate() (float64, bool) {
+	v, ok := p.node.Out.Get(qos.DimFrameRate)
+	if !ok {
+		return 0, false
+	}
+	switch v.Kind {
+	case qos.KindScalar:
+		return v.Num, v.Num > 0
+	case qos.KindRange:
+		return v.Hi, v.Hi > 0
+	default:
+		return 0, false
+	}
+}
+
+// outFormat reads the component's configured output format, if symbolic.
+func (p *proc) outFormat() string {
+	v, ok := p.node.Out.Get(qos.DimFormat)
+	if ok && v.Kind == qos.KindSymbol {
+		return v.Sym
+	}
+	return ""
+}
+
+// runSource emits frames at the configured rate (scaled), starting at the
+// session's start position, until stopped or maxFrames is reached.
+func (p *proc) runSource() {
+	rate, ok := p.outRate()
+	if !ok {
+		rate = DefaultFrameRate
+	}
+	interval := time.Duration(float64(time.Second) / rate * p.session.engine.scale)
+	if interval <= 0 {
+		interval = time.Nanosecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	seq := p.session.start
+	format := p.outFormat()
+	for {
+		select {
+		case <-p.session.quit:
+			return
+		case <-ticker.C:
+			f := Frame{Seq: seq, Format: format, Origin: p.node.ID}
+			seq++
+			p.forward(f)
+			if p.session.maxFrames > 0 && seq-p.session.start >= p.session.maxFrames {
+				return
+			}
+		}
+	}
+}
+
+// runSink drains all incoming edges, recording per-edge arrival stats.
+func (p *proc) runSink() {
+	p.consume(func(graph.NodeID, Frame) {})
+}
+
+// runFilter transforms and forwards: the frame's format becomes the
+// component's configured output format (transcoding), and buffer
+// components pace the stream down to their configured output rate. Only
+// buffers pace — transcoders and other filters forward at the arrival
+// rate (enforcing rates is the buffer's job in the paper's correction
+// model). A single-input buffer gets the full queue-and-ticker treatment
+// (absorbing arrival jitter by re-emitting on a fixed cadence); fan-in
+// buffers fall back to drop-based pacing with a small slack so a stream
+// already at the target rate is not halved by jitter.
+func (p *proc) runFilter() {
+	format := p.outFormat()
+	if rate, ok := p.outRate(); ok && p.node.Type == TypeBuffer && len(p.in) == 1 {
+		p.runBuffer(format, rate)
+		return
+	}
+	var minInterval time.Duration
+	if rate, ok := p.outRate(); ok && p.node.Type == TypeBuffer {
+		minInterval = time.Duration(float64(time.Second) / rate * p.session.engine.scale * pacingSlack)
+	}
+	var lastEmit time.Time
+	p.consume(func(_ graph.NodeID, f Frame) {
+		if minInterval > 0 {
+			now := time.Now()
+			if !lastEmit.IsZero() && now.Sub(lastEmit) < minInterval {
+				return // pace: drop the early frame
+			}
+			lastEmit = now
+		}
+		if format != "" {
+			f.Format = format
+		}
+		p.forward(f)
+	})
+}
+
+// bufferQueueCap bounds a buffer's backlog; the oldest frames are dropped
+// under overload (live media favors freshness).
+const bufferQueueCap = 32
+
+// runBuffer implements the paper's buffer component for the single-input
+// case: incoming frames are queued and re-emitted on a fixed cadence at
+// the configured output rate, so a too-fast or jittery producer is paced
+// down to a smooth stream.
+func (p *proc) runBuffer(format string, rate float64) {
+	interval := time.Duration(float64(time.Second) / rate * p.session.engine.scale)
+	if interval <= 0 {
+		interval = time.Nanosecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	in := p.in[0]
+	var queue []Frame
+	for {
+		select {
+		case <-p.session.quit:
+			return
+		case f, ok := <-in.ch:
+			if !ok {
+				continue
+			}
+			p.chargeLinkLatency(in.from)
+			if len(queue) == bufferQueueCap {
+				queue = queue[1:]
+				p.session.recordDrop()
+			}
+			queue = append(queue, f)
+		case <-ticker.C:
+			if len(queue) == 0 {
+				continue
+			}
+			f := queue[0]
+			queue = queue[1:]
+			if format != "" {
+				f.Format = format
+			}
+			p.forward(f)
+		}
+	}
+}
+
+// consume multiplexes all input edges with reflect.Select (component
+// fan-in is small) and invokes fn per frame; inter-device edges charge the
+// link latency before delivery. It records arrivals when the component is
+// a sink.
+func (p *proc) consume(fn func(from graph.NodeID, f Frame)) {
+	isSink := len(p.out) == 0
+	cases := make([]reflect.SelectCase, 0, len(p.in)+1)
+	cases = append(cases, reflect.SelectCase{
+		Dir:  reflect.SelectRecv,
+		Chan: reflect.ValueOf(p.session.quit),
+	})
+	for _, ie := range p.in {
+		cases = append(cases, reflect.SelectCase{
+			Dir:  reflect.SelectRecv,
+			Chan: reflect.ValueOf(ie.ch),
+		})
+	}
+	for {
+		chosen, val, ok := reflect.Select(cases)
+		if chosen == 0 {
+			return // quit closed
+		}
+		if !ok {
+			continue
+		}
+		from := p.in[chosen-1].from
+		f := val.Interface().(Frame)
+		p.chargeLinkLatency(from)
+		if isSink {
+			p.session.recordArrival(p.node.ID, from, f)
+		}
+		fn(from, f)
+	}
+}
+
+// chargeLinkLatency sleeps the scaled one-way latency when the frame
+// crossed a device boundary. Bandwidth adequacy is already guaranteed by
+// the distributor's fit-into check and link reservations, so only latency
+// is modeled per frame.
+func (p *proc) chargeLinkLatency(from graph.NodeID) {
+	myDev := p.session.placement[p.node.ID]
+	srcDev := p.session.placement[from]
+	if myDev == srcDev {
+		return
+	}
+	link, ok := p.session.engine.net.LinkBetween(string(srcDev), string(myDev))
+	if !ok {
+		return
+	}
+	delay := time.Duration(link.LatencyMs * float64(time.Millisecond) * p.session.engine.scale)
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+}
+
+// forward sends the frame down every outgoing edge without blocking;
+// overflowing edges drop the frame.
+func (p *proc) forward(f Frame) {
+	for _, oe := range p.out {
+		select {
+		case oe.ch <- f:
+		default:
+			p.session.recordDrop()
+		}
+	}
+}

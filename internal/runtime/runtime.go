@@ -1,0 +1,346 @@
+// Package runtime executes a distributed service graph as an emulated
+// media pipeline: every component of a deployed session runs as a
+// goroutine on its assigned (emulated) device, sources generate typed
+// frames at their configured output rate, transcoders rewrite frame
+// formats, buffers pace streams down, and sinks measure the delivered
+// frame rate — the "measured QoS" axis of the paper's Figure 3.
+//
+// The pipeline runs at a configurable time scale so a session that would
+// play for minutes on the real testbed completes in milliseconds of wall
+// time while reporting full-scale rates.
+package runtime
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"ubiqos/internal/device"
+	"ubiqos/internal/graph"
+	"ubiqos/internal/netsim"
+)
+
+// Engine deploys sessions onto the emulated smart space.
+type Engine struct {
+	scale float64
+	net   *netsim.Network
+}
+
+// NewEngine returns an engine running at the given time scale (1 = real
+// time; 0.01 = 100× fast-forward) over the given network (used for
+// inter-device frame latency).
+func NewEngine(scale float64, net *netsim.Network) (*Engine, error) {
+	if scale <= 0 {
+		return nil, fmt.Errorf("runtime: scale must be positive, got %g", scale)
+	}
+	if net == nil {
+		return nil, fmt.Errorf("runtime: nil network")
+	}
+	return &Engine{scale: scale, net: net}, nil
+}
+
+// DefaultFrameRate is assumed for sources that do not declare a framerate
+// dimension.
+const DefaultFrameRate = 30.0
+
+// chanBuffer is the per-edge frame channel capacity; overflowing frames
+// are dropped (media streams are lossy) and counted.
+const chanBuffer = 16
+
+// TypeBuffer is the component type whose instances pace their stream down
+// to the declared output rate (shared vocabulary with the composition
+// tier's corrective buffer insertion).
+const TypeBuffer = "buffer"
+
+// pacingSlack lets a paced stream tolerate arrival jitter: a frame is
+// forwarded when at least slack×interval has elapsed since the last one.
+const pacingSlack = 0.9
+
+// Frame is one unit of media data.
+type Frame struct {
+	// Seq is the stream position (monotonic per source).
+	Seq int64
+	// Format is the current media encoding.
+	Format string
+	// Origin is the source component that generated the frame.
+	Origin graph.NodeID
+}
+
+// Deploy instantiates the service graph with the given placement and
+// returns a stopped session; call Start to begin streaming. The placement
+// must cover every node. maxFrames bounds each source (0 = unbounded).
+func (e *Engine) Deploy(g *graph.Graph, placement map[graph.NodeID]device.ID, startPosition int64, maxFrames int64) (*Session, error) {
+	if g == nil || g.NodeCount() == 0 {
+		return nil, fmt.Errorf("runtime: empty graph")
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	for _, n := range g.Nodes() {
+		if _, ok := placement[n.ID]; !ok {
+			return nil, fmt.Errorf("runtime: node %s has no placement", n.ID)
+		}
+	}
+	s := &Session{
+		engine:      e,
+		graph:       g,
+		placement:   placement,
+		start:       startPosition,
+		maxFrames:   maxFrames,
+		quit:        make(chan struct{}),
+		stats:       make(map[statKey]*rateStat),
+		originStats: make(map[statKey]*rateStat),
+		procs:       make(map[graph.NodeID]*proc),
+	}
+	// Build one channel per edge, owned by the consumer side.
+	chans := make(map[graph.Edge]chan Frame)
+	for _, edge := range g.Edges() {
+		chans[edge] = make(chan Frame, chanBuffer)
+	}
+	for _, n := range g.Nodes() {
+		p := &proc{node: n, session: s}
+		for _, edge := range g.In(n.ID) {
+			p.in = append(p.in, inEdge{from: edge.From, ch: chans[edge]})
+		}
+		for _, edge := range g.Out(n.ID) {
+			p.out = append(p.out, outEdge{to: edge.To, ch: chans[edge]})
+		}
+		s.procs[n.ID] = p
+	}
+	return s, nil
+}
+
+type inEdge struct {
+	from graph.NodeID
+	ch   chan Frame
+}
+
+type outEdge struct {
+	to graph.NodeID
+	ch chan Frame
+}
+
+type statKey struct {
+	sink graph.NodeID
+	from graph.NodeID
+}
+
+// rateStat accumulates arrivals on one sink edge, including streaming
+// inter-arrival statistics for jitter estimation.
+type rateStat struct {
+	count       int64
+	first, last time.Time
+	lastSeq     int64
+	lastFormat  string
+	// Inter-arrival deltas (real time, seconds): streaming sum and sum of
+	// squares for the standard deviation.
+	dCount       int64
+	dSum, dSqSum float64
+}
+
+// Session is one deployed application instance.
+type Session struct {
+	engine    *Engine
+	graph     *graph.Graph
+	placement map[graph.NodeID]device.ID
+	start     int64
+	maxFrames int64
+
+	quit    chan struct{}
+	wg      sync.WaitGroup
+	started bool
+	stopped bool
+	muState sync.Mutex
+
+	mu          sync.Mutex
+	stats       map[statKey]*rateStat
+	originStats map[statKey]*rateStat
+	dropped     int64
+
+	procs map[graph.NodeID]*proc
+}
+
+// Start launches every component goroutine. Start is not reentrant.
+func (s *Session) Start() error {
+	s.muState.Lock()
+	defer s.muState.Unlock()
+	if s.started {
+		return fmt.Errorf("runtime: session already started")
+	}
+	s.started = true
+	for _, p := range s.procs {
+		p := p
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			p.run()
+		}()
+	}
+	return nil
+}
+
+// Stop terminates all components and waits for them to exit. Stop is
+// idempotent.
+func (s *Session) Stop() {
+	s.muState.Lock()
+	if !s.started || s.stopped {
+		s.muState.Unlock()
+		return
+	}
+	s.stopped = true
+	s.muState.Unlock()
+	close(s.quit)
+	s.wg.Wait()
+}
+
+// Play runs the session for the given modeled duration (scaled down to
+// wall time) and then stops it.
+func (s *Session) Play(modeled time.Duration) error {
+	if err := s.Start(); err != nil {
+		return err
+	}
+	time.Sleep(time.Duration(float64(modeled) * s.engine.scale))
+	s.Stop()
+	return nil
+}
+
+// MeasuredRate returns the delivered frame rate (modeled fps) observed at
+// the sink for frames arriving from the given direct predecessor, and the
+// number of frames counted.
+func (s *Session) MeasuredRate(sink, from graph.NodeID) (fps float64, frames int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rateLocked(s.stats, statKey{sink: sink, from: from})
+}
+
+// SinkRates returns the measured rate for every (sink, predecessor) pair
+// with at least one arrival, keyed "sink<-from".
+func (s *Session) SinkRates() map[string]float64 {
+	out := make(map[string]float64)
+	s.mu.Lock()
+	keys := make([]statKey, 0, len(s.stats))
+	for k := range s.stats {
+		keys = append(keys, k)
+	}
+	s.mu.Unlock()
+	for _, k := range keys {
+		fps, _ := s.MeasuredRate(k.sink, k.from)
+		out[string(k.sink)+"<-"+string(k.from)] = fps
+	}
+	return out
+}
+
+// Position returns the next stream position after the furthest frame
+// delivered to any sink — the interruption point a checkpoint should
+// capture.
+func (s *Session) Position() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pos := s.start
+	for _, st := range s.stats {
+		if st.lastSeq+1 > pos {
+			pos = st.lastSeq + 1
+		}
+	}
+	return pos
+}
+
+// Dropped reports frames discarded on overflowing edges.
+func (s *Session) Dropped() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+// LastFormat returns the media format of the most recent frame delivered
+// to the sink from the given predecessor.
+func (s *Session) LastFormat(sink, from graph.NodeID) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if st, ok := s.stats[statKey{sink: sink, from: from}]; ok {
+		return st.lastFormat
+	}
+	return ""
+}
+
+func (s *Session) recordArrival(sink, from graph.NodeID, f Frame) {
+	now := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	record := func(m map[statKey]*rateStat, k statKey) {
+		st, ok := m[k]
+		if !ok {
+			st = &rateStat{first: now}
+			m[k] = st
+		}
+		if st.count > 0 {
+			d := now.Sub(st.last).Seconds()
+			st.dCount++
+			st.dSum += d
+			st.dSqSum += d * d
+		}
+		st.count++
+		st.last = now
+		if f.Seq > st.lastSeq {
+			st.lastSeq = f.Seq
+		}
+		st.lastFormat = f.Format
+	}
+	record(s.stats, statKey{sink: sink, from: from})
+	if f.Origin != "" {
+		record(s.originStats, statKey{sink: sink, from: f.Origin})
+	}
+}
+
+// MeasuredJitter returns the standard deviation of the inter-arrival time
+// (in modeled time) observed at the sink for frames from the given origin
+// source — the delivery jitter a lip-sync or playout buffer must absorb.
+func (s *Session) MeasuredJitter(sink, origin graph.NodeID) (time.Duration, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.originStats[statKey{sink: sink, from: origin}]
+	if !ok || st.dCount < 2 {
+		return 0, false
+	}
+	n := float64(st.dCount)
+	mean := st.dSum / n
+	variance := st.dSqSum/n - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	realStd := math.Sqrt(variance)
+	return time.Duration(realStd / s.engine.scale * float64(time.Second)), true
+}
+
+// MeasuredOriginRate returns the delivered frame rate (modeled fps)
+// observed at the sink for frames generated by the given origin source —
+// the right measure when a multiplexing component (gateway, lip-sync)
+// carries several streams over one edge.
+func (s *Session) MeasuredOriginRate(sink, origin graph.NodeID) (fps float64, frames int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rateLocked(s.originStats, statKey{sink: sink, from: origin})
+}
+
+// rateLocked computes the modeled rate for one stat entry; callers hold mu.
+func (s *Session) rateLocked(m map[statKey]*rateStat, k statKey) (float64, int64) {
+	st, ok := m[k]
+	if !ok {
+		return 0, 0
+	}
+	if st.count < 2 {
+		return 0, st.count
+	}
+	realElapsed := st.last.Sub(st.first).Seconds()
+	if realElapsed <= 0 {
+		return 0, st.count
+	}
+	return float64(st.count-1) / (realElapsed / s.engine.scale), st.count
+}
+
+func (s *Session) recordDrop() {
+	s.mu.Lock()
+	s.dropped++
+	s.mu.Unlock()
+}

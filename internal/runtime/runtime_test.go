@@ -1,0 +1,366 @@
+package runtime
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"ubiqos/internal/device"
+	"ubiqos/internal/graph"
+	"ubiqos/internal/netsim"
+	"ubiqos/internal/qos"
+	"ubiqos/internal/resource"
+)
+
+// testScale runs pipelines 10x faster than modeled time (intervals stay
+// well above timer granularity even under -race).
+const testScale = 0.1
+
+func testNet() *netsim.Network {
+	n := netsim.MustNew(testScale)
+	n.MustSetLink("pc", "pda", netsim.WLAN)
+	n.MustSetLink("pc", "server-host", netsim.Ethernet)
+	return n
+}
+
+// audioGraph builds server(40fps MP3) -> player, both placeable.
+func audioGraph(rate float64) *graph.Graph {
+	g := graph.New()
+	g.MustAddNode(&graph.Node{
+		ID:        "server",
+		Type:      "audio-server",
+		Out:       qos.V(qos.P(qos.DimFormat, qos.Symbol(qos.FormatMP3)), qos.P(qos.DimFrameRate, qos.Scalar(rate))),
+		Resources: resource.MB(1, 1),
+	})
+	g.MustAddNode(&graph.Node{
+		ID:        "player",
+		Type:      "audio-player",
+		In:        qos.V(qos.P(qos.DimFormat, qos.Symbol(qos.FormatMP3))),
+		Resources: resource.MB(1, 1),
+	})
+	g.MustAddEdge("server", "player", 1.5)
+	return g
+}
+
+func TestNewEngineValidation(t *testing.T) {
+	if _, err := NewEngine(0, testNet()); err == nil {
+		t.Error("zero scale should fail")
+	}
+	if _, err := NewEngine(1, nil); err == nil {
+		t.Error("nil network should fail")
+	}
+}
+
+func TestDeployValidation(t *testing.T) {
+	e, err := NewEngine(testScale, testNet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Deploy(nil, nil, 0, 0); err == nil {
+		t.Error("nil graph should fail")
+	}
+	if _, err := e.Deploy(graph.New(), nil, 0, 0); err == nil {
+		t.Error("empty graph should fail")
+	}
+	g := audioGraph(40)
+	if _, err := e.Deploy(g, map[graph.NodeID]device.ID{"server": "pc"}, 0, 0); err == nil {
+		t.Error("incomplete placement should fail")
+	}
+}
+
+func TestMeasuredRateMatchesSourceRate(t *testing.T) {
+	e, err := NewEngine(testScale, testNet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := audioGraph(40)
+	placement := map[graph.NodeID]device.ID{"server": "pc", "player": "pc"}
+	s, err := e.Deploy(g, placement, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Play(4 * time.Second); err != nil { // 80ms wall
+		t.Fatal(err)
+	}
+	fps, frames := s.MeasuredRate("player", "server")
+	if frames < 50 {
+		t.Fatalf("only %d frames delivered", frames)
+	}
+	if math.Abs(fps-40) > 8 {
+		t.Errorf("measured %0.1f fps, want ≈40", fps)
+	}
+	if s.LastFormat("player", "server") != qos.FormatMP3 {
+		t.Errorf("format = %q", s.LastFormat("player", "server"))
+	}
+}
+
+func TestStartStopSemantics(t *testing.T) {
+	e, _ := NewEngine(testScale, testNet())
+	s, err := e.Deploy(audioGraph(40), map[graph.NodeID]device.ID{"server": "pc", "player": "pc"}, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err == nil {
+		t.Error("double start should fail")
+	}
+	s.Stop()
+	s.Stop() // idempotent
+}
+
+func TestMaxFramesBoundsSource(t *testing.T) {
+	e, _ := NewEngine(testScale, testNet())
+	s, err := e.Deploy(audioGraph(100), map[graph.NodeID]device.ID{"server": "pc", "player": "pc"}, 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Play(3 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	_, frames := s.MeasuredRate("player", "server")
+	if frames != 10 {
+		t.Errorf("frames = %d, want exactly 10", frames)
+	}
+}
+
+func TestPositionAndResume(t *testing.T) {
+	e, _ := NewEngine(testScale, testNet())
+	placement := map[graph.NodeID]device.ID{"server": "pc", "player": "pc"}
+	s1, err := e.Deploy(audioGraph(50), placement, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Play(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	pos := s1.Position()
+	if pos < 50 {
+		t.Fatalf("position = %d after 2s at 50fps", pos)
+	}
+	// Resume from the interruption point: sequence numbers continue.
+	s2, err := e.Deploy(audioGraph(50), placement, pos, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Play(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if s2.Position() <= pos {
+		t.Errorf("resumed position %d did not advance past %d", s2.Position(), pos)
+	}
+}
+
+func TestTranscoderRewritesFormat(t *testing.T) {
+	g := audioGraph(40)
+	tc := &graph.Node{
+		ID:        "tc",
+		Type:      "transcoder",
+		In:        qos.V(qos.P(qos.DimFormat, qos.Symbol(qos.FormatMP3))),
+		Out:       qos.V(qos.P(qos.DimFormat, qos.Symbol(qos.FormatWAV))),
+		Resources: resource.MB(1, 1),
+	}
+	if err := g.InsertOnEdge("server", "player", tc, -1, -1); err != nil {
+		t.Fatal(err)
+	}
+	e, _ := NewEngine(testScale, testNet())
+	placement := map[graph.NodeID]device.ID{"server": "pc", "tc": "pc", "player": "pda"}
+	s, err := e.Deploy(g, placement, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Play(3 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.LastFormat("player", "tc"); got != qos.FormatWAV {
+		t.Errorf("delivered format = %q, want WAV after transcoding", got)
+	}
+	fps, frames := s.MeasuredRate("player", "tc")
+	if frames < 20 {
+		t.Fatalf("frames = %d", frames)
+	}
+	if math.Abs(fps-40) > 10 {
+		t.Errorf("transcoded rate = %.1f, want ≈40", fps)
+	}
+}
+
+func TestBufferPacesStreamDown(t *testing.T) {
+	g := graph.New()
+	g.MustAddNode(&graph.Node{
+		ID:        "cam",
+		Type:      "camera",
+		Out:       qos.V(qos.P(qos.DimFrameRate, qos.Scalar(100))),
+		Resources: resource.MB(1, 1),
+	})
+	g.MustAddNode(&graph.Node{
+		ID:        "buf",
+		Type:      "buffer",
+		Out:       qos.V(qos.P(qos.DimFrameRate, qos.Scalar(25))),
+		Resources: resource.MB(1, 1),
+	})
+	g.MustAddNode(&graph.Node{ID: "view", Type: "viewer", Resources: resource.MB(1, 1)})
+	g.MustAddEdge("cam", "buf", 8)
+	g.MustAddEdge("buf", "view", 2)
+	e, _ := NewEngine(testScale, testNet())
+	s, err := e.Deploy(g, map[graph.NodeID]device.ID{"cam": "pc", "buf": "pc", "view": "pc"}, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Play(4 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	fps, frames := s.MeasuredRate("view", "buf")
+	if frames < 20 {
+		t.Fatalf("frames = %d", frames)
+	}
+	if fps > 35 || fps < 15 {
+		t.Errorf("paced rate = %.1f, want ≈25", fps)
+	}
+}
+
+func TestFanInTwoStreams(t *testing.T) {
+	// The video-conferencing shape: video (25fps) and audio (6fps)
+	// recorders feeding one client through a shared sink.
+	g := graph.New()
+	g.MustAddNode(&graph.Node{
+		ID: "vrec", Type: "video-recorder",
+		Out:       qos.V(qos.P(qos.DimFormat, qos.Symbol(qos.FormatH261)), qos.P(qos.DimFrameRate, qos.Scalar(25))),
+		Resources: resource.MB(1, 1),
+	})
+	g.MustAddNode(&graph.Node{
+		ID: "arec", Type: "audio-recorder",
+		Out:       qos.V(qos.P(qos.DimFormat, qos.Symbol(qos.FormatPCM)), qos.P(qos.DimFrameRate, qos.Scalar(6))),
+		Resources: resource.MB(1, 1),
+	})
+	g.MustAddNode(&graph.Node{ID: "client", Type: "av-player", Resources: resource.MB(1, 1)})
+	g.MustAddEdge("vrec", "client", 4)
+	g.MustAddEdge("arec", "client", 0.2)
+	e, _ := NewEngine(testScale, testNet())
+	s, err := e.Deploy(g, map[graph.NodeID]device.ID{"vrec": "pc", "arec": "pc", "client": "pc"}, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Play(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	vfps, vframes := s.MeasuredRate("client", "vrec")
+	afps, aframes := s.MeasuredRate("client", "arec")
+	if vframes < 40 || aframes < 10 {
+		t.Fatalf("frames v=%d a=%d", vframes, aframes)
+	}
+	if math.Abs(vfps-25) > 6 {
+		t.Errorf("video rate = %.1f, want ≈25", vfps)
+	}
+	if math.Abs(afps-6) > 2.5 {
+		t.Errorf("audio rate = %.1f, want ≈6", afps)
+	}
+	rates := s.SinkRates()
+	if len(rates) != 2 {
+		t.Errorf("SinkRates = %v", rates)
+	}
+}
+
+func TestCrossDeviceLatencyCharged(t *testing.T) {
+	// Frames to the PDA cross the WLAN; the session still sustains the
+	// rate (latency, not bandwidth, is charged per frame).
+	e, _ := NewEngine(testScale, testNet())
+	s, err := e.Deploy(audioGraph(40), map[graph.NodeID]device.ID{"server": "pc", "player": "pda"}, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Play(4 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	fps, frames := s.MeasuredRate("player", "server")
+	if frames < 40 {
+		t.Fatalf("frames = %d", frames)
+	}
+	if math.Abs(fps-40) > 10 {
+		t.Errorf("cross-device rate = %.1f, want ≈40", fps)
+	}
+}
+
+func TestMeasuredRateUnknownPair(t *testing.T) {
+	e, _ := NewEngine(testScale, testNet())
+	s, err := e.Deploy(audioGraph(40), map[graph.NodeID]device.ID{"server": "pc", "player": "pc"}, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fps, frames := s.MeasuredRate("ghost", "server"); fps != 0 || frames != 0 {
+		t.Errorf("unknown pair = %g, %d", fps, frames)
+	}
+	s.Stop() // stopping a never-started session is a no-op
+}
+
+func TestMeasuredJitter(t *testing.T) {
+	e, _ := NewEngine(testScale, testNet())
+	s, err := e.Deploy(audioGraph(40), map[graph.NodeID]device.ID{"server": "pc", "player": "pc"}, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.MeasuredJitter("player", "server"); ok {
+		t.Error("jitter before any arrivals should report !ok")
+	}
+	if err := s.Play(4 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	j, ok := s.MeasuredJitter("player", "server")
+	if !ok {
+		t.Fatal("no jitter measurement after playback")
+	}
+	// A same-host 40 fps stream has a 25ms modeled period; scheduler noise
+	// should keep the jitter well under one period.
+	if j <= 0 || j > 25*time.Millisecond {
+		t.Errorf("jitter = %v, want (0, 25ms)", j)
+	}
+	if _, ok := s.MeasuredJitter("ghost", "server"); ok {
+		t.Error("unknown pair should report !ok")
+	}
+}
+
+func TestBufferSmoothsJitter(t *testing.T) {
+	// A fast producer through a queue-and-ticker buffer: the viewer should
+	// see the buffer's fixed cadence — jitter well under one output period
+	// — with frames delivered in order.
+	g := graph.New()
+	g.MustAddNode(&graph.Node{
+		ID:        "cam",
+		Type:      "camera",
+		Out:       qos.V(qos.P(qos.DimFrameRate, qos.Scalar(100))),
+		Resources: resource.MB(1, 1),
+	})
+	g.MustAddNode(&graph.Node{
+		ID:        "buf",
+		Type:      TypeBuffer,
+		Out:       qos.V(qos.P(qos.DimFrameRate, qos.Scalar(20))),
+		Resources: resource.MB(1, 1),
+	})
+	g.MustAddNode(&graph.Node{ID: "view", Type: "viewer", Resources: resource.MB(1, 1)})
+	g.MustAddEdge("cam", "buf", 8)
+	g.MustAddEdge("buf", "view", 2)
+	e, _ := NewEngine(testScale, testNet())
+	s, err := e.Deploy(g, map[graph.NodeID]device.ID{"cam": "pc", "buf": "pc", "view": "pc"}, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Play(4 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	fps, frames := s.MeasuredRate("view", "buf")
+	if frames < 30 {
+		t.Fatalf("frames = %d", frames)
+	}
+	if math.Abs(fps-20) > 4 {
+		t.Errorf("buffered rate = %.1f, want ≈20", fps)
+	}
+	j, ok := s.MeasuredJitter("view", "cam")
+	if !ok {
+		t.Fatal("no jitter measurement")
+	}
+	// The output period is 50ms modeled; a fixed-cadence buffer keeps the
+	// jitter to a small fraction of it.
+	if j > 15*time.Millisecond {
+		t.Errorf("jitter through buffer = %v, want well under the 50ms period", j)
+	}
+}

@@ -1,0 +1,60 @@
+package spec
+
+import (
+	"ubiqos/internal/composer"
+	"ubiqos/internal/core"
+	"ubiqos/internal/graph"
+	"ubiqos/internal/qos"
+	"ubiqos/internal/registry"
+)
+
+// Compile lowers a parsed App to the composer's abstract service graph and
+// the user QoS vector, validating cross-references (flow endpoints must
+// name declared services, service IDs must be unique, and the graph must
+// be a DAG).
+func (a *App) Compile() (*composer.AbstractGraph, qos.Vector, error) {
+	ag := composer.NewAbstractGraph()
+	for i := range a.Services {
+		svc := &a.Services[i]
+		pin := svc.Pin
+		if pin == ClientPin {
+			pin = core.ClientRole
+		}
+		node := &composer.AbstractNode{
+			ID: graph.NodeID(svc.ID),
+			Spec: registry.Spec{
+				Type:   svc.Type,
+				Attrs:  svc.Attrs,
+				Input:  svc.Input,
+				Output: svc.Output,
+			},
+			Optional: svc.Optional,
+			Pin:      pin,
+		}
+		if err := ag.AddNode(node); err != nil {
+			return nil, nil, errAt(svc.Line, "%v", err)
+		}
+	}
+	for _, fl := range a.Flows {
+		if err := ag.AddEdge(graph.NodeID(fl.From), graph.NodeID(fl.To), fl.ThroughputMbps); err != nil {
+			return nil, nil, errAt(fl.Line, "%v", err)
+		}
+	}
+	if err := ag.Validate(); err != nil {
+		return nil, nil, err
+	}
+	return ag, a.UserQoS.Clone(), nil
+}
+
+// Load parses and compiles a specification source in one step.
+func Load(src string) (*composer.AbstractGraph, qos.Vector, string, error) {
+	app, err := Parse(src)
+	if err != nil {
+		return nil, nil, "", err
+	}
+	ag, userQoS, err := app.Compile()
+	if err != nil {
+		return nil, nil, "", err
+	}
+	return ag, userQoS, app.Name, nil
+}

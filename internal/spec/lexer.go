@@ -1,0 +1,287 @@
+// Package spec implements the declarative application specification
+// language the configuration model assumes developers use (paper §3.1:
+// "the developer should specify the application service at a high level of
+// abstraction ... several programming environments and specification
+// languages have been proposed", citing the authors' XML-based QoS
+// enabling language). A spec describes an application as abstractly-typed
+// services, their QoS requirements, and the flows between them; it
+// compiles to a composer.AbstractGraph plus the user QoS vector.
+//
+// Example:
+//
+//	app "mobile-audio" {
+//	    qos { framerate = 38..44 }
+//
+//	    service server {
+//	        type = "audio-server"
+//	        pin  = "desktop1"
+//	    }
+//	    service player {
+//	        type = "audio-player"
+//	        pin  = client
+//	        attrs { platform = "pda" }
+//	        optional
+//	    }
+//
+//	    flow server -> player @ 1.5
+//	}
+package spec
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexical tokens.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokString
+	tokNumber
+	tokLBrace
+	tokRBrace
+	tokAssign
+	tokArrow
+	tokAt
+	tokDotDot
+	tokComma
+	tokLBracket
+	tokRBracket
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokString:
+		return "string"
+	case tokNumber:
+		return "number"
+	case tokLBrace:
+		return "'{'"
+	case tokRBrace:
+		return "'}'"
+	case tokAssign:
+		return "'='"
+	case tokArrow:
+		return "'->'"
+	case tokAt:
+		return "'@'"
+	case tokDotDot:
+		return "'..'"
+	case tokComma:
+		return "','"
+	case tokLBracket:
+		return "'['"
+	case tokRBracket:
+		return "']'"
+	default:
+		return fmt.Sprintf("tokenKind(%d)", int(k))
+	}
+}
+
+// token is one lexical unit with its source line for error messages.
+type token struct {
+	kind tokenKind
+	text string
+	line int
+}
+
+// ParseError reports a syntax or semantic error with its source line.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+// Error renders the error with its line number.
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("spec: line %d: %s", e.Line, e.Msg)
+}
+
+func errAt(line int, format string, args ...any) *ParseError {
+	return &ParseError{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// lexer scans the input rune by rune.
+type lexer struct {
+	src  []rune
+	pos  int
+	line int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: []rune(src), line: 1}
+}
+
+func (l *lexer) peek() rune {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) advance() rune {
+	r := l.peek()
+	l.pos++
+	if r == '\n' {
+		l.line++
+	}
+	return r
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	l.skipSpaceAndComments()
+	line := l.line
+	r := l.peek()
+	switch {
+	case r == 0:
+		return token{kind: tokEOF, line: line}, nil
+	case r == '{':
+		l.advance()
+		return token{kind: tokLBrace, text: "{", line: line}, nil
+	case r == '}':
+		l.advance()
+		return token{kind: tokRBrace, text: "}", line: line}, nil
+	case r == '[':
+		l.advance()
+		return token{kind: tokLBracket, text: "[", line: line}, nil
+	case r == ']':
+		l.advance()
+		return token{kind: tokRBracket, text: "]", line: line}, nil
+	case r == ',':
+		l.advance()
+		return token{kind: tokComma, text: ",", line: line}, nil
+	case r == '=':
+		l.advance()
+		return token{kind: tokAssign, text: "=", line: line}, nil
+	case r == '@':
+		l.advance()
+		return token{kind: tokAt, text: "@", line: line}, nil
+	case r == '-':
+		l.advance()
+		if l.peek() == '>' {
+			l.advance()
+			return token{kind: tokArrow, text: "->", line: line}, nil
+		}
+		// A negative number.
+		if unicode.IsDigit(l.peek()) {
+			num, err := l.lexNumber(line)
+			if err != nil {
+				return token{}, err
+			}
+			num.text = "-" + num.text
+			return num, nil
+		}
+		return token{}, errAt(line, "unexpected '-'")
+	case r == '.':
+		l.advance()
+		if l.peek() == '.' {
+			l.advance()
+			return token{kind: tokDotDot, text: "..", line: line}, nil
+		}
+		return token{}, errAt(line, "unexpected '.' (did you mean '..'?)")
+	case r == '"':
+		return l.lexString(line)
+	case unicode.IsDigit(r):
+		return l.lexNumber(line)
+	case unicode.IsLetter(r) || r == '_':
+		return l.lexIdent(line), nil
+	default:
+		return token{}, errAt(line, "unexpected character %q", r)
+	}
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for {
+		r := l.peek()
+		switch {
+		case r == ' ' || r == '\t' || r == '\r' || r == '\n':
+			l.advance()
+		case r == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.peek() != 0 && l.peek() != '\n' {
+				l.advance()
+			}
+		case r == '#':
+			for l.peek() != 0 && l.peek() != '\n' {
+				l.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (l *lexer) lexString(line int) (token, error) {
+	l.advance() // opening quote
+	var b strings.Builder
+	for {
+		r := l.peek()
+		switch r {
+		case 0, '\n':
+			return token{}, errAt(line, "unterminated string")
+		case '"':
+			l.advance()
+			return token{kind: tokString, text: b.String(), line: line}, nil
+		case '\\':
+			l.advance()
+			esc := l.advance()
+			switch esc {
+			case '"', '\\':
+				b.WriteRune(esc)
+			case 'n':
+				b.WriteRune('\n')
+			case 't':
+				b.WriteRune('\t')
+			default:
+				return token{}, errAt(line, "unknown escape \\%c", esc)
+			}
+		default:
+			b.WriteRune(l.advance())
+		}
+	}
+}
+
+func (l *lexer) lexNumber(line int) (token, error) {
+	var b strings.Builder
+	for unicode.IsDigit(l.peek()) {
+		b.WriteRune(l.advance())
+	}
+	// A fraction — but not the '..' range operator.
+	if l.peek() == '.' && l.pos+1 < len(l.src) && unicode.IsDigit(l.src[l.pos+1]) {
+		b.WriteRune(l.advance())
+		for unicode.IsDigit(l.peek()) {
+			b.WriteRune(l.advance())
+		}
+	}
+	return token{kind: tokNumber, text: b.String(), line: line}, nil
+}
+
+func (l *lexer) lexIdent(line int) token {
+	var b strings.Builder
+	for unicode.IsLetter(l.peek()) || unicode.IsDigit(l.peek()) || l.peek() == '_' || l.peek() == '-' {
+		b.WriteRune(l.advance())
+	}
+	return token{kind: tokIdent, text: b.String(), line: line}
+}
+
+// lexAll tokenizes the whole input (used by the parser).
+func lexAll(src string) ([]token, error) {
+	l := newLexer(src)
+	var out []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tokEOF {
+			return out, nil
+		}
+	}
+}

@@ -1,0 +1,404 @@
+package spec
+
+import (
+	"strconv"
+
+	"ubiqos/internal/qos"
+)
+
+// App is the parsed application specification.
+type App struct {
+	// Name labels the application (the session-ID default).
+	Name string
+	// UserQoS is the application-level user QoS requirement block.
+	UserQoS qos.Vector
+	// Services are the abstract service declarations in source order.
+	Services []Service
+	// Flows are the declared data flows.
+	Flows []Flow
+}
+
+// Service is one abstract service declaration.
+type Service struct {
+	// ID is the graph node ID.
+	ID string
+	// Type is the abstract service type (required).
+	Type string
+	// Pin names the device the service must run on; the special identifier
+	// `client` pins to the user's portal device.
+	Pin string
+	// Optional marks services the composer may neglect when discovery
+	// fails.
+	Optional bool
+	// Attrs are required instance attributes.
+	Attrs map[string]string
+	// Input and Output are desired QoS vectors for discovery.
+	Input, Output qos.Vector
+	// Line records the declaration site for diagnostics.
+	Line int
+}
+
+// Flow is one declared producer→consumer data flow.
+type Flow struct {
+	From, To string
+	// ThroughputMbps is the communication throughput (1 when omitted).
+	ThroughputMbps float64
+	Line           int
+}
+
+// ClientPin is the identifier that pins a service to the portal device;
+// it compiles to core.ClientRole.
+const ClientPin = "client"
+
+// defaultThroughputMbps applies when a flow omits the '@ rate' clause.
+const defaultThroughputMbps = 1.0
+
+// Parse parses an application specification.
+func Parse(src string) (*App, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	app, err := p.parseApp()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(tokEOF); err != nil {
+		return nil, err
+	}
+	return app, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) advance() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expect(kind tokenKind) error {
+	t := p.peek()
+	if t.kind != kind {
+		return errAt(t.line, "expected %s, got %s %q", kind, t.kind, t.text)
+	}
+	p.advance()
+	return nil
+}
+
+// expectKeyword consumes an identifier with the exact text.
+func (p *parser) expectKeyword(word string) error {
+	t := p.peek()
+	if t.kind != tokIdent || t.text != word {
+		return errAt(t.line, "expected %q, got %s %q", word, t.kind, t.text)
+	}
+	p.advance()
+	return nil
+}
+
+// parseApp parses: app "name" { body }
+func (p *parser) parseApp() (*App, error) {
+	if err := p.expectKeyword("app"); err != nil {
+		return nil, err
+	}
+	name := p.peek()
+	if name.kind != tokString {
+		return nil, errAt(name.line, "expected application name string, got %s", name.kind)
+	}
+	p.advance()
+	if name.text == "" {
+		return nil, errAt(name.line, "empty application name")
+	}
+	if err := p.expect(tokLBrace); err != nil {
+		return nil, err
+	}
+	app := &App{Name: name.text}
+	for {
+		t := p.peek()
+		switch {
+		case t.kind == tokRBrace:
+			p.advance()
+			return app, nil
+		case t.kind == tokIdent && t.text == "qos":
+			p.advance()
+			if len(app.UserQoS) > 0 {
+				return nil, errAt(t.line, "duplicate qos block")
+			}
+			v, err := p.parseQoSBlock()
+			if err != nil {
+				return nil, err
+			}
+			app.UserQoS = v
+		case t.kind == tokIdent && t.text == "service":
+			svc, err := p.parseService()
+			if err != nil {
+				return nil, err
+			}
+			app.Services = append(app.Services, *svc)
+		case t.kind == tokIdent && t.text == "flow":
+			fl, err := p.parseFlow()
+			if err != nil {
+				return nil, err
+			}
+			app.Flows = append(app.Flows, *fl)
+		default:
+			return nil, errAt(t.line, "expected 'qos', 'service', 'flow', or '}', got %s %q", t.kind, t.text)
+		}
+	}
+}
+
+// parseService parses: service NAME { fields }
+func (p *parser) parseService() (*Service, error) {
+	if err := p.expectKeyword("service"); err != nil {
+		return nil, err
+	}
+	id := p.peek()
+	if id.kind != tokIdent {
+		return nil, errAt(id.line, "expected service name, got %s", id.kind)
+	}
+	p.advance()
+	if err := p.expect(tokLBrace); err != nil {
+		return nil, err
+	}
+	svc := &Service{ID: id.text, Line: id.line}
+	for {
+		t := p.peek()
+		switch {
+		case t.kind == tokRBrace:
+			p.advance()
+			if svc.Type == "" {
+				return nil, errAt(svc.Line, "service %q missing required field 'type'", svc.ID)
+			}
+			return svc, nil
+		case t.kind == tokIdent && t.text == "type":
+			p.advance()
+			s, err := p.parseStringAssign()
+			if err != nil {
+				return nil, err
+			}
+			svc.Type = s
+		case t.kind == tokIdent && t.text == "pin":
+			p.advance()
+			if err := p.expect(tokAssign); err != nil {
+				return nil, err
+			}
+			v := p.peek()
+			switch {
+			case v.kind == tokString && v.text != "":
+				svc.Pin = v.text
+			case v.kind == tokIdent && v.text == ClientPin:
+				svc.Pin = ClientPin
+			default:
+				return nil, errAt(v.line, "pin must be a device string or the identifier 'client'")
+			}
+			p.advance()
+		case t.kind == tokIdent && t.text == "optional":
+			p.advance()
+			svc.Optional = true
+		case t.kind == tokIdent && t.text == "attrs":
+			p.advance()
+			attrs, err := p.parseAttrsBlock()
+			if err != nil {
+				return nil, err
+			}
+			if svc.Attrs == nil {
+				svc.Attrs = attrs
+			} else {
+				for k, v := range attrs {
+					svc.Attrs[k] = v
+				}
+			}
+		case t.kind == tokIdent && t.text == "input":
+			p.advance()
+			v, err := p.parseQoSBlock()
+			if err != nil {
+				return nil, err
+			}
+			svc.Input = v
+		case t.kind == tokIdent && t.text == "output":
+			p.advance()
+			v, err := p.parseQoSBlock()
+			if err != nil {
+				return nil, err
+			}
+			svc.Output = v
+		default:
+			return nil, errAt(t.line, "unknown service field %q", t.text)
+		}
+	}
+}
+
+// parseStringAssign parses: = "value"
+func (p *parser) parseStringAssign() (string, error) {
+	if err := p.expect(tokAssign); err != nil {
+		return "", err
+	}
+	t := p.peek()
+	if t.kind != tokString {
+		return "", errAt(t.line, "expected string, got %s", t.kind)
+	}
+	p.advance()
+	return t.text, nil
+}
+
+// parseAttrsBlock parses: { key = "value" ... }
+func (p *parser) parseAttrsBlock() (map[string]string, error) {
+	if err := p.expect(tokLBrace); err != nil {
+		return nil, err
+	}
+	attrs := make(map[string]string)
+	for {
+		t := p.peek()
+		if t.kind == tokRBrace {
+			p.advance()
+			return attrs, nil
+		}
+		if t.kind != tokIdent {
+			return nil, errAt(t.line, "expected attribute name, got %s", t.kind)
+		}
+		p.advance()
+		val, err := p.parseStringAssign()
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := attrs[t.text]; dup {
+			return nil, errAt(t.line, "duplicate attribute %q", t.text)
+		}
+		attrs[t.text] = val
+	}
+}
+
+// parseQoSBlock parses: { name = VALUE ... } where VALUE is a number, a
+// lo..hi range, a string symbol, or a [ "a", "b" ] set.
+func (p *parser) parseQoSBlock() (qos.Vector, error) {
+	if err := p.expect(tokLBrace); err != nil {
+		return nil, err
+	}
+	var v qos.Vector
+	for {
+		t := p.peek()
+		if t.kind == tokRBrace {
+			p.advance()
+			if err := v.Validate(); err != nil {
+				return nil, errAt(t.line, "%v", err)
+			}
+			return v, nil
+		}
+		if t.kind != tokIdent {
+			return nil, errAt(t.line, "expected QoS dimension name, got %s", t.kind)
+		}
+		p.advance()
+		if v.Has(t.text) {
+			return nil, errAt(t.line, "duplicate QoS dimension %q", t.text)
+		}
+		if err := p.expect(tokAssign); err != nil {
+			return nil, err
+		}
+		val, err := p.parseQoSValue()
+		if err != nil {
+			return nil, err
+		}
+		v = v.With(t.text, val)
+	}
+}
+
+func (p *parser) parseQoSValue() (qos.Value, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokNumber:
+		p.advance()
+		lo, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return qos.Value{}, errAt(t.line, "bad number %q", t.text)
+		}
+		if p.peek().kind == tokDotDot {
+			p.advance()
+			hiTok := p.peek()
+			if hiTok.kind != tokNumber {
+				return qos.Value{}, errAt(hiTok.line, "expected range upper bound, got %s", hiTok.kind)
+			}
+			p.advance()
+			hi, err := strconv.ParseFloat(hiTok.text, 64)
+			if err != nil {
+				return qos.Value{}, errAt(hiTok.line, "bad number %q", hiTok.text)
+			}
+			if !qos.ValidRange(lo, hi) {
+				return qos.Value{}, errAt(t.line, "invalid range %g..%g", lo, hi)
+			}
+			return qos.Range(lo, hi), nil
+		}
+		return qos.Scalar(lo), nil
+	case tokString:
+		p.advance()
+		if t.text == "" {
+			return qos.Value{}, errAt(t.line, "empty symbol")
+		}
+		return qos.Symbol(t.text), nil
+	case tokLBracket:
+		p.advance()
+		var syms []string
+		for {
+			el := p.peek()
+			if el.kind == tokRBracket {
+				p.advance()
+				if len(syms) == 0 {
+					return qos.Value{}, errAt(el.line, "empty symbol set")
+				}
+				return qos.Set(syms...), nil
+			}
+			if el.kind != tokString {
+				return qos.Value{}, errAt(el.line, "expected string in set, got %s", el.kind)
+			}
+			p.advance()
+			syms = append(syms, el.text)
+			if p.peek().kind == tokComma {
+				p.advance()
+			}
+		}
+	default:
+		return qos.Value{}, errAt(t.line, "expected number, range, string, or set, got %s %q", t.kind, t.text)
+	}
+}
+
+// parseFlow parses: flow A -> B [@ rate]
+func (p *parser) parseFlow() (*Flow, error) {
+	if err := p.expectKeyword("flow"); err != nil {
+		return nil, err
+	}
+	from := p.peek()
+	if from.kind != tokIdent {
+		return nil, errAt(from.line, "expected flow source service, got %s", from.kind)
+	}
+	p.advance()
+	if err := p.expect(tokArrow); err != nil {
+		return nil, err
+	}
+	to := p.peek()
+	if to.kind != tokIdent {
+		return nil, errAt(to.line, "expected flow target service, got %s", to.kind)
+	}
+	p.advance()
+	fl := &Flow{From: from.text, To: to.text, ThroughputMbps: defaultThroughputMbps, Line: from.line}
+	if p.peek().kind == tokAt {
+		p.advance()
+		rate := p.peek()
+		if rate.kind != tokNumber {
+			return nil, errAt(rate.line, "expected throughput after '@', got %s", rate.kind)
+		}
+		p.advance()
+		tp, err := strconv.ParseFloat(rate.text, 64)
+		if err != nil || tp < 0 {
+			return nil, errAt(rate.line, "bad throughput %q", rate.text)
+		}
+		fl.ThroughputMbps = tp
+	}
+	return fl, nil
+}

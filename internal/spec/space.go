@@ -1,0 +1,583 @@
+package spec
+
+import (
+	"strconv"
+
+	"ubiqos/internal/device"
+	"ubiqos/internal/domain"
+	"ubiqos/internal/netsim"
+	"ubiqos/internal/qos"
+	"ubiqos/internal/registry"
+	"ubiqos/internal/repository"
+	"ubiqos/internal/resource"
+)
+
+// Space is a parsed smart-space configuration: the devices, links, and
+// service instances of one domain. It is the deployment-side counterpart
+// of App — where App describes what the developer wants to run, Space
+// describes the environment the domain server manages.
+//
+// Example:
+//
+//	space "lab" {
+//	    device desktop1 {
+//	        class  = "desktop"
+//	        memory = 256
+//	        cpu    = 100
+//	        attrs { platform = "pc" }
+//	    }
+//	    device pda1 {
+//	        class  = "pda"
+//	        memory = 32
+//	        cpu    = 100
+//	        attrs { platform = "pda" }
+//	    }
+//
+//	    link desktop1 pda1 = "wlan"
+//	    uplink desktop1 = "ethernet"
+//	    uplink pda1 = "wlan"
+//
+//	    instance "audio-server-1" {
+//	        type   = "audio-server"
+//	        output { format = "MPEG" framerate = 40 }
+//	        capability { framerate = 5..60 }
+//	        adjustable = ["framerate"]
+//	        resources { memory = 64 cpu = 50 }
+//	        size = 12
+//	        installed = ["desktop1"]
+//	    }
+//	}
+type Space struct {
+	Name      string
+	Devices   []SpaceDevice
+	Links     []SpaceLink
+	Uplinks   []SpaceUplink
+	Instances []SpaceInstance
+}
+
+// SpaceDevice declares one device with its raw (un-normalized) capacity.
+type SpaceDevice struct {
+	ID     string
+	Class  device.Class
+	Memory float64
+	CPU    float64
+	Attrs  map[string]string
+	Line   int
+}
+
+// SpaceLink declares a symmetric link between two devices. Either Preset
+// names a built-in link class ("ethernet", "lan10", "wlan") or Bandwidth/
+// Latency give explicit parameters.
+type SpaceLink struct {
+	A, B          string
+	Preset        string
+	BandwidthMbps float64
+	LatencyMs     float64
+	Line          int
+}
+
+// SpaceUplink connects a device to the domain server host (component
+// downloads).
+type SpaceUplink struct {
+	Device string
+	Preset string
+	Line   int
+}
+
+// SpaceInstance declares one service instance in the discovery catalog.
+type SpaceInstance struct {
+	Name        string
+	Type        string
+	Attrs       map[string]string
+	Input       qos.Vector
+	Output      qos.Vector
+	Capability  qos.Vector
+	Adjustable  []string
+	PassThrough []string
+	Memory, CPU float64
+	SizeMB      float64
+	// Installed lists devices the instance is pre-installed on; the
+	// special entry "*" installs it everywhere.
+	Installed []string
+	Line      int
+}
+
+// linkPreset resolves a named link class.
+func linkPreset(name string, line int) (netsim.Link, error) {
+	switch name {
+	case "ethernet":
+		return netsim.Ethernet, nil
+	case "lan10":
+		return netsim.LAN10, nil
+	case "wlan":
+		return netsim.WLAN, nil
+	default:
+		return netsim.Link{}, errAt(line, "unknown link preset %q (want ethernet, lan10, or wlan)", name)
+	}
+}
+
+// classByName resolves a device class name.
+func classByName(name string, line int) (device.Class, error) {
+	switch name {
+	case "desktop":
+		return device.ClassDesktop, nil
+	case "laptop":
+		return device.ClassLaptop, nil
+	case "pda":
+		return device.ClassPDA, nil
+	case "workstation":
+		return device.ClassWorkstation, nil
+	case "gateway":
+		return device.ClassGateway, nil
+	case "server":
+		return device.ClassServer, nil
+	default:
+		return 0, errAt(line, "unknown device class %q", name)
+	}
+}
+
+// ParseSpace parses a smart-space configuration document.
+func ParseSpace(src string) (*Space, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	sp, err := p.parseSpace()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(tokEOF); err != nil {
+		return nil, err
+	}
+	return sp, nil
+}
+
+func (p *parser) parseSpace() (*Space, error) {
+	if err := p.expectKeyword("space"); err != nil {
+		return nil, err
+	}
+	name := p.peek()
+	if name.kind != tokString || name.text == "" {
+		return nil, errAt(name.line, "expected space name string")
+	}
+	p.advance()
+	if err := p.expect(tokLBrace); err != nil {
+		return nil, err
+	}
+	sp := &Space{Name: name.text}
+	for {
+		t := p.peek()
+		switch {
+		case t.kind == tokRBrace:
+			p.advance()
+			return sp, nil
+		case t.kind == tokIdent && t.text == "device":
+			d, err := p.parseSpaceDevice()
+			if err != nil {
+				return nil, err
+			}
+			sp.Devices = append(sp.Devices, *d)
+		case t.kind == tokIdent && t.text == "link":
+			l, err := p.parseSpaceLink()
+			if err != nil {
+				return nil, err
+			}
+			sp.Links = append(sp.Links, *l)
+		case t.kind == tokIdent && t.text == "uplink":
+			u, err := p.parseSpaceUplink()
+			if err != nil {
+				return nil, err
+			}
+			sp.Uplinks = append(sp.Uplinks, *u)
+		case t.kind == tokIdent && t.text == "instance":
+			in, err := p.parseSpaceInstance()
+			if err != nil {
+				return nil, err
+			}
+			sp.Instances = append(sp.Instances, *in)
+		default:
+			return nil, errAt(t.line, "expected 'device', 'link', 'uplink', 'instance', or '}', got %s %q", t.kind, t.text)
+		}
+	}
+}
+
+func (p *parser) parseSpaceDevice() (*SpaceDevice, error) {
+	p.advance() // 'device'
+	id := p.peek()
+	if id.kind != tokIdent {
+		return nil, errAt(id.line, "expected device name, got %s", id.kind)
+	}
+	p.advance()
+	if err := p.expect(tokLBrace); err != nil {
+		return nil, err
+	}
+	d := &SpaceDevice{ID: id.text, Line: id.line}
+	for {
+		t := p.peek()
+		switch {
+		case t.kind == tokRBrace:
+			p.advance()
+			if d.Class == 0 {
+				return nil, errAt(d.Line, "device %q missing required field 'class'", d.ID)
+			}
+			if d.Memory <= 0 || d.CPU <= 0 {
+				return nil, errAt(d.Line, "device %q needs positive 'memory' and 'cpu'", d.ID)
+			}
+			return d, nil
+		case t.kind == tokIdent && t.text == "class":
+			p.advance()
+			s, err := p.parseStringAssign()
+			if err != nil {
+				return nil, err
+			}
+			cl, err := classByName(s, t.line)
+			if err != nil {
+				return nil, err
+			}
+			d.Class = cl
+		case t.kind == tokIdent && t.text == "memory":
+			p.advance()
+			v, err := p.parseNumberAssign()
+			if err != nil {
+				return nil, err
+			}
+			d.Memory = v
+		case t.kind == tokIdent && t.text == "cpu":
+			p.advance()
+			v, err := p.parseNumberAssign()
+			if err != nil {
+				return nil, err
+			}
+			d.CPU = v
+		case t.kind == tokIdent && t.text == "attrs":
+			p.advance()
+			attrs, err := p.parseAttrsBlock()
+			if err != nil {
+				return nil, err
+			}
+			d.Attrs = attrs
+		default:
+			return nil, errAt(t.line, "unknown device field %q", t.text)
+		}
+	}
+}
+
+// parseNumberAssign parses: = NUMBER
+func (p *parser) parseNumberAssign() (float64, error) {
+	if err := p.expect(tokAssign); err != nil {
+		return 0, err
+	}
+	t := p.peek()
+	if t.kind != tokNumber {
+		return 0, errAt(t.line, "expected number, got %s", t.kind)
+	}
+	p.advance()
+	v, err := strconv.ParseFloat(t.text, 64)
+	if err != nil {
+		return 0, errAt(t.line, "bad number %q", t.text)
+	}
+	return v, nil
+}
+
+func (p *parser) parseSpaceLink() (*SpaceLink, error) {
+	p.advance() // 'link'
+	a := p.peek()
+	if a.kind != tokIdent {
+		return nil, errAt(a.line, "expected link endpoint, got %s", a.kind)
+	}
+	p.advance()
+	b := p.peek()
+	if b.kind != tokIdent {
+		return nil, errAt(b.line, "expected link endpoint, got %s", b.kind)
+	}
+	p.advance()
+	l := &SpaceLink{A: a.text, B: b.text, Line: a.line}
+	t := p.peek()
+	switch t.kind {
+	case tokAssign:
+		p.advance()
+		v := p.peek()
+		if v.kind != tokString {
+			return nil, errAt(v.line, "expected link preset string, got %s", v.kind)
+		}
+		p.advance()
+		if _, err := linkPreset(v.text, v.line); err != nil {
+			return nil, err
+		}
+		l.Preset = v.text
+	case tokLBrace:
+		p.advance()
+		for {
+			f := p.peek()
+			if f.kind == tokRBrace {
+				p.advance()
+				break
+			}
+			if f.kind != tokIdent {
+				return nil, errAt(f.line, "expected link field, got %s", f.kind)
+			}
+			p.advance()
+			v, err := p.parseNumberAssign()
+			if err != nil {
+				return nil, err
+			}
+			switch f.text {
+			case "bandwidth":
+				l.BandwidthMbps = v
+			case "latency":
+				l.LatencyMs = v
+			default:
+				return nil, errAt(f.line, "unknown link field %q", f.text)
+			}
+		}
+		if l.BandwidthMbps <= 0 {
+			return nil, errAt(l.Line, "link %s-%s needs positive bandwidth", l.A, l.B)
+		}
+	default:
+		return nil, errAt(t.line, "expected '=' preset or '{' parameters after link endpoints")
+	}
+	return l, nil
+}
+
+func (p *parser) parseSpaceUplink() (*SpaceUplink, error) {
+	p.advance() // 'uplink'
+	dev := p.peek()
+	if dev.kind != tokIdent {
+		return nil, errAt(dev.line, "expected uplink device, got %s", dev.kind)
+	}
+	p.advance()
+	s, err := p.parseStringAssign()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := linkPreset(s, dev.line); err != nil {
+		return nil, err
+	}
+	return &SpaceUplink{Device: dev.text, Preset: s, Line: dev.line}, nil
+}
+
+func (p *parser) parseSpaceInstance() (*SpaceInstance, error) {
+	p.advance() // 'instance'
+	name := p.peek()
+	if name.kind != tokString || name.text == "" {
+		return nil, errAt(name.line, "expected instance name string")
+	}
+	p.advance()
+	if err := p.expect(tokLBrace); err != nil {
+		return nil, err
+	}
+	in := &SpaceInstance{Name: name.text, Line: name.line}
+	for {
+		t := p.peek()
+		switch {
+		case t.kind == tokRBrace:
+			p.advance()
+			if in.Type == "" {
+				return nil, errAt(in.Line, "instance %q missing required field 'type'", in.Name)
+			}
+			return in, nil
+		case t.kind == tokIdent && t.text == "type":
+			p.advance()
+			s, err := p.parseStringAssign()
+			if err != nil {
+				return nil, err
+			}
+			in.Type = s
+		case t.kind == tokIdent && t.text == "attrs":
+			p.advance()
+			attrs, err := p.parseAttrsBlock()
+			if err != nil {
+				return nil, err
+			}
+			in.Attrs = attrs
+		case t.kind == tokIdent && (t.text == "input" || t.text == "output" || t.text == "capability"):
+			p.advance()
+			v, err := p.parseQoSBlock()
+			if err != nil {
+				return nil, err
+			}
+			switch t.text {
+			case "input":
+				in.Input = v
+			case "output":
+				in.Output = v
+			case "capability":
+				in.Capability = v
+			}
+		case t.kind == tokIdent && (t.text == "adjustable" || t.text == "passthrough" || t.text == "installed"):
+			p.advance()
+			list, err := p.parseStringListAssign()
+			if err != nil {
+				return nil, err
+			}
+			switch t.text {
+			case "adjustable":
+				in.Adjustable = list
+			case "passthrough":
+				in.PassThrough = list
+			case "installed":
+				in.Installed = list
+			}
+		case t.kind == tokIdent && t.text == "resources":
+			p.advance()
+			if err := p.expect(tokLBrace); err != nil {
+				return nil, err
+			}
+			for {
+				f := p.peek()
+				if f.kind == tokRBrace {
+					p.advance()
+					break
+				}
+				if f.kind != tokIdent {
+					return nil, errAt(f.line, "expected resource field, got %s", f.kind)
+				}
+				p.advance()
+				v, err := p.parseNumberAssign()
+				if err != nil {
+					return nil, err
+				}
+				switch f.text {
+				case "memory":
+					in.Memory = v
+				case "cpu":
+					in.CPU = v
+				default:
+					return nil, errAt(f.line, "unknown resource field %q", f.text)
+				}
+			}
+		case t.kind == tokIdent && t.text == "size":
+			p.advance()
+			v, err := p.parseNumberAssign()
+			if err != nil {
+				return nil, err
+			}
+			in.SizeMB = v
+		default:
+			return nil, errAt(t.line, "unknown instance field %q", t.text)
+		}
+	}
+}
+
+// parseStringListAssign parses: = ["a", "b", ...]
+func (p *parser) parseStringListAssign() ([]string, error) {
+	if err := p.expect(tokAssign); err != nil {
+		return nil, err
+	}
+	if err := p.expect(tokLBracket); err != nil {
+		return nil, err
+	}
+	var out []string
+	for {
+		t := p.peek()
+		if t.kind == tokRBracket {
+			p.advance()
+			return out, nil
+		}
+		if t.kind != tokString {
+			return nil, errAt(t.line, "expected string in list, got %s", t.kind)
+		}
+		p.advance()
+		out = append(out, t.text)
+		if p.peek().kind == tokComma {
+			p.advance()
+		}
+	}
+}
+
+// BuildDomain constructs and wires a domain from the space configuration.
+func (sp *Space) BuildDomain(opts domain.Options) (*domain.Domain, error) {
+	d, err := domain.New(sp.Name, opts)
+	if err != nil {
+		return nil, err
+	}
+	deviceIDs := make(map[string]bool, len(sp.Devices))
+	for _, sd := range sp.Devices {
+		if _, err := d.AddDevice(device.ID(sd.ID), sd.Class, resource.MB(sd.Memory, sd.CPU), sd.Attrs); err != nil {
+			return nil, errAt(sd.Line, "%v", err)
+		}
+		deviceIDs[sd.ID] = true
+	}
+	for _, sl := range sp.Links {
+		if !deviceIDs[sl.A] || !deviceIDs[sl.B] {
+			return nil, errAt(sl.Line, "link references undeclared device")
+		}
+		link := netsim.Link{BandwidthMbps: sl.BandwidthMbps, LatencyMs: sl.LatencyMs}
+		if sl.Preset != "" {
+			link, err = linkPreset(sl.Preset, sl.Line)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if err := d.Connect(device.ID(sl.A), device.ID(sl.B), link); err != nil {
+			return nil, errAt(sl.Line, "%v", err)
+		}
+	}
+	for _, su := range sp.Uplinks {
+		if !deviceIDs[su.Device] {
+			return nil, errAt(su.Line, "uplink references undeclared device %q", su.Device)
+		}
+		link, err := linkPreset(su.Preset, su.Line)
+		if err != nil {
+			return nil, err
+		}
+		if err := d.ConnectServer(device.ID(su.Device), link); err != nil {
+			return nil, errAt(su.Line, "%v", err)
+		}
+	}
+	for _, si := range sp.Instances {
+		inst := &registry.Instance{
+			Name:          si.Name,
+			Type:          si.Type,
+			Attrs:         si.Attrs,
+			Input:         si.Input,
+			Output:        si.Output,
+			OutCapability: si.Capability,
+			Resources:     resource.MB(si.Memory, si.CPU),
+			SizeMB:        si.SizeMB,
+		}
+		if len(si.Adjustable) > 0 {
+			inst.Adjustable = make(map[string]bool, len(si.Adjustable))
+			for _, dim := range si.Adjustable {
+				inst.Adjustable[dim] = true
+			}
+		}
+		if len(si.PassThrough) > 0 {
+			inst.PassThrough = make(map[string]bool, len(si.PassThrough))
+			for _, dim := range si.PassThrough {
+				inst.PassThrough[dim] = true
+			}
+		}
+		if err := d.Registry.Register(inst); err != nil {
+			return nil, errAt(si.Line, "%v", err)
+		}
+		if si.SizeMB > 0 {
+			if err := d.Repo.Publish(repository.Package{Name: si.Name, SizeMB: si.SizeMB}); err != nil {
+				return nil, errAt(si.Line, "%v", err)
+			}
+		}
+		for _, target := range si.Installed {
+			if target == "*" {
+				for id := range deviceIDs {
+					d.Repo.MarkInstalled(id, si.Name)
+				}
+				continue
+			}
+			if !deviceIDs[target] {
+				return nil, errAt(si.Line, "installed references undeclared device %q", target)
+			}
+			d.Repo.MarkInstalled(target, si.Name)
+		}
+	}
+	return d, nil
+}
+
+// LoadSpace parses a space document and builds its domain in one step.
+func LoadSpace(src string, opts domain.Options) (*domain.Domain, error) {
+	sp, err := ParseSpace(src)
+	if err != nil {
+		return nil, err
+	}
+	return sp.BuildDomain(opts)
+}

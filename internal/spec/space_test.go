@@ -1,0 +1,220 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"ubiqos/internal/core"
+	"ubiqos/internal/domain"
+	"ubiqos/internal/qos"
+	"ubiqos/internal/resource"
+)
+
+const labSpace = `
+// A two-desktop-plus-PDA smart space with the audio components.
+space "lab" {
+    device desktop1 {
+        class  = "desktop"
+        memory = 256
+        cpu    = 100
+        attrs { platform = "pc" }
+    }
+    device desktop2 {
+        class  = "desktop"
+        memory = 256
+        cpu    = 100
+        attrs { platform = "pc" }
+    }
+    device pda1 {
+        class  = "pda"
+        memory = 32
+        cpu    = 100
+        attrs { platform = "pda" }
+    }
+
+    link desktop1 desktop2 = "ethernet"
+    link desktop1 pda1 = "wlan"
+    link desktop2 pda1 { bandwidth = 5 latency = 5 }
+    uplink desktop1 = "ethernet"
+    uplink desktop2 = "ethernet"
+    uplink pda1 = "wlan"
+
+    instance "audio-server-1" {
+        type   = "audio-server"
+        output { format = "MPEG" framerate = 40 }
+        capability { framerate = 5..60 }
+        adjustable = ["framerate"]
+        resources { memory = 64 cpu = 50 }
+        size = 12
+        installed = ["*"]
+    }
+    instance "pc-player" {
+        type  = "audio-player"
+        attrs { platform = "pc" }
+        input { format = "MPEG" framerate = 10..50 }
+        resources { memory = 16 cpu = 30 }
+        size = 4
+        installed = ["*"]
+    }
+    instance "pda-player" {
+        type  = "audio-player"
+        attrs { platform = "pda" }
+        input { format = "WAV" framerate = 10..44 }
+        resources { memory = 8 cpu = 10 }
+        size = 2
+        installed = ["*"]
+    }
+    instance "mpeg2wav" {
+        type  = "transcoder"
+        attrs { from = "MPEG" to = "WAV" }
+        input  { format = "MPEG" }
+        output { format = "WAV" }
+        passthrough = ["framerate"]
+        resources { memory = 12 cpu = 25 }
+        size = 3
+        installed = ["*"]
+    }
+}
+`
+
+func TestParseSpace(t *testing.T) {
+	sp, err := ParseSpace(labSpace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Name != "lab" || len(sp.Devices) != 3 || len(sp.Links) != 3 || len(sp.Uplinks) != 3 || len(sp.Instances) != 4 {
+		t.Fatalf("space = %+v", sp)
+	}
+	if sp.Devices[2].ID != "pda1" || sp.Devices[2].Memory != 32 {
+		t.Errorf("pda = %+v", sp.Devices[2])
+	}
+	if sp.Links[2].BandwidthMbps != 5 || sp.Links[2].LatencyMs != 5 {
+		t.Errorf("explicit link = %+v", sp.Links[2])
+	}
+	srv := sp.Instances[0]
+	if srv.Adjustable[0] != "framerate" || srv.SizeMB != 12 {
+		t.Errorf("server = %+v", srv)
+	}
+	if got, _ := srv.Capability.Get("framerate"); !got.Equal(qos.Range(5, 60)) {
+		t.Errorf("capability = %v", got)
+	}
+	tc := sp.Instances[3]
+	if tc.PassThrough[0] != "framerate" || tc.Attrs["from"] != "MPEG" {
+		t.Errorf("transcoder = %+v", tc)
+	}
+}
+
+func TestBuildDomainEndToEnd(t *testing.T) {
+	// The space document must produce a domain that can run the paper's
+	// audio scenario end to end, including a PDA handoff with transcoder
+	// insertion.
+	dom, err := LoadSpace(labSpace, domain.Options{Scale: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dom.Close()
+
+	if dom.Devices.Len() != 3 || dom.Registry.Len() != 4 {
+		t.Fatalf("domain: %d devices, %d services", dom.Devices.Len(), dom.Registry.Len())
+	}
+	// Normalization applied: desktop raw 100% CPU -> 500%.
+	if got := dom.Devices.Get("desktop1").Capacity(); !got.Equal(resource.MB(256, 500)) {
+		t.Errorf("desktop capacity = %v", got)
+	}
+
+	ag, userQoS, _, err := Load(audioSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// audioSpec includes an optional equalizer that won't be discovered —
+	// that's fine, it is neglected.
+	active, err := dom.StartApp(core.Request{
+		SessionID:    "music",
+		App:          ag,
+		UserQoS:      userQoS,
+		ClientDevice: "desktop2",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if active.Placement["player"] != "desktop2" || active.Placement["server"] != "desktop1" {
+		t.Errorf("placement = %v", active.Placement)
+	}
+	moved, err := dom.SwitchDevice("music", "pda1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(moved.Report.Transcoders) != 1 {
+		t.Errorf("transcoders = %v", moved.Report.Transcoders)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if err := dom.StopApp("music"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseSpaceErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantErr string
+	}{
+		{"missing space keyword", `device d {}`, `expected "space"`},
+		{"missing name", `space { }`, "expected space name"},
+		{"unknown block", `space "x" { banana }`, "expected 'device'"},
+		{"device missing class", `space "x" { device d { memory = 1 cpu = 1 } }`, "missing required field 'class'"},
+		{"unknown class", `space "x" { device d { class = "mainframe" memory = 1 cpu = 1 } }`, "unknown device class"},
+		{"nonpositive capacity", `space "x" { device d { class = "pda" memory = 0 cpu = 1 } }`, "positive"},
+		{"unknown device field", `space "x" { device d { wheels = 4 } }`, "unknown device field"},
+		{"unknown preset", `space "x" { device a { class="pda" memory=1 cpu=1 } device b { class="pda" memory=1 cpu=1 } link a b = "carrier-pigeon" }`, "unknown link preset"},
+		{"link needs bandwidth", `space "x" { device a { class="pda" memory=1 cpu=1 } device b { class="pda" memory=1 cpu=1 } link a b { latency = 1 } }`, "positive bandwidth"},
+		{"unknown link field", `space "x" { device a { class="pda" memory=1 cpu=1 } device b { class="pda" memory=1 cpu=1 } link a b { mtu = 1500 } }`, "unknown link field"},
+		{"link malformed", `space "x" { device a { class="pda" memory=1 cpu=1 } device b { class="pda" memory=1 cpu=1 } link a b 5 }`, "expected '='"},
+		{"uplink preset", `space "x" { device a { class="pda" memory=1 cpu=1 } uplink a = "tin-cans" }`, "unknown link preset"},
+		{"instance missing type", `space "x" { instance "i" { size = 1 } }`, "missing required field 'type'"},
+		{"unknown instance field", `space "x" { instance "i" { type = "t" color = "red" } }`, "unknown instance field"},
+		{"unknown resource field", `space "x" { instance "i" { type = "t" resources { gpu = 1 } } }`, "unknown resource field"},
+		{"bad list", `space "x" { instance "i" { type = "t" adjustable = [5] } }`, "expected string in list"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ParseSpace(c.src)
+			if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+				t.Errorf("err = %v, want %q", err, c.wantErr)
+			}
+		})
+	}
+}
+
+func TestBuildDomainErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantErr string
+	}{
+		{"duplicate device", `space "x" {
+			device a { class="pda" memory=1 cpu=1 }
+			device a { class="pda" memory=1 cpu=1 }
+		}`, "duplicate"},
+		{"link to undeclared", `space "x" {
+			device a { class="pda" memory=1 cpu=1 }
+			link a ghost = "wlan"
+		}`, "undeclared device"},
+		{"uplink to undeclared", `space "x" {
+			uplink ghost = "wlan"
+		}`, "undeclared device"},
+		{"installed on undeclared", `space "x" {
+			device a { class="pda" memory=1 cpu=1 }
+			instance "i" { type = "t" installed = ["ghost"] }
+		}`, "undeclared device"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			sp, err := ParseSpace(c.src)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			_, err = sp.BuildDomain(domain.Options{Scale: 0.1})
+			if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+				t.Errorf("err = %v, want %q", err, c.wantErr)
+			}
+		})
+	}
+}

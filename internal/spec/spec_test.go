@@ -1,0 +1,256 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+
+	"ubiqos/internal/core"
+	"ubiqos/internal/qos"
+)
+
+const audioSpec = `
+// The paper's mobile audio-on-demand application.
+app "mobile-audio" {
+    qos { framerate = 38..44 }
+
+    service server {
+        type = "audio-server"
+        pin  = "desktop1"
+        output { format = "MPEG" }
+    }
+    service player {
+        type = "audio-player"
+        pin  = client
+    }
+    service equalizer {
+        type = "equalizer"
+        optional
+        attrs { vendor = "acme" }
+    }
+
+    flow server -> equalizer @ 1.5
+    flow equalizer -> player @ 1.5
+}
+`
+
+func TestParseFullSpec(t *testing.T) {
+	app, err := Parse(audioSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app.Name != "mobile-audio" {
+		t.Errorf("Name = %q", app.Name)
+	}
+	if got, _ := app.UserQoS.Get("framerate"); !got.Equal(qos.Range(38, 44)) {
+		t.Errorf("UserQoS framerate = %v", got)
+	}
+	if len(app.Services) != 3 {
+		t.Fatalf("services = %d", len(app.Services))
+	}
+	srv := app.Services[0]
+	if srv.ID != "server" || srv.Type != "audio-server" || srv.Pin != "desktop1" {
+		t.Errorf("server = %+v", srv)
+	}
+	if got, _ := srv.Output.Get("format"); !got.Equal(qos.Symbol("MPEG")) {
+		t.Errorf("server output = %v", srv.Output)
+	}
+	if app.Services[1].Pin != ClientPin {
+		t.Errorf("player pin = %q", app.Services[1].Pin)
+	}
+	eq := app.Services[2]
+	if !eq.Optional || eq.Attrs["vendor"] != "acme" {
+		t.Errorf("equalizer = %+v", eq)
+	}
+	if len(app.Flows) != 2 || app.Flows[0].ThroughputMbps != 1.5 {
+		t.Errorf("flows = %+v", app.Flows)
+	}
+}
+
+func TestCompile(t *testing.T) {
+	ag, userQoS, name, err := Load(audioSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "mobile-audio" {
+		t.Errorf("name = %q", name)
+	}
+	if ag.NodeCount() != 3 || len(ag.Edges()) != 2 {
+		t.Errorf("graph: %d nodes, %d edges", ag.NodeCount(), len(ag.Edges()))
+	}
+	if ag.Node("player").Pin != core.ClientRole {
+		t.Errorf("player pin = %q, want core.ClientRole", ag.Node("player").Pin)
+	}
+	if ag.Node("server").Pin != "desktop1" {
+		t.Errorf("server pin = %q", ag.Node("server").Pin)
+	}
+	if !ag.Node("equalizer").Optional {
+		t.Error("equalizer must be optional")
+	}
+	if got, _ := userQoS.Get("framerate"); !got.Equal(qos.Range(38, 44)) {
+		t.Errorf("userQoS = %v", userQoS)
+	}
+}
+
+func TestQoSValueForms(t *testing.T) {
+	src := `app "x" {
+		qos {
+			framerate  = 25
+			window     = 10..30
+			format     = "MPEG"
+			accepts    = ["WAV", "MP3"]
+		}
+		service s { type = "t" }
+	}`
+	app, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		dim  string
+		want qos.Value
+	}{
+		{"framerate", qos.Scalar(25)},
+		{"window", qos.Range(10, 30)},
+		{"format", qos.Symbol("MPEG")},
+		{"accepts", qos.Set("WAV", "MP3")},
+	}
+	for _, c := range cases {
+		if got, ok := app.UserQoS.Get(c.dim); !ok || !got.Equal(c.want) {
+			t.Errorf("%s = %v, want %v", c.dim, got, c.want)
+		}
+	}
+}
+
+func TestFlowDefaultThroughput(t *testing.T) {
+	src := `app "x" {
+		service a { type = "t" }
+		service b { type = "t" }
+		flow a -> b
+	}`
+	app, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app.Flows[0].ThroughputMbps != defaultThroughputMbps {
+		t.Errorf("throughput = %g", app.Flows[0].ThroughputMbps)
+	}
+}
+
+func TestCommentsAndEscapes(t *testing.T) {
+	src := `# hash comment
+	app "quoted \"name\"" { // trailing comment
+		service s { type = "a-b_c" }
+	}`
+	app, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app.Name != `quoted "name"` {
+		t.Errorf("Name = %q", app.Name)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantErr string
+	}{
+		{"missing app keyword", `service s {}`, `expected "app"`},
+		{"missing name", `app { }`, "expected application name"},
+		{"empty name", `app "" {}`, "empty application name"},
+		{"unterminated string", `app "x`, "unterminated string"},
+		{"unknown field", `app "x" { service s { type = "t" bogus = "y" } }`, "unknown service field"},
+		{"missing type", `app "x" { service s { } }`, "missing required field 'type'"},
+		{"bad pin", `app "x" { service s { type = "t" pin = 5 } }`, "pin must be"},
+		{"duplicate attr", `app "x" { service s { type = "t" attrs { a = "1" a = "2" } } }`, "duplicate attribute"},
+		{"duplicate qos block", `app "x" { qos { a = 1 } qos { b = 2 } service s { type = "t" } }`, "duplicate qos block"},
+		{"duplicate qos dim", `app "x" { qos { a = 1 a = 2 } }`, "duplicate QoS dimension"},
+		{"inverted range", `app "x" { qos { a = 30..10 } }`, "invalid range"},
+		{"empty set", `app "x" { qos { a = [] } }`, "empty symbol set"},
+		{"bad set element", `app "x" { qos { a = [5] } }`, "expected string in set"},
+		{"stray dot", `app "x" { qos { a = 1.. } }`, "expected range upper bound"},
+		{"single dot", `app "x" { qos { a . } }`, "did you mean"},
+		{"bad flow target", `app "x" { service a { type = "t" } flow a -> }`, "expected flow target"},
+		{"flow missing arrow", `app "x" { service a { type = "t" } flow a a }`, "expected '->'"},
+		{"bad throughput", `app "x" { service a { type="t" } service b { type="t" } flow a -> b @ "x" }`, "expected throughput"},
+		{"unexpected char", `app "x" { % }`, "unexpected character"},
+		{"unknown escape", `app "\q" {}`, "unknown escape"},
+		{"unexpected top-level", `app "x" { 42 }`, "expected 'qos', 'service', 'flow'"},
+		{"trailing garbage", `app "x" { service s { type = "t" } } extra`, "expected end of input"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse(c.src)
+			if err == nil {
+				t.Fatal("Parse should fail")
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Errorf("err = %v, want substring %q", err, c.wantErr)
+			}
+			var pe *ParseError
+			if !errorsAs(err, &pe) {
+				t.Errorf("error type = %T, want *ParseError", err)
+			} else if pe.Line < 1 {
+				t.Errorf("line = %d", pe.Line)
+			}
+		})
+	}
+}
+
+// errorsAs is a tiny local wrapper to keep the test import list small.
+func errorsAs(err error, target **ParseError) bool {
+	pe, ok := err.(*ParseError)
+	if ok {
+		*target = pe
+	}
+	return ok
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantErr string
+	}{
+		{"duplicate service", `app "x" { service s { type = "t" } service s { type = "t" } }`, "duplicate"},
+		{"unknown flow source", `app "x" { service b { type = "t" } flow a -> b }`, "does not exist"},
+		{"cycle", `app "x" {
+			service a { type = "t" }
+			service b { type = "t" }
+			flow a -> b
+			flow b -> a
+		}`, "cycle"},
+		{"no services", `app "x" { }`, "empty"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			app, err := Parse(c.src)
+			if err != nil {
+				t.Fatalf("parse failed early: %v", err)
+			}
+			if _, _, err := app.Compile(); err == nil || !strings.Contains(err.Error(), c.wantErr) {
+				t.Errorf("Compile err = %v, want %q", err, c.wantErr)
+			}
+		})
+	}
+}
+
+func TestNegativeNumberLexes(t *testing.T) {
+	src := `app "x" { qos { a = -5 } service s { type = "t" } }`
+	app, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := app.UserQoS.Get("a"); !got.Equal(qos.Scalar(-5)) {
+		t.Errorf("a = %v", got)
+	}
+}
+
+func TestLineNumbersInErrors(t *testing.T) {
+	src := "app \"x\" {\n\n  service s {\n    bogus\n  }\n}"
+	_, err := Parse(src)
+	pe, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("err = %v", err)
+	}
+	if pe.Line != 4 {
+		t.Errorf("line = %d, want 4", pe.Line)
+	}
+}

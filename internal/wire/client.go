@@ -1,0 +1,56 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"time"
+)
+
+// Client speaks the protocol to a qosconfigd server. A Client is safe for
+// sequential use; guard concurrent calls externally.
+type Client struct {
+	conn net.Conn
+	enc  *json.Encoder
+	sc   *bufio.Scanner
+}
+
+// DialTimeout is the default connect timeout.
+const DialTimeout = 5 * time.Second
+
+// Dial connects to the server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("wire: dial %s: %w", addr, err)
+	}
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 64<<10), maxLineBytes)
+	return &Client{conn: conn, enc: json.NewEncoder(conn), sc: sc}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Call sends one request and reads one response. A server-reported error
+// is returned as a Go error with the response still populated.
+func (c *Client) Call(req Request) (Response, error) {
+	if err := c.enc.Encode(req); err != nil {
+		return Response{}, fmt.Errorf("wire: send: %w", err)
+	}
+	if !c.sc.Scan() {
+		if err := c.sc.Err(); err != nil {
+			return Response{}, fmt.Errorf("wire: receive: %w", err)
+		}
+		return Response{}, fmt.Errorf("wire: connection closed by server")
+	}
+	var resp Response
+	if err := json.Unmarshal(c.sc.Bytes(), &resp); err != nil {
+		return Response{}, fmt.Errorf("wire: decode response: %w", err)
+	}
+	if !resp.OK {
+		return resp, fmt.Errorf("wire: server error: %s", resp.Error)
+	}
+	return resp, nil
+}

@@ -1,0 +1,328 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"ubiqos/internal/composer"
+	"ubiqos/internal/core"
+	"ubiqos/internal/device"
+	"ubiqos/internal/domain"
+	"ubiqos/internal/graph"
+	"ubiqos/internal/repository"
+)
+
+// maxLineBytes bounds one request line (a large abstract graph fits well
+// within this).
+const maxLineBytes = 4 << 20
+
+// Server exposes a domain over TCP.
+type Server struct {
+	dom *domain.Domain
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewServer wraps the domain.
+func NewServer(dom *domain.Domain) (*Server, error) {
+	if dom == nil {
+		return nil, fmt.Errorf("wire: nil domain")
+	}
+	return &Server{dom: dom, conns: make(map[net.Conn]struct{})}, nil
+}
+
+// Listen binds the address and starts serving in background goroutines.
+// It returns the bound address (useful with ":0").
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("wire: listen: %w", err)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return "", fmt.Errorf("wire: server closed")
+	}
+	s.listener = ln
+	s.mu.Unlock()
+
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			s.mu.Lock()
+			if s.closed {
+				s.mu.Unlock()
+				conn.Close()
+				return
+			}
+			s.conns[conn] = struct{}{}
+			s.mu.Unlock()
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				s.serve(conn)
+			}()
+		}
+	}()
+	return ln.Addr().String(), nil
+}
+
+// Close stops accepting, closes all connections, and waits for handlers.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	if s.listener != nil {
+		s.listener.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+func (s *Server) serve(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	scanner := bufio.NewScanner(conn)
+	scanner.Buffer(make([]byte, 64<<10), maxLineBytes)
+	enc := json.NewEncoder(conn)
+	for scanner.Scan() {
+		line := scanner.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var req Request
+		var resp Response
+		if err := json.Unmarshal(line, &req); err != nil {
+			resp = errResponse(fmt.Errorf("wire: bad request: %w", err))
+		} else {
+			resp = s.Handle(req)
+		}
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+func errResponse(err error) Response { return Response{Error: err.Error()} }
+
+// Handle dispatches one request; it is exported so the daemon can be
+// exercised without a socket.
+func (s *Server) Handle(req Request) Response {
+	switch req.Op {
+	case OpPing:
+		return Response{OK: true}
+	case OpListDevices:
+		return s.listDevices()
+	case OpListInst:
+		return s.listServices()
+	case OpSessions:
+		return Response{OK: true, Sessions: s.dom.Configurator.SessionIDs()}
+	case OpSession:
+		return s.sessionInfo(req.SessionID)
+	case OpStart:
+		return s.start(req)
+	case OpStop:
+		if err := s.dom.StopApp(req.SessionID); err != nil {
+			return errResponse(err)
+		}
+		return Response{OK: true}
+	case OpSwitch:
+		active, err := s.dom.SwitchDevice(req.SessionID, device.ID(req.ToDevice))
+		if err != nil {
+			return errResponse(err)
+		}
+		return Response{OK: true, Session: sessionInfoOf(active)}
+	case OpMetrics:
+		return Response{OK: true, Metrics: s.dom.Metrics.Snapshot()}
+	case OpCrashDevice:
+		moved, err := s.dom.RemoveDevice(device.ID(req.ToDevice))
+		if err != nil && len(moved) == 0 {
+			return errResponse(err)
+		}
+		resp := Response{OK: true, Moved: moved}
+		if err != nil {
+			resp.Error = err.Error() // partial recovery: report but succeed
+		}
+		return resp
+	case OpCheck:
+		return s.check(req)
+	case OpRegister:
+		return s.registerService(req)
+	case OpUnregister:
+		if !s.dom.Registry.Unregister(req.Name) {
+			return errResponse(fmt.Errorf("wire: unknown service %q", req.Name))
+		}
+		return Response{OK: true}
+	default:
+		return errResponse(fmt.Errorf("wire: unknown op %q", req.Op))
+	}
+}
+
+func (s *Server) listDevices() Response {
+	var out []DeviceInfo
+	for _, d := range s.dom.Devices.All() {
+		out = append(out, DeviceInfo{
+			ID:        string(d.ID),
+			Class:     d.Class.String(),
+			Capacity:  d.Capacity(),
+			Available: d.Available(),
+			Up:        d.Up(),
+		})
+	}
+	return Response{OK: true, Devices: out}
+}
+
+func (s *Server) listServices() Response {
+	var out []InstanceInfo
+	for _, in := range s.dom.Registry.All() {
+		out = append(out, InstanceInfo{
+			Name:      in.Name,
+			Type:      in.Type,
+			Attrs:     in.Attrs,
+			SizeMB:    in.SizeMB,
+			Resources: in.Resources,
+		})
+	}
+	return Response{OK: true, Services: out}
+}
+
+func (s *Server) start(req Request) Response {
+	if req.App == nil {
+		return errResponse(errors.New("wire: start requires an app graph"))
+	}
+	active, err := s.dom.StartApp(core.Request{
+		SessionID:    req.SessionID,
+		App:          req.App,
+		UserQoS:      req.UserQoS,
+		ClientDevice: device.ID(req.ClientDevice),
+		MaxFrames:    req.MaxFrames,
+	})
+	if err != nil {
+		return errResponse(err)
+	}
+	return Response{OK: true, Session: sessionInfoOf(active)}
+}
+
+// registerService announces a new service instance in the domain's
+// discovery catalog — services "come and go frequently" in the smart
+// space, and this is how they come.
+func (s *Server) registerService(req Request) Response {
+	if req.Instance == nil {
+		return errResponse(errors.New("wire: register-service requires an instance"))
+	}
+	if err := s.dom.Registry.Register(req.Instance); err != nil {
+		return errResponse(err)
+	}
+	if req.Instance.SizeMB > 0 {
+		if err := s.dom.Repo.Publish(repository.Package{Name: req.Instance.Name, SizeMB: req.Instance.SizeMB}); err != nil {
+			return errResponse(err)
+		}
+	}
+	for _, target := range req.InstalledOn {
+		if target == "*" {
+			for _, d := range s.dom.Devices.All() {
+				s.dom.Repo.MarkInstalled(string(d.ID), req.Instance.Name)
+			}
+			continue
+		}
+		if s.dom.Devices.Get(device.ID(target)) == nil {
+			return errResponse(fmt.Errorf("wire: installed-on references unknown device %q", target))
+		}
+		s.dom.Repo.MarkInstalled(target, req.Instance.Name)
+	}
+	return Response{OK: true}
+}
+
+// check dry-runs the composition tier against the current environment
+// without deploying anything.
+func (s *Server) check(req Request) Response {
+	if req.App == nil {
+		return errResponse(errors.New("wire: check requires an app graph"))
+	}
+	client := device.ID(req.ClientDevice)
+	var attrs map[string]string
+	if d := s.dom.Devices.Get(client); d != nil {
+		attrs = d.Attrs
+	}
+	_, rep, err := s.dom.Composer.Compose(composer.Request{
+		App:          resolveForCheck(req.App, client),
+		UserQoS:      req.UserQoS,
+		ClientAttrs:  attrs,
+		ClientDevice: req.ClientDevice,
+	})
+	if err != nil {
+		return errResponse(err)
+	}
+	return Response{OK: true, CheckSummary: rep.Summary()}
+}
+
+// resolveForCheck rewrites the client pin role like the configurator does.
+func resolveForCheck(app *composer.AbstractGraph, client device.ID) *composer.AbstractGraph {
+	if client == "" {
+		return app
+	}
+	out := composer.NewAbstractGraph()
+	for _, n := range app.Nodes() {
+		cp := *n
+		if cp.Pin == core.ClientRole {
+			cp.Pin = string(client)
+		}
+		out.MustAddNode(&cp)
+	}
+	for _, e := range app.Edges() {
+		out.MustAddEdge(e.From, e.To, e.ThroughputMbps)
+	}
+	return out
+}
+
+func (s *Server) sessionInfo(id string) Response {
+	active := s.dom.Configurator.Session(id)
+	if active == nil {
+		return errResponse(fmt.Errorf("wire: unknown session %q", id))
+	}
+	return Response{OK: true, Session: sessionInfoOf(active)}
+}
+
+func sessionInfoOf(active *core.ActiveSession) *SessionInfo {
+	placement := make(map[string]string, len(active.Placement))
+	dotPlacement := make(map[graph.NodeID]string, len(active.Placement))
+	for id, dev := range active.Placement {
+		placement[string(id)] = string(dev)
+		dotPlacement[id] = string(dev)
+	}
+	return &SessionInfo{
+		ID:           active.ID,
+		ClientDevice: string(active.ClientDevice),
+		Placement:    placement,
+		Cost:         active.Cost,
+		Timing: timingInfo(active.Timing.Composition, active.Timing.Distribution,
+			active.Timing.Downloading, active.Timing.InitOrHandoff),
+		Rates:   active.Runtime.SinkRates(),
+		Summary: active.Report.Summary(),
+		DOT:     active.Graph.DOT(active.ID, dotPlacement),
+	}
+}

@@ -1,0 +1,121 @@
+// Package wire defines the newline-delimited JSON protocol spoken between
+// the qosconfigd domain-server daemon and the qosctl client, plus the
+// server and client implementations. Each request is one JSON object on
+// one line; each response likewise.
+package wire
+
+import (
+	"time"
+
+	"ubiqos/internal/composer"
+	"ubiqos/internal/qos"
+	"ubiqos/internal/registry"
+)
+
+// Operation names.
+const (
+	OpPing        = "ping"
+	OpListDevices = "list-devices"
+	OpListInst    = "list-services"
+	OpSessions    = "sessions"
+	OpSession     = "session"
+	OpStart       = "start"
+	OpStop        = "stop"
+	OpSwitch      = "switch"
+	OpMetrics     = "metrics"
+	OpCrashDevice = "crash-device"
+	OpCheck       = "check"
+	OpRegister    = "register-service"
+	OpUnregister  = "unregister-service"
+)
+
+// Request is one client request.
+type Request struct {
+	// Op selects the operation.
+	Op string `json:"op"`
+	// SessionID addresses a session (start/stop/switch/session).
+	SessionID string `json:"sessionId,omitempty"`
+	// App is the abstract service graph (start).
+	App *composer.AbstractGraph `json:"app,omitempty"`
+	// UserQoS carries the user's QoS requirements (start).
+	UserQoS qos.Vector `json:"userQoS,omitempty"`
+	// ClientDevice is the portal device (start).
+	ClientDevice string `json:"clientDevice,omitempty"`
+	// ToDevice is the handoff target (switch).
+	ToDevice string `json:"toDevice,omitempty"`
+	// MaxFrames bounds emulated sources (start; 0 = unbounded).
+	MaxFrames int64 `json:"maxFrames,omitempty"`
+	// Instance is the service instance to announce (register-service).
+	Instance *registry.Instance `json:"instance,omitempty"`
+	// Name addresses a registered instance (unregister-service).
+	Name string `json:"name,omitempty"`
+	// InstalledOn optionally marks the registered instance pre-installed
+	// on these devices ("*" = everywhere).
+	InstalledOn []string `json:"installedOn,omitempty"`
+}
+
+// DeviceInfo describes one device in a list-devices response.
+type DeviceInfo struct {
+	ID        string    `json:"id"`
+	Class     string    `json:"class"`
+	Capacity  []float64 `json:"capacity"`
+	Available []float64 `json:"available"`
+	Up        bool      `json:"up"`
+}
+
+// InstanceInfo describes one registered service instance.
+type InstanceInfo struct {
+	Name      string            `json:"name"`
+	Type      string            `json:"type"`
+	Attrs     map[string]string `json:"attrs,omitempty"`
+	SizeMB    float64           `json:"sizeMB,omitempty"`
+	Resources []float64         `json:"resources,omitempty"`
+}
+
+// TimingInfo is the configuration overhead breakdown in milliseconds.
+type TimingInfo struct {
+	CompositionMs   float64 `json:"compositionMs"`
+	DistributionMs  float64 `json:"distributionMs"`
+	DownloadingMs   float64 `json:"downloadingMs"`
+	InitOrHandoffMs float64 `json:"initOrHandoffMs"`
+}
+
+// SessionInfo describes one configured session.
+type SessionInfo struct {
+	ID           string             `json:"id"`
+	ClientDevice string             `json:"clientDevice"`
+	Placement    map[string]string  `json:"placement"`
+	Cost         float64            `json:"cost"`
+	Timing       TimingInfo         `json:"timing"`
+	Rates        map[string]float64 `json:"rates,omitempty"`
+	Summary      string             `json:"summary,omitempty"`
+	// DOT is the Graphviz rendering of the placed service graph.
+	DOT string `json:"dot,omitempty"`
+}
+
+// Response is one server response.
+type Response struct {
+	OK       bool           `json:"ok"`
+	Error    string         `json:"error,omitempty"`
+	Devices  []DeviceInfo   `json:"devices,omitempty"`
+	Services []InstanceInfo `json:"services,omitempty"`
+	Sessions []string       `json:"sessions,omitempty"`
+	Session  *SessionInfo   `json:"session,omitempty"`
+	// Metrics is the plain-text metrics snapshot (metrics op).
+	Metrics string `json:"metrics,omitempty"`
+	// Moved lists sessions reconfigured off a crashed device (crash-device
+	// op).
+	Moved []string `json:"moved,omitempty"`
+	// CheckSummary reports what composing the app would do (check op).
+	CheckSummary string `json:"checkSummary,omitempty"`
+}
+
+func timingInfo(c, d, dl, ih time.Duration) TimingInfo {
+	toMs := func(x time.Duration) float64 { return float64(x) / float64(time.Millisecond) }
+	return TimingInfo{
+		CompositionMs:   toMs(c),
+		DistributionMs:  toMs(d),
+		DownloadingMs:   toMs(dl),
+		InitOrHandoffMs: toMs(ih),
+	}
+}

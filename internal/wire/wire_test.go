@@ -1,0 +1,310 @@
+package wire
+
+import (
+	"strings"
+	"testing"
+
+	"ubiqos/internal/experiments"
+	"ubiqos/internal/qos"
+	"ubiqos/internal/registry"
+)
+
+// startServer boots a server over the paper's audio smart space on a
+// random port.
+func startServer(t *testing.T) (*Server, string) {
+	t.Helper()
+	dom, err := experiments.BuildAudioSpace(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(dom.Close)
+	srv, err := NewServer(dom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	return srv, addr
+}
+
+func TestNewServerValidation(t *testing.T) {
+	if _, err := NewServer(nil); err == nil {
+		t.Error("nil domain should fail")
+	}
+}
+
+func TestPingAndLists(t *testing.T) {
+	_, addr := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if _, err := c.Call(Request{Op: OpPing}); err != nil {
+		t.Fatalf("ping: %v", err)
+	}
+	resp, err := c.Call(Request{Op: OpListDevices})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Devices) != 4 {
+		t.Errorf("devices = %d, want 4", len(resp.Devices))
+	}
+	found := false
+	for _, d := range resp.Devices {
+		if d.ID == "jornada" && d.Class == "pda" && d.Up {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("jornada missing from %v", resp.Devices)
+	}
+	resp, err = c.Call(Request{Op: OpListInst})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Services) != 4 {
+		t.Errorf("services = %d, want 4", len(resp.Services))
+	}
+}
+
+func TestStartSwitchStopLifecycle(t *testing.T) {
+	_, addr := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	resp, err := c.Call(Request{
+		Op:           OpStart,
+		SessionID:    "audio-1",
+		App:          experiments.AudioOnDemandApp(),
+		UserQoS:      qos.V(qos.P(qos.DimFrameRate, qos.Range(38, 44))),
+		ClientDevice: "desktop2",
+	})
+	if err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	if resp.Session == nil || resp.Session.Placement["player"] != "desktop2" {
+		t.Fatalf("session = %+v", resp.Session)
+	}
+	if resp.Session.Timing.CompositionMs < 0 {
+		t.Error("timing missing")
+	}
+
+	resp, err = c.Call(Request{Op: OpSessions})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Sessions) != 1 || resp.Sessions[0] != "audio-1" {
+		t.Errorf("sessions = %v", resp.Sessions)
+	}
+
+	resp, err = c.Call(Request{Op: OpSwitch, SessionID: "audio-1", ToDevice: "jornada"})
+	if err != nil {
+		t.Fatalf("switch: %v", err)
+	}
+	if resp.Session.Placement["player"] != "jornada" {
+		t.Errorf("placement after switch = %v", resp.Session.Placement)
+	}
+	if !strings.Contains(resp.Session.Summary, "transcoder") {
+		t.Errorf("summary = %q, want transcoder insertion", resp.Session.Summary)
+	}
+
+	resp, err = c.Call(Request{Op: OpSession, SessionID: "audio-1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Session.ClientDevice != "jornada" {
+		t.Errorf("client device = %s", resp.Session.ClientDevice)
+	}
+
+	if _, err := c.Call(Request{Op: OpStop, SessionID: "audio-1"}); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+	if _, err := c.Call(Request{Op: OpSession, SessionID: "audio-1"}); err == nil {
+		t.Error("stopped session should be unknown")
+	}
+}
+
+func TestServerErrors(t *testing.T) {
+	_, addr := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if _, err := c.Call(Request{Op: "bogus"}); err == nil || !strings.Contains(err.Error(), "unknown op") {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := c.Call(Request{Op: OpStart, SessionID: "x"}); err == nil {
+		t.Error("start without app should fail")
+	}
+	if _, err := c.Call(Request{Op: OpStop, SessionID: "ghost"}); err == nil {
+		t.Error("stop unknown session should fail")
+	}
+	if _, err := c.Call(Request{Op: OpSwitch, SessionID: "ghost", ToDevice: "jornada"}); err == nil {
+		t.Error("switch unknown session should fail")
+	}
+}
+
+func TestMalformedRequestLine(t *testing.T) {
+	srv, _ := startServer(t)
+	resp := srv.Handle(Request{Op: OpPing})
+	if !resp.OK {
+		t.Error("direct handle failed")
+	}
+	// A malformed JSON line yields an error response, not a dropped
+	// connection: exercised through the socket path.
+	_, addr2 := startServer(t)
+	c, err := Dial(addr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.conn.Write([]byte("{not json}\n")); err != nil {
+		t.Fatal(err)
+	}
+	if !c.sc.Scan() {
+		t.Fatal("no response to malformed line")
+	}
+	if !strings.Contains(c.sc.Text(), "bad request") {
+		t.Errorf("response = %s", c.sc.Text())
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	_, addr := startServer(t)
+	done := make(chan error, 4)
+	for i := 0; i < 4; i++ {
+		go func() {
+			c, err := Dial(addr)
+			if err != nil {
+				done <- err
+				return
+			}
+			defer c.Close()
+			for j := 0; j < 20; j++ {
+				if _, err := c.Call(Request{Op: OpListDevices}); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	srv, _ := startServer(t)
+	srv.Close()
+	srv.Close()
+	if _, err := srv.Listen("127.0.0.1:0"); err == nil {
+		t.Error("listen after close should fail")
+	}
+}
+
+func TestMetricsOp(t *testing.T) {
+	srv, _ := startServer(t)
+	resp := srv.Handle(Request{Op: OpStart, SessionID: "m", App: experiments.AudioOnDemandApp(), ClientDevice: "desktop2"})
+	if !resp.OK {
+		t.Fatalf("start: %s", resp.Error)
+	}
+	resp = srv.Handle(Request{Op: OpMetrics})
+	if !resp.OK || !strings.Contains(resp.Metrics, "configs_total 1") {
+		t.Errorf("metrics = %q", resp.Metrics)
+	}
+	srv.Handle(Request{Op: OpStop, SessionID: "m"})
+}
+
+func TestCheckOp(t *testing.T) {
+	srv, _ := startServer(t)
+	resp := srv.Handle(Request{Op: OpCheck, App: experiments.AudioOnDemandApp(), ClientDevice: "jornada"})
+	if !resp.OK {
+		t.Fatalf("check: %s", resp.Error)
+	}
+	if !strings.Contains(resp.CheckSummary, "transcoder") {
+		t.Errorf("check summary = %q, want transcoder insertion prediction", resp.CheckSummary)
+	}
+	// Nothing was deployed.
+	if got := srv.Handle(Request{Op: OpSessions}); len(got.Sessions) != 0 {
+		t.Errorf("check must not create sessions: %v", got.Sessions)
+	}
+	if resp := srv.Handle(Request{Op: OpCheck}); resp.OK {
+		t.Error("check without app should fail")
+	}
+}
+
+func TestCrashDeviceOp(t *testing.T) {
+	srv, _ := startServer(t)
+	resp := srv.Handle(Request{Op: OpStart, SessionID: "m", App: experiments.AudioOnDemandApp(), ClientDevice: "desktop2"})
+	if !resp.OK {
+		t.Fatalf("start: %s", resp.Error)
+	}
+	// The server component is pinned to desktop1; crashing desktop3 (which
+	// hosts nothing) succeeds trivially.
+	resp = srv.Handle(Request{Op: OpCrashDevice, ToDevice: "desktop3"})
+	if !resp.OK {
+		t.Fatalf("crash: %s", resp.Error)
+	}
+	if len(resp.Moved) != 0 {
+		t.Errorf("moved = %v, want none (desktop3 hosted nothing)", resp.Moved)
+	}
+	if resp := srv.Handle(Request{Op: OpCrashDevice, ToDevice: "ghost"}); resp.OK {
+		t.Error("crashing an unknown device should fail")
+	}
+	srv.Handle(Request{Op: OpStop, SessionID: "m"})
+}
+
+func TestSessionDOT(t *testing.T) {
+	srv, _ := startServer(t)
+	resp := srv.Handle(Request{Op: OpStart, SessionID: "d", App: experiments.AudioOnDemandApp(), ClientDevice: "desktop2"})
+	if !resp.OK {
+		t.Fatalf("start: %s", resp.Error)
+	}
+	defer srv.Handle(Request{Op: OpStop, SessionID: "d"})
+	if !strings.Contains(resp.Session.DOT, "digraph") || !strings.Contains(resp.Session.DOT, "subgraph cluster_0") {
+		t.Errorf("DOT = %q", resp.Session.DOT)
+	}
+}
+
+func TestRegisterUnregisterServiceOps(t *testing.T) {
+	srv, _ := startServer(t)
+	inst := &registry.Instance{
+		Name:   "late-equalizer",
+		Type:   "equalizer",
+		Input:  qos.V(qos.P(qos.DimFormat, qos.Symbol("MPEG"))),
+		Output: qos.V(qos.P(qos.DimFormat, qos.Symbol("MPEG"))),
+		SizeMB: 2,
+	}
+	resp := srv.Handle(Request{Op: OpRegister, Instance: inst, InstalledOn: []string{"*"}})
+	if !resp.OK {
+		t.Fatalf("register: %s", resp.Error)
+	}
+	if got := srv.Handle(Request{Op: OpListInst}); len(got.Services) != 5 {
+		t.Errorf("services = %d, want 5 after registration", len(got.Services))
+	}
+	if resp := srv.Handle(Request{Op: OpRegister}); resp.OK {
+		t.Error("register without instance should fail")
+	}
+	if resp := srv.Handle(Request{Op: OpRegister, Instance: inst, InstalledOn: []string{"ghost"}}); resp.OK {
+		t.Error("installing on unknown device should fail")
+	}
+	if resp := srv.Handle(Request{Op: OpUnregister, Name: "late-equalizer"}); !resp.OK {
+		t.Fatalf("unregister: %s", resp.Error)
+	}
+	if resp := srv.Handle(Request{Op: OpUnregister, Name: "late-equalizer"}); resp.OK {
+		t.Error("double unregister should fail")
+	}
+}

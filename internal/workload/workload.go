@@ -1,0 +1,160 @@
+// Package workload generates the randomized service graphs and parameter
+// distributions of the paper's simulation experiments (§4): random DAGs
+// with a given component count and outbound-edge density, uniformly
+// distributed resource requirement vectors, edge throughputs, and
+// significance weights.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ubiqos/internal/graph"
+	"ubiqos/internal/resource"
+)
+
+// GraphParams parameterizes random service graph generation.
+type GraphParams struct {
+	// MinNodes and MaxNodes bound the component count (inclusive).
+	MinNodes, MaxNodes int
+	// MinOutDegree and MaxOutDegree bound each component's outbound edge
+	// count (inclusive); the realized degree is also capped by the number
+	// of downstream components.
+	MinOutDegree, MaxOutDegree int
+	// MemMB and CPUPct bound the uniform per-component requirement
+	// distributions: memory in (0, MemMB], CPU in (0, CPUPct].
+	MemMB, CPUPct float64
+	// EdgeMbps bounds the uniform per-edge throughput in (0, EdgeMbps].
+	EdgeMbps float64
+}
+
+// Validate reports whether the parameters are usable.
+func (p GraphParams) Validate() error {
+	if p.MinNodes < 1 || p.MaxNodes < p.MinNodes {
+		return fmt.Errorf("workload: invalid node bounds [%d,%d]", p.MinNodes, p.MaxNodes)
+	}
+	if p.MinOutDegree < 0 || p.MaxOutDegree < p.MinOutDegree {
+		return fmt.Errorf("workload: invalid out-degree bounds [%d,%d]", p.MinOutDegree, p.MaxOutDegree)
+	}
+	if p.MemMB <= 0 || p.CPUPct <= 0 || p.EdgeMbps <= 0 {
+		return fmt.Errorf("workload: nonpositive parameter ranges")
+	}
+	return nil
+}
+
+// Table1Params reproduces the first simulation's graphs: 10–20 service
+// components with 3–6 outbound edges on average, distributed over a PC
+// [256MB, 300%] and a PDA [32MB, 100%]. The uniform ranges are sized so a
+// typical graph just about fits the two devices.
+func Table1Params() GraphParams {
+	return GraphParams{
+		MinNodes: 10, MaxNodes: 20,
+		MinOutDegree: 3, MaxOutDegree: 6,
+		MemMB:    18,
+		CPUPct:   28,
+		EdgeMbps: 8,
+	}
+}
+
+// Fig5Params reproduces the second simulation's graphs: 50–100 components
+// with 5–10 outbound edges on average, running concurrently on a desktop
+// [256MB, 300%], a laptop [128MB, 100%], and a PDA [32MB, 50%]. The
+// uniform ranges are sized so several applications can coexist.
+func Fig5Params() GraphParams {
+	return GraphParams{
+		MinNodes: 50, MaxNodes: 100,
+		MinOutDegree: 5, MaxOutDegree: 10,
+		MemMB:    1.6,
+		CPUPct:   4.2,
+		EdgeMbps: 0.06,
+	}
+}
+
+// RandomGraph draws a random service graph: node count uniform in
+// [MinNodes, MaxNodes]; node i gains a uniform out-degree worth of edges
+// to distinct later nodes (guaranteeing a DAG); requirements and edge
+// throughputs uniform in their ranges. Node IDs are "n00", "n01", ...
+func RandomGraph(rng *rand.Rand, p GraphParams) (*graph.Graph, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := p.MinNodes
+	if p.MaxNodes > p.MinNodes {
+		n += rng.Intn(p.MaxNodes - p.MinNodes + 1)
+	}
+	g := graph.New()
+	ids := make([]graph.NodeID, n)
+	for i := 0; i < n; i++ {
+		ids[i] = graph.NodeID(fmt.Sprintf("n%02d", i))
+		g.MustAddNode(&graph.Node{
+			ID:   ids[i],
+			Type: "component",
+			Resources: resource.MB(
+				uniformPositive(rng, p.MemMB),
+				uniformPositive(rng, p.CPUPct),
+			),
+		})
+	}
+	for i := 0; i < n-1; i++ {
+		deg := p.MinOutDegree
+		if p.MaxOutDegree > p.MinOutDegree {
+			deg += rng.Intn(p.MaxOutDegree - p.MinOutDegree + 1)
+		}
+		if max := n - 1 - i; deg > max {
+			deg = max
+		}
+		// Choose deg distinct targets among the later nodes.
+		targets := rng.Perm(n - 1 - i)[:deg]
+		for _, t := range targets {
+			g.MustAddEdge(ids[i], ids[i+1+t], uniformPositive(rng, p.EdgeMbps))
+		}
+	}
+	return g, nil
+}
+
+// MustRandomGraph is RandomGraph that panics on invalid parameters.
+func MustRandomGraph(rng *rand.Rand, p GraphParams) *graph.Graph {
+	g, err := RandomGraph(rng, p)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// uniformPositive draws uniformly from (0, max], avoiding zero-requirement
+// components.
+func uniformPositive(rng *rand.Rand, max float64) float64 {
+	return (1 - rng.Float64()) * max
+}
+
+// RandomWeights draws m+1 uniformly distributed significance weights
+// normalized to sum to 1 (the paper's "weight values are uniformly
+// distributed").
+func RandomWeights(rng *rand.Rand, m int) resource.Weights {
+	w := make(resource.Weights, m+1)
+	var sum float64
+	for i := range w {
+		w[i] = uniformPositive(rng, 1)
+		sum += w[i]
+	}
+	for i := range w {
+		w[i] /= sum
+	}
+	return w
+}
+
+// PredefinedGraphs generates the experiment's fixed catalog of service
+// graphs ("each request randomly selects a service graph from 5 predefined
+// ones") deterministically from the given seed.
+func PredefinedGraphs(seed int64, count int, p GraphParams) ([]*graph.Graph, error) {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*graph.Graph, 0, count)
+	for i := 0; i < count; i++ {
+		g, err := RandomGraph(rng, p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, g)
+	}
+	return out, nil
+}
