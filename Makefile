@@ -1,0 +1,35 @@
+GO ?= go
+
+.PHONY: verify fmt-check vet build test race bench clean
+
+# verify is the tier-1 gate (ROADMAP.md): formatting, static checks,
+# build, and the full test suite.
+verify: fmt-check vet build test
+
+fmt-check:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt required for:"; echo "$$unformatted"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# race runs the race detector over the concurrent subsystems: lease
+# renew/expire, publish/subscribe fan-out, and multi-session configuration.
+race:
+	$(GO) test -race ./internal/registry ./internal/eventbus ./internal/core ./internal/distributor ./internal/experiments ./internal/par
+
+# bench times the parallel configuration engine against its sequential
+# equivalents and writes BENCH_parallel.json (ns/op + speedup per pair).
+bench:
+	$(GO) run ./cmd/benchparallel -o BENCH_parallel.json
+
+clean:
+	rm -f BENCH_parallel.json

@@ -1,0 +1,217 @@
+// Command benchparallel measures the parallel configuration engine
+// against its sequential equivalents and writes the results as JSON
+// (`make bench` emits BENCH_parallel.json). Three pairs are timed:
+//
+//   - optimal: frontier-split branch-and-bound vs the sequential solver
+//   - table1: the fanned-out Table 1 harness vs the serial harness
+//   - configurator: a ConfigureAll session batch vs serial Configures
+//
+// Every pair produces identical outputs by construction (see DESIGN.md
+// "Concurrency model"); this tool only reports the time ratio. Speedup is
+// bounded by the core count — on a 1-CPU runner it sits near 1.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"ubiqos/internal/core"
+	"ubiqos/internal/device"
+	"ubiqos/internal/distributor"
+	"ubiqos/internal/experiments"
+	"ubiqos/internal/qos"
+	"ubiqos/internal/resource"
+	"ubiqos/internal/workload"
+)
+
+// Result is one parallel-vs-sequential timing pair.
+type Result struct {
+	Name       string  `json:"name"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	SeqNsPerOp float64 `json:"seq_ns_per_op"`
+	Speedup    float64 `json:"speedup"`
+	Iterations int     `json:"iterations"`
+}
+
+// Report is the full BENCH_parallel.json document.
+type Report struct {
+	CPUs       int      `json:"cpus"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Workers    int      `json:"workers"`
+	Generated  string   `json:"generated"`
+	Results    []Result `json:"results"`
+}
+
+func pair(name string, par, seq func(b *testing.B)) Result {
+	p := testing.Benchmark(par)
+	s := testing.Benchmark(seq)
+	parNs := float64(p.NsPerOp())
+	seqNs := float64(s.NsPerOp())
+	return Result{
+		Name:       name,
+		NsPerOp:    parNs,
+		SeqNsPerOp: seqNs,
+		Speedup:    seqNs / parNs,
+		Iterations: p.N,
+	}
+}
+
+// optimalProblems pre-draws feasible Table-1-sized placement problems, the
+// same way the repo benchmark suite does.
+func optimalProblems(n int) []*distributor.Problem {
+	rng := rand.New(rand.NewSource(99))
+	devices := []distributor.DeviceInfo{
+		{ID: "pc", Avail: resource.MB(256, 300)},
+		{ID: "pda", Avail: resource.MB(32, 100)},
+	}
+	out := make([]*distributor.Problem, 0, n)
+	for len(out) < n {
+		g := workload.MustRandomGraph(rng, workload.Table1Params())
+		p := &distributor.Problem{
+			Graph:     g,
+			Devices:   devices,
+			Bandwidth: func(a, c device.ID) float64 { return 100 },
+			Weights:   workload.RandomWeights(rng, resource.Dims),
+		}
+		if _, _, err := distributor.Heuristic(p); err == nil {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func benchOptimal(workers int) Result {
+	probs := optimalProblems(8)
+	return pair("optimal-branch-and-bound",
+		func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := distributor.OptimalParallel(probs[i%len(probs)], workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		},
+		func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := distributor.Optimal(probs[i%len(probs)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+}
+
+func benchTable1(workers int) Result {
+	cfg := experiments.DefaultTable1Config()
+	cfg.Graphs = 30
+	run := func(w int) func(b *testing.B) {
+		c := cfg
+		c.Workers = w
+		return func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.RunTable1(c); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	return pair("table1-harness", run(workers), run(1))
+}
+
+func benchConfigurator() (Result, error) {
+	dom, err := experiments.BuildAudioSpace(0.02)
+	if err != nil {
+		return Result{}, err
+	}
+	defer dom.Close()
+	reqs := func(tag string) []core.Request {
+		out := make([]core.Request, 2)
+		for i, client := range []device.ID{"desktop2", "desktop3"} {
+			out[i] = core.Request{
+				SessionID:    fmt.Sprintf("bench-%s-%d", tag, i),
+				App:          experiments.AudioOnDemandApp(),
+				UserQoS:      qos.V(qos.P(qos.DimFrameRate, qos.Range(38, 44))),
+				ClientDevice: client,
+			}
+		}
+		return out
+	}
+	return pair("configurator-batch",
+		func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sessions, errs := dom.Configurator.ConfigureAll(reqs("par"))
+				for _, err := range errs {
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				for _, s := range sessions {
+					if err := dom.Configurator.Stop(s.ID); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		},
+		func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				batch := reqs("seq")
+				sessions := make([]*core.ActiveSession, 0, len(batch))
+				for _, req := range batch {
+					s, err := dom.Configurator.Configure(req)
+					if err != nil {
+						b.Fatal(err)
+					}
+					sessions = append(sessions, s)
+				}
+				for _, s := range sessions {
+					if err := dom.Configurator.Stop(s.ID); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}), nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchparallel: ")
+	out := flag.String("o", "BENCH_parallel.json", "output file (- for stdout)")
+	workers := flag.Int("workers", 0, "parallel worker count (0 = all usable CPUs)")
+	flag.Parse()
+
+	report := Report{
+		CPUs:       runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workers:    *workers,
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+	}
+	report.Results = append(report.Results, benchOptimal(*workers))
+	report.Results = append(report.Results, benchTable1(*workers))
+	confRes, err := benchConfigurator()
+	if err != nil {
+		log.Fatal(err)
+	}
+	report.Results = append(report.Results, confRes)
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range report.Results {
+		log.Printf("%-26s %12.0f ns/op  seq %12.0f ns/op  speedup %.2fx", r.Name, r.NsPerOp, r.SeqNsPerOp, r.Speedup)
+	}
+	log.Printf("wrote %s (%d CPUs)", *out, report.CPUs)
+}

@@ -21,12 +21,14 @@ func main() {
 	requests := flag.Int("requests", 5000, "application requests over the horizon")
 	hours := flag.Float64("hours", 1000, "simulated horizon (hours)")
 	seed := flag.Int64("seed", 2002, "random seed")
+	workers := flag.Int("workers", 0, "worker pool size (0 = all CPUs, 1 = serial; result is identical either way)")
 	flag.Parse()
 
 	cfg := experiments.DefaultFig5Config()
 	cfg.Requests = *requests
 	cfg.HorizonHours = *hours
 	cfg.Seed = *seed
+	cfg.Workers = *workers
 	r, err := experiments.RunFig5(cfg)
 	if err != nil {
 		log.Fatal(err)

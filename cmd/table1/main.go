@@ -22,6 +22,7 @@ func main() {
 	seed := flag.Int64("seed", 2002, "random seed")
 	link := flag.Float64("link", 100, "PC-PDA bandwidth (Mbps)")
 	extended := flag.Bool("extended", false, "add extension rows (refined heuristic, first-fit)")
+	workers := flag.Int("workers", 0, "worker pool size (0 = all CPUs, 1 = serial; result is identical either way)")
 	flag.Parse()
 
 	cfg := experiments.DefaultTable1Config()
@@ -29,6 +30,7 @@ func main() {
 	cfg.Seed = *seed
 	cfg.LinkMbps = *link
 	cfg.Extended = *extended
+	cfg.Workers = *workers
 	r, err := experiments.RunTable1(cfg)
 	if err != nil {
 		log.Fatal(err)

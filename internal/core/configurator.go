@@ -24,6 +24,7 @@ import (
 	"ubiqos/internal/graph"
 	"ubiqos/internal/metrics"
 	"ubiqos/internal/netsim"
+	"ubiqos/internal/par"
 	"ubiqos/internal/profiler"
 	"ubiqos/internal/qos"
 	"ubiqos/internal/repository"
@@ -69,15 +70,34 @@ type Config struct {
 	// Metrics, when set, receives operational counters and the per-tier
 	// overhead histograms.
 	Metrics *metrics.Registry
+	// Parallelism bounds the worker pool of the batched ConfigureAll
+	// entry point (0 = all usable CPUs, 1 = serial). Individual
+	// Configure/Reconfigure calls may always run concurrently; this knob
+	// only sizes the pool ConfigureAll drives them with.
+	Parallelism int
 }
 
 // Configurator is the integrated service configuration model. All methods
 // are safe for concurrent use.
+//
+// Concurrency model: the compose→distribute→deploy pipeline runs outside
+// any Configurator-wide lock, so independent sessions configure in
+// parallel. Shared device and link bookkeeping is guarded by the fine-
+// grained locks of device.Device, device.Links, and the other
+// infrastructure services themselves (admission there is atomic per
+// device/link, with rollback on partial failure). The Configurator's own
+// RWMutex covers only the session registry: a short critical section that
+// reserves the session ID before the pipeline starts — making a duplicate
+// concurrent Configure of the same ID fail fast instead of racing — and
+// commits the finished session after it.
 type Configurator struct {
 	cfg Config
 
-	mu       sync.Mutex
+	mu       sync.RWMutex
 	sessions map[string]*ActiveSession
+	// pending holds session IDs whose pipeline is in flight, so the ID is
+	// claimed for the whole configure without holding mu across it.
+	pending map[string]bool
 }
 
 // New validates the wiring and returns a Configurator.
@@ -107,7 +127,11 @@ func New(cfg Config) (*Configurator, error) {
 	if cfg.StateSizeMB <= 0 {
 		cfg.StateSizeMB = 0.5
 	}
-	return &Configurator{cfg: cfg, sessions: make(map[string]*ActiveSession)}, nil
+	return &Configurator{
+		cfg:      cfg,
+		sessions: make(map[string]*ActiveSession),
+		pending:  make(map[string]bool),
+	}, nil
 }
 
 // Request describes one application configuration request.
@@ -180,18 +204,72 @@ type ActiveSession struct {
 	demands map[[2]device.ID]float64
 }
 
+// reserve claims a session ID for an in-flight configuration, failing if
+// the ID is already active or being configured by another goroutine.
+func (c *Configurator) reserve(id string) error {
+	if id == "" {
+		return fmt.Errorf("core: empty session ID")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.sessions[id]; ok {
+		return fmt.Errorf("core: session %q already active (use Reconfigure)", id)
+	}
+	if c.pending[id] {
+		return fmt.Errorf("core: session %q is already being configured", id)
+	}
+	c.pending[id] = true
+	return nil
+}
+
+// unreserve releases a claimed session ID after a failed configuration.
+func (c *Configurator) unreserve(id string) {
+	c.mu.Lock()
+	delete(c.pending, id)
+	c.mu.Unlock()
+}
+
+// commit publishes a successfully configured session, releasing its
+// reservation.
+func (c *Configurator) commit(active *ActiveSession) {
+	c.mu.Lock()
+	delete(c.pending, active.ID)
+	c.sessions[active.ID] = active
+	c.mu.Unlock()
+}
+
 // Configure runs the full pipeline for a new session: compose → distribute
 // → admit → download → deploy. If the session ID already has a saved
 // checkpoint (from a prior Reconfigure), playback resumes from the
-// interruption point.
+// interruption point. Independent sessions may Configure concurrently; a
+// concurrent Configure of the same ID fails fast.
 func (c *Configurator) Configure(req Request) (*ActiveSession, error) {
-	c.mu.Lock()
-	_, exists := c.sessions[req.SessionID]
-	c.mu.Unlock()
-	if exists {
-		return nil, fmt.Errorf("core: session %q already active (use Reconfigure)", req.SessionID)
+	if err := c.reserve(req.SessionID); err != nil {
+		return nil, err
 	}
-	return c.configure(req, false)
+	active, err := c.configure(req, false)
+	if err != nil {
+		c.unreserve(req.SessionID)
+	}
+	return active, err
+}
+
+// ConfigureAll configures a batch of sessions over a worker pool bounded
+// by Config.Parallelism and returns per-request results in request order:
+// sessions[i] or errs[i] is the outcome of reqs[i]. One request failing
+// (e.g. the smart space running out of resources) does not stop the rest
+// of the batch — partial admission is the desired behavior for a burst of
+// independent users.
+func (c *Configurator) ConfigureAll(reqs []Request) (sessions []*ActiveSession, errs []error) {
+	sessions = make([]*ActiveSession, len(reqs))
+	errs = make([]error, len(reqs))
+	// The pool callback never returns an error: failures are per-request
+	// results, not reasons to cancel the batch.
+	_ = par.ForEach(len(reqs), c.cfg.Parallelism, func(i int) error {
+		sessions[i], errs[i] = c.Configure(reqs[i])
+		return nil
+	})
+	return sessions, errs
 }
 
 // configure runs the pipeline, walking the QoS degradation ladder when
@@ -270,10 +348,6 @@ func degradeVector(v qos.Vector, f float64) qos.Vector {
 }
 
 func (c *Configurator) configureOnce(req Request, handoff bool) (*ActiveSession, error) {
-	if req.SessionID == "" {
-		return nil, fmt.Errorf("core: empty session ID")
-	}
-
 	// --- Tier 1: service composition. ---
 	var clientAttrs map[string]string
 	if d := c.cfg.Devices.Get(req.ClientDevice); d != nil {
@@ -411,9 +485,7 @@ func (c *Configurator) configureOnce(req Request, handoff bool) (*ActiveSession,
 			InitOrHandoff: initTime,
 		},
 	}
-	c.mu.Lock()
-	c.sessions[req.SessionID] = active
-	c.mu.Unlock()
+	c.commit(active)
 	return active, nil
 }
 
@@ -496,22 +568,22 @@ func resolveClientPins(app *composer.AbstractGraph, client device.ID) *composer.
 
 // Session returns the active session with the given ID, or nil.
 func (c *Configurator) Session(id string) *ActiveSession {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	return c.sessions[id]
 }
 
 // Sessions returns the number of active sessions.
 func (c *Configurator) Sessions() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	return len(c.sessions)
 }
 
 // SessionIDs returns the IDs of all active sessions, sorted.
 func (c *Configurator) SessionIDs() []string {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	out := make([]string, 0, len(c.sessions))
 	for id := range c.sessions {
 		out = append(out, id)
@@ -592,17 +664,19 @@ func (c *Configurator) Suspend(sessionID string) (checkpoint.State, error) {
 // the receiving side of a cross-domain migration. The request's session ID
 // takes precedence over the state's.
 func (c *Configurator) ResumeFrom(req Request, st checkpoint.State) (*ActiveSession, error) {
-	c.mu.Lock()
-	_, exists := c.sessions[req.SessionID]
-	c.mu.Unlock()
-	if exists {
-		return nil, fmt.Errorf("core: session %q already active", req.SessionID)
+	if err := c.reserve(req.SessionID); err != nil {
+		return nil, err
 	}
 	st.SessionID = req.SessionID
 	if err := c.cfg.Checkpoints.Save(st); err != nil {
+		c.unreserve(req.SessionID)
 		return nil, err
 	}
-	return c.configure(req, true)
+	active, err := c.configure(req, true)
+	if err != nil {
+		c.unreserve(req.SessionID)
+	}
+	return active, err
 }
 
 // Reconfigure re-runs the configuration model for an existing session —
@@ -612,10 +686,13 @@ func (c *Configurator) ResumeFrom(req Request, st checkpoint.State) (*ActiveSess
 // graph composed, distributed, and resumed from the saved position; the
 // returned session's Timing includes the state-handoff cost.
 func (c *Configurator) Reconfigure(req Request) (*ActiveSession, error) {
+	// Move the session from active to pending so a concurrent Configure of
+	// the same ID cannot claim it mid-reconfiguration.
 	c.mu.Lock()
 	old, ok := c.sessions[req.SessionID]
 	if ok {
 		delete(c.sessions, req.SessionID)
+		c.pending[req.SessionID] = true
 	}
 	c.mu.Unlock()
 	if !ok {
@@ -635,6 +712,7 @@ func (c *Configurator) Reconfigure(req Request) (*ActiveSession, error) {
 	}); err != nil {
 		// Restore bookkeeping: the old session keeps running.
 		c.mu.Lock()
+		delete(c.pending, req.SessionID)
 		c.sessions[req.SessionID] = old
 		c.mu.Unlock()
 		return nil, err
@@ -647,6 +725,7 @@ func (c *Configurator) Reconfigure(req Request) (*ActiveSession, error) {
 	if old.ClientDevice != "" && req.ClientDevice != "" && old.ClientDevice != req.ClientDevice {
 		d, err := c.cfg.Checkpoints.Handoff(c.cfg.Net, req.SessionID, string(old.ClientDevice), string(req.ClientDevice))
 		if err != nil {
+			c.unreserve(req.SessionID)
 			return nil, fmt.Errorf("core: %w", err)
 		}
 		handoffTime = d
@@ -654,6 +733,7 @@ func (c *Configurator) Reconfigure(req Request) (*ActiveSession, error) {
 
 	active, err := c.configure(req, true)
 	if err != nil {
+		c.unreserve(req.SessionID)
 		return nil, err
 	}
 	active.Timing.InitOrHandoff += handoffTime

@@ -13,13 +13,71 @@ import (
 // of the paper's Table 1 comparison (10–20 components, 2 devices) and as a
 // test oracle; the search prunes on partial resource violations and on
 // partial cost exceeding the best complete solution.
+//
+// Among equal-cost optima, Optimal returns the assignment that comes first
+// in the lexicographic device-index order over the solver's node order —
+// the first optimum its depth-first search reaches. OptimalParallel
+// preserves this tie-break exactly.
 func Optimal(p *Problem) (Assignment, float64, error) {
-	if err := p.Validate(); err != nil {
+	s, err := newOBBState(p)
+	if err != nil {
 		return nil, 0, err
+	}
+	s.search(0, 0)
+	return s.result()
+}
+
+type obbEdge struct {
+	other int
+	tp    float64
+}
+
+// obbState is one branch-and-bound search context. The first block of
+// fields is immutable problem structure shared (read-only) between the
+// sequential solver and every parallel worker; the second block is the
+// per-searcher mutable state that clone() copies.
+type obbState struct {
+	p     *Problem
+	m     int
+	nodes []*graph.Node
+	index map[graph.NodeID]int
+	adj   [][]obbEdge
+	pin   []int
+	bw    [][]float64
+
+	loads  []resource.Vector
+	pairTP [][]float64 // symmetric cumulative cut throughput
+
+	// savedLoad[i] and savedTP[i] snapshot the placed device's load vector
+	// and pairTP row before node i is placed, so backtracking restores the
+	// exact prior bits. Add-then-subtract backtracking is not exact in
+	// floating point ((x+r)−r may differ from x), and any drift would make
+	// a sequential search and a parallel worker replaying the same prefix
+	// disagree on feasibility comparisons.
+	savedLoad []resource.Vector
+	savedTP   [][]float64
+
+	assign     []int
+	best       float64
+	bestAssign []int
+
+	// global, when non-nil, is the incumbent best cost shared by all
+	// parallel workers; searchers additionally prune against it (strictly,
+	// so equal-cost optima in lexicographically earlier subtrees survive
+	// for the deterministic reduce).
+	global *sharedBound
+}
+
+// newOBBState validates the problem and builds a fresh search state:
+// nodes sorted big-first for pruning strength, internal adjacency for
+// incremental cost updates, and empty device loads/reservations.
+func newOBBState(p *Problem) (*obbState, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
 	}
 	seed, err := p.pinnedAssignment()
 	if err != nil {
-		return nil, 0, err
+		return nil, err
 	}
 
 	s := &obbState{
@@ -28,8 +86,6 @@ func Optimal(p *Problem) (Assignment, float64, error) {
 		nodes: p.sortedNodesByRequirement(), // big components first: stronger pruning
 		best:  math.Inf(1),
 	}
-	// Index nodes and collect internal adjacency (edges between node
-	// indices) for incremental cost updates.
 	s.index = make(map[graph.NodeID]int, len(s.nodes))
 	for i, n := range s.nodes {
 		s.index[n.ID] = i
@@ -68,8 +124,44 @@ func Optimal(p *Problem) (Assignment, float64, error) {
 			s.pin[i] = di
 		}
 	}
+	s.savedLoad = make([]resource.Vector, len(s.nodes))
+	s.savedTP = make([][]float64, len(s.nodes))
+	for i := range s.nodes {
+		s.savedLoad[i] = resource.New(s.m)
+		s.savedTP[i] = make([]float64, len(p.Devices))
+	}
+	return s, nil
+}
 
-	s.search(0, 0)
+// clone copies the mutable search state (loads, reservations, partial
+// assignment, snapshot scratch) and shares the immutable problem
+// structure, giving each parallel worker an independent searcher. It must
+// be called on a root state (nothing placed), since the snapshot stacks of
+// a mid-search state only make sense for that searcher's own prefix.
+func (s *obbState) clone() *obbState {
+	c := *s
+	c.loads = make([]resource.Vector, len(s.loads))
+	for i := range s.loads {
+		c.loads[i] = s.loads[i].Clone()
+	}
+	c.pairTP = make([][]float64, len(s.pairTP))
+	for i := range s.pairTP {
+		c.pairTP[i] = append([]float64(nil), s.pairTP[i]...)
+	}
+	c.assign = append([]int(nil), s.assign...)
+	c.savedLoad = make([]resource.Vector, len(s.nodes))
+	c.savedTP = make([][]float64, len(s.nodes))
+	for i := range s.nodes {
+		c.savedLoad[i] = resource.New(s.m)
+		c.savedTP[i] = make([]float64, len(s.p.Devices))
+	}
+	c.bestAssign = nil
+	c.best = math.Inf(1)
+	return &c
+}
+
+// result converts the best complete assignment found back to node IDs.
+func (s *obbState) result() (Assignment, float64, error) {
 	if s.bestAssign == nil {
 		return nil, 0, ErrInfeasible
 	}
@@ -80,92 +172,94 @@ func Optimal(p *Problem) (Assignment, float64, error) {
 	return out, s.best, nil
 }
 
-type obbEdge struct {
-	other int
-	tp    float64
+// tryPlace puts node i on device d if the placement stays feasible,
+// returning the incremental cost: the component's weighted relative load
+// plus the network term of every edge to an already-assigned neighbor on
+// another device. Bandwidth feasibility is checked as the reservations
+// accumulate; on failure every reservation applied so far is rolled back
+// and ok is false.
+func (s *obbState) tryPlace(i, d int) (delta float64, ok bool) {
+	n := s.nodes[i]
+	avail := s.p.Devices[d].Avail
+	for dim := 0; dim < s.m; dim++ {
+		if s.loads[d][dim]+n.Resources[dim] > avail[dim] {
+			return 0, false
+		}
+	}
+	copy(s.savedLoad[i], s.loads[d])
+	copy(s.savedTP[i], s.pairTP[d])
+	delta = n.Resources.RelativeLoad(avail, s.p.Weights.EndSystem())
+	wNet := s.p.Weights.Network()
+	for _, e := range s.adj[i] {
+		od := s.assign[e.other]
+		if od < 0 || od == d {
+			continue
+		}
+		if s.bw[d][od] <= 0 || s.pairTP[d][od]+e.tp > s.bw[d][od] {
+			s.restoreTP(i, d)
+			return 0, false
+		}
+		delta += wNet * e.tp / s.bw[d][od]
+		s.pairTP[d][od] += e.tp
+		s.pairTP[od][d] += e.tp
+	}
+	s.loads[d].AddInPlace(n.Resources)
+	s.assign[i] = d
+	return delta, true
 }
 
-type obbState struct {
-	p     *Problem
-	m     int
-	nodes []*graph.Node
-	index map[graph.NodeID]int
-	adj   [][]obbEdge
-	pin   []int
-
-	loads  []resource.Vector
-	pairTP [][]float64 // symmetric cumulative cut throughput
-	bw     [][]float64
-
-	assign     []int
-	best       float64
-	bestAssign []int
+// restoreTP puts device d's reservation row (and its mirror column) back
+// to the snapshot taken when node i was being placed.
+func (s *obbState) restoreTP(i, d int) {
+	for j, v := range s.savedTP[i] {
+		s.pairTP[d][j] = v
+		s.pairTP[j][d] = v
+	}
 }
 
-// search assigns node i with accumulated partial cost. The partial cost is
-// a lower bound on any completion (both cost terms are nonnegative and
-// additive), so pruning at cost ≥ best is safe.
-func (s *obbState) search(i int, cost float64) {
+// unplace reverses tryPlace by restoring the snapshots bit-exactly.
+func (s *obbState) unplace(i, d int) {
+	s.assign[i] = -1
+	copy(s.loads[d], s.savedLoad[i])
+	s.restoreTP(i, d)
+}
+
+// pruned reports whether a partial path with the given accumulated cost
+// cannot improve on the best known solution. The partial cost is a lower
+// bound on any completion (both cost terms are nonnegative and additive),
+// so pruning is safe. Against the searcher's own best the comparison is
+// ≥ (an equal-cost leaf later in DFS order can never win the tie-break);
+// against the shared parallel incumbent it is strictly >, so that an
+// equal-cost optimum in a lexicographically earlier subtree is still
+// found and can win the deterministic reduce.
+func (s *obbState) pruned(cost float64) bool {
 	if cost >= s.best {
+		return true
+	}
+	return s.global != nil && cost > s.global.load()
+}
+
+// search assigns nodes i.. depth-first, device indices in increasing
+// order, with accumulated partial cost.
+func (s *obbState) search(i int, cost float64) {
+	if s.pruned(cost) {
 		return
 	}
 	if i == len(s.nodes) {
 		s.best = cost
-		s.bestAssign = append([]int(nil), s.assign...)
+		s.bestAssign = append(s.bestAssign[:0], s.assign...)
+		if s.global != nil {
+			s.global.lower(cost)
+		}
 		return
-	}
-	n := s.nodes[i]
-	wNet := s.p.Weights.Network()
-	type tpUpdate struct {
-		od int
-		tp float64
 	}
 	for d := range s.p.Devices {
 		if s.pin[i] >= 0 && s.pin[i] != d {
 			continue
 		}
-		// Resource feasibility.
-		avail := s.p.Devices[d].Avail
-		ok := true
-		for dim := 0; dim < s.m; dim++ {
-			if s.loads[d][dim]+n.Resources[dim] > avail[dim] {
-				ok = false
-				break
-			}
-		}
-		if !ok {
-			continue
-		}
-		// Incremental cost: resource term for this component, plus the
-		// network term for edges to already-assigned neighbors, with
-		// bandwidth feasibility checked as reservations accumulate.
-		delta := n.Resources.RelativeLoad(avail, s.p.Weights.EndSystem())
-		feasible := true
-		var applied []tpUpdate
-		for _, e := range s.adj[i] {
-			od := s.assign[e.other]
-			if od < 0 || od == d {
-				continue
-			}
-			if s.bw[d][od] <= 0 || s.pairTP[d][od]+e.tp > s.bw[d][od] {
-				feasible = false
-				break
-			}
-			delta += wNet * e.tp / s.bw[d][od]
-			s.pairTP[d][od] += e.tp
-			s.pairTP[od][d] += e.tp
-			applied = append(applied, tpUpdate{od: od, tp: e.tp})
-		}
-		if feasible {
-			s.loads[d].AddInPlace(n.Resources)
-			s.assign[i] = d
+		if delta, ok := s.tryPlace(i, d); ok {
 			s.search(i+1, cost+delta)
-			s.assign[i] = -1
-			s.loads[d] = s.loads[d].Sub(n.Resources)
-		}
-		for _, u := range applied {
-			s.pairTP[d][u.od] -= u.tp
-			s.pairTP[u.od][d] -= u.tp
+			s.unplace(i, d)
 		}
 	}
 }

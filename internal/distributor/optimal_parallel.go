@@ -1,0 +1,265 @@
+package distributor
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// sharedBound is the incumbent best cost shared by all parallel workers,
+// stored as math.Float64bits in an atomic word. Costs are nonnegative, so
+// the IEEE-754 ordering of their bit patterns matches the numeric
+// ordering and a CAS loop can monotonically lower the bound.
+type sharedBound struct {
+	bits atomic.Uint64
+}
+
+func newSharedBound() *sharedBound {
+	b := &sharedBound{}
+	b.bits.Store(math.Float64bits(math.Inf(1)))
+	return b
+}
+
+func (b *sharedBound) load() float64 {
+	return math.Float64frombits(b.bits.Load())
+}
+
+// lower moves the bound down to c if c is smaller; concurrent callers
+// converge on the minimum.
+func (b *sharedBound) lower(c float64) {
+	for {
+		old := b.bits.Load()
+		if math.Float64frombits(old) <= c {
+			return
+		}
+		if b.bits.CompareAndSwap(old, math.Float64bits(c)) {
+			return
+		}
+	}
+}
+
+// ParallelOptions tunes OptimalWith.
+type ParallelOptions struct {
+	// Workers is the worker-pool size; 0 means runtime.NumCPU(), and any
+	// value ≤ 1 falls back to the sequential Optimal solver.
+	Workers int
+	// FrontierDepth fixes the depth at which the search tree is split
+	// into independent subtree tasks. 0 picks the smallest depth whose
+	// feasible frontier has at least tasksPerWorker tasks per worker.
+	FrontierDepth int
+}
+
+// tasksPerWorker oversubscribes the pool so uneven subtree sizes (pruning
+// makes some subtrees trivial) still keep every worker busy.
+const tasksPerWorker = 8
+
+// OptimalParallel is Optimal with the branch-and-bound tree explored by a
+// bounded worker pool. It returns the identical assignment and bit-identical
+// cost to Optimal on every problem; see OptimalWith for how.
+func OptimalParallel(p *Problem, workers int) (Assignment, float64, error) {
+	return OptimalWith(p, ParallelOptions{Workers: workers})
+}
+
+// OptimalWith runs the exact branch-and-bound search in parallel: the tree
+// is split at a frontier depth into independent subtree tasks, and workers
+// prune against a shared atomic incumbent so a good solution found in any
+// subtree tightens the bound everywhere.
+//
+// The result is deterministic and identical to Optimal:
+//
+//   - A complete assignment's cost is the sum of per-node deltas in node
+//     order along its path, the same additions in the same order whether
+//     the prefix was replayed by a worker or reached sequentially, so
+//     costs are bit-identical.
+//   - Backtracking restores state from snapshots (see obbState), so every
+//     searcher observes identical feasibility decisions.
+//   - Optimal returns the lexicographically first optimum in device-index
+//     order (the first min-cost leaf its DFS reaches). Workers prune only
+//     strictly above the shared bound, so an equal-cost optimum in a
+//     lexicographically earlier subtree is never lost, and the final
+//     reduce picks the minimum cost with ties broken by lexicographic
+//     assignment order — exactly the sequential answer.
+func OptimalWith(p *Problem, opt ParallelOptions) (Assignment, float64, error) {
+	workers := opt.Workers
+	if workers == 0 {
+		// Default to the hardware parallelism actually usable; on a
+		// single-CPU box (or GOMAXPROCS=1) that is the sequential path.
+		workers = runtime.NumCPU()
+		if mp := runtime.GOMAXPROCS(0); mp < workers {
+			workers = mp
+		}
+	}
+	if workers <= 1 {
+		return Optimal(p)
+	}
+	base, err := newOBBState(p)
+	if err != nil {
+		return nil, 0, err
+	}
+	tasks := base.frontier(opt.FrontierDepth, workers*tasksPerWorker)
+	if len(tasks) == 0 {
+		return nil, 0, ErrInfeasible
+	}
+	if len(tasks) == 1 && len(tasks[0]) == 0 {
+		// Degenerate frontier (e.g. zero-node graph): run sequentially.
+		base.search(0, 0)
+		return base.result()
+	}
+
+	type taskBest struct {
+		cost   float64
+		assign []int
+	}
+	bound := newSharedBound()
+	results := make([]*taskBest, len(tasks)) // indexed by task, so the reduce is order-independent
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var s *obbState
+			for ti := range next {
+				if s == nil {
+					s = base.clone()
+					s.global = bound
+				} else {
+					s.best = math.Inf(1)
+					s.bestAssign = nil
+				}
+				if s.runTask(tasks[ti]) && s.bestAssign != nil {
+					results[ti] = &taskBest{
+						cost:   s.best,
+						assign: append([]int(nil), s.bestAssign...),
+					}
+				}
+			}
+		}()
+	}
+	for ti := range tasks {
+		next <- ti
+	}
+	close(next)
+	wg.Wait()
+
+	// Deterministic reduce: minimum cost, ties to the lexicographically
+	// smallest assignment. Tasks are enumerated in lexicographic prefix
+	// order and each task's DFS finds its lexicographically first optimum,
+	// so comparing whole assignment vectors reproduces sequential order.
+	best := math.Inf(1)
+	var bestAssign []int
+	for _, r := range results {
+		if r == nil {
+			continue
+		}
+		if r.cost < best || (r.cost == best && lexLess(r.assign, bestAssign)) {
+			best = r.cost
+			bestAssign = r.assign
+		}
+	}
+	if bestAssign == nil {
+		return nil, 0, ErrInfeasible
+	}
+	out := make(Assignment, len(base.nodes))
+	for i, n := range base.nodes {
+		out[n.ID] = bestAssign[i]
+	}
+	return out, best, nil
+}
+
+// lexLess reports whether a comes before b in lexicographic device-index
+// order. A nil b never wins.
+func lexLess(a, b []int) bool {
+	if b == nil {
+		return a != nil
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// runTask replays a frontier prefix onto this searcher's (root) state and
+// explores the subtree below it. It reports whether the replay succeeded;
+// replay cannot fail for prefixes produced by frontier on the same
+// problem, but the check keeps the contract explicit.
+func (s *obbState) runTask(prefix []int) bool {
+	cost := 0.0
+	placed := 0
+	ok := true
+	for i, d := range prefix {
+		delta, fits := s.tryPlace(i, d)
+		if !fits {
+			ok = false
+			break
+		}
+		cost += delta
+		placed++
+	}
+	if ok {
+		s.search(len(prefix), cost)
+	}
+	for i := placed - 1; i >= 0; i-- {
+		s.unplace(i, prefix[i])
+	}
+	return ok
+}
+
+// frontier enumerates all feasible assignment prefixes at a split depth,
+// in lexicographic device-index order. With depth 0 it deepens until the
+// task list is at least minTasks long (or the depth hits the node count,
+// in which case tasks are complete assignments and workers only evaluate
+// them). An explicit depth is clamped to [0, len(nodes)].
+func (s *obbState) frontier(depth, minTasks int) [][]int {
+	n := len(s.nodes)
+	if depth < 0 {
+		depth = 0
+	}
+	if depth > n {
+		depth = n
+	}
+	if depth > 0 {
+		return s.enumerate(depth)
+	}
+	tasks := [][]int{{}}
+	for d := 1; d <= n; d++ {
+		next := s.enumerate(d)
+		if len(next) == 0 {
+			// No feasible prefix at this depth ⇒ the problem is
+			// infeasible; report the empty frontier.
+			return nil
+		}
+		tasks = next
+		if len(tasks) >= minTasks {
+			break
+		}
+	}
+	return tasks
+}
+
+// enumerate collects every feasible prefix of the given depth by a
+// depth-first walk identical in order to search, without cost pruning.
+func (s *obbState) enumerate(depth int) [][]int {
+	var out [][]int
+	var walk func(i int)
+	walk = func(i int) {
+		if i == depth {
+			out = append(out, append([]int(nil), s.assign[:depth]...))
+			return
+		}
+		for d := range s.p.Devices {
+			if s.pin[i] >= 0 && s.pin[i] != d {
+				continue
+			}
+			if _, ok := s.tryPlace(i, d); ok {
+				walk(i + 1)
+				s.unplace(i, d)
+			}
+		}
+	}
+	walk(0)
+	return out
+}

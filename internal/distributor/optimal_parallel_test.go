@@ -1,0 +1,188 @@
+package distributor
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"ubiqos/internal/device"
+	"ubiqos/internal/graph"
+	"ubiqos/internal/resource"
+)
+
+// randomTestProblem draws one Table-1-style instance directly (the
+// workload package imports distributor, so the generator is inlined here).
+func randomTestProblem(rng *rand.Rand, nodes int, devices []DeviceInfo, linkMbps float64) *Problem {
+	g := graph.New()
+	ids := make([]graph.NodeID, nodes)
+	for i := range ids {
+		ids[i] = graph.NodeID(string(rune('a'+i/26)) + string(rune('a'+i%26)))
+		g.MustAddNode(&graph.Node{
+			ID:        ids[i],
+			Type:      "component",
+			Resources: resource.MB(rng.Float64()*16+0.5, rng.Float64()*24+0.5),
+		})
+	}
+	for i := 0; i < nodes-1; i++ {
+		deg := 1 + rng.Intn(4)
+		if m := nodes - 1 - i; deg > m {
+			deg = m
+		}
+		for _, t := range rng.Perm(nodes - 1 - i)[:deg] {
+			g.MustAddEdge(ids[i], ids[i+1+t], rng.Float64()*6+0.1)
+		}
+	}
+	w := resource.Weights{}
+	sum := 0.0
+	for i := 0; i < resource.Dims+1; i++ {
+		w = append(w, rng.Float64()+0.01)
+		sum += w[i]
+	}
+	for i := range w {
+		w[i] /= sum
+	}
+	return &Problem{
+		Graph:     g,
+		Devices:   devices,
+		Bandwidth: func(a, b device.ID) float64 { return linkMbps },
+		Weights:   w,
+	}
+}
+
+// TestOptimalParallelMatchesSequential is the tentpole contract: for every
+// instance and every worker count, the parallel solver returns the same
+// assignment and the bit-identical cost as the sequential oracle,
+// including agreeing on infeasibility.
+func TestOptimalParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(424242))
+	devices := []DeviceInfo{
+		{ID: "pc", Avail: resource.MB(96, 160)},
+		{ID: "pda", Avail: resource.MB(32, 90)},
+	}
+	workerCounts := []int{2, 3, 4, runtime.NumCPU()}
+	feasible, infeasible := 0, 0
+	for trial := 0; trial < 40; trial++ {
+		nodes := 8 + rng.Intn(7)
+		p := randomTestProblem(rng, nodes, devices, 40)
+		seqA, seqCost, seqErr := Optimal(p)
+		for _, workers := range workerCounts {
+			parA, parCost, parErr := OptimalParallel(p, workers)
+			if (seqErr == nil) != (parErr == nil) {
+				t.Fatalf("trial %d workers %d: seq err %v, par err %v", trial, workers, seqErr, parErr)
+			}
+			if seqErr != nil {
+				if !errors.Is(parErr, ErrInfeasible) {
+					t.Fatalf("trial %d workers %d: want ErrInfeasible, got %v", trial, workers, parErr)
+				}
+				continue
+			}
+			if math.Float64bits(seqCost) != math.Float64bits(parCost) {
+				t.Fatalf("trial %d workers %d: cost %v != sequential %v (bits differ)",
+					trial, workers, parCost, seqCost)
+			}
+			if !reflect.DeepEqual(seqA, parA) {
+				t.Fatalf("trial %d workers %d: assignment\n%v\n!= sequential\n%v", trial, workers, parA, seqA)
+			}
+		}
+		if seqErr != nil {
+			infeasible++
+		} else {
+			feasible++
+		}
+	}
+	if feasible == 0 || infeasible == 0 {
+		t.Logf("coverage: %d feasible, %d infeasible instances", feasible, infeasible)
+	}
+}
+
+// TestOptimalParallelThreeDevices exercises a wider frontier fan-out and
+// pins, where the frontier enumeration must respect pinned devices.
+func TestOptimalParallelThreeDevices(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	devices := []DeviceInfo{
+		{ID: "desktop", Avail: resource.MB(128, 200)},
+		{ID: "laptop", Avail: resource.MB(64, 100)},
+		{ID: "pda", Avail: resource.MB(24, 60)},
+	}
+	for trial := 0; trial < 15; trial++ {
+		p := randomTestProblem(rng, 10+rng.Intn(3), devices, 30)
+		// Pin the first node to the desktop.
+		p.Graph.Nodes()[0].Pin = "desktop"
+		seqA, seqCost, seqErr := Optimal(p)
+		parA, parCost, parErr := OptimalParallel(p, 4)
+		if (seqErr == nil) != (parErr == nil) {
+			t.Fatalf("trial %d: seq err %v, par err %v", trial, seqErr, parErr)
+		}
+		if seqErr != nil {
+			continue
+		}
+		if math.Float64bits(seqCost) != math.Float64bits(parCost) || !reflect.DeepEqual(seqA, parA) {
+			t.Fatalf("trial %d: parallel (%v, %v) != sequential (%v, %v)", trial, parA, parCost, seqA, seqCost)
+		}
+	}
+}
+
+// TestOptimalParallelExplicitDepth checks the FrontierDepth knob,
+// including depths past the node count (complete-assignment tasks).
+func TestOptimalParallelExplicitDepth(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	devices := []DeviceInfo{
+		{ID: "pc", Avail: resource.MB(96, 160)},
+		{ID: "pda", Avail: resource.MB(48, 90)},
+	}
+	p := randomTestProblem(rng, 9, devices, 40)
+	seqA, seqCost, seqErr := Optimal(p)
+	if seqErr != nil {
+		t.Skipf("instance infeasible: %v", seqErr)
+	}
+	for _, depth := range []int{1, 3, 6, 9, 50, -2} {
+		a, cost, err := OptimalWith(p, ParallelOptions{Workers: 4, FrontierDepth: depth})
+		if err != nil {
+			t.Fatalf("depth %d: %v", depth, err)
+		}
+		if math.Float64bits(cost) != math.Float64bits(seqCost) || !reflect.DeepEqual(a, seqA) {
+			t.Fatalf("depth %d: (%v, %v) != sequential (%v, %v)", depth, a, cost, seqA, seqCost)
+		}
+	}
+}
+
+// TestOptimalParallelValidation mirrors the sequential error paths.
+func TestOptimalParallelValidation(t *testing.T) {
+	if _, _, err := OptimalParallel(&Problem{}, 4); err == nil {
+		t.Error("invalid problem should fail")
+	}
+	// workers ≤ 1 must take the sequential path and still work.
+	rng := rand.New(rand.NewSource(3))
+	p := randomTestProblem(rng, 6, []DeviceInfo{
+		{ID: "pc", Avail: resource.MB(96, 160)},
+		{ID: "pda", Avail: resource.MB(48, 90)},
+	}, 40)
+	a1, c1, err1 := OptimalParallel(p, 1)
+	a0, c0, err0 := Optimal(p)
+	if (err1 == nil) != (err0 == nil) {
+		t.Fatalf("err mismatch: %v vs %v", err1, err0)
+	}
+	if err0 == nil && (c1 != c0 || !reflect.DeepEqual(a1, a0)) {
+		t.Fatalf("workers=1 diverged from sequential")
+	}
+}
+
+// TestSharedBoundLower exercises the CAS loop directly.
+func TestSharedBoundLower(t *testing.T) {
+	b := newSharedBound()
+	if !math.IsInf(b.load(), 1) {
+		t.Fatalf("initial bound = %v", b.load())
+	}
+	b.lower(3.5)
+	b.lower(7.0) // higher: no effect
+	if b.load() != 3.5 {
+		t.Fatalf("bound = %v, want 3.5", b.load())
+	}
+	b.lower(1.25)
+	if b.load() != 1.25 {
+		t.Fatalf("bound = %v, want 1.25", b.load())
+	}
+}

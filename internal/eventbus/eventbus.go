@@ -78,8 +78,14 @@ func (s *Subscription) Cancel() {
 }
 
 // Bus is the event service. All methods are safe for concurrent use.
+//
+// Publishing is the hot path: concurrent publishers (and Subscribers
+// probes) share a read lock over the subscription table, so fan-outs do
+// not serialize against each other. Subscribe, Cancel, and Close take
+// the write lock; channels are only ever closed under it, which is what
+// makes sending under the read lock safe.
 type Bus struct {
-	mu     sync.Mutex
+	mu     sync.RWMutex
 	nextID int
 	subs   map[int]*Subscription
 	closed bool
@@ -127,8 +133,8 @@ func (b *Bus) Subscribe(topics ...Topic) (*Subscription, error) {
 // returns the number of subscribers that received the event.
 func (b *Bus) Publish(topic Topic, payload any) int {
 	ev := Event{Topic: topic, Time: time.Now(), Payload: payload}
-	b.mu.Lock()
-	defer b.mu.Unlock()
+	b.mu.RLock()
+	defer b.mu.RUnlock()
 	if b.closed {
 		return 0
 	}
@@ -189,7 +195,7 @@ func (b *Bus) cancel(s *Subscription) {
 
 // Subscribers returns the number of active subscriptions.
 func (b *Bus) Subscribers() int {
-	b.mu.Lock()
-	defer b.mu.Unlock()
+	b.mu.RLock()
+	defer b.mu.RUnlock()
 	return len(b.subs)
 }

@@ -145,3 +145,84 @@ func TestConcurrentPublishSubscribe(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestPublishFanOutAccounting checks the fan-out invariant under
+// concurrent publishers sharing the bus read lock: for every subscriber,
+// events received plus events dropped equals the total published.
+func TestPublishFanOutAccounting(t *testing.T) {
+	b := New()
+	const (
+		subscribers = 6
+		publishers  = 4
+		perPub      = 200
+	)
+	subs := make([]*Subscription, subscribers)
+	received := make([]int, subscribers)
+	var drainers sync.WaitGroup
+	for i := range subs {
+		sub, err := b.Subscribe(TopicResourceChanged)
+		if err != nil {
+			t.Fatal(err)
+		}
+		subs[i] = sub
+		drainers.Add(1)
+		go func(i int) {
+			defer drainers.Done()
+			for range subs[i].C() {
+				received[i]++
+			}
+		}(i)
+	}
+
+	var pubs sync.WaitGroup
+	for p := 0; p < publishers; p++ {
+		pubs.Add(1)
+		go func() {
+			defer pubs.Done()
+			for j := 0; j < perPub; j++ {
+				b.Publish(TopicResourceChanged, j)
+			}
+		}()
+	}
+	pubs.Wait()
+	b.Close()
+	drainers.Wait()
+
+	for i, sub := range subs {
+		if got := received[i] + sub.Dropped(); got != publishers*perPub {
+			t.Errorf("subscriber %d: received %d + dropped %d = %d, want %d",
+				i, received[i], sub.Dropped(), got, publishers*perPub)
+		}
+	}
+}
+
+// TestSubscribersConcurrentWithPublish hammers the read-path accessors
+// while the subscription table churns; run with -race.
+func TestSubscribersConcurrentWithPublish(t *testing.T) {
+	b := New()
+	defer b.Close()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				b.Publish(TopicDeviceJoined, nil)
+				b.Subscribers()
+			}
+		}
+	}()
+	for i := 0; i < 40; i++ {
+		sub, err := b.Subscribe(TopicDeviceJoined)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sub.Cancel()
+	}
+	close(stop)
+	wg.Wait()
+}

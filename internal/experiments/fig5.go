@@ -9,6 +9,7 @@ import (
 	"ubiqos/internal/device"
 	"ubiqos/internal/distributor"
 	"ubiqos/internal/graph"
+	"ubiqos/internal/par"
 	"ubiqos/internal/resource"
 	"ubiqos/internal/sim"
 	"ubiqos/internal/workload"
@@ -27,6 +28,12 @@ type Fig5Config struct {
 	Requests     int
 	HorizonHours float64
 	WindowHours  float64
+	// Workers bounds the worker pool. Each request trace is an inherently
+	// sequential admission simulation, so the parallel grain is one
+	// (policy, trace) replay — RunFig5 runs its three policies
+	// concurrently, and RunFig5Seeds additionally fans out over seeds.
+	// Results are identical for every worker count (0 = all usable CPUs).
+	Workers int
 	// GraphCount predefined service graphs drawn with Params.
 	GraphCount int
 	Params     workload.GraphParams
@@ -113,8 +120,10 @@ func RunFig5(cfg Fig5Config) (*Fig5Result, error) {
 		result.WindowStartHours[i] = float64(i) * cfg.WindowHours
 	}
 
-	fixed := distributor.NewFixed(cfg.Devices)
-	randRng := rand.New(rand.NewSource(cfg.Seed + 1))
+	// Each policy owns its state (and, for Random, its own rand stream
+	// seeded from the shared config seed), so the three trace replays are
+	// independent jobs; the series slice is filled by policy index, so the
+	// figure is identical for every worker count.
 	policies := []struct {
 		name  string
 		place func(key string, p *distributor.Problem) (distributor.Assignment, error)
@@ -123,30 +132,42 @@ func RunFig5(cfg Fig5Config) (*Fig5Result, error) {
 			a, _, err := distributor.Heuristic(p)
 			return a, err
 		}},
-		{"Random", func(_ string, p *distributor.Problem) (distributor.Assignment, error) {
-			var lastErr error
-			for t := 0; t < max(1, cfg.RandomTriesPerRequest); t++ {
-				a, _, err := distributor.RandomAdmit(p, randRng)
-				if err == nil {
-					return a, nil
+		{"Random", func() func(string, *distributor.Problem) (distributor.Assignment, error) {
+			randRng := rand.New(rand.NewSource(cfg.Seed + 1))
+			return func(_ string, p *distributor.Problem) (distributor.Assignment, error) {
+				var lastErr error
+				for t := 0; t < max(1, cfg.RandomTriesPerRequest); t++ {
+					a, _, err := distributor.RandomAdmit(p, randRng)
+					if err == nil {
+						return a, nil
+					}
+					lastErr = err
 				}
-				lastErr = err
+				return nil, lastErr
 			}
-			return nil, lastErr
-		}},
-		{"Fixed", func(key string, p *distributor.Problem) (distributor.Assignment, error) {
-			a, _, err := fixed.Place(key, p)
-			return a, err
-		}},
+		}()},
+		{"Fixed", func() func(string, *distributor.Problem) (distributor.Assignment, error) {
+			fixed := distributor.NewFixed(cfg.Devices)
+			return func(key string, p *distributor.Problem) (distributor.Assignment, error) {
+				a, _, err := fixed.Place(key, p)
+				return a, err
+			}
+		}()},
 	}
 
-	for _, pol := range policies {
+	result.Series = make([]Fig5Series, len(policies))
+	err = par.ForEach(len(policies), cfg.Workers, func(pi int) error {
+		pol := policies[pi]
 		series, err := runFig5Policy(cfg, graphs, trace, windows, pol.place)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: policy %s: %w", pol.name, err)
+			return fmt.Errorf("experiments: policy %s: %w", pol.name, err)
 		}
 		series.Name = pol.name
-		result.Series = append(result.Series, series)
+		result.Series[pi] = series
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return result, nil
 }
@@ -303,19 +324,31 @@ type Fig5SeedSummary struct {
 
 // RunFig5Seeds repeats the Figure 5 simulation with n consecutive seeds
 // and summarizes each policy's overall success rate — a robustness check
-// that the paper's ordering is not an artifact of one trace.
+// that the paper's ordering is not an artifact of one trace. Seed runs are
+// independent and fan out over cfg.Workers; each run's own policy fan-out
+// is serialized so the pool is not oversubscribed, and the summaries are
+// aggregated in seed order, keeping the output worker-count independent.
 func RunFig5Seeds(cfg Fig5Config, n int) ([]Fig5SeedSummary, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("experiments: seed count must be positive")
 	}
-	var summaries []Fig5SeedSummary
-	for s := 0; s < n; s++ {
+	results := make([]*Fig5Result, n)
+	err := par.ForEach(n, cfg.Workers, func(s int) error {
 		run := cfg
 		run.Seed = cfg.Seed + int64(s)
+		run.Workers = 1
 		r, err := RunFig5(run)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		results[s] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var summaries []Fig5SeedSummary
+	for s, r := range results {
 		for i, series := range r.Series {
 			if s == 0 {
 				summaries = append(summaries, Fig5SeedSummary{

@@ -1,8 +1,10 @@
 // Package experiments contains the reproduction harnesses for every table
 // and figure of the paper's evaluation (§4): the Table 1 algorithm
 // comparison, the Figure 5 success-rate simulation, and the Figure 3/4
-// prototype scenario. Each harness is deterministic given its seed and is
-// shared by the cmd/ regenerator binaries and the benchmark suite.
+// prototype scenario. Each harness is deterministic given its seed — and,
+// for the parallel harnesses, independent of the worker count, because
+// every unit of parallel work derives its own sub-seed up front (see
+// SubSeed) instead of sharing one random stream.
 package experiments
 
 import (
@@ -12,9 +14,20 @@ import (
 
 	"ubiqos/internal/device"
 	"ubiqos/internal/distributor"
+	"ubiqos/internal/par"
 	"ubiqos/internal/resource"
 	"ubiqos/internal/workload"
 )
+
+// SubSeed derives the i-th independent sub-seed of a harness seed. Each
+// parallel job seeds its own rand.Rand from SubSeed(cfg.Seed, i), so
+// results do not depend on the order jobs run in — a shared rand.Rand
+// would make any reordering (or any worker count > 1) change the tables.
+// The stride keeps the sub-streams of neighboring harness seeds from
+// colliding for up to a million jobs.
+func SubSeed(seed int64, i int) int64 {
+	return seed*1_000_000 + int64(i)
+}
 
 // Table1Config parameterizes the Table 1 experiment: "we compare the
 // relative performances of different heuristic algorithms (random and
@@ -28,8 +41,13 @@ type Table1Config struct {
 	// Graphs is the number of feasible random graphs evaluated (150 in the
 	// paper).
 	Graphs int
-	// Seed makes the experiment deterministic.
+	// Seed makes the experiment deterministic; each graph index derives
+	// its own sub-seed from it, so the result is also independent of
+	// Workers.
 	Seed int64
+	// Workers bounds the worker pool evaluating graphs concurrently
+	// (0 = all usable CPUs, 1 = serial).
+	Workers int
 	// Params generates the random service graphs.
 	Params workload.GraphParams
 	// Devices are the two (or more) heterogeneous devices.
@@ -87,7 +105,77 @@ type Table1Result struct {
 // value.
 const costEqualityTolerance = 1e-9
 
-// RunTable1 regenerates Table 1.
+// table1Outcome is one algorithm's result on one graph.
+type table1Outcome struct {
+	feasible bool
+	ratio    float64
+	optimal  bool
+}
+
+// table1Sample is everything one graph index contributes to the table.
+type table1Sample struct {
+	generated         int
+	rnd, heu, ref, ff table1Outcome
+}
+
+// evalTable1Graph runs one independent graph job: draw feasible instances
+// from the graph's own sub-seeded stream, solve optimally, and score every
+// algorithm against the optimum.
+func evalTable1Graph(cfg Table1Config, g int) (table1Sample, error) {
+	rng := rand.New(rand.NewSource(SubSeed(cfg.Seed, g)))
+	var s table1Sample
+
+	var prob *distributor.Problem
+	var optCost float64
+	found := false
+	for attempt := 0; attempt < cfg.MaxAttemptsPerGraph; attempt++ {
+		s.generated++
+		sg, err := workload.RandomGraph(rng, cfg.Params)
+		if err != nil {
+			return s, err
+		}
+		weights := workload.RandomWeights(rng, resource.Dims)
+		prob = &distributor.Problem{
+			Graph:     sg,
+			Devices:   cfg.Devices,
+			Bandwidth: func(a, b device.ID) float64 { return cfg.LinkMbps },
+			Weights:   weights,
+		}
+		_, cost, err := distributor.Optimal(prob)
+		if err == nil {
+			optCost, found = cost, true
+			break
+		}
+	}
+	if !found {
+		return s, fmt.Errorf("experiments: could not draw a feasible graph in %d attempts; loosen parameters", cfg.MaxAttemptsPerGraph)
+	}
+
+	score := func(o *table1Outcome, cost float64, err error) {
+		if err != nil {
+			return
+		}
+		o.feasible = true
+		o.ratio = optCost / cost
+		o.optimal = math.Abs(cost-optCost) <= costEqualityTolerance
+	}
+	_, heuCost, heuErr := distributor.Heuristic(prob)
+	score(&s.heu, heuCost, heuErr)
+	_, randCost, randErr := distributor.RandomAdmit(prob, rng)
+	score(&s.rnd, randCost, randErr)
+	if cfg.Extended {
+		_, refCost, refErr := distributor.HeuristicRefined(prob)
+		score(&s.ref, refCost, refErr)
+		_, ffCost, ffErr := distributor.FirstFit(prob)
+		score(&s.ff, ffCost, ffErr)
+	}
+	return s, nil
+}
+
+// RunTable1 regenerates Table 1. Graph jobs are independent (each owns a
+// sub-seeded random stream) and are fanned out over cfg.Workers; the
+// aggregation walks samples in graph order, so the table is byte-identical
+// for every worker count.
 func RunTable1(cfg Table1Config) (*Table1Result, error) {
 	if cfg.Graphs <= 0 {
 		return nil, fmt.Errorf("experiments: Graphs must be positive")
@@ -95,7 +183,19 @@ func RunTable1(cfg Table1Config) (*Table1Result, error) {
 	if cfg.MaxAttemptsPerGraph <= 0 {
 		cfg.MaxAttemptsPerGraph = 50
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	samples := make([]table1Sample, cfg.Graphs)
+	err := par.ForEach(cfg.Graphs, cfg.Workers, func(g int) error {
+		s, err := evalTable1Graph(cfg, g)
+		if err != nil {
+			return err
+		}
+		samples[g] = s
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 
 	type tally struct {
 		ratioSum float64
@@ -103,58 +203,27 @@ func RunTable1(cfg Table1Config) (*Table1Result, error) {
 		feasible int
 	}
 	var randT, heuT, refT, ffT, optT tally
-	generated := 0
-	score := func(t *tally, cost float64, err error, optCost float64) {
-		if err != nil {
+	add := func(t *tally, o table1Outcome) {
+		if !o.feasible {
 			return
 		}
 		t.feasible++
-		t.ratioSum += optCost / cost
-		if math.Abs(cost-optCost) <= costEqualityTolerance {
+		t.ratioSum += o.ratio
+		if o.optimal {
 			t.optimal++
 		}
 	}
-
-	for g := 0; g < cfg.Graphs; g++ {
-		var prob *distributor.Problem
-		var optCost float64
-		found := false
-		for attempt := 0; attempt < cfg.MaxAttemptsPerGraph; attempt++ {
-			generated++
-			sg, err := workload.RandomGraph(rng, cfg.Params)
-			if err != nil {
-				return nil, err
-			}
-			weights := workload.RandomWeights(rng, resource.Dims)
-			prob = &distributor.Problem{
-				Graph:     sg,
-				Devices:   cfg.Devices,
-				Bandwidth: func(a, b device.ID) float64 { return cfg.LinkMbps },
-				Weights:   weights,
-			}
-			_, cost, err := distributor.Optimal(prob)
-			if err == nil {
-				optCost, found = cost, true
-				break
-			}
-		}
-		if !found {
-			return nil, fmt.Errorf("experiments: could not draw a feasible graph in %d attempts; loosen parameters", cfg.MaxAttemptsPerGraph)
-		}
-
+	generated := 0
+	for _, s := range samples {
+		generated += s.generated
 		optT.ratioSum++
 		optT.optimal++
 		optT.feasible++
-
-		_, heuCost, heuErr := distributor.Heuristic(prob)
-		score(&heuT, heuCost, heuErr, optCost)
-		_, randCost, randErr := distributor.RandomAdmit(prob, rng)
-		score(&randT, randCost, randErr, optCost)
+		add(&heuT, s.heu)
+		add(&randT, s.rnd)
 		if cfg.Extended {
-			_, refCost, refErr := distributor.HeuristicRefined(prob)
-			score(&refT, refCost, refErr, optCost)
-			_, ffCost, ffErr := distributor.FirstFit(prob)
-			score(&ffT, ffCost, ffErr, optCost)
+			add(&refT, s.ref)
+			add(&ffT, s.ff)
 		}
 	}
 

@@ -1,0 +1,78 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestResolve(t *testing.T) {
+	if got := Resolve(-3); got != 1 {
+		t.Errorf("Resolve(-3) = %d, want 1", got)
+	}
+	if got := Resolve(7); got != 7 {
+		t.Errorf("Resolve(7) = %d, want 7", got)
+	}
+	def := Resolve(0)
+	if def < 1 || def > runtime.NumCPU() {
+		t.Errorf("Resolve(0) = %d, want within [1, NumCPU]", def)
+	}
+}
+
+func TestForEachRunsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 0} {
+		const n = 100
+		var counts [n]atomic.Int32
+		if err := ForEach(n, workers, func(i int) error {
+			counts[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers %d: %v", workers, err)
+		}
+		for i := range counts {
+			if got := counts[i].Load(); got != 1 {
+				t.Fatalf("workers %d: index %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachReturnsLowestFailingIndex(t *testing.T) {
+	for _, workers := range []int{1, 2, 5} {
+		err := ForEach(50, workers, func(i int) error {
+			if i == 7 || i == 31 {
+				return fmt.Errorf("boom %d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "boom 7" {
+			t.Fatalf("workers %d: err = %v, want boom 7", workers, err)
+		}
+	}
+}
+
+func TestForEachStopsAfterError(t *testing.T) {
+	var ran atomic.Int32
+	sentinel := errors.New("stop")
+	err := ForEach(1000, 2, func(i int) error {
+		ran.Add(1)
+		if i == 0 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+	if got := ran.Load(); got > 100 {
+		t.Errorf("ran %d of 1000 jobs after an early error", got)
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	if err := ForEach(0, 4, func(int) error { return errors.New("never") }); err != nil {
+		t.Fatal(err)
+	}
+}
