@@ -22,14 +22,17 @@ test:
 	$(GO) test ./...
 
 # race runs the race detector over the concurrent subsystems: lease
-# renew/expire, publish/subscribe fan-out, and multi-session configuration.
+# renew/expire, publish/subscribe fan-out, wire request handling, and
+# multi-session configuration.
 race:
-	$(GO) test -race ./internal/registry ./internal/eventbus ./internal/core ./internal/distributor ./internal/experiments ./internal/par
+	$(GO) test -race ./internal/registry ./internal/eventbus ./internal/core ./internal/distributor ./internal/experiments ./internal/par ./internal/wire
 
 # bench times the parallel configuration engine against its sequential
-# equivalents and writes BENCH_parallel.json (ns/op + speedup per pair).
+# equivalents, writing BENCH_parallel.json (ns/op + speedup per pair) and
+# BENCH_metrics.json (branch-and-bound explore/prune counters plus the
+# configurator's per-stage latency quantiles).
 bench:
-	$(GO) run ./cmd/benchparallel -o BENCH_parallel.json
+	$(GO) run ./cmd/benchparallel -o BENCH_parallel.json -mo BENCH_metrics.json
 
 clean:
-	rm -f BENCH_parallel.json
+	rm -f BENCH_parallel.json BENCH_metrics.json

@@ -26,6 +26,7 @@ import (
 	"ubiqos/internal/device"
 	"ubiqos/internal/distributor"
 	"ubiqos/internal/experiments"
+	"ubiqos/internal/metrics"
 	"ubiqos/internal/qos"
 	"ubiqos/internal/resource"
 	"ubiqos/internal/workload"
@@ -177,10 +178,122 @@ func benchConfigurator() (Result, error) {
 		}), nil
 }
 
+// SearchTotals aggregates branch-and-bound counters over the benchmark
+// problem set for one solver.
+type SearchTotals struct {
+	Problems   int   `json:"problems"`
+	Explored   int64 `json:"explored"`
+	Pruned     int64 `json:"pruned"`
+	Incumbents int64 `json:"incumbents"`
+	Workers    int   `json:"workers"`
+}
+
+// StageQuantiles is one configuration stage's latency distribution.
+type StageQuantiles struct {
+	Count int64   `json:"count"`
+	P50Ms float64 `json:"p50_ms"`
+	P95Ms float64 `json:"p95_ms"`
+	P99Ms float64 `json:"p99_ms"`
+}
+
+// MetricsReport is the BENCH_metrics.json document: solver search
+// counters on the benchmark problems plus the configurator's per-stage
+// latency quantiles from the metrics registry.
+type MetricsReport struct {
+	Generated string                    `json:"generated"`
+	Search    map[string]SearchTotals   `json:"search"`
+	Stages    map[string]StageQuantiles `json:"stages"`
+}
+
+// collectMetrics re-runs the benchmark workload once with observability
+// attached: each solver over the problem set with SearchStats, and a
+// configurator batch whose stage histograms are read back as quantiles.
+func collectMetrics(workers int) (MetricsReport, error) {
+	rep := MetricsReport{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Search:    make(map[string]SearchTotals),
+		Stages:    make(map[string]StageQuantiles),
+	}
+	probs := optimalProblems(8)
+	solvers := map[string]func(p *distributor.Problem) (distributor.Assignment, float64, error){
+		"optimal": distributor.Optimal,
+		"optimal-parallel": func(p *distributor.Problem) (distributor.Assignment, float64, error) {
+			return distributor.OptimalParallel(p, workers)
+		},
+	}
+	for name, solve := range solvers {
+		var tot SearchTotals
+		for _, p := range probs {
+			stats := &distributor.SearchStats{}
+			p.Stats = stats
+			if _, _, err := solve(p); err != nil {
+				return rep, err
+			}
+			p.Stats = nil
+			tot.Problems++
+			tot.Explored += stats.Explored
+			tot.Pruned += stats.Pruned
+			tot.Incumbents += stats.Incumbents
+			tot.Workers = stats.Workers
+		}
+		rep.Search[name] = tot
+	}
+
+	dom, err := experiments.BuildAudioSpace(0.02)
+	if err != nil {
+		return rep, err
+	}
+	defer dom.Close()
+	for round := 0; round < 5; round++ {
+		for i, client := range []device.ID{"desktop2", "desktop3", "jornada"} {
+			id := fmt.Sprintf("metrics-%d-%d", round, i)
+			if _, err := dom.Configurator.Configure(core.Request{
+				SessionID:    id,
+				App:          experiments.AudioOnDemandApp(),
+				UserQoS:      qos.V(qos.P(qos.DimFrameRate, qos.Range(38, 44))),
+				ClientDevice: client,
+			}); err != nil {
+				return rep, err
+			}
+			if err := dom.Configurator.Stop(id); err != nil {
+				return rep, err
+			}
+		}
+	}
+	toMs := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	for _, stage := range []string{
+		metrics.CompositionTime, metrics.DistributionTime,
+		metrics.DownloadTime, metrics.HandoffTime,
+	} {
+		h := dom.Metrics.Histogram(stage)
+		rep.Stages[stage] = StageQuantiles{
+			Count: h.Count(),
+			P50Ms: toMs(h.Quantile(0.5)),
+			P95Ms: toMs(h.Quantile(0.95)),
+			P99Ms: toMs(h.Quantile(0.99)),
+		}
+	}
+	return rep, nil
+}
+
+func writeJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchparallel: ")
 	out := flag.String("o", "BENCH_parallel.json", "output file (- for stdout)")
+	metricsOut := flag.String("mo", "", "also write solver/stage observability metrics (e.g. BENCH_metrics.json)")
 	workers := flag.Int("workers", 0, "parallel worker count (0 = all usable CPUs)")
 	flag.Parse()
 
@@ -198,20 +311,28 @@ func main() {
 	}
 	report.Results = append(report.Results, confRes)
 
-	data, err := json.MarshalIndent(report, "", "  ")
-	if err != nil {
+	if err := writeJSON(*out, report); err != nil {
 		log.Fatal(err)
 	}
-	data = append(data, '\n')
-	if *out == "-" {
-		os.Stdout.Write(data)
-		return
+	if *out != "-" {
+		for _, r := range report.Results {
+			log.Printf("%-26s %12.0f ns/op  seq %12.0f ns/op  speedup %.2fx", r.Name, r.NsPerOp, r.SeqNsPerOp, r.Speedup)
+		}
+		log.Printf("wrote %s (%d CPUs)", *out, report.CPUs)
 	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		log.Fatal(err)
+	if *metricsOut != "" {
+		mrep, err := collectMetrics(*workers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := writeJSON(*metricsOut, mrep); err != nil {
+			log.Fatal(err)
+		}
+		if *metricsOut != "-" {
+			for name, tot := range mrep.Search {
+				log.Printf("%-26s explored %8d  pruned %8d  incumbents %d", name, tot.Explored, tot.Pruned, tot.Incumbents)
+			}
+			log.Printf("wrote %s", *metricsOut)
+		}
 	}
-	for _, r := range report.Results {
-		log.Printf("%-26s %12.0f ns/op  seq %12.0f ns/op  speedup %.2fx", r.Name, r.NsPerOp, r.SeqNsPerOp, r.Speedup)
-	}
-	log.Printf("wrote %s (%d CPUs)", *out, report.CPUs)
 }

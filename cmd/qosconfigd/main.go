@@ -6,7 +6,8 @@
 //
 // Usage:
 //
-//	qosconfigd [-addr 127.0.0.1:7420] [-space audio|conf] [-config FILE.space] [-scale 0.1]
+//	qosconfigd [-addr 127.0.0.1:7420] [-http 127.0.0.1:7421] [-space audio|conf]
+//	           [-config FILE.space] [-scale 0.1] [-place heuristic|optimal|optimal-parallel]
 //
 // The daemon boots one of the paper's two testbed smart spaces — "audio"
 // (three desktops + a Jornada PDA with the mobile audio-on-demand
@@ -14,12 +15,18 @@
 // components, downloaded on demand) — or, with -config, an arbitrary
 // smart space described in the space configuration language (see
 // internal/spec and testdata/lab.space).
+//
+// The -http listener serves the observability surface: /metrics
+// (Prometheus text), /healthz, /traces, and /debug/pprof. Set -http ""
+// to disable it.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -34,19 +41,24 @@ func main() {
 	log.SetFlags(log.LstdFlags)
 	log.SetPrefix("qosconfigd: ")
 	addr := flag.String("addr", "127.0.0.1:7420", "listen address")
+	httpAddr := flag.String("http", "127.0.0.1:7421", `observability HTTP address ("" disables)`)
 	space := flag.String("space", "audio", `built-in smart space to boot: "audio" or "conf"`)
 	config := flag.String("config", "", "space configuration file (overrides -space)")
 	scale := flag.Float64("scale", 0.1, "emulation time scale (1 = real time)")
+	place := flag.String("place", "heuristic", "placement algorithm: heuristic, optimal, or optimal-parallel")
 	flag.Parse()
 
-	if err := run(*addr, *space, *config, *scale); err != nil {
+	if err := run(*addr, *httpAddr, *space, *config, *scale, *place); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(addr, space, config string, scale float64) error {
+func run(addr, httpAddr, space, config string, scale float64, place string) error {
+	placeFn, err := experiments.PlaceByName(place)
+	if err != nil {
+		return err
+	}
 	var dom *domain.Domain
-	var err error
 	switch {
 	case config != "":
 		var data []byte
@@ -54,11 +66,11 @@ func run(addr, space, config string, scale float64) error {
 		if err != nil {
 			return err
 		}
-		dom, err = spec.LoadSpace(string(data), domain.Options{Scale: scale})
+		dom, err = spec.LoadSpace(string(data), domain.Options{Scale: scale, Place: placeFn})
 	case space == "audio":
-		dom, err = experiments.BuildAudioSpace(scale)
+		dom, err = experiments.BuildAudioSpaceWith(scale, placeFn)
 	case space == "conf":
-		dom, err = experiments.BuildConfSpace(scale)
+		dom, err = experiments.BuildConfSpaceWith(scale, placeFn)
 	default:
 		return fmt.Errorf("unknown space %q (want audio or conf, or use -config)", space)
 	}
@@ -76,8 +88,18 @@ func run(addr, space, config string, scale float64) error {
 		return err
 	}
 	defer srv.Close()
-	log.Printf("domain %s serving on %s (%d devices, %d services, scale %g)",
-		dom.Name, bound, dom.Devices.Len(), dom.Registry.Len(), scale)
+	log.Printf("domain %s serving on %s (%d devices, %d services, scale %g, place %s)",
+		dom.Name, bound, dom.Devices.Len(), dom.Registry.Len(), scale, place)
+
+	if httpAddr != "" {
+		ln, err := net.Listen("tcp", httpAddr)
+		if err != nil {
+			return err
+		}
+		defer ln.Close()
+		go http.Serve(ln, wire.NewHTTPHandler(dom))
+		log.Printf("observability on http://%s (/metrics /healthz /traces /debug/pprof)", ln.Addr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -3,6 +3,7 @@
 // Usage:
 //
 //	qosctl devices|services|sessions|metrics [-addr 127.0.0.1:7420]
+//	qosctl trace   [-session ID] [-json]                 (span tree of a configuration)
 //	qosctl start   -session ID [-app audio|conf|FILE.json|FILE.spec] [-client DEV] [-qos "framerate=38-44"]
 //	qosctl check   [-app ...] [-client DEV] [-qos ...]   (dry-run composition)
 //	qosctl session -session ID
@@ -49,12 +50,13 @@ func main() {
 	to := flag.String("to", "", "handoff target device")
 	userQoS := flag.String("qos", "", `user QoS, e.g. "framerate=38-44,format=MPEG"`)
 	dot := flag.Bool("dot", false, "print the session's service graph in Graphviz dot syntax")
+	asJSON := flag.Bool("json", false, "print the trace as JSON instead of a rendered tree")
 	instanceFile := flag.String("instance", "", "service instance JSON file (register)")
 	installed := flag.String("installed", "", `comma-separated devices the instance is pre-installed on ("*" = all)`)
 	name := flag.String("name", "", "instance name (unregister)")
 
 	if len(os.Args) < 2 || strings.HasPrefix(os.Args[1], "-") {
-		log.Fatal("usage: qosctl devices|services|sessions|metrics|start|check|session|switch|stop|crash|register|unregister [flags]")
+		log.Fatal("usage: qosctl devices|services|sessions|metrics|trace|start|check|session|switch|stop|crash|register|unregister [flags]")
 	}
 	verb := os.Args[1]
 	if err := flag.CommandLine.Parse(os.Args[2:]); err != nil {
@@ -62,7 +64,7 @@ func main() {
 	}
 	if err := run(runArgs{
 		verb: verb, addr: *addr, session: *session, app: *app, client: *client,
-		to: *to, userQoS: *userQoS, dot: *dot,
+		to: *to, userQoS: *userQoS, dot: *dot, asJSON: *asJSON,
 		instanceFile: *instanceFile, installed: *installed, name: *name,
 	}); err != nil {
 		log.Fatal(err)
@@ -72,7 +74,7 @@ func main() {
 // runArgs carries the parsed command line.
 type runArgs struct {
 	verb, addr, session, app, client, to, userQoS string
-	dot                                           bool
+	dot, asJSON                                   bool
 	instanceFile, installed, name                 string
 }
 
@@ -171,6 +173,21 @@ func run(a runArgs) error {
 			return err
 		}
 		fmt.Print(resp.Metrics)
+	case "trace":
+		resp, err := c.Call(wire.Request{Op: wire.OpTrace, SessionID: session})
+		if err != nil {
+			return err
+		}
+		if a.asJSON {
+			out, err := json.MarshalIndent(resp.Trace, "", "  ")
+			if err != nil {
+				return err
+			}
+			fmt.Println(string(out))
+			return nil
+		}
+		fmt.Printf("trace %d (session %s, %.2fms)\n", resp.Trace.ID, resp.Trace.Session, resp.Trace.DurMs)
+		fmt.Print(resp.Trace.Render())
 	case "check":
 		ag, specQoS, err := loadApp(app)
 		if err != nil {

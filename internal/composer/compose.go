@@ -8,6 +8,7 @@ import (
 	"ubiqos/internal/graph"
 	"ubiqos/internal/qos"
 	"ubiqos/internal/registry"
+	"ubiqos/internal/trace"
 )
 
 // MaxRecursionDepth bounds the recursive composition of replacement
@@ -31,6 +32,10 @@ type Request struct {
 	// ClientDevice names the device whose pinned services receive
 	// ClientAttrs (matched against AbstractNode.Pin).
 	ClientDevice string
+	// Span, when non-nil, receives child spans for every discovery attempt
+	// (with recursion depth) and every Ordered Coordination correction.
+	// Observability only; it never affects composition.
+	Span *trace.Span
 }
 
 // MissingServiceError reports mandatory services the discovery service
@@ -114,7 +119,7 @@ func (c *Composer) Compose(req Request) (*graph.Graph, *Report, error) {
 		exits:   make(map[graph.NodeID][]graph.NodeID),
 		missing: make(map[string]bool),
 	}
-	if err := inst.run(req.App, "", 0); err != nil {
+	if err := inst.run(req.App, "", 0, req.Span); err != nil {
 		return nil, nil, err
 	}
 	if len(inst.missing) > 0 {
@@ -143,9 +148,17 @@ func (c *Composer) Compose(req Request) (*graph.Graph, *Report, error) {
 		n.In = merged
 	}
 
-	if err := c.coordinate(g, report); err != nil {
+	ocsp := req.Span.Child("ordered-coordination")
+	if err := c.coordinate(g, report, ocsp); err != nil {
+		ocsp.SetErr(err)
+		ocsp.End()
 		return nil, nil, err
 	}
+	ocsp.Set(trace.Int("checks", int64(report.Checks)),
+		trace.Int("adjustments", int64(len(report.Adjustments))),
+		trace.Int("transcoders", int64(len(report.Transcoders))),
+		trace.Int("buffers", int64(len(report.Buffers))))
+	ocsp.End()
 	if err := g.Validate(); err != nil {
 		return nil, nil, fmt.Errorf("composer: produced invalid graph: %w", err)
 	}
@@ -194,8 +207,11 @@ func qualify(prefix string, id graph.NodeID) graph.NodeID {
 }
 
 // run instantiates one abstract graph (the application's, or a
-// decomposition's at depth > 0) into the shared concrete graph.
-func (in *instantiation) run(ag *AbstractGraph, prefix string, depth int) error {
+// decomposition's at depth > 0) into the shared concrete graph. Discovery
+// spans are parented to parent; a recursive re-composition's spans nest
+// under the discover span of the node that triggered it, so the span tree
+// shows the recursion depth structurally.
+func (in *instantiation) run(ag *AbstractGraph, prefix string, depth int, parent *trace.Span) error {
 	sinkSet := make(map[graph.NodeID]bool)
 	if depth == 0 {
 		for _, id := range ag.Sinks() {
@@ -219,16 +235,24 @@ func (in *instantiation) run(ag *AbstractGraph, prefix string, depth int) error 
 			spec.Attrs = merged
 		}
 
+		dsp := parent.Child("discover",
+			trace.String("node", string(qid)),
+			trace.String("type", spec.Type),
+			trace.Int("depth", int64(depth)))
+		in.report.DiscoveryAttempts++
 		best := in.c.reg.Best(spec)
 		switch {
 		case best != nil:
 			node := nodeFromInstance(qid, an, best)
 			if err := in.g.AddNode(node); err != nil {
+				dsp.SetErr(err)
+				dsp.End()
 				return err
 			}
 			in.entries[qid] = []graph.NodeID{qid}
 			in.exits[qid] = []graph.NodeID{qid}
 			in.report.Discovered[qid] = best.Name
+			dsp.Set(trace.String("outcome", "found"), trace.String("instance", best.Name))
 
 		case an.Optional:
 			// "If the service that cannot be discovered is optional, then
@@ -236,18 +260,25 @@ func (in *instantiation) run(ag *AbstractGraph, prefix string, depth int) error 
 			in.entries[qid] = nil
 			in.exits[qid] = nil
 			in.report.Skipped = append(in.report.Skipped, qid)
+			in.report.DiscoveryFailures++
+			dsp.Set(trace.String("outcome", "skipped-optional"))
 
 		case depth < MaxRecursionDepth:
+			in.report.DiscoveryFailures++
 			sub, ok := in.c.decompositions[an.Spec.Type]
 			if !ok {
 				in.missing[an.Spec.Type] = true
+				dsp.Set(trace.String("outcome", "missing"))
+				dsp.End()
 				continue
 			}
 			// Recursively apply the composition algorithm to find a
 			// service graph that performs the same task as the missing
 			// service.
+			dsp.Set(trace.String("outcome", "recompose"))
 			subPrefix := string(qid) + "/"
-			if err := in.run(sub, subPrefix, depth+1); err != nil {
+			if err := in.run(sub, subPrefix, depth+1, dsp); err != nil {
+				dsp.End()
 				return err
 			}
 			in.entries[qid] = in.subBoundary(sub, subPrefix, true)
@@ -264,8 +295,11 @@ func (in *instantiation) run(ag *AbstractGraph, prefix string, depth int) error 
 			}
 
 		default:
+			in.report.DiscoveryFailures++
 			in.missing[an.Spec.Type] = true
+			dsp.Set(trace.String("outcome", "missing"))
 		}
+		dsp.End()
 	}
 
 	// Wire the edges, bypassing skipped optional services.

@@ -7,6 +7,7 @@ import (
 	"ubiqos/internal/graph"
 	"ubiqos/internal/qos"
 	"ubiqos/internal/registry"
+	"ubiqos/internal/trace"
 )
 
 // Well-known service types the Ordered Coordination algorithm discovers
@@ -61,7 +62,7 @@ func (c *Composer) SetCheckOrder(o CheckOrder) { c.checkOrder = o }
 // Checking in reverse topological order means the first examined nodes are
 // the sinks — the client services carrying the user's QoS requirements —
 // so their QoS is preserved while upstream components adapt.
-func (c *Composer) coordinate(g *graph.Graph, report *Report) error {
+func (c *Composer) coordinate(g *graph.Graph, report *Report, sp *trace.Span) error {
 	order, err := g.TopoSort()
 	if err != nil {
 		return err
@@ -83,7 +84,7 @@ func (c *Composer) coordinate(g *graph.Graph, report *Report) error {
 		cur := work[i]
 		// Snapshot the incoming edges: corrections splice nodes onto them.
 		for _, e := range g.In(cur) {
-			inserted, err := c.checkEdge(g, e, report)
+			inserted, err := c.checkEdge(g, e, report, sp)
 			if err != nil {
 				return err
 			}
@@ -112,7 +113,7 @@ func (c *Composer) coordinate(g *graph.Graph, report *Report) error {
 // re-routed) direct edge after each: a splice fills in every dimension the
 // consumer requires, so residual inconsistencies migrate to the new
 // upstream edge and are handled when the spliced node is examined.
-func (c *Composer) checkEdge(g *graph.Graph, e graph.Edge, report *Report) ([]graph.NodeID, error) {
+func (c *Composer) checkEdge(g *graph.Graph, e graph.Edge, report *Report, sp *trace.Span) ([]graph.NodeID, error) {
 	cons := g.Node(e.To)
 	var inserted []graph.NodeID
 	// Each iteration resolves at least one mismatched dimension of the
@@ -138,6 +139,12 @@ func (c *Composer) checkEdge(g *graph.Graph, e graph.Edge, report *Report) ([]gr
 		// adjustment cascades upstream when the predecessor is examined).
 		if adj, ok := c.adjustOutput(g, pred.ID, m.Name, m.Required); ok {
 			report.Adjustments = append(report.Adjustments, adj)
+			sp.Child("correction",
+				trace.String("kind", "qos-adjustment"),
+				trace.String("node", string(adj.Node)),
+				trace.String("dim", adj.Dim),
+				trace.String("from", adj.From),
+				trace.String("to", adj.To)).End()
 			continue
 		}
 		switch m.Kind {
@@ -147,12 +154,22 @@ func (c *Composer) checkEdge(g *graph.Graph, e graph.Edge, report *Report) ([]gr
 				return inserted, err
 			}
 			inserted = append(inserted, id)
+			sp.Child("correction",
+				trace.String("kind", "transcoder"),
+				trace.String("node", string(id)),
+				trace.String("dim", m.Name),
+				trace.String("edge", string(from)+"->"+string(e.To))).End()
 		case qos.MismatchPerformance:
 			id, err := c.insertBuffer(g, from, e.To, m, report)
 			if err != nil {
 				return inserted, err
 			}
 			inserted = append(inserted, id)
+			sp.Child("correction",
+				trace.String("kind", "buffer"),
+				trace.String("node", string(id)),
+				trace.String("dim", m.Name),
+				trace.String("edge", string(from)+"->"+string(e.To))).End()
 		default:
 			return inserted, fmt.Errorf("composer: cannot correct %s -> %s: %w", pred.ID, cons.ID, m)
 		}

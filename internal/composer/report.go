@@ -40,6 +40,12 @@ type Report struct {
 	Buffers []graph.NodeID
 	// Checks counts the pairwise consistency checks performed.
 	Checks int
+	// DiscoveryAttempts counts per-node discovery lookups (including
+	// nodes inside recursively composed replacements); DiscoveryFailures
+	// the subset that found no instance — whether later repaired by
+	// skipping an optional node or recursing, or terminally missing.
+	DiscoveryAttempts int
+	DiscoveryFailures int
 }
 
 func newReport() *Report {

@@ -30,6 +30,7 @@ import (
 	"ubiqos/internal/repository"
 	"ubiqos/internal/resource"
 	"ubiqos/internal/runtime"
+	"ubiqos/internal/trace"
 )
 
 // PlaceFunc chooses a placement for a composed graph; the default is the
@@ -70,6 +71,12 @@ type Config struct {
 	// Metrics, when set, receives operational counters and the per-tier
 	// overhead histograms.
 	Metrics *metrics.Registry
+	// Tracer, when set, records one structured trace per Configure /
+	// Reconfigure call: child spans for composition (with per-node
+	// discovery attempts and Ordered Coordination corrections),
+	// distribution (with branch-and-bound counters), admission, download,
+	// and deployment. Nil disables tracing at zero cost.
+	Tracer *trace.Tracer
 	// Parallelism bounds the worker pool of the batched ConfigureAll
 	// entry point (0 = all usable CPUs, 1 = serial). Individual
 	// Configure/Reconfigure calls may always run concurrently; this knob
@@ -275,7 +282,16 @@ func (c *Configurator) ConfigureAll(reqs []Request) (sessions []*ActiveSession, 
 // configure runs the pipeline, walking the QoS degradation ladder when
 // the full-quality configuration does not fit the current environment.
 func (c *Configurator) configure(req Request, handoff bool) (*ActiveSession, error) {
-	active, err := c.configureLadder(req, handoff)
+	tr := c.cfg.Tracer.Start("configure", req.SessionID, trace.Bool("handoff", handoff))
+	root := tr.Root()
+	active, err := c.configureLadder(req, handoff, root)
+	if err != nil {
+		root.SetErr(err)
+	} else {
+		root.Set(trace.Float("cost", active.Cost),
+			trace.Float("degradeFactor", active.DegradeFactor))
+	}
+	tr.Finish()
 	c.recordOutcome(active, err)
 	return active, err
 }
@@ -297,6 +313,8 @@ func (c *Configurator) recordOutcome(active *ActiveSession, err error) {
 	m.Counter(metrics.TranscodersInserted).Add(int64(len(active.Report.Transcoders)))
 	m.Counter(metrics.BuffersInserted).Add(int64(len(active.Report.Buffers)))
 	m.Counter(metrics.Adjustments).Add(int64(len(active.Report.Adjustments)))
+	m.Counter(metrics.DiscoveryAttempts).Add(int64(active.Report.DiscoveryAttempts))
+	m.Counter(metrics.DiscoveryFailures).Add(int64(active.Report.DiscoveryFailures))
 	m.Histogram(metrics.CompositionTime).Observe(active.Timing.Composition)
 	m.Histogram(metrics.DistributionTime).Observe(active.Timing.Distribution)
 	m.Histogram(metrics.DownloadTime).Observe(active.Timing.Downloading)
@@ -304,8 +322,11 @@ func (c *Configurator) recordOutcome(active *ActiveSession, err error) {
 	m.Gauge(metrics.ActiveSessions).Set(float64(c.Sessions()))
 }
 
-func (c *Configurator) configureLadder(req Request, handoff bool) (*ActiveSession, error) {
-	active, err := c.configureOnce(req, handoff)
+func (c *Configurator) configureLadder(req Request, handoff bool, root *trace.Span) (*ActiveSession, error) {
+	asp := root.Child("attempt", trace.Float("degradeFactor", 1))
+	active, err := c.configureOnce(req, handoff, asp)
+	asp.SetErr(err)
+	asp.End()
 	if err == nil {
 		active.DegradeFactor = 1
 		return active, nil
@@ -322,7 +343,10 @@ func (c *Configurator) configureLadder(req Request, handoff bool) (*ActiveSessio
 		}
 		degraded := req
 		degraded.UserQoS = degradeVector(req.UserQoS, f)
-		active, derr := c.configureOnce(degraded, handoff)
+		asp := root.Child("attempt", trace.Float("degradeFactor", f))
+		active, derr := c.configureOnce(degraded, handoff, asp)
+		asp.SetErr(derr)
+		asp.End()
 		if derr == nil {
 			active.DegradeFactor = f
 			return active, nil
@@ -347,24 +371,34 @@ func degradeVector(v qos.Vector, f float64) qos.Vector {
 	return out
 }
 
-func (c *Configurator) configureOnce(req Request, handoff bool) (*ActiveSession, error) {
+func (c *Configurator) configureOnce(req Request, handoff bool, parent *trace.Span) (*ActiveSession, error) {
 	// --- Tier 1: service composition. ---
 	var clientAttrs map[string]string
 	if d := c.cfg.Devices.Get(req.ClientDevice); d != nil {
 		clientAttrs = d.Attrs
 	}
 	t0 := time.Now()
+	csp := parent.Child("compose")
 	app := resolveClientPins(req.App, req.ClientDevice)
 	g, rep, err := c.cfg.Composer.Compose(composer.Request{
 		App:          app,
 		UserQoS:      req.UserQoS,
 		ClientAttrs:  clientAttrs,
 		ClientDevice: string(req.ClientDevice),
+		Span:         csp,
 	})
 	compTime := time.Since(t0)
 	if err != nil {
+		csp.SetErr(err)
+		csp.End()
 		return nil, fmt.Errorf("core: composition: %w", err)
 	}
+	csp.Set(trace.Int("nodes", int64(g.NodeCount())),
+		trace.Int("checks", int64(rep.Checks)),
+		trace.Int("adjustments", int64(len(rep.Adjustments))),
+		trace.Int("transcoders", int64(len(rep.Transcoders))),
+		trace.Int("buffers", int64(len(rep.Buffers))))
+	csp.End()
 
 	// Online profiling refines the declared requirement vectors.
 	if c.cfg.Profiler != nil {
@@ -387,19 +421,25 @@ func (c *Configurator) configureOnce(req Request, handoff bool) (*ActiveSession,
 		devInfos[i] = distributor.DeviceInfo{ID: d.ID, Avail: d.Available()}
 		devIDs[i] = d.ID
 	}
+	dsp := parent.Child("distribute", trace.Int("devices", int64(len(up))))
+	stats := &distributor.SearchStats{}
 	prob := &distributor.Problem{
 		Graph:     g,
 		Devices:   devInfos,
 		Bandwidth: c.cfg.Links.Available,
 		Weights:   c.cfg.Weights,
+		Span:      dsp,
+		Stats:     stats,
 	}
 	assignment, cost, err := c.cfg.Place(prob)
 	distTime := time.Since(t1)
+	c.recordSearch(dsp, stats, cost, err)
 	if err != nil {
 		return nil, fmt.Errorf("core: distribution: %w", err)
 	}
 
 	// --- Admission: reserve device resources and link bandwidth. ---
+	admitSp := parent.Child("admit")
 	loads := prob.DeviceLoads(assignment)
 	admitted := make([]int, 0, len(up))
 	rollback := func() {
@@ -413,6 +453,8 @@ func (c *Configurator) configureOnce(req Request, handoff bool) (*ActiveSession,
 		}
 		if err := d.Admit(loads[i]); err != nil {
 			rollback()
+			admitSp.SetErr(err)
+			admitSp.End()
 			return nil, fmt.Errorf("core: admission: %w", err)
 		}
 		admitted = append(admitted, i)
@@ -428,12 +470,18 @@ func (c *Configurator) configureOnce(req Request, handoff bool) (*ActiveSession,
 		if err := c.cfg.Links.Reserve(pair[0], pair[1], mbps); err != nil {
 			rollbackLinks()
 			rollback()
+			admitSp.SetErr(err)
+			admitSp.End()
 			return nil, fmt.Errorf("core: bandwidth reservation: %w", err)
 		}
 		reserved = append(reserved, pair)
 	}
+	admitSp.Set(trace.Int("devicesLoaded", int64(len(admitted))),
+		trace.Int("linksReserved", int64(len(reserved))))
+	admitSp.End()
 
 	// --- Dynamic downloading: components missing on their targets. ---
+	dlSp := parent.Child("download")
 	placement := make(map[graph.NodeID]device.ID, g.NodeCount())
 	for id, di := range assignment {
 		placement[id] = devInfos[di].ID
@@ -442,8 +490,12 @@ func (c *Configurator) configureOnce(req Request, handoff bool) (*ActiveSession,
 	if err != nil {
 		rollbackLinks()
 		rollback()
+		dlSp.SetErr(err)
+		dlSp.End()
 		return nil, err
 	}
+	dlSp.Set(trace.Float("modeledSeconds", dlTime.Seconds()))
+	dlSp.End()
 
 	// --- Initialization or state handoff. ---
 	// Both a fresh initialization and a resume pay the buffering time for
@@ -454,17 +506,23 @@ func (c *Configurator) configureOnce(req Request, handoff bool) (*ActiveSession,
 		startPos = st.Position
 	}
 
+	depSp := parent.Child("deploy", trace.Int("startPos", startPos))
 	sess, err := c.cfg.Engine.Deploy(g, placement, startPos, req.MaxFrames)
 	if err != nil {
 		rollbackLinks()
 		rollback()
+		depSp.SetErr(err)
+		depSp.End()
 		return nil, fmt.Errorf("core: deploy: %w", err)
 	}
 	if err := sess.Start(); err != nil {
 		rollbackLinks()
 		rollback()
+		depSp.SetErr(err)
+		depSp.End()
 		return nil, fmt.Errorf("core: start: %w", err)
 	}
+	depSp.End()
 
 	active := &ActiveSession{
 		ID:           req.SessionID,
@@ -487,6 +545,35 @@ func (c *Configurator) configureOnce(req Request, handoff bool) (*ActiveSession,
 	}
 	c.commit(active)
 	return active, nil
+}
+
+// recordSearch finishes the distribution span with the solver's search
+// statistics and feeds the branch-and-bound counters into the metrics
+// registry. A custom PlaceFunc that does not fill Stats records only the
+// span timing.
+func (c *Configurator) recordSearch(dsp *trace.Span, stats *distributor.SearchStats, cost float64, err error) {
+	if stats.Algorithm != "" {
+		dsp.Set(trace.String("algorithm", stats.Algorithm),
+			trace.Int("explored", stats.Explored),
+			trace.Int("pruned", stats.Pruned),
+			trace.Int("incumbents", stats.Incumbents))
+	}
+	if err != nil {
+		dsp.SetErr(err)
+	} else {
+		dsp.Set(trace.Float("cost", cost))
+	}
+	dsp.End()
+	m := c.cfg.Metrics
+	if m == nil {
+		return
+	}
+	switch stats.Algorithm {
+	case "optimal", "optimal-parallel":
+		m.Counter(metrics.BnBExplored).Add(stats.Explored)
+		m.Counter(metrics.BnBPruned).Add(stats.Pruned)
+		m.Counter(metrics.BnBIncumbents).Add(stats.Incumbents)
+	}
 }
 
 // download fetches every component missing on its target device. Devices

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"testing"
+
+	"ubiqos/internal/distributor"
+	"ubiqos/internal/qos"
+	"ubiqos/internal/trace"
+)
+
+// childrenOf collects the names of a span's direct children, in creation
+// order.
+func childrenOf(td *trace.TraceData, parent int) []string {
+	var out []string
+	for _, sp := range td.Spans {
+		if sp.Parent == parent {
+			out = append(out, sp.Name)
+		}
+	}
+	return out
+}
+
+// firstNamed returns the first exported span with the given name, or nil.
+func firstNamed(td *trace.TraceData, name string) *trace.SpanData {
+	for i := range td.Spans {
+		if td.Spans[i].Name == name {
+			return &td.Spans[i]
+		}
+	}
+	return nil
+}
+
+// TestConfigureTrace drives one Configure with optimal-parallel placement
+// against the fixture's PDA (forcing a transcoder correction) and asserts
+// the full span tree of the acceptance criteria: compose → discover →
+// OC-correction → distribute, with correction kinds and branch-and-bound
+// counters.
+func TestConfigureTrace(t *testing.T) {
+	f := newFixture(t)
+	f.cfg.Tracer = trace.NewTracer(8)
+	f.cfg.Place = func(p *distributor.Problem) (distributor.Assignment, float64, error) {
+		return distributor.OptimalParallel(p, 4)
+	}
+	c, err := New(f.cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Configure(Request{
+		SessionID:    "traced-1",
+		App:          audioApp(),
+		UserQoS:      qos.V(qos.P(qos.DimFrameRate, qos.Range(35, 44))),
+		ClientDevice: "pda1",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop("traced-1")
+
+	td := f.cfg.Tracer.Find("traced-1")
+	if td == nil {
+		t.Fatal("no trace recorded for the session")
+	}
+	if td.Name != "configure" || td.Spans[0].Attrs["handoff"] != false {
+		t.Errorf("root = %+v", td.Spans[0])
+	}
+	if td.Spans[0].Attrs["degradeFactor"] != float64(1) {
+		t.Errorf("root attrs = %v", td.Spans[0].Attrs)
+	}
+
+	attempt := firstNamed(td, "attempt")
+	if attempt == nil || attempt.Parent != 0 {
+		t.Fatalf("attempt span missing:\n%s", td.Render())
+	}
+	stages := childrenOf(td, attempt.ID)
+	want := []string{"compose", "distribute", "admit", "download", "deploy"}
+	if len(stages) != len(want) {
+		t.Fatalf("stages = %v, want %v:\n%s", stages, want, td.Render())
+	}
+	for i, name := range want {
+		if stages[i] != name {
+			t.Fatalf("stage[%d] = %s, want %s", i, stages[i], name)
+		}
+	}
+
+	// Composition: discovery attempts and the transcoder correction.
+	compose := firstNamed(td, "compose")
+	if compose.Attrs["transcoders"] != int64(1) {
+		t.Errorf("compose attrs = %v", compose.Attrs)
+	}
+	discover := firstNamed(td, "discover")
+	if discover == nil || discover.Parent != compose.ID {
+		t.Fatalf("discover span missing or misparented:\n%s", td.Render())
+	}
+	correction := firstNamed(td, "correction")
+	if correction == nil || correction.Attrs["kind"] != "transcoder" {
+		t.Fatalf("correction span = %+v:\n%s", correction, td.Render())
+	}
+
+	// Distribution: the parallel branch-and-bound counters.
+	dist := firstNamed(td, "distribute")
+	if dist.Attrs["algorithm"] != "optimal-parallel" {
+		t.Errorf("distribute attrs = %v", dist.Attrs)
+	}
+	explored, ok := dist.Attrs["explored"].(int64)
+	if !ok || explored == 0 {
+		t.Errorf("distribute explored = %v", dist.Attrs["explored"])
+	}
+	if _, ok := dist.Attrs["pruned"].(int64); !ok {
+		t.Errorf("distribute pruned = %v", dist.Attrs["pruned"])
+	}
+	if firstNamed(td, "branch-and-bound-parallel") == nil {
+		t.Errorf("no solver span:\n%s", td.Render())
+	}
+	worker := firstNamed(td, "bnb-worker")
+	if worker == nil {
+		t.Fatalf("no per-worker span:\n%s", td.Render())
+	}
+}
+
+// TestConfigureTraceFailure: a failed configuration still produces a
+// finished trace with the error on the root span.
+func TestConfigureTraceFailure(t *testing.T) {
+	f := newFixture(t)
+	f.cfg.Tracer = trace.NewTracer(8)
+	c, err := New(f.cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Configure(Request{
+		SessionID:    "doomed-1",
+		App:          audioApp(),
+		ClientDevice: "ghost",
+	}); err == nil {
+		t.Fatal("configure on unknown portal should fail")
+	}
+	td := f.cfg.Tracer.Find("doomed-1")
+	if td == nil {
+		t.Fatal("failed configure must still record a trace")
+	}
+	if _, ok := td.Spans[0].Attrs["error"]; !ok {
+		t.Errorf("root must carry the error: %v", td.Spans[0].Attrs)
+	}
+}
+
+// TestConfigureUntraced: a nil tracer stays a no-op end to end.
+func TestConfigureUntraced(t *testing.T) {
+	f := newFixture(t)
+	if _, err := f.c.Configure(Request{
+		SessionID:    "plain-1",
+		App:          audioApp(),
+		ClientDevice: "desktop1",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	defer f.c.Stop("plain-1")
+	if f.cfg.Tracer.Len() != 0 {
+		t.Error("nil tracer must record nothing")
+	}
+}

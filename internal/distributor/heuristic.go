@@ -5,6 +5,7 @@ import (
 
 	"ubiqos/internal/graph"
 	"ubiqos/internal/resource"
+	"ubiqos/internal/trace"
 )
 
 // Heuristic runs the paper's polynomial greedy algorithm (§3.3):
@@ -31,6 +32,16 @@ func Heuristic(p *Problem) (Assignment, float64, error) {
 	if err := p.Validate(); err != nil {
 		return nil, 0, err
 	}
+	sp := p.Span.Child("greedy-placement")
+	defer sp.End()
+	var placements, fallbacks int64
+	defer func() {
+		sp.Set(trace.Int("placements", placements), trace.Int("fallbacks", fallbacks))
+		if p.Stats != nil {
+			*p.Stats = SearchStats{Algorithm: "heuristic", Workers: 1,
+				Explored: placements, Pruned: fallbacks}
+		}
+	}()
 	a, err := p.pinnedAssignment()
 	if err != nil {
 		return nil, 0, err
@@ -75,12 +86,16 @@ func Heuristic(p *Problem) (Assignment, float64, error) {
 		// Insert into the head device, falling back down the sorted list
 		// when the component does not fit.
 		placed := false
-		for _, di := range devOrder {
+		for oi, di := range devOrder {
 			if p.Graph.Node(chosen).Resources.LessEq(remaining[di]) {
 				a[chosen] = di
 				remaining[di] = remaining[di].Sub(p.Graph.Node(chosen).Resources)
 				delete(unassigned, chosen)
 				placed = true
+				placements++
+				if oi > 0 {
+					fallbacks++
+				}
 				break
 			}
 		}

@@ -5,6 +5,7 @@ import (
 
 	"ubiqos/internal/graph"
 	"ubiqos/internal/resource"
+	"ubiqos/internal/trace"
 )
 
 // Optimal finds the minimum-cost-aggregation feasible k-cut by exhaustive
@@ -23,7 +24,21 @@ func Optimal(p *Problem) (Assignment, float64, error) {
 	if err != nil {
 		return nil, 0, err
 	}
+	sp := p.Span.Child("branch-and-bound")
 	s.search(0, 0)
+	w := s.counters(0, 1)
+	sp.Set(trace.Int("explored", w.Explored), trace.Int("pruned", w.Pruned),
+		trace.Int("incumbents", w.Incumbents))
+	sp.End()
+	if p.Stats != nil {
+		*p.Stats = SearchStats{
+			Algorithm:  "optimal",
+			Workers:    1,
+			Explored:   w.Explored,
+			Pruned:     w.Pruned,
+			Incumbents: w.Incumbents,
+		}
+	}
 	return s.result()
 }
 
@@ -66,6 +81,14 @@ type obbState struct {
 	// so equal-cost optima in lexicographically earlier subtrees survive
 	// for the deterministic reduce).
 	global *sharedBound
+
+	// Search counters (observability only — they never influence the
+	// search, so determinism of the result is untouched). explored counts
+	// successful placements inside search, prunedN bound cut-offs, and
+	// incumbents best-so-far updates.
+	explored   int64
+	prunedN    int64
+	incumbents int64
 }
 
 // newOBBState validates the problem and builds a fresh search state:
@@ -243,11 +266,13 @@ func (s *obbState) pruned(cost float64) bool {
 // order, with accumulated partial cost.
 func (s *obbState) search(i int, cost float64) {
 	if s.pruned(cost) {
+		s.prunedN++
 		return
 	}
 	if i == len(s.nodes) {
 		s.best = cost
 		s.bestAssign = append(s.bestAssign[:0], s.assign...)
+		s.incumbents++
 		if s.global != nil {
 			s.global.lower(cost)
 		}
@@ -258,6 +283,7 @@ func (s *obbState) search(i int, cost float64) {
 			continue
 		}
 		if delta, ok := s.tryPlace(i, d); ok {
+			s.explored++
 			s.search(i+1, cost+delta)
 			s.unplace(i, d)
 		}

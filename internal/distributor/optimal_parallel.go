@@ -5,6 +5,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"ubiqos/internal/trace"
 )
 
 // sharedBound is the incumbent best cost shared by all parallel workers,
@@ -104,23 +106,35 @@ func OptimalWith(p *Problem, opt ParallelOptions) (Assignment, float64, error) {
 	if len(tasks) == 1 && len(tasks[0]) == 0 {
 		// Degenerate frontier (e.g. zero-node graph): run sequentially.
 		base.search(0, 0)
+		if p.Stats != nil {
+			w := base.counters(0, 1)
+			*p.Stats = SearchStats{Algorithm: "optimal", Workers: 1,
+				Explored: w.Explored, Pruned: w.Pruned, Incumbents: w.Incumbents}
+		}
 		return base.result()
 	}
 
+	sp := p.Span.Child("branch-and-bound-parallel",
+		trace.Int("workers", int64(workers)), trace.Int("tasks", int64(len(tasks))),
+		trace.Int("frontierDepth", int64(len(tasks[0]))))
 	type taskBest struct {
 		cost   float64
 		assign []int
 	}
 	bound := newSharedBound()
 	results := make([]*taskBest, len(tasks)) // indexed by task, so the reduce is order-independent
+	wstats := make([]WorkerStats, workers)
 	next := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			span := sp.Child("bnb-worker", trace.Int("worker", int64(w)))
 			var s *obbState
+			pulled := 0
 			for ti := range next {
+				pulled++
 				if s == nil {
 					s = base.clone()
 					s.global = bound
@@ -135,13 +149,45 @@ func OptimalWith(p *Problem, opt ParallelOptions) (Assignment, float64, error) {
 					}
 				}
 			}
-		}()
+			if s != nil {
+				wstats[w] = s.counters(w, pulled)
+			} else {
+				wstats[w] = WorkerStats{Worker: w}
+			}
+			span.Set(trace.Int("tasks", int64(wstats[w].Tasks)),
+				trace.Int("explored", wstats[w].Explored),
+				trace.Int("pruned", wstats[w].Pruned),
+				trace.Int("incumbents", wstats[w].Incumbents))
+			span.End()
+		}(w)
 	}
 	for ti := range tasks {
 		next <- ti
 	}
 	close(next)
 	wg.Wait()
+
+	var explored, prunedN, incumbents int64
+	for _, ws := range wstats {
+		explored += ws.Explored
+		prunedN += ws.Pruned
+		incumbents += ws.Incumbents
+	}
+	sp.Set(trace.Int("explored", explored), trace.Int("pruned", prunedN),
+		trace.Int("incumbents", incumbents))
+	sp.End()
+	if p.Stats != nil {
+		*p.Stats = SearchStats{
+			Algorithm:     "optimal-parallel",
+			Workers:       workers,
+			FrontierDepth: len(tasks[0]),
+			Tasks:         len(tasks),
+			Explored:      explored,
+			Pruned:        prunedN,
+			Incumbents:    incumbents,
+			PerWorker:     wstats,
+		}
+	}
 
 	// Deterministic reduce: minimum cost, ties to the lexicographically
 	// smallest assignment. Tasks are enumerated in lexicographic prefix
@@ -196,6 +242,7 @@ func (s *obbState) runTask(prefix []int) bool {
 			ok = false
 			break
 		}
+		s.explored++ // replayed prefix nodes are search-tree nodes too
 		cost += delta
 		placed++
 	}

@@ -21,6 +21,7 @@ import (
 	"ubiqos/internal/device"
 	"ubiqos/internal/graph"
 	"ubiqos/internal/resource"
+	"ubiqos/internal/trace"
 )
 
 // ErrInfeasible reports that no placement satisfying the fit-into
@@ -48,6 +49,13 @@ type Problem struct {
 	Bandwidth func(a, b device.ID) float64
 	// Weights are the m+1 significance weights of Definition 3.5.
 	Weights resource.Weights
+
+	// Span, when non-nil, receives solver child spans (per-worker
+	// branch-and-bound spans with explored/pruned/incumbent counts). It is
+	// observability output only and never affects the solution.
+	Span *trace.Span
+	// Stats, when non-nil, is filled with SearchStats by the solver.
+	Stats *SearchStats
 }
 
 // Validate checks the problem is well-formed: a valid graph, at least one

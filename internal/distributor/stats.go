@@ -1,0 +1,49 @@
+package distributor
+
+// WorkerStats reports one parallel worker's share of the branch-and-bound
+// search.
+type WorkerStats struct {
+	// Worker is the worker's index in the pool.
+	Worker int `json:"worker"`
+	// Tasks is how many frontier subtree tasks the worker pulled.
+	Tasks int `json:"tasks"`
+	// Explored counts successful node placements (search tree nodes
+	// entered), Pruned counts subtrees cut off by the bound, and
+	// Incumbents counts best-so-far updates within the worker's searcher.
+	Explored   int64 `json:"explored"`
+	Pruned     int64 `json:"pruned"`
+	Incumbents int64 `json:"incumbents"`
+}
+
+// SearchStats reports how a Problem was solved. Solvers fill the struct
+// pointed to by Problem.Stats (when non-nil) before returning; totals are
+// always set, PerWorker only by the parallel solver.
+type SearchStats struct {
+	// Algorithm is "heuristic", "optimal", or "optimal-parallel".
+	Algorithm string `json:"algorithm"`
+	// Workers and FrontierDepth describe the parallel split (Workers is 1
+	// for sequential solvers); Tasks is the frontier task count.
+	Workers       int `json:"workers,omitempty"`
+	FrontierDepth int `json:"frontierDepth,omitempty"`
+	Tasks         int `json:"tasks,omitempty"`
+	// Explored, Pruned, and Incumbents are summed over all workers. For
+	// the heuristic, Explored counts placements and Pruned counts
+	// components that missed the head device and fell down the
+	// availability order.
+	Explored   int64 `json:"explored"`
+	Pruned     int64 `json:"pruned"`
+	Incumbents int64 `json:"incumbents"`
+	// PerWorker breaks the totals down by pool worker (parallel only).
+	PerWorker []WorkerStats `json:"perWorker,omitempty"`
+}
+
+// counters extracts an obbState's search counters as a WorkerStats value.
+func (s *obbState) counters(worker, tasks int) WorkerStats {
+	return WorkerStats{
+		Worker:     worker,
+		Tasks:      tasks,
+		Explored:   s.explored,
+		Pruned:     s.prunedN,
+		Incumbents: s.incumbents,
+	}
+}

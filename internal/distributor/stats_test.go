@@ -1,0 +1,125 @@
+package distributor
+
+import (
+	"math/rand"
+	"testing"
+
+	"ubiqos/internal/resource"
+	"ubiqos/internal/trace"
+)
+
+// TestSearchStats checks that every solver fills Problem.Stats and emits
+// solver spans, and that instrumentation output is present without
+// affecting the solution.
+func TestSearchStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	devices := []DeviceInfo{
+		{ID: "pc", Avail: resource.MB(96, 160)},
+		{ID: "pda", Avail: resource.MB(48, 90)},
+	}
+	p := randomTestProblem(rng, 10, devices, 40)
+
+	// Sequential optimal.
+	tc := trace.NewTracer(8)
+	tr := tc.Start("solve", "s")
+	p.Span = tr.Root()
+	p.Stats = &SearchStats{}
+	_, seqCost, err := Optimal(p)
+	if err != nil {
+		t.Skipf("instance infeasible: %v", err)
+	}
+	seq := *p.Stats
+	if seq.Algorithm != "optimal" || seq.Workers != 1 {
+		t.Errorf("sequential stats = %+v", seq)
+	}
+	if seq.Explored == 0 || seq.Incumbents == 0 {
+		t.Errorf("sequential counters empty: %+v", seq)
+	}
+	tr.Finish()
+	td := tc.Latest()
+	if len(td.Spans) != 2 || td.Spans[1].Name != "branch-and-bound" {
+		t.Fatalf("sequential spans = %+v", td.Spans)
+	}
+	if td.Spans[1].Attrs["explored"] != seq.Explored {
+		t.Errorf("span explored = %v, stats %d", td.Spans[1].Attrs["explored"], seq.Explored)
+	}
+
+	// Parallel optimal: same cost, totals populated per worker.
+	tr2 := tc.Start("solve", "s2")
+	p.Span = tr2.Root()
+	p.Stats = &SearchStats{}
+	_, parCost, err := OptimalParallel(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parCost != seqCost {
+		t.Fatalf("instrumentation changed the answer: %v != %v", parCost, seqCost)
+	}
+	par := *p.Stats
+	if par.Algorithm != "optimal-parallel" || par.Workers != 4 || par.Tasks == 0 {
+		t.Errorf("parallel stats = %+v", par)
+	}
+	if len(par.PerWorker) != 4 {
+		t.Fatalf("per-worker stats = %d entries", len(par.PerWorker))
+	}
+	var sumExplored, sumTasks int64
+	for _, ws := range par.PerWorker {
+		sumExplored += ws.Explored
+		sumTasks += int64(ws.Tasks)
+	}
+	if sumExplored != par.Explored {
+		t.Errorf("per-worker explored sums to %d, total %d", sumExplored, par.Explored)
+	}
+	if sumTasks != int64(par.Tasks) {
+		t.Errorf("per-worker tasks sum to %d, total %d", sumTasks, par.Tasks)
+	}
+	if par.Explored == 0 || par.Incumbents == 0 {
+		t.Errorf("parallel counters empty: %+v", par)
+	}
+	tr2.Finish()
+	td2 := tc.Latest()
+	var workers, parent int
+	for _, sp := range td2.Spans {
+		switch sp.Name {
+		case "branch-and-bound-parallel":
+			parent++
+			if sp.Attrs["explored"] != par.Explored {
+				t.Errorf("parent span explored = %v, want %d", sp.Attrs["explored"], par.Explored)
+			}
+		case "bnb-worker":
+			workers++
+		}
+	}
+	if parent != 1 || workers != 4 {
+		t.Errorf("parallel spans: %d parent, %d workers", parent, workers)
+	}
+
+	// Heuristic.
+	p.Span = nil
+	p.Stats = &SearchStats{}
+	if _, _, err := Heuristic(p); err != nil {
+		t.Skipf("heuristic infeasible: %v", err)
+	}
+	h := *p.Stats
+	if h.Algorithm != "heuristic" || h.Explored != 10 {
+		t.Errorf("heuristic stats = %+v (want 10 placements)", h)
+	}
+}
+
+// TestStatsNilSafe: solvers must run untraced with nil Span and Stats.
+func TestStatsNilSafe(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	p := randomTestProblem(rng, 8, []DeviceInfo{
+		{ID: "pc", Avail: resource.MB(96, 160)},
+		{ID: "pda", Avail: resource.MB(48, 90)},
+	}, 40)
+	if _, _, err := Optimal(p); err != nil {
+		t.Skipf("infeasible: %v", err)
+	}
+	if _, _, err := OptimalParallel(p, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Heuristic(p); err != nil && err != ErrInfeasible {
+		t.Fatal(err)
+	}
+}

@@ -25,7 +25,12 @@ import (
 	"ubiqos/internal/repository"
 	"ubiqos/internal/resource"
 	"ubiqos/internal/runtime"
+	"ubiqos/internal/trace"
 )
+
+// traceCapacity bounds the per-domain ring of finished configuration
+// traces.
+const traceCapacity = 128
 
 // Options configures a new domain.
 type Options struct {
@@ -63,6 +68,7 @@ type Domain struct {
 	Checkpoints  *checkpoint.Store
 	Profiler     *profiler.Profiler
 	Metrics      *metrics.Registry
+	Tracer       *trace.Tracer
 	Composer     *composer.Composer
 	Configurator *core.Configurator
 
@@ -102,8 +108,10 @@ func New(name string, opts Options) (*Domain, error) {
 		Checkpoints: checkpoint.NewStore(),
 		Profiler:    profiler.MustNew(profiler.DefaultAlpha),
 		Metrics:     metrics.NewRegistry(),
+		Tracer:      trace.NewTracer(traceCapacity),
 		children:    make(map[string]*Domain),
 	}
+	d.Bus.Instrument(d.Metrics)
 	net, err := netsim.New(opts.Scale)
 	if err != nil {
 		return nil, err
@@ -134,6 +142,7 @@ func New(name string, opts Options) (*Domain, error) {
 		Place:          opts.Place,
 		Profiler:       d.Profiler,
 		Metrics:        d.Metrics,
+		Tracer:         d.Tracer,
 	})
 	if err != nil {
 		return nil, err

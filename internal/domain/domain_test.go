@@ -326,7 +326,7 @@ func TestDomainRecordsMetrics(t *testing.T) {
 			t.Errorf("metrics snapshot missing %q:\n%s", want, snap)
 		}
 	}
-	if !strings.Contains(snap, "composition_time count=2") {
+	if !strings.Contains(snap, "composition_time_seconds_count 2") {
 		t.Errorf("composition histogram:\n%s", snap)
 	}
 }

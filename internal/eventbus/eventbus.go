@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"ubiqos/internal/metrics"
 )
 
 // Topic classifies an event.
@@ -89,11 +91,41 @@ type Bus struct {
 	nextID int
 	subs   map[int]*Subscription
 	closed bool
+	// reg, when set via Instrument, receives publish fan-out counters and
+	// subscriber/queue-depth gauges.
+	reg *metrics.Registry
 }
 
 // New returns an open event bus.
 func New() *Bus {
 	return &Bus{subs: make(map[int]*Subscription)}
+}
+
+// Instrument attaches a metrics registry: every Publish updates the
+// eventbus_published/delivered/dropped counters and the subscriber and
+// queue-depth gauges; Subscribe/Cancel/Close keep the subscriber gauge
+// current. Pass nil to detach.
+func (b *Bus) Instrument(r *metrics.Registry) {
+	b.mu.Lock()
+	b.reg = r
+	if r != nil {
+		r.Gauge(metrics.BusSubscribers).Set(float64(len(b.subs)))
+	}
+	b.mu.Unlock()
+}
+
+// gauges refreshes the subscriber and queue-depth gauges; callers must
+// hold b.mu (read or write — gauge values are internally synchronized).
+func (b *Bus) gauges() {
+	if b.reg == nil {
+		return
+	}
+	depth := 0
+	for _, sub := range b.subs {
+		depth += len(sub.ch)
+	}
+	b.reg.Gauge(metrics.BusSubscribers).Set(float64(len(b.subs)))
+	b.reg.Gauge(metrics.BusQueueDepth).Set(float64(depth))
 }
 
 // DefaultBuffer is the per-subscription channel capacity used by
@@ -125,6 +157,7 @@ func (b *Bus) Subscribe(topics ...Topic) (*Subscription, error) {
 	}
 	b.subs[b.nextID] = sub
 	b.nextID++
+	b.gauges()
 	return sub, nil
 }
 
@@ -138,7 +171,7 @@ func (b *Bus) Publish(topic Topic, payload any) int {
 	if b.closed {
 		return 0
 	}
-	delivered := 0
+	delivered, dropped := 0, 0
 	for _, sub := range b.subs {
 		if !sub.topics[topic] {
 			continue
@@ -147,10 +180,17 @@ func (b *Bus) Publish(topic Topic, payload any) int {
 		case sub.ch <- ev:
 			delivered++
 		default:
+			dropped++
 			sub.mu.Lock()
 			sub.dropped++
 			sub.mu.Unlock()
 		}
+	}
+	if b.reg != nil {
+		b.reg.Counter(metrics.EventsPublished).Inc()
+		b.reg.Counter(metrics.EventsDelivered).Add(int64(delivered))
+		b.reg.Counter(metrics.EventsDropped).Add(int64(dropped))
+		b.gauges()
 	}
 	return delivered
 }
@@ -169,6 +209,7 @@ func (b *Bus) Close() {
 		close(sub.ch)
 		delete(b.subs, id)
 	}
+	b.gauges()
 }
 
 func (s *Subscription) markClosed() {
@@ -191,6 +232,7 @@ func (b *Bus) cancel(s *Subscription) {
 		delete(b.subs, s.id)
 		close(s.ch)
 	}
+	b.gauges()
 }
 
 // Subscribers returns the number of active subscriptions.

@@ -4,6 +4,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"ubiqos/internal/metrics"
 )
 
 func recv(t *testing.T, sub *Subscription) Event {
@@ -225,4 +227,49 @@ func TestSubscribersConcurrentWithPublish(t *testing.T) {
 	}
 	close(stop)
 	wg.Wait()
+}
+
+func TestInstrument(t *testing.T) {
+	b := New()
+	r := metrics.NewRegistry()
+	b.Instrument(r)
+	if v, _ := r.Gauge(metrics.BusSubscribers).Value(); v != 0 {
+		t.Errorf("initial subscribers gauge = %v", v)
+	}
+	sub, err := b.Subscribe(TopicDeviceJoined)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := r.Gauge(metrics.BusSubscribers).Value(); v != 1 {
+		t.Errorf("subscribers gauge = %v, want 1", v)
+	}
+	// Fill the subscriber's buffer without draining: DefaultBuffer events
+	// deliver, the rest drop.
+	for i := 0; i < DefaultBuffer+3; i++ {
+		b.Publish(TopicDeviceJoined, i)
+	}
+	b.Publish(TopicDeviceLeft, nil) // no subscriber: published, zero fan-out
+	if got := r.Counter(metrics.EventsPublished).Value(); got != int64(DefaultBuffer+4) {
+		t.Errorf("published = %d", got)
+	}
+	if got := r.Counter(metrics.EventsDelivered).Value(); got != int64(DefaultBuffer) {
+		t.Errorf("delivered = %d", got)
+	}
+	if got := r.Counter(metrics.EventsDropped).Value(); got != 3 {
+		t.Errorf("dropped = %d", got)
+	}
+	if v, _ := r.Gauge(metrics.BusQueueDepth).Value(); v != float64(DefaultBuffer) {
+		t.Errorf("queue depth gauge = %v, want %d", v, DefaultBuffer)
+	}
+	sub.Cancel()
+	if v, _ := r.Gauge(metrics.BusSubscribers).Value(); v != 0 {
+		t.Errorf("subscribers gauge after cancel = %v", v)
+	}
+	if v, _ := r.Gauge(metrics.BusQueueDepth).Value(); v != 0 {
+		t.Errorf("queue depth after cancel = %v", v)
+	}
+	// Uninstrumented publishing still works.
+	b.Instrument(nil)
+	b.Publish(TopicDeviceJoined, nil)
+	b.Close()
 }

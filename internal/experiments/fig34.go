@@ -68,14 +68,26 @@ const (
 // and the Jornada PDA. All audio components are pre-installed (the paper
 // assumes so for this application).
 func BuildAudioSpace(scale float64) (*domain.Domain, error) {
-	d, err := newDomain("audio-space", scale, func(from device.ID) float64 {
-		// A desktop portal buffers ~0.5 MB of media; the PDA holds only a
-		// ~0.1 MB buffer — the source of the PC→PDA vs PDA→PC handoff
-		// asymmetry.
-		if from == "jornada" {
-			return 0.1
-		}
-		return 0.5
+	return BuildAudioSpaceWith(scale, nil)
+}
+
+// BuildAudioSpaceWith is BuildAudioSpace with an explicit placement
+// algorithm (nil keeps the default greedy heuristic) — used by the
+// daemon's -place flag and by experiments comparing solver behavior on
+// the same smart space.
+func BuildAudioSpaceWith(scale float64, place core.PlaceFunc) (*domain.Domain, error) {
+	d, err := domain.New("audio-space", domain.Options{
+		Scale: scale,
+		StateSizeFor: func(from device.ID) float64 {
+			// A desktop portal buffers ~0.5 MB of media; the PDA holds only
+			// a ~0.1 MB buffer — the source of the PC→PDA vs PDA→PC handoff
+			// asymmetry.
+			if from == "jornada" {
+				return 0.1
+			}
+			return 0.5
+		},
+		Place: place,
 	})
 	if err != nil {
 		return nil, err
@@ -156,7 +168,13 @@ func BuildAudioSpace(scale float64) (*domain.Domain, error) {
 // workstations with all components downloaded on demand from the
 // component repository.
 func BuildConfSpace(scale float64) (*domain.Domain, error) {
-	d, err := newDomain("conf-space", scale, nil)
+	return BuildConfSpaceWith(scale, nil)
+}
+
+// BuildConfSpaceWith is BuildConfSpace with an explicit placement
+// algorithm (nil keeps the default greedy heuristic).
+func BuildConfSpaceWith(scale float64, place core.PlaceFunc) (*domain.Domain, error) {
+	d, err := domain.New("conf-space", domain.Options{Scale: scale, Place: place})
 	if err != nil {
 		return nil, err
 	}
@@ -428,14 +446,6 @@ func FormatFig4(r *Fig34Result) string {
 }
 
 func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
-
-// newDomain builds a scenario domain with the shared options.
-func newDomain(name string, scale float64, stateSizeFor func(device.ID) float64) (*domain.Domain, error) {
-	return domain.New(name, domain.Options{
-		Scale:        scale,
-		StateSizeFor: stateSizeFor,
-	})
-}
 
 // repositoryPackage is a small readability helper.
 func repositoryPackage(name string, sizeMB float64) repository.Package {

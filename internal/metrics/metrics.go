@@ -3,23 +3,27 @@
 // failed and why, how often corrections were applied, and the distribution
 // of per-tier overheads. The domain server exposes a Registry so
 // deployments can observe the system the way the paper's Figure 4
-// instrumentation did, continuously.
+// instrumentation did, continuously — and the registry renders as
+// Prometheus-style text exposition for the daemon's /metrics endpoint.
 package metrics
 
 import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
 // Counter is a monotonically increasing counter. The zero value is ready
-// to use.
+// to use. Counters are lock-free (sync/atomic) so hot-path
+// instrumentation — e.g. branch-and-bound node counts incremented by
+// parallel workers — does not serialize them.
 type Counter struct {
-	mu sync.Mutex
-	n  int64
+	n atomic.Int64
 }
 
 // Inc adds one.
@@ -30,25 +34,59 @@ func (c *Counter) Add(delta int64) {
 	if delta < 0 {
 		return
 	}
-	c.mu.Lock()
-	c.n += delta
-	c.mu.Unlock()
+	c.n.Add(delta)
 }
 
 // Value returns the current count.
-func (c *Counter) Value() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.n
+func (c *Counter) Value() int64 { return c.n.Load() }
+
+// Histogram bucket layout: geometric bounds growing by histGrowth from
+// histFirstBucket, plus an implicit overflow bucket. 48 buckets at ×1.5
+// span 1µs .. ~4.3 minutes, which covers every per-tier overhead the
+// configuration pipeline can produce while keeping the memory bounded and
+// constant per histogram.
+const (
+	histBuckets     = 48
+	histGrowth      = 1.5
+	histFirstBucket = time.Microsecond
+)
+
+// histBounds[i] is the inclusive upper bound of bucket i.
+var histBounds = func() [histBuckets]time.Duration {
+	var b [histBuckets]time.Duration
+	f := float64(histFirstBucket)
+	for i := range b {
+		b[i] = time.Duration(f)
+		f *= histGrowth
+	}
+	return b
+}()
+
+// bucketFor returns the index of the bucket covering d, or histBuckets for
+// the overflow bucket.
+func bucketFor(d time.Duration) int {
+	lo, hi := 0, histBuckets
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if d <= histBounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
 }
 
-// Histogram accumulates duration observations with streaming count, sum,
-// min, max, and mean. The zero value is ready to use.
+// Histogram accumulates duration observations into bounded geometric
+// buckets, tracking streaming count, sum, min, and max alongside, so it
+// can answer percentile queries (p50/p95/p99) in O(buckets) with O(1)
+// memory. The zero value is ready to use.
 type Histogram struct {
 	mu       sync.Mutex
 	count    int64
 	sum      time.Duration
 	min, max time.Duration
+	buckets  [histBuckets + 1]int64 // +1: overflow
 }
 
 // Observe records one duration (negative observations are ignored).
@@ -66,6 +104,7 @@ func (h *Histogram) Observe(d time.Duration) {
 	}
 	h.count++
 	h.sum += d
+	h.buckets[bucketFor(d)]++
 }
 
 // Count returns the number of observations.
@@ -73,6 +112,13 @@ func (h *Histogram) Count() int64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return h.count
+}
+
+// Sum returns the total of all observations.
+func (h *Histogram) Sum() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
 }
 
 // Mean returns the mean observation, or 0 when empty.
@@ -96,6 +142,40 @@ func (h *Histogram) Min() time.Duration {
 func (h *Histogram) Max() time.Duration {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	return h.max
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) as the upper bound of the
+// bucket where the cumulative count crosses q·count, clamped to the
+// observed [min, max]. The estimate therefore over-reports by at most one
+// bucket width (×1.5). Returns 0 when empty.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 || q <= 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int64(math.Ceil(q * float64(h.count)))
+	var cum int64
+	for i, n := range h.buckets {
+		cum += n
+		if cum >= target {
+			est := h.max
+			if i < histBuckets {
+				est = histBounds[i]
+			}
+			if est > h.max {
+				est = h.max
+			}
+			if est < h.min {
+				est = h.min
+			}
+			return est
+		}
+	}
 	return h.max
 }
 
@@ -174,43 +254,135 @@ func (r *Registry) Gauge(name string) *Gauge {
 	return g
 }
 
-// Snapshot renders every metric as sorted "name value" lines — a plain
-// text exposition suitable for logs or a debug endpoint.
-func (r *Registry) Snapshot() string {
-	r.mu.Lock()
+// WithLabel appends a label pair to a metric name, producing the
+// Prometheus form name{key="value"} (or name{...,key="value"} when labels
+// are already present). Label values are the protocol's operation names
+// and algorithm identifiers — a small closed set, so cardinality stays
+// bounded.
+func WithLabel(name, key, value string) string {
+	if strings.HasSuffix(name, "}") {
+		return fmt.Sprintf(`%s,%s=%q}`, name[:len(name)-1], key, value)
+	}
+	return fmt.Sprintf(`%s{%s=%q}`, name, key, value)
+}
+
+// splitName separates a possibly-labeled metric name into its base name
+// and the label body (without braces).
+func splitName(name string) (base, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 && strings.HasSuffix(name, "}") {
+		return name[:i], name[i+1 : len(name)-1]
+	}
+	return name, ""
+}
+
+// joinName re-attaches labels (plus an optional extra pair) to a base
+// name, supporting the suffixed series of a summary (_sum, _count).
+func joinName(base, suffix, labels, extra string) string {
+	name := base + suffix
+	switch {
+	case labels == "" && extra == "":
+		return name
+	case labels == "":
+		return name + "{" + extra + "}"
+	case extra == "":
+		return name + "{" + labels + "}"
+	default:
+		return name + "{" + labels + "," + extra + "}"
+	}
+}
+
+// quantiles exported for every histogram.
+var exportedQuantiles = []struct {
+	label string
+	q     float64
+}{
+	{"0.5", 0.5},
+	{"0.95", 0.95},
+	{"0.99", 0.99},
+}
+
+// Exposition renders every metric in the Prometheus text format, sorted by
+// name: counters and gauges as single samples, histograms as summaries
+// with p50/p95/p99 quantile samples plus _sum and _count series (durations
+// in seconds). Unset gauges are omitted. One # TYPE comment is emitted per
+// metric family (labeled variants of the same base name share one).
+func (r *Registry) Exposition() string {
 	type entry struct {
-		name, line string
+		sortKey string // base name first, then full name: families group
+		base    string
+		typ     string
+		lines   []string
 	}
 	var entries []entry
+
+	r.mu.Lock()
 	for name, c := range r.counters {
-		entries = append(entries, entry{name, fmt.Sprintf("%s %d", name, c.Value())})
-	}
-	for name, h := range r.histograms {
-		entries = append(entries, entry{name, fmt.Sprintf("%s count=%d mean=%v min=%v max=%v",
-			name, h.Count(), h.Mean(), h.Min(), h.Max())})
+		base, _ := splitName(name)
+		entries = append(entries, entry{
+			sortKey: base + "\x00" + name,
+			base:    base,
+			typ:     "counter",
+			lines:   []string{fmt.Sprintf("%s %d", name, c.Value())},
+		})
 	}
 	for name, g := range r.gauges {
-		if v, ok := g.Value(); ok {
-			entries = append(entries, entry{name, fmt.Sprintf("%s %s", name, trimFloat(v))})
-		} else {
-			entries = append(entries, entry{name, fmt.Sprintf("%s <unset>", name)})
+		v, ok := g.Value()
+		if !ok {
+			continue
 		}
+		base, _ := splitName(name)
+		entries = append(entries, entry{
+			sortKey: base + "\x00" + name,
+			base:    base,
+			typ:     "gauge",
+			lines:   []string{fmt.Sprintf("%s %s", name, formatFloat(v))},
+		})
+	}
+	for name, h := range r.histograms {
+		base, labels := splitName(name)
+		var lines []string
+		for _, eq := range exportedQuantiles {
+			lines = append(lines, fmt.Sprintf("%s %s",
+				joinName(base, "", labels, `quantile="`+eq.label+`"`),
+				formatFloat(h.Quantile(eq.q).Seconds())))
+		}
+		lines = append(lines,
+			fmt.Sprintf("%s %s", joinName(base, "_sum", labels, ""), formatFloat(h.Sum().Seconds())),
+			fmt.Sprintf("%s %d", joinName(base, "_count", labels, ""), h.Count()))
+		entries = append(entries, entry{
+			sortKey: base + "\x00" + name,
+			base:    base,
+			typ:     "summary",
+			lines:   lines,
+		})
 	}
 	r.mu.Unlock()
-	sort.Slice(entries, func(i, j int) bool { return entries[i].name < entries[j].name })
+
+	sort.Slice(entries, func(i, j int) bool { return entries[i].sortKey < entries[j].sortKey })
 	var b strings.Builder
+	lastBase := ""
 	for _, e := range entries {
-		b.WriteString(e.line)
-		b.WriteByte('\n')
+		if e.base != lastBase {
+			fmt.Fprintf(&b, "# TYPE %s %s\n", e.base, e.typ)
+			lastBase = e.base
+		}
+		for _, line := range e.lines {
+			b.WriteString(line)
+			b.WriteByte('\n')
+		}
 	}
 	return b.String()
 }
 
-func trimFloat(f float64) string {
+// Snapshot is the exposition text; retained as the historical name used by
+// the wire protocol's metrics op.
+func (r *Registry) Snapshot() string { return r.Exposition() }
+
+func formatFloat(f float64) string {
 	if f == math.Trunc(f) && math.Abs(f) < 1e15 {
-		return fmt.Sprintf("%d", int64(f))
+		return strconv.FormatInt(int64(f), 10)
 	}
-	return fmt.Sprintf("%g", f)
+	return strconv.FormatFloat(f, 'g', -1, 64)
 }
 
 // Metric names recorded by the configurator.
@@ -228,11 +400,53 @@ const (
 	BuffersInserted     = "buffers_inserted_total"
 	Adjustments         = "qos_adjustments_total"
 	// CompositionTime/DistributionTime/DownloadTime/HandoffTime are the
-	// per-tier overhead histograms (Figure 4's four bars).
-	CompositionTime  = "composition_time"
-	DistributionTime = "distribution_time"
-	DownloadTime     = "download_time"
-	HandoffTime      = "init_or_handoff_time"
+	// per-tier overhead histograms (Figure 4's four bars), in seconds.
+	CompositionTime  = "composition_time_seconds"
+	DistributionTime = "distribution_time_seconds"
+	DownloadTime     = "download_time_seconds"
+	HandoffTime      = "init_or_handoff_time_seconds"
 	// ActiveSessions gauges the live session count.
 	ActiveSessions = "active_sessions"
+	// DiscoveryAttempts and DiscoveryFailures count per-node service
+	// discovery lookups during composition (failures include the ones
+	// later repaired by skipping an optional node or recursing).
+	DiscoveryAttempts = "discovery_attempts_total"
+	DiscoveryFailures = "discovery_failures_total"
+)
+
+// Metric names recorded by the service distribution tier's solvers.
+const (
+	// BnBExplored/BnBPruned/BnBIncumbents count branch-and-bound search
+	// nodes explored, subtrees pruned, and incumbent (best-so-far)
+	// updates, summed over all workers.
+	BnBExplored   = "bnb_nodes_explored_total"
+	BnBPruned     = "bnb_nodes_pruned_total"
+	BnBIncumbents = "bnb_incumbent_updates_total"
+)
+
+// Metric names recorded by the event service.
+const (
+	// EventsPublished counts Publish calls; EventsDelivered and
+	// EventsDropped count the per-subscriber fan-out outcomes.
+	EventsPublished = "eventbus_published_total"
+	EventsDelivered = "eventbus_delivered_total"
+	EventsDropped   = "eventbus_dropped_total"
+	// BusSubscribers gauges active subscriptions; BusQueueDepth gauges the
+	// total backlog across subscriber channels at the last publish.
+	BusSubscribers = "eventbus_subscribers"
+	BusQueueDepth  = "eventbus_queue_depth"
+)
+
+// Metric names recorded by the wire server. Per-operation series attach
+// the operation with WithLabel(..., "op", name).
+const (
+	// WireRequests counts handled requests; WireErrors the subset that
+	// returned an error response.
+	WireRequests = "wire_requests_total"
+	WireErrors   = "wire_request_errors_total"
+	// WireLatency is the per-request handling latency histogram.
+	WireLatency = "wire_request_duration_seconds"
+	// WireBadLines counts protocol-level garbage: unparsable or oversized
+	// request lines.
+	WireBadLines = "wire_bad_lines_total"
 )

@@ -52,6 +52,57 @@ func TestHistogram(t *testing.T) {
 	if h.Min() != 10*time.Millisecond || h.Max() != 30*time.Millisecond {
 		t.Errorf("Min/Max = %v/%v", h.Min(), h.Max())
 	}
+	if h.Sum() != 40*time.Millisecond {
+		t.Errorf("Sum = %v", h.Sum())
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile should be 0")
+	}
+	// 100 observations spread across two decades.
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	p50 := h.Quantile(0.5)
+	p99 := h.Quantile(0.99)
+	// Bucket bounds grow by 1.5×, so the estimate over-reports by at most
+	// one growth factor.
+	if p50 < 50*time.Millisecond || p50 > 80*time.Millisecond {
+		t.Errorf("p50 = %v, want within [50ms, 80ms]", p50)
+	}
+	if p99 < 99*time.Millisecond || p99 > 100*time.Millisecond {
+		t.Errorf("p99 = %v, want within [99ms, 100ms] (clamped to max)", p99)
+	}
+	if q := h.Quantile(1); q != h.Max() {
+		t.Errorf("p100 = %v, want max %v", q, h.Max())
+	}
+	// A quantile can never report below the observed minimum.
+	var lo Histogram
+	lo.Observe(5 * time.Millisecond)
+	if q := lo.Quantile(0.5); q != 5*time.Millisecond {
+		t.Errorf("single-sample p50 = %v, want 5ms", q)
+	}
+}
+
+func TestBucketFor(t *testing.T) {
+	if got := bucketFor(0); got != 0 {
+		t.Errorf("bucketFor(0) = %d", got)
+	}
+	if got := bucketFor(time.Microsecond); got != 0 {
+		t.Errorf("bucketFor(1µs) = %d", got)
+	}
+	if got := bucketFor(histBounds[histBuckets-1] + 1); got != histBuckets {
+		t.Errorf("overflow bucket = %d, want %d", got, histBuckets)
+	}
+	// Every bound maps to its own bucket.
+	for i, b := range histBounds {
+		if got := bucketFor(b); got != i {
+			t.Fatalf("bucketFor(bound %d) = %d", i, got)
+		}
+	}
 }
 
 func TestGauge(t *testing.T) {
@@ -82,37 +133,79 @@ func TestRegistryReuse(t *testing.T) {
 	}
 }
 
-func TestSnapshot(t *testing.T) {
-	r := NewRegistry()
-	r.Counter(ConfigsTotal).Add(7)
-	r.Histogram(CompositionTime).Observe(2 * time.Millisecond)
-	r.Gauge(ActiveSessions).Set(3)
-	r.Gauge("unset_gauge")
-	snap := r.Snapshot()
-	for _, want := range []string{
-		"configs_total 7",
-		"composition_time count=1",
-		"active_sessions 3",
-		"unset_gauge <unset>",
-	} {
-		if !strings.Contains(snap, want) {
-			t.Errorf("Snapshot missing %q:\n%s", want, snap)
-		}
+func TestWithLabel(t *testing.T) {
+	if got := WithLabel(WireLatency, "op", "start"); got != `wire_request_duration_seconds{op="start"}` {
+		t.Errorf("WithLabel = %q", got)
 	}
-	// Lines are sorted.
-	lines := strings.Split(strings.TrimSpace(snap), "\n")
-	for i := 1; i < len(lines); i++ {
-		if lines[i] < lines[i-1] {
-			t.Errorf("snapshot not sorted: %q after %q", lines[i], lines[i-1])
-		}
+	got := WithLabel(WithLabel("x", "a", "1"), "b", "2")
+	if got != `x{a="1",b="2"}` {
+		t.Errorf("nested WithLabel = %q", got)
 	}
 }
 
-func TestTrimFloat(t *testing.T) {
-	if got := trimFloat(3); got != "3" {
-		t.Errorf("trimFloat(3) = %q", got)
+func TestExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(ConfigsTotal).Add(7)
+	r.Counter(WithLabel(WireRequests, "op", "start")).Inc()
+	r.Counter(WithLabel(WireRequests, "op", "stop")).Add(2)
+	r.Histogram(CompositionTime).Observe(2 * time.Millisecond)
+	r.Histogram(WithLabel(WireLatency, "op", "start")).Observe(time.Millisecond)
+	r.Gauge(ActiveSessions).Set(3)
+	r.Gauge("unset_gauge") // never set: omitted
+	text := r.Exposition()
+
+	for _, want := range []string{
+		"# TYPE configs_total counter\n",
+		"configs_total 7\n",
+		"# TYPE wire_requests_total counter\n",
+		"wire_requests_total{op=\"start\"} 1\n",
+		"wire_requests_total{op=\"stop\"} 2\n",
+		"# TYPE composition_time_seconds summary\n",
+		"composition_time_seconds{quantile=\"0.5\"} ",
+		"composition_time_seconds{quantile=\"0.95\"} ",
+		"composition_time_seconds{quantile=\"0.99\"} ",
+		"composition_time_seconds_sum 0.002",
+		"composition_time_seconds_count 1\n",
+		"wire_request_duration_seconds{op=\"start\",quantile=\"0.5\"} ",
+		"wire_request_duration_seconds_sum{op=\"start\"} 0.001",
+		"wire_request_duration_seconds_count{op=\"start\"} 1\n",
+		"# TYPE active_sessions gauge\n",
+		"active_sessions 3\n",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Exposition missing %q:\n%s", want, text)
+		}
 	}
-	if got := trimFloat(3.25); got != "3.25" {
-		t.Errorf("trimFloat(3.25) = %q", got)
+	if strings.Contains(text, "unset_gauge") {
+		t.Errorf("Exposition must omit unset gauges:\n%s", text)
+	}
+	// One TYPE comment per family, even with two labeled series.
+	if got := strings.Count(text, "# TYPE wire_requests_total"); got != 1 {
+		t.Errorf("wire_requests_total TYPE comments = %d, want 1", got)
+	}
+	// Families are sorted by base name.
+	var bases []string
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			bases = append(bases, strings.Fields(line)[2])
+		}
+	}
+	for i := 1; i < len(bases); i++ {
+		if bases[i] < bases[i-1] {
+			t.Errorf("families not sorted: %q after %q", bases[i], bases[i-1])
+		}
+	}
+	// Snapshot stays as an alias for the exposition text.
+	if r.Snapshot() != text {
+		t.Error("Snapshot must alias Exposition")
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	if got := formatFloat(3); got != "3" {
+		t.Errorf("formatFloat(3) = %q", got)
+	}
+	if got := formatFloat(3.25); got != "3.25" {
+		t.Errorf("formatFloat(3.25) = %q", got)
 	}
 }

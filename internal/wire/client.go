@@ -5,12 +5,15 @@ import (
 	"encoding/json"
 	"fmt"
 	"net"
+	"sync"
 	"time"
 )
 
 // Client speaks the protocol to a qosconfigd server. A Client is safe for
-// sequential use; guard concurrent calls externally.
+// concurrent use: Call serializes request/response pairs over the single
+// connection.
 type Client struct {
+	mu   sync.Mutex
 	conn net.Conn
 	enc  *json.Encoder
 	sc   *bufio.Scanner
@@ -36,6 +39,8 @@ func (c *Client) Close() error { return c.conn.Close() }
 // Call sends one request and reads one response. A server-reported error
 // is returned as a Go error with the response still populated.
 func (c *Client) Call(req Request) (Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if err := c.enc.Encode(req); err != nil {
 		return Response{}, fmt.Errorf("wire: send: %w", err)
 	}

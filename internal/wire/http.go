@@ -1,0 +1,88 @@
+package wire
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+
+	"ubiqos/internal/domain"
+	"ubiqos/internal/trace"
+)
+
+// tracesDefault bounds a /traces listing when the caller does not pass
+// ?n=.
+const tracesDefault = 16
+
+// NewHTTPHandler exposes the domain's observability surface over HTTP:
+//
+//	/metrics      Prometheus text exposition of the metrics registry
+//	/healthz      liveness JSON (device/session counts, uptime)
+//	/traces       recent configuration traces (?session= one session,
+//	              ?n= list length)
+//	/debug/pprof  the standard Go profiling endpoints
+//
+// It is mounted by qosconfigd's -http listener and by tests via
+// httptest.NewServer.
+func NewHTTPHandler(dom *domain.Domain) http.Handler {
+	start := time.Now()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		io.WriteString(w, dom.Metrics.Exposition())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"ok":            true,
+			"domain":        dom.Name,
+			"devices":       len(dom.Devices.All()),
+			"sessions":      len(dom.Configurator.SessionIDs()),
+			"uptimeSeconds": time.Since(start).Seconds(),
+		})
+	})
+	mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {
+		if session := r.URL.Query().Get("session"); session != "" {
+			td := dom.Tracer.Find(session)
+			if td == nil {
+				writeJSON(w, http.StatusNotFound, map[string]any{
+					"ok": false, "error": "no trace for session " + session,
+				})
+				return
+			}
+			writeJSON(w, http.StatusOK, td)
+			return
+		}
+		n := tracesDefault
+		if q := r.URL.Query().Get("n"); q != "" {
+			v, err := strconv.Atoi(q)
+			if err != nil || v <= 0 {
+				writeJSON(w, http.StatusBadRequest, map[string]any{
+					"ok": false, "error": "n must be a positive integer",
+				})
+				return
+			}
+			n = v
+		}
+		tds := dom.Tracer.Recent(n)
+		if tds == nil {
+			tds = []trace.TraceData{}
+		}
+		writeJSON(w, http.StatusOK, tds)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

@@ -1,0 +1,185 @@
+package wire
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"ubiqos/internal/distributor"
+	"ubiqos/internal/experiments"
+	"ubiqos/internal/qos"
+	"ubiqos/internal/trace"
+)
+
+// TestObservabilityEndToEnd is the acceptance scenario: an in-process
+// daemon configured with the optimal-parallel solver runs one PDA session
+// (forcing a transcoder correction), and the full observability surface
+// is checked — the trace op's span tree (compose → discover →
+// OC-correction → distribute with correction kinds and branch-and-bound
+// counters) and the Prometheus exposition's per-stage p50/p95/p99.
+func TestObservabilityEndToEnd(t *testing.T) {
+	// Pin 4 workers so the parallel solver runs even on a 1-CPU box (the
+	// daemon's -place flag sizes the pool from the hardware instead).
+	place := func(p *distributor.Problem) (distributor.Assignment, float64, error) {
+		return distributor.OptimalParallel(p, 4)
+	}
+	dom, err := experiments.BuildAudioSpaceWith(0.05, place)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(dom.Close)
+	srv, err := NewServer(dom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	web := httptest.NewServer(NewHTTPHandler(dom))
+	t.Cleanup(web.Close)
+
+	// The PDA portal only plays WAV; the MPEG audio server forces the OC
+	// tier to insert the mpeg2wav transcoder.
+	resp := srv.Handle(Request{
+		Op:           OpStart,
+		SessionID:    "e2e-1",
+		App:          experiments.AudioOnDemandApp(),
+		UserQoS:      qos.V(qos.P(qos.DimFrameRate, qos.Range(35, 44))),
+		ClientDevice: "jornada",
+	})
+	if !resp.OK {
+		t.Fatalf("start: %s", resp.Error)
+	}
+	defer srv.Handle(Request{Op: OpStop, SessionID: "e2e-1"})
+
+	// --- The trace op: the span tree qosctl trace renders. ---
+	tresp := srv.Handle(Request{Op: OpTrace, SessionID: "e2e-1"})
+	if !tresp.OK {
+		t.Fatalf("trace: %s", tresp.Error)
+	}
+	td := tresp.Trace
+	byName := map[string]*trace.SpanData{}
+	for i := range td.Spans {
+		sp := &td.Spans[i]
+		if _, ok := byName[sp.Name]; !ok {
+			byName[sp.Name] = sp
+		}
+	}
+	for _, stage := range []string{"compose", "discover", "ordered-coordination", "correction", "distribute"} {
+		if byName[stage] == nil {
+			t.Fatalf("trace missing %q span:\n%s", stage, td.Render())
+		}
+	}
+	if kind := byName["correction"].Attrs["kind"]; kind != "transcoder" {
+		t.Errorf("correction kind = %v, want transcoder", kind)
+	}
+	dist := byName["distribute"]
+	if dist.Attrs["algorithm"] != "optimal-parallel" {
+		t.Errorf("distribute algorithm = %v", dist.Attrs["algorithm"])
+	}
+	if explored, ok := dist.Attrs["explored"].(int64); !ok || explored == 0 {
+		t.Errorf("distribute explored = %v, want > 0", dist.Attrs["explored"])
+	}
+	if _, ok := dist.Attrs["pruned"].(int64); !ok {
+		t.Errorf("distribute pruned = %v", dist.Attrs["pruned"])
+	}
+	if byName["branch-and-bound-parallel"] == nil || byName["bnb-worker"] == nil {
+		t.Errorf("solver spans missing:\n%s", td.Render())
+	}
+
+	// --- /metrics: Prometheus text with per-stage quantiles. ---
+	body := httpGet(t, web.URL+"/metrics")
+	for _, want := range []string{
+		`composition_time_seconds{quantile="0.5"}`,
+		`composition_time_seconds{quantile="0.95"}`,
+		`composition_time_seconds{quantile="0.99"}`,
+		`distribution_time_seconds{quantile="0.5"}`,
+		"composition_time_seconds_count 1",
+		"configs_total 1",
+		"transcoders_inserted_total 1",
+		"bnb_nodes_explored_total",
+		`wire_requests_total{op="start"} 1`,
+		"# TYPE composition_time_seconds summary",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// --- /healthz ---
+	var health struct {
+		OK       bool   `json:"ok"`
+		Domain   string `json:"domain"`
+		Devices  int    `json:"devices"`
+		Sessions int    `json:"sessions"`
+	}
+	if err := json.Unmarshal([]byte(httpGet(t, web.URL+"/healthz")), &health); err != nil {
+		t.Fatal(err)
+	}
+	if !health.OK || health.Domain != "audio-space" || health.Devices != 4 || health.Sessions != 1 {
+		t.Errorf("healthz = %+v", health)
+	}
+
+	// --- /traces ---
+	var list []trace.TraceData
+	if err := json.Unmarshal([]byte(httpGet(t, web.URL+"/traces")), &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 || list[0].Session != "e2e-1" {
+		t.Errorf("traces = %+v", list)
+	}
+	var one trace.TraceData
+	if err := json.Unmarshal([]byte(httpGet(t, web.URL+"/traces?session=e2e-1")), &one); err != nil {
+		t.Fatal(err)
+	}
+	if one.Session != "e2e-1" || len(one.Spans) != len(td.Spans) {
+		t.Errorf("trace by session = %d spans, want %d", len(one.Spans), len(td.Spans))
+	}
+}
+
+func TestHTTPHandlerErrors(t *testing.T) {
+	dom, err := experiments.BuildAudioSpace(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(dom.Close)
+	web := httptest.NewServer(NewHTTPHandler(dom))
+	t.Cleanup(web.Close)
+
+	if code := httpStatus(t, web.URL+"/traces?session=ghost"); code != http.StatusNotFound {
+		t.Errorf("unknown session status = %d", code)
+	}
+	if code := httpStatus(t, web.URL+"/traces?n=zero"); code != http.StatusBadRequest {
+		t.Errorf("bad n status = %d", code)
+	}
+	if body := httpGet(t, web.URL+"/traces"); strings.TrimSpace(body) != "[]" {
+		t.Errorf("empty traces = %q", body)
+	}
+	if !strings.Contains(httpGet(t, web.URL+"/debug/pprof/cmdline"), "wire") {
+		t.Error("pprof cmdline endpoint not serving")
+	}
+}
+
+func httpGet(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func httpStatus(t *testing.T, url string) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp.StatusCode
+}

@@ -7,13 +7,16 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"ubiqos/internal/composer"
 	"ubiqos/internal/core"
 	"ubiqos/internal/device"
 	"ubiqos/internal/domain"
 	"ubiqos/internal/graph"
+	"ubiqos/internal/metrics"
 	"ubiqos/internal/repository"
+	"ubiqos/internal/trace"
 )
 
 // maxLineBytes bounds one request line (a large abstract graph fits well
@@ -117,6 +120,7 @@ func (s *Server) serve(conn net.Conn) {
 		var req Request
 		var resp Response
 		if err := json.Unmarshal(line, &req); err != nil {
+			s.dom.Metrics.Counter(metrics.WireBadLines).Inc()
 			resp = errResponse(fmt.Errorf("wire: bad request: %w", err))
 		} else {
 			resp = s.Handle(req)
@@ -125,13 +129,47 @@ func (s *Server) serve(conn net.Conn) {
 			return
 		}
 	}
+	if err := scanner.Err(); err != nil {
+		// An unscannable stream (most likely a line over maxLineBytes) is
+		// reported back before the connection drops, so the client sees why.
+		s.dom.Metrics.Counter(metrics.WireBadLines).Inc()
+		enc.Encode(errResponse(fmt.Errorf("wire: read: %w", err)))
+	}
 }
 
 func errResponse(err error) Response { return Response{Error: err.Error()} }
 
+// knownOps is the accepted operation set; per-op metric labels for
+// anything else collapse into op="unknown" so a misbehaving client
+// cannot grow the label space without bound.
+var knownOps = map[string]bool{
+	OpPing: true, OpListDevices: true, OpListInst: true,
+	OpSessions: true, OpSession: true, OpStart: true, OpStop: true,
+	OpSwitch: true, OpMetrics: true, OpTrace: true, OpCrashDevice: true,
+	OpCheck: true, OpRegister: true, OpUnregister: true,
+}
+
 // Handle dispatches one request; it is exported so the daemon can be
-// exercised without a socket.
+// exercised without a socket. Every call is counted and timed per op
+// under wire_requests_total / wire_request_errors_total /
+// wire_request_duration_seconds.
 func (s *Server) Handle(req Request) Response {
+	op := req.Op
+	if !knownOps[op] {
+		op = "unknown"
+	}
+	start := time.Now()
+	resp := s.dispatch(req)
+	m := s.dom.Metrics
+	m.Counter(metrics.WithLabel(metrics.WireRequests, "op", op)).Inc()
+	if !resp.OK {
+		m.Counter(metrics.WithLabel(metrics.WireErrors, "op", op)).Inc()
+	}
+	m.Histogram(metrics.WithLabel(metrics.WireLatency, "op", op)).Observe(time.Since(start))
+	return resp
+}
+
+func (s *Server) dispatch(req Request) Response {
 	switch req.Op {
 	case OpPing:
 		return Response{OK: true}
@@ -158,6 +196,8 @@ func (s *Server) Handle(req Request) Response {
 		return Response{OK: true, Session: sessionInfoOf(active)}
 	case OpMetrics:
 		return Response{OK: true, Metrics: s.dom.Metrics.Snapshot()}
+	case OpTrace:
+		return s.traceInfo(req.SessionID)
 	case OpCrashDevice:
 		moved, err := s.dom.RemoveDevice(device.ID(req.ToDevice))
 		if err != nil && len(moved) == 0 {
@@ -297,6 +337,24 @@ func resolveForCheck(app *composer.AbstractGraph, client device.ID) *composer.Ab
 		out.MustAddEdge(e.From, e.To, e.ThroughputMbps)
 	}
 	return out
+}
+
+// traceInfo returns the most recent configuration trace for a session,
+// or the latest trace overall when no session is named.
+func (s *Server) traceInfo(sessionID string) Response {
+	var td *trace.TraceData
+	if sessionID == "" {
+		td = s.dom.Tracer.Latest()
+	} else {
+		td = s.dom.Tracer.Find(sessionID)
+	}
+	if td == nil {
+		if sessionID == "" {
+			return errResponse(errors.New("wire: no traces recorded yet"))
+		}
+		return errResponse(fmt.Errorf("wire: no trace for session %q", sessionID))
+	}
+	return Response{OK: true, Trace: td}
 }
 
 func (s *Server) sessionInfo(id string) Response {

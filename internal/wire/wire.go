@@ -10,6 +10,7 @@ import (
 	"ubiqos/internal/composer"
 	"ubiqos/internal/qos"
 	"ubiqos/internal/registry"
+	"ubiqos/internal/trace"
 )
 
 // Operation names.
@@ -23,6 +24,7 @@ const (
 	OpStop        = "stop"
 	OpSwitch      = "switch"
 	OpMetrics     = "metrics"
+	OpTrace       = "trace"
 	OpCrashDevice = "crash-device"
 	OpCheck       = "check"
 	OpRegister    = "register-service"
@@ -103,6 +105,9 @@ type Response struct {
 	Session  *SessionInfo   `json:"session,omitempty"`
 	// Metrics is the plain-text metrics snapshot (metrics op).
 	Metrics string `json:"metrics,omitempty"`
+	// Trace is one finished configuration trace (trace op): the span tree
+	// of a Configure call, newest first when no session is named.
+	Trace *trace.TraceData `json:"trace,omitempty"`
 	// Moved lists sessions reconfigured off a crashed device (crash-device
 	// op).
 	Moved []string `json:"moved,omitempty"`

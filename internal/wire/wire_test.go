@@ -1,8 +1,14 @@
 package wire
 
 import (
+	"bufio"
+	"bytes"
+	"net"
 	"strings"
+	"sync"
 	"testing"
+
+	"ubiqos/internal/metrics"
 
 	"ubiqos/internal/experiments"
 	"ubiqos/internal/qos"
@@ -306,5 +312,152 @@ func TestRegisterUnregisterServiceOps(t *testing.T) {
 	}
 	if resp := srv.Handle(Request{Op: OpUnregister, Name: "late-equalizer"}); resp.OK {
 		t.Error("double unregister should fail")
+	}
+}
+
+func TestTraceOp(t *testing.T) {
+	srv, _ := startServer(t)
+	// No traces yet: both forms fail cleanly.
+	if resp := srv.Handle(Request{Op: OpTrace}); resp.OK {
+		t.Error("trace with no history should fail")
+	}
+	if resp := srv.Handle(Request{Op: OpTrace, SessionID: "ghost"}); resp.OK {
+		t.Error("trace for unknown session should fail")
+	}
+
+	resp := srv.Handle(Request{Op: OpStart, SessionID: "t1", App: experiments.AudioOnDemandApp(), ClientDevice: "desktop2"})
+	if !resp.OK {
+		t.Fatalf("start: %s", resp.Error)
+	}
+	defer srv.Handle(Request{Op: OpStop, SessionID: "t1"})
+
+	resp = srv.Handle(Request{Op: OpTrace, SessionID: "t1"})
+	if !resp.OK || resp.Trace == nil {
+		t.Fatalf("trace: %s", resp.Error)
+	}
+	if resp.Trace.Session != "t1" || resp.Trace.Name != "configure" {
+		t.Errorf("trace = %s/%s", resp.Trace.Name, resp.Trace.Session)
+	}
+	names := make(map[string]bool)
+	for _, sp := range resp.Trace.Spans {
+		names[sp.Name] = true
+	}
+	for _, want := range []string{"compose", "discover", "distribute", "deploy"} {
+		if !names[want] {
+			t.Errorf("trace missing %q span:\n%s", want, resp.Trace.Render())
+		}
+	}
+	// The empty session ID returns the newest trace.
+	if resp := srv.Handle(Request{Op: OpTrace}); !resp.OK || resp.Trace.Session != "t1" {
+		t.Errorf("latest trace = %+v", resp.Trace)
+	}
+}
+
+func TestPerOpMetrics(t *testing.T) {
+	srv, _ := startServer(t)
+	srv.Handle(Request{Op: OpPing})
+	srv.Handle(Request{Op: OpPing})
+	srv.Handle(Request{Op: "bogus"})
+	srv.Handle(Request{Op: OpSession, SessionID: "ghost"})
+
+	m := srv.dom.Metrics
+	if got := m.Counter(metrics.WithLabel(metrics.WireRequests, "op", "ping")).Value(); got != 2 {
+		t.Errorf("ping requests = %d, want 2", got)
+	}
+	// Unknown ops collapse into one label value; the error is counted too.
+	if got := m.Counter(metrics.WithLabel(metrics.WireRequests, "op", "unknown")).Value(); got != 1 {
+		t.Errorf("unknown requests = %d, want 1", got)
+	}
+	if got := m.Counter(metrics.WithLabel(metrics.WireErrors, "op", "unknown")).Value(); got != 1 {
+		t.Errorf("unknown errors = %d, want 1", got)
+	}
+	if got := m.Counter(metrics.WithLabel(metrics.WireErrors, "op", "session")).Value(); got != 1 {
+		t.Errorf("session errors = %d, want 1", got)
+	}
+	if got := m.Histogram(metrics.WithLabel(metrics.WireLatency, "op", "ping")).Count(); got != 2 {
+		t.Errorf("ping latency observations = %d, want 2", got)
+	}
+	snap := m.Snapshot()
+	for _, want := range []string{
+		`wire_requests_total{op="ping"} 2`,
+		`wire_request_errors_total{op="unknown"} 1`,
+		`wire_request_duration_seconds_count{op="ping"} 2`,
+	} {
+		if !strings.Contains(snap, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+func TestMalformedLineCountsBadLine(t *testing.T) {
+	srv, addr := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.conn.Write([]byte("{not json}\n")); err != nil {
+		t.Fatal(err)
+	}
+	if !c.sc.Scan() {
+		t.Fatal("no response to malformed line")
+	}
+	if got := srv.dom.Metrics.Counter(metrics.WireBadLines).Value(); got != 1 {
+		t.Errorf("bad lines = %d, want 1", got)
+	}
+}
+
+func TestOversizedLine(t *testing.T) {
+	srv, addr := startServer(t)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// One line just over the 4 MB limit: the scanner cannot tokenize it, so
+	// the server reports the read error and drops the connection.
+	big := bytes.Repeat([]byte{'a'}, maxLineBytes+16)
+	big[len(big)-1] = '\n'
+	if _, err := conn.Write(big); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(conn)
+	if !sc.Scan() {
+		t.Fatalf("no response to oversized line: %v", sc.Err())
+	}
+	if !strings.Contains(sc.Text(), "token too long") {
+		t.Errorf("response = %s", sc.Text())
+	}
+	if got := srv.dom.Metrics.Counter(metrics.WireBadLines).Value(); got != 1 {
+		t.Errorf("bad lines = %d, want 1", got)
+	}
+}
+
+func TestClientConcurrentCalls(t *testing.T) {
+	_, addr := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// One shared client, many goroutines: Call serializes internally.
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 25; j++ {
+				if _, err := c.Call(Request{Op: OpPing}); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		t.Fatal(err)
 	}
 }
