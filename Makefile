@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify fmt-check vet build test race bench clean
+.PHONY: verify fmt-check vet build test race bench bench-faults clean
 
 # verify is the tier-1 gate (ROADMAP.md): formatting, static checks,
 # build, and the full test suite.
@@ -22,10 +22,10 @@ test:
 	$(GO) test ./...
 
 # race runs the race detector over the concurrent subsystems: lease
-# renew/expire, publish/subscribe fan-out, wire request handling, and
-# multi-session configuration.
+# renew/expire, publish/subscribe fan-out, wire request handling,
+# multi-session configuration, and the fault-injection/recovery path.
 race:
-	$(GO) test -race ./internal/registry ./internal/eventbus ./internal/core ./internal/distributor ./internal/experiments ./internal/par ./internal/wire
+	$(GO) test -race ./internal/registry ./internal/eventbus ./internal/core ./internal/distributor ./internal/experiments ./internal/par ./internal/wire ./internal/faultinject ./internal/domain
 
 # bench times the parallel configuration engine against its sequential
 # equivalents, writing BENCH_parallel.json (ns/op + speedup per pair) and
@@ -34,5 +34,18 @@ race:
 bench:
 	$(GO) run ./cmd/benchparallel -o BENCH_parallel.json -mo BENCH_metrics.json
 
+# bench-faults runs the seeded chaos drill (crash 2 of 6 devices
+# mid-session plus a link degrade and a stall) and writes
+# BENCH_faults.json with recovery latency quantiles and
+# recovered/degraded/lost counts. It exits non-zero if any component is
+# still bound to a dead device after recovery settles.
+bench-faults:
+	$(GO) run ./cmd/benchfaults -o BENCH_faults.json
+
+# clean removes build outputs only. Checked-in benchmark artifacts
+# (BENCH_*.json) are part of the repo's recorded results and are
+# regenerated explicitly via `make bench` / `make bench-faults`, never
+# deleted here.
 clean:
-	rm -f BENCH_parallel.json BENCH_metrics.json
+	rm -rf bin
+	$(GO) clean ./...

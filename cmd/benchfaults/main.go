@@ -1,0 +1,92 @@
+// Command benchfaults runs the seeded chaos drill and writes the results
+// as JSON (`make bench-faults` emits BENCH_faults.json). The drill
+// streams audio sessions on the six-device chaos space, injects a
+// deterministic fault schedule mid-stream (device crashes, link
+// degradation, transcoder stalls), and waits for the recovery supervisor
+// to settle. The report carries the supervisor's recovered / degraded /
+// lost counters and the fault-to-healthy latency quantiles.
+//
+// The exit status encodes the acceptance criterion: any component still
+// bound to a dead device after recovery settles is a failure.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"ubiqos/internal/experiments"
+)
+
+// Report is the full BENCH_faults.json document.
+type Report struct {
+	Generated    string                        `json:"generated"`
+	Scale        float64                       `json:"scale"`
+	Seed         int64                         `json:"seed"`
+	Window       string                        `json:"window"`
+	RecoverAfter string                        `json:"recoverAfter"`
+	Result       *experiments.FaultDrillResult `json:"result"`
+}
+
+func main() {
+	log.SetFlags(0)
+	def := experiments.DefaultFaultDrillConfig()
+	out := flag.String("o", "BENCH_faults.json", "output file ('-' for stdout)")
+	scale := flag.Float64("scale", def.Scale, "emulation time scale")
+	sessions := flag.Int("sessions", def.Sessions, "concurrent audio sessions")
+	seed := flag.Int64("seed", def.Seed, "schedule and jitter seed")
+	crashes := flag.Int("crashes", def.Crashes, "device crashes to schedule")
+	degrades := flag.Int("degrades", def.Degrades, "link degradations to schedule")
+	flaps := flag.Int("flaps", def.Flaps, "discovery flaps to schedule")
+	stalls := flag.Int("stalls", def.Stalls, "transcoder stalls to schedule")
+	window := flag.Duration("window", def.Window, "modeled fault window")
+	recoverAfter := flag.Duration("recover", def.RecoverAfter, "delay before paired undo faults (0 = faults are permanent)")
+	flag.Parse()
+
+	cfg := def
+	cfg.Scale = *scale
+	cfg.Sessions = *sessions
+	cfg.Seed = *seed
+	cfg.Crashes = *crashes
+	cfg.Degrades = *degrades
+	cfg.Flaps = *flaps
+	cfg.Stalls = *stalls
+	cfg.Window = *window
+	cfg.RecoverAfter = *recoverAfter
+
+	res, err := experiments.RunFaultDrill(cfg)
+	if err != nil {
+		log.Fatalf("benchfaults: %v", err)
+	}
+	rep := Report{
+		Generated:    time.Now().UTC().Format(time.RFC3339),
+		Scale:        cfg.Scale,
+		Seed:         cfg.Seed,
+		Window:       cfg.Window.String(),
+		RecoverAfter: cfg.RecoverAfter.String(),
+		Result:       res,
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+	} else {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s", *out)
+	}
+
+	fmt.Printf("sessions=%d recovered=%d degraded=%d lost=%d retries=%d p50=%.2fms p95=%.2fms boundToDead=%d\n",
+		res.Sessions, res.Recovered, res.Degraded, res.Lost, res.Retries,
+		res.RecoveryP50Ms, res.RecoveryP95Ms, res.BoundToDead)
+	if res.BoundToDead > 0 {
+		log.Fatalf("benchfaults: %d component(s) still bound to dead devices %v", res.BoundToDead, res.DownDevices)
+	}
+}

@@ -8,6 +8,7 @@
 //
 //	qosconfigd [-addr 127.0.0.1:7420] [-http 127.0.0.1:7421] [-space audio|conf]
 //	           [-config FILE.space] [-scale 0.1] [-place heuristic|optimal|optimal-parallel]
+//	           [-chaos "seed=7,crashes=2,window=30s,recover=10s"]
 //
 // The daemon boots one of the paper's two testbed smart spaces — "audio"
 // (three desktops + a Jornada PDA with the mobile audio-on-demand
@@ -19,6 +20,13 @@
 // The -http listener serves the observability surface: /metrics
 // (Prometheus text), /healthz, /traces, and /debug/pprof. Set -http ""
 // to disable it.
+//
+// The daemon always runs a recovery supervisor: sessions broken by device
+// churn or resource fluctuations are re-configured automatically with
+// backed-off retries. The -chaos flag additionally injects a seeded fault
+// schedule (device crashes/rejoins, link degradations, discovery flaps,
+// transcoder stalls — see internal/faultinject.ParseSpec for the syntax)
+// so the self-healing path can be exercised against a live daemon.
 package main
 
 import (
@@ -29,10 +37,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sort"
 	"syscall"
 
+	"ubiqos/internal/core"
+	"ubiqos/internal/device"
 	"ubiqos/internal/domain"
 	"ubiqos/internal/experiments"
+	"ubiqos/internal/faultinject"
 	"ubiqos/internal/spec"
 	"ubiqos/internal/wire"
 )
@@ -46,14 +58,16 @@ func main() {
 	config := flag.String("config", "", "space configuration file (overrides -space)")
 	scale := flag.Float64("scale", 0.1, "emulation time scale (1 = real time)")
 	place := flag.String("place", "heuristic", "placement algorithm: heuristic, optimal, or optimal-parallel")
+	chaos := flag.String("chaos", "", `fault-injection spec, e.g. "seed=7,crashes=2,window=30s" ("" disables)`)
+	chaosOn := flag.Bool("chaos-default", false, "inject the default fault schedule (same as -chaos with an empty spec)")
 	flag.Parse()
 
-	if err := run(*addr, *httpAddr, *space, *config, *scale, *place); err != nil {
+	if err := run(*addr, *httpAddr, *space, *config, *scale, *place, *chaos, *chaosOn); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(addr, httpAddr, space, config string, scale float64, place string) error {
+func run(addr, httpAddr, space, config string, scale float64, place, chaos string, chaosOn bool) error {
 	placeFn, err := experiments.PlaceByName(place)
 	if err != nil {
 		return err
@@ -91,6 +105,23 @@ func run(addr, httpAddr, space, config string, scale float64, place string) erro
 	log.Printf("domain %s serving on %s (%d devices, %d services, scale %g, place %s)",
 		dom.Name, bound, dom.Devices.Len(), dom.Registry.Len(), scale, place)
 
+	// Self-healing: re-run the configuration protocol for sessions broken
+	// by runtime changes.
+	sup, err := core.NewSupervisor(dom.Configurator, core.SupervisorOptions{Bus: dom.Bus})
+	if err != nil {
+		return err
+	}
+	defer sup.Stop()
+	log.Print("recovery supervisor running")
+
+	stopChaos := make(chan struct{})
+	defer close(stopChaos)
+	if chaos != "" || chaosOn {
+		if err := startChaos(dom, chaos, stopChaos); err != nil {
+			return err
+		}
+	}
+
 	if httpAddr != "" {
 		ln, err := net.Listen("tcp", httpAddr)
 		if err != nil {
@@ -105,5 +136,58 @@ func run(addr, httpAddr, space, config string, scale float64, place string) erro
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	log.Print("shutting down")
+	return nil
+}
+
+// startChaos generates the seeded fault schedule against the booted
+// space and injects it in the background.
+func startChaos(dom *domain.Domain, spec string, stop <-chan struct{}) error {
+	params, err := faultinject.ParseSpec(spec)
+	if err != nil {
+		return err
+	}
+	if params.Crashes == 0 && params.Degrades == 0 && params.Flaps == 0 && params.Stalls == 0 {
+		// An empty spec still means "inject something": default to the
+		// acceptance drill of two crashes plus one link degradation.
+		params.Crashes, params.Degrades = 2, 1
+	}
+	// PDA-class devices are exempt from crashes and stalls: they are the
+	// portals users hold, and portal loss is unrecoverable by design (the
+	// supervisor gives up immediately rather than exercising recovery).
+	params.Protected = map[device.ID]bool{}
+	for _, d := range dom.Devices.All() {
+		params.Devices = append(params.Devices, d.ID)
+		if d.Class == device.ClassPDA {
+			params.Protected[d.ID] = true
+		}
+	}
+	for pair := range dom.Links.Snapshot() {
+		params.Links = append(params.Links, [2]device.ID{pair[0], pair[1]})
+	}
+	// Snapshot iterates a map; sort so the same seed always yields the
+	// same schedule.
+	sort.Slice(params.Links, func(i, j int) bool {
+		if params.Links[i][0] != params.Links[j][0] {
+			return params.Links[i][0] < params.Links[j][0]
+		}
+		return params.Links[i][1] < params.Links[j][1]
+	})
+	for _, inst := range dom.Registry.All() {
+		params.Services = append(params.Services, inst.Name)
+	}
+	sched, err := faultinject.Generate(params)
+	if err != nil {
+		return err
+	}
+	inj, err := faultinject.NewInjector(dom, sched)
+	if err != nil {
+		return err
+	}
+	log.Printf("chaos: injecting %d faults over %v (seed %d)", len(sched.Faults), params.Duration, params.Seed)
+	go func() {
+		if err := inj.Run(dom.Net.Scale(), stop); err != nil {
+			log.Printf("chaos: %v", err)
+		}
+	}()
 	return nil
 }

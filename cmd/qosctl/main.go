@@ -10,6 +10,7 @@
 //	qosctl switch  -session ID -to DEV
 //	qosctl stop    -session ID
 //	qosctl crash   -to DEV                               (simulate a device crash)
+//	qosctl rejoin  -to DEV                               (bring a crashed device back)
 //	qosctl register   -instance FILE.json [-installed "dev1,dev2"|"*"]
 //	qosctl unregister -name INSTANCE
 //
@@ -20,6 +21,10 @@
 // internal/spec). A spec file's qos block is merged under any -qos flag.
 // The -qos flag accepts comma-separated name=value requirements where
 // value is a number, a lo-hi range, or a symbol.
+//
+// The -timeout flag bounds each request round-trip (0 = wait forever);
+// -retries re-sends a timed-out or transport-failed request on a fresh
+// connection that many times before giving up.
 package main
 
 import (
@@ -31,6 +36,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"ubiqos/internal/composer"
 	"ubiqos/internal/experiments"
@@ -54,9 +60,11 @@ func main() {
 	instanceFile := flag.String("instance", "", "service instance JSON file (register)")
 	installed := flag.String("installed", "", `comma-separated devices the instance is pre-installed on ("*" = all)`)
 	name := flag.String("name", "", "instance name (unregister)")
+	timeout := flag.Duration("timeout", 5*time.Second, "per-request deadline (0 = wait forever)")
+	retries := flag.Int("retries", 0, "retry a timed-out/failed request this many times")
 
 	if len(os.Args) < 2 || strings.HasPrefix(os.Args[1], "-") {
-		log.Fatal("usage: qosctl devices|services|sessions|metrics|trace|start|check|session|switch|stop|crash|register|unregister [flags]")
+		log.Fatal("usage: qosctl devices|services|sessions|metrics|trace|start|check|session|switch|stop|crash|rejoin|register|unregister [flags]")
 	}
 	verb := os.Args[1]
 	if err := flag.CommandLine.Parse(os.Args[2:]); err != nil {
@@ -66,6 +74,7 @@ func main() {
 		verb: verb, addr: *addr, session: *session, app: *app, client: *client,
 		to: *to, userQoS: *userQoS, dot: *dot, asJSON: *asJSON,
 		instanceFile: *instanceFile, installed: *installed, name: *name,
+		timeout: *timeout, retries: *retries,
 	}); err != nil {
 		log.Fatal(err)
 	}
@@ -76,11 +85,13 @@ type runArgs struct {
 	verb, addr, session, app, client, to, userQoS string
 	dot, asJSON                                   bool
 	instanceFile, installed, name                 string
+	timeout                                       time.Duration
+	retries                                       int
 }
 
 func run(a runArgs) error {
 	verb, addr, session, app, client, to, userQoS, dot := a.verb, a.addr, a.session, a.app, a.client, a.to, a.userQoS, a.dot
-	c, err := wire.Dial(addr)
+	c, err := wire.DialWith(addr, wire.Options{Timeout: a.timeout, Retries: a.retries})
 	if err != nil {
 		return err
 	}
@@ -244,6 +255,14 @@ func run(a runArgs) error {
 		if resp.Error != "" {
 			fmt.Println("partial recovery:", resp.Error)
 		}
+	case "rejoin":
+		if to == "" {
+			return fmt.Errorf("rejoin requires -to")
+		}
+		if _, err := c.Call(wire.Request{Op: wire.OpRejoinDevice, ToDevice: to}); err != nil {
+			return err
+		}
+		fmt.Printf("device %s rejoined the smart space\n", to)
 	default:
 		return fmt.Errorf("unknown verb %q", verb)
 	}

@@ -155,11 +155,29 @@ type Request struct {
 	ClientDevice device.ID
 	// MaxFrames bounds the emulated sources (0 = unbounded).
 	MaxFrames int64
+	// Place, when set, overrides the configurator's placement algorithm
+	// for this request only — the recovery supervisor uses it to fall back
+	// from optimal to heuristic placement once a reconfiguration deadline
+	// has been blown. Never serialized.
+	Place PlaceFunc `json:"-"`
 }
 
 // ClientRole is the pin role in abstract graphs that Request.ClientDevice
 // resolves.
 const ClientRole = "client"
+
+// SessionLostNotice is the payload of a TopicUserNotification event raised
+// when a session cannot be kept alive through a runtime change — its
+// portal device vanished, or no feasible placement remains even after the
+// degradation ladder. The user must intervene (pick a new portal, add
+// capacity, or quit).
+type SessionLostNotice struct {
+	SessionID string
+	// Device is the device whose loss or fluctuation stranded the session
+	// (empty when unknown).
+	Device device.ID
+	Reason string
+}
 
 // Timing is the Figure 4 overhead breakdown of one configuration action.
 type Timing struct {
@@ -431,7 +449,11 @@ func (c *Configurator) configureOnce(req Request, handoff bool, parent *trace.Sp
 		Span:      dsp,
 		Stats:     stats,
 	}
-	assignment, cost, err := c.cfg.Place(prob)
+	place := c.cfg.Place
+	if req.Place != nil {
+		place = req.Place
+	}
+	assignment, cost, err := place(prob)
 	distTime := time.Since(t1)
 	c.recordSearch(dsp, stats, cost, err)
 	if err != nil {
@@ -764,6 +786,34 @@ func (c *Configurator) ResumeFrom(req Request, st checkpoint.State) (*ActiveSess
 		c.unreserve(req.SessionID)
 	}
 	return active, err
+}
+
+// Recover (re)configures a session as part of self-healing. A session
+// still active is reconfigured in place (checkpoint → tear down → fresh
+// compose/distribute → resume). If an earlier recovery attempt already
+// tore the session down and then failed to re-place it, the saved
+// checkpoint is resumed so a later retry still continues playback from
+// the interruption point instead of starting over.
+func (c *Configurator) Recover(req Request) (*ActiveSession, error) {
+	if c.Session(req.SessionID) != nil {
+		return c.Reconfigure(req)
+	}
+	if err := c.reserve(req.SessionID); err != nil {
+		return nil, err
+	}
+	_, resuming := c.cfg.Checkpoints.Load(req.SessionID)
+	active, err := c.configure(req, resuming)
+	if err != nil {
+		c.unreserve(req.SessionID)
+	}
+	return active, err
+}
+
+// Discard drops a session's orphaned recovery state (its checkpoint) after
+// the supervisor gives up on it. Sessions still active must be stopped
+// with Stop instead.
+func (c *Configurator) Discard(sessionID string) {
+	c.cfg.Checkpoints.Delete(sessionID)
 }
 
 // Reconfigure re-runs the configuration model for an existing session —

@@ -1,0 +1,486 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"ubiqos/internal/composer"
+	"ubiqos/internal/device"
+	"ubiqos/internal/distributor"
+	"ubiqos/internal/eventbus"
+	"ubiqos/internal/graph"
+	"ubiqos/internal/metrics"
+	"ubiqos/internal/trace"
+)
+
+// SupervisorOptions tunes the recovery supervisor.
+type SupervisorOptions struct {
+	// Bus is the domain's event service; the supervisor subscribes
+	// losslessly to device.left, resource.changed, and device.switched.
+	Bus *eventbus.Bus
+	// BaseBackoff is the delay before the first retry (default 10ms);
+	// subsequent retries double it up to MaxBackoff (default 1s), with
+	// seeded jitter on top.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// Deadline bounds how long a session may stay broken before recovery
+	// degrades it: past the deadline (default 500ms), attempts shed
+	// optional components and fall back from the configured placement
+	// algorithm to the greedy heuristic.
+	Deadline time.Duration
+	// DegradeAfter is the attempt count that also triggers degraded mode
+	// (default 2), so a session whose full-quality re-placement keeps
+	// failing stops burning retries on it even before the deadline.
+	DegradeAfter int
+	// MaxAttempts is the per-session give-up threshold (default 6). A
+	// session still unplaceable after MaxAttempts is stopped, its
+	// checkpoint discarded, and the user notified.
+	MaxAttempts int
+	// Seed makes the retry jitter deterministic for reproducible
+	// experiments.
+	Seed int64
+}
+
+func (o *SupervisorOptions) defaults() {
+	if o.BaseBackoff <= 0 {
+		o.BaseBackoff = 10 * time.Millisecond
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = time.Second
+	}
+	if o.Deadline <= 0 {
+		o.Deadline = 500 * time.Millisecond
+	}
+	if o.DegradeAfter <= 0 {
+		o.DegradeAfter = 2
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 6
+	}
+}
+
+// SupervisorStats is a snapshot of the supervisor's lifetime counters.
+type SupervisorStats struct {
+	// Attempts counts recovery pipeline runs (initial tries and retries).
+	Attempts int64
+	// Retries counts re-queued attempts after a failure.
+	Retries int64
+	// Recovered counts sessions brought back to a running state.
+	Recovered int64
+	// Degraded counts recoveries that had to shed optional components or
+	// fall back to heuristic placement.
+	Degraded int64
+	// Lost counts sessions given up on (portal gone, or MaxAttempts
+	// exhausted).
+	Lost int64
+}
+
+// recoveryTask tracks one broken session through its retry schedule.
+type recoveryTask struct {
+	sessionID string
+	// req is the session's configuration request, captured when the fault
+	// was detected: a failed recovery attempt tears the session down, so
+	// later retries cannot re-read it from the configurator.
+	req Request
+	// dev is the device whose fault stranded the session (for notices).
+	dev       device.ID
+	reason    string
+	attempts  int
+	degraded  bool
+	firstSeen time.Time
+	due       time.Time
+}
+
+// Supervisor is the self-healing loop of the configuration model: it
+// subscribes losslessly to runtime-change events and re-runs the
+// compose→distribute pipeline for every session the change broke, with
+// capped exponential backoff between attempts, a degradation ladder
+// (shed optional components, heuristic placement) once the recovery
+// deadline is blown, and a bounded give-up that notifies the user — the
+// paper's "whenever some significant changes are detected during runtime,
+// the service configuration protocol is re-executed", made crash-safe.
+type Supervisor struct {
+	c    *Configurator
+	opts SupervisorOptions
+	sub  *eventbus.Subscription
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	tasks map[string]*recoveryTask
+	busy  bool
+	stats SupervisorStats
+
+	stopOnce sync.Once
+	stopped  chan struct{}
+	exited   chan struct{}
+}
+
+// NewSupervisor starts a recovery supervisor over the configurator. Stop
+// it with Stop; it also exits when the bus closes.
+func NewSupervisor(c *Configurator, opts SupervisorOptions) (*Supervisor, error) {
+	if c == nil {
+		return nil, fmt.Errorf("core: nil configurator")
+	}
+	if opts.Bus == nil {
+		return nil, fmt.Errorf("core: supervisor needs an event bus")
+	}
+	opts.defaults()
+	sub, err := opts.Bus.SubscribeLossless(
+		eventbus.TopicDeviceLeft,
+		eventbus.TopicResourceChanged,
+		eventbus.TopicDeviceSwitched,
+	)
+	if err != nil {
+		return nil, err
+	}
+	s := &Supervisor{
+		c:       c,
+		opts:    opts,
+		sub:     sub,
+		rng:     rand.New(rand.NewSource(opts.Seed)),
+		tasks:   make(map[string]*recoveryTask),
+		stopped: make(chan struct{}),
+		exited:  make(chan struct{}),
+	}
+	go s.run()
+	return s, nil
+}
+
+// Stop cancels the subscription and waits for the worker to exit. Pending
+// recovery tasks are abandoned (their sessions keep whatever state they
+// had). Stop is idempotent.
+func (s *Supervisor) Stop() {
+	s.stopOnce.Do(func() {
+		close(s.stopped)
+		s.sub.Cancel()
+	})
+	<-s.exited
+}
+
+// Stats returns a snapshot of the lifetime counters.
+func (s *Supervisor) Stats() SupervisorStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Backlog returns the number of sessions currently awaiting recovery.
+func (s *Supervisor) Backlog() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.tasks)
+}
+
+// AwaitIdle blocks until the supervisor has no queued events and no
+// pending recovery tasks (i.e. the smart space is quiescent again), or
+// until the timeout elapses. It reports whether idleness was reached.
+func (s *Supervisor) AwaitIdle(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	quiet := 0
+	for time.Now().Before(deadline) {
+		s.mu.Lock()
+		idle := len(s.tasks) == 0 && !s.busy
+		s.mu.Unlock()
+		if idle && s.sub.Pending() == 0 {
+			// A momentary zero can hide an event mid-handoff in the bus
+			// pump; require two consecutive quiet polls.
+			quiet++
+			if quiet >= 2 {
+				return true
+			}
+		} else {
+			quiet = 0
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return false
+}
+
+// run is the worker loop: wake on a bus event (scan for broken sessions)
+// or on the next retry deadline (process due tasks).
+func (s *Supervisor) run() {
+	defer close(s.exited)
+	for {
+		var timer *time.Timer
+		var timerC <-chan time.Time
+		if due, ok := s.nextDue(); ok {
+			d := time.Until(due)
+			if d < 0 {
+				d = 0
+			}
+			timer = time.NewTimer(d)
+			timerC = timer.C
+		}
+		select {
+		case ev, ok := <-s.sub.C():
+			if timer != nil {
+				timer.Stop()
+			}
+			if !ok {
+				return
+			}
+			s.setBusy(true)
+			s.scan(ev.Time)
+			s.process()
+			s.setBusy(false)
+		case <-timerC:
+			s.setBusy(true)
+			s.process()
+			s.setBusy(false)
+		case <-s.stopped:
+			if timer != nil {
+				timer.Stop()
+			}
+			return
+		}
+	}
+}
+
+func (s *Supervisor) setBusy(b bool) {
+	s.mu.Lock()
+	s.busy = b
+	s.mu.Unlock()
+}
+
+func (s *Supervisor) nextDue() (time.Time, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var min time.Time
+	found := false
+	for _, t := range s.tasks {
+		if !found || t.due.Before(min) {
+			min = t.due
+			found = true
+		}
+	}
+	return min, found
+}
+
+// scan walks every active session and queues a recovery task for each one
+// the current environment can no longer support. The event payload is
+// deliberately ignored: health is re-derived from the device and link
+// tables, so a burst of coalesced events costs one scan.
+func (s *Supervisor) scan(at time.Time) {
+	for _, sid := range s.c.SessionIDs() {
+		active := s.c.Session(sid)
+		if active == nil {
+			continue
+		}
+		dev, reason, broken := s.diagnose(active)
+		if !broken {
+			continue
+		}
+		s.enqueue(sid, active.Request, dev, reason, at)
+	}
+	s.gauge()
+}
+
+// diagnose reports whether the session's current placement is still
+// supportable: every hosting device up and within capacity, every
+// reserved link within its (possibly degraded) bandwidth.
+func (s *Supervisor) diagnose(active *ActiveSession) (device.ID, string, bool) {
+	seen := map[device.ID]bool{}
+	for _, dev := range active.Placement {
+		if seen[dev] {
+			continue
+		}
+		seen[dev] = true
+		d := s.c.cfg.Devices.Get(dev)
+		if d == nil || !d.Up() {
+			return dev, "component host left the smart space", true
+		}
+		if !d.Committed().LessEq(d.Capacity()) {
+			return dev, "component host overcommitted after fluctuation", true
+		}
+	}
+	for pair := range active.demands {
+		const eps = 1e-9
+		if s.c.cfg.Links.Reserved(pair[0], pair[1]) > s.c.cfg.Links.Capacity(pair[0], pair[1])+eps {
+			return pair[0], fmt.Sprintf("link %s-%s overcommitted after degradation", pair[0], pair[1]), true
+		}
+	}
+	return "", "", false
+}
+
+func (s *Supervisor) enqueue(sid string, req Request, dev device.ID, reason string, at time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t, ok := s.tasks[sid]; ok {
+		// Already being recovered; refresh the trigger but keep the
+		// attempt counter and schedule.
+		t.dev, t.reason = dev, reason
+		return
+	}
+	s.tasks[sid] = &recoveryTask{
+		sessionID: sid,
+		req:       req,
+		dev:       dev,
+		reason:    reason,
+		firstSeen: at,
+		due:       time.Now(),
+	}
+}
+
+// process runs every due recovery task once.
+func (s *Supervisor) process() {
+	now := time.Now()
+	s.mu.Lock()
+	var due []*recoveryTask
+	for _, t := range s.tasks {
+		if !t.due.After(now) {
+			due = append(due, t)
+		}
+	}
+	s.mu.Unlock()
+	for _, t := range due {
+		s.attempt(t)
+	}
+	s.gauge()
+}
+
+// attempt runs one recovery for the task, deciding between full-quality
+// and degraded re-placement, and either finishes the task or re-queues it
+// with backoff.
+func (s *Supervisor) attempt(t *recoveryTask) {
+	// Re-check health: an inline recovery (e.g. the domain's synchronous
+	// crash handling) may have fixed the session while the task waited.
+	if active := s.c.Session(t.sessionID); active != nil {
+		if _, _, broken := s.diagnose(active); !broken {
+			s.finish(t.sessionID)
+			return
+		}
+	}
+	// A lost portal cannot be healed by re-placement: only the user can
+	// pick a new portal device.
+	if d := s.c.cfg.Devices.Get(t.req.ClientDevice); d == nil || !d.Up() {
+		s.giveUp(t, "portal device left the smart space")
+		return
+	}
+
+	degraded := t.attempts >= s.opts.DegradeAfter || time.Since(t.firstSeen) > s.opts.Deadline
+	req := t.req
+	if degraded {
+		req.Place = distributor.Heuristic
+		req.App = shedOptional(req.App)
+		t.degraded = true
+	}
+
+	tr := s.c.cfg.Tracer.Start("recover", t.sessionID,
+		trace.Int("attempt", int64(t.attempts+1)),
+		trace.Bool("degraded", degraded),
+		trace.String("reason", t.reason))
+	s.count(func(st *SupervisorStats) { st.Attempts++ }, metrics.RecoveryAttempts)
+	_, err := s.c.Recover(req)
+	tr.Root().SetErr(err)
+	tr.Finish()
+
+	if err == nil {
+		s.count(func(st *SupervisorStats) { st.Recovered++ }, metrics.SessionsRecovered)
+		if degraded {
+			s.count(func(st *SupervisorStats) { st.Degraded++ }, metrics.RecoveriesDegraded)
+		}
+		if m := s.c.cfg.Metrics; m != nil {
+			m.Histogram(metrics.RecoveryLatency).Observe(time.Since(t.firstSeen))
+		}
+		s.finish(t.sessionID)
+		s.opts.Bus.Publish(eventbus.TopicSessionRecovered, t.sessionID)
+		return
+	}
+
+	t.attempts++
+	if t.attempts >= s.opts.MaxAttempts {
+		s.giveUp(t, fmt.Sprintf("no feasible placement after %d attempts: %v", t.attempts, err))
+		return
+	}
+	t.due = time.Now().Add(s.backoff(t.attempts))
+	s.count(func(st *SupervisorStats) { st.Retries++ }, metrics.RecoveryRetries)
+}
+
+// backoff returns base·2^(attempt-1) capped at MaxBackoff, plus up to 50%
+// seeded jitter so a burst of broken sessions does not retry in lockstep.
+func (s *Supervisor) backoff(attempt int) time.Duration {
+	d := s.opts.BaseBackoff
+	for i := 1; i < attempt && d < s.opts.MaxBackoff; i++ {
+		d *= 2
+	}
+	if d > s.opts.MaxBackoff {
+		d = s.opts.MaxBackoff
+	}
+	s.mu.Lock()
+	jitter := time.Duration(s.rng.Int63n(int64(d)/2 + 1))
+	s.mu.Unlock()
+	return d + jitter
+}
+
+// giveUp abandons the session: whatever is left of it is stopped, its
+// checkpoint discarded, and the user notified that intervention is needed.
+func (s *Supervisor) giveUp(t *recoveryTask, reason string) {
+	if s.c.Session(t.sessionID) != nil {
+		_ = s.c.Stop(t.sessionID)
+	} else {
+		s.c.Discard(t.sessionID)
+	}
+	s.finish(t.sessionID)
+	s.count(func(st *SupervisorStats) { st.Lost++ }, metrics.SessionsLost)
+	s.opts.Bus.Publish(eventbus.TopicUserNotification, SessionLostNotice{
+		SessionID: t.sessionID,
+		Device:    t.dev,
+		Reason:    reason,
+	})
+}
+
+func (s *Supervisor) finish(sid string) {
+	s.mu.Lock()
+	delete(s.tasks, sid)
+	s.mu.Unlock()
+}
+
+func (s *Supervisor) count(apply func(*SupervisorStats), counter string) {
+	s.mu.Lock()
+	apply(&s.stats)
+	s.mu.Unlock()
+	if m := s.c.cfg.Metrics; m != nil {
+		m.Counter(counter).Inc()
+	}
+}
+
+func (s *Supervisor) gauge() {
+	if m := s.c.cfg.Metrics; m != nil {
+		m.Gauge(metrics.RecoveryBacklog).Set(float64(s.Backlog()))
+	}
+}
+
+// shedOptional strips optional services (and their edges) from an
+// abstract graph — the degraded-mode trade: keep the mandatory pipeline
+// alive rather than fail to place the enhanced one.
+func shedOptional(app *composer.AbstractGraph) *composer.AbstractGraph {
+	if app == nil {
+		return nil
+	}
+	drop := make(map[graph.NodeID]bool)
+	for _, n := range app.Nodes() {
+		if n.Optional {
+			drop[n.ID] = true
+		}
+	}
+	if len(drop) == 0 {
+		return app
+	}
+	out := composer.NewAbstractGraph()
+	for _, n := range app.Nodes() {
+		if n.Optional {
+			continue
+		}
+		cp := *n
+		out.MustAddNode(&cp)
+	}
+	for _, e := range app.Edges() {
+		if drop[e.From] || drop[e.To] {
+			continue
+		}
+		out.MustAddEdge(e.From, e.To, e.ThroughputMbps)
+	}
+	return out
+}

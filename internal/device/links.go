@@ -74,6 +74,15 @@ func (l *Links) Available(a, b ID) float64 {
 	return rem
 }
 
+// Reserved returns the bandwidth currently booked between a and b. When a
+// link degrades below its existing reservations, Reserved exceeds
+// Capacity — the overcommit signal the recovery supervisor watches for.
+func (l *Links) Reserved(a, b ID) float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.reserved[linkKey(a, b)]
+}
+
 // Reserve atomically books mbps between a and b, failing without side
 // effects when the remaining bandwidth is insufficient.
 func (l *Links) Reserve(a, b ID, mbps float64) error {

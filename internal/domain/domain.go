@@ -270,13 +270,80 @@ func (d *Domain) ConnectServer(a device.ID, link netsim.Link) error {
 	return d.Net.SetLink(string(a), d.Repo.Host, link)
 }
 
+// FailDevice marks a device as crashed and announces the departure on the
+// event bus without attempting any inline recovery — re-placement is the
+// recovery supervisor's job. This is the entry point the fault injector
+// uses; RemoveDevice remains the synchronous crash-and-recover operation
+// behind the wire protocol's crash-device op.
+func (d *Domain) FailDevice(id device.ID) error {
+	dev := d.Devices.Get(id)
+	if dev == nil {
+		return fmt.Errorf("domain: unknown device %s", id)
+	}
+	dev.SetUp(false)
+	d.Bus.Publish(eventbus.TopicDeviceLeft, string(id))
+	return nil
+}
+
+// RejoinDevice marks a previously crashed device reachable again and
+// announces the join. Its prior resource commitments are still admitted
+// (see device.SetUp); sessions that already migrated away simply leave
+// that capacity to be reclaimed as their old reservations are released.
+func (d *Domain) RejoinDevice(id device.ID) error {
+	dev := d.Devices.Get(id)
+	if dev == nil {
+		return fmt.Errorf("domain: unknown device %s", id)
+	}
+	dev.SetUp(true)
+	d.Bus.Publish(eventbus.TopicDeviceJoined, string(id))
+	return nil
+}
+
+// LinkChanged is the payload of a TopicResourceChanged event raised for a
+// link-bandwidth fluctuation (as opposed to a device-capacity one, whose
+// payload is the device ID string).
+type LinkChanged struct {
+	A, B device.ID
+}
+
+// DegradeLink models a link-quality fault: the emulated network link and
+// the distributor's bandwidth table both drop to factor× their current
+// bandwidth, and the fluctuation is announced on the event bus. It
+// returns the link as it was before so the caller can RestoreLink later.
+// Existing reservations are kept, so a degradation below the reserved
+// bandwidth overcommits the link — the signal the recovery supervisor
+// reacts to.
+func (d *Domain) DegradeLink(a, b device.ID, factor float64) (netsim.Link, error) {
+	prev, err := d.Net.Degrade(string(a), string(b), factor)
+	if err != nil {
+		return netsim.Link{}, err
+	}
+	if err := d.Links.Set(a, b, prev.BandwidthMbps*factor); err != nil {
+		return netsim.Link{}, err
+	}
+	d.Bus.Publish(eventbus.TopicResourceChanged, LinkChanged{A: a, B: b})
+	return prev, nil
+}
+
+// RestoreLink reinstates a link (typically the return value of a prior
+// DegradeLink) and announces the fluctuation.
+func (d *Domain) RestoreLink(a, b device.ID, link netsim.Link) error {
+	if err := d.Connect(a, b, link); err != nil {
+		return err
+	}
+	d.Bus.Publish(eventbus.TopicResourceChanged, LinkChanged{A: a, B: b})
+	return nil
+}
+
 // RemoveDevice marks a device as gone, publishes the leave event, and
 // reconfigures every session that had components on it (the paper: "if
 // one of old devices crashes, the service distributor needs to calculate
 // new service distributions ... so the user can continue his or her tasks
 // with minimum QoS degradations"). It returns the IDs of sessions that
 // were successfully reconfigured and an error naming any that could not
-// be.
+// be; stranded sessions additionally raise a TopicUserNotification event
+// carrying a core.SessionLostNotice, since the user is the only recovery
+// path left.
 func (d *Domain) RemoveDevice(id device.ID) ([]string, error) {
 	dev := d.Devices.Get(id)
 	if dev == nil {
@@ -296,12 +363,14 @@ func (d *Domain) RemoveDevice(id device.ID) ([]string, error) {
 		if req.ClientDevice == id {
 			// The portal device itself is gone; the session cannot
 			// continue until the user picks a new portal.
+			d.notifyLost(sid, id, "portal device left the smart space")
 			if firstErr == nil {
 				firstErr = fmt.Errorf("domain: session %s lost its portal device %s", sid, id)
 			}
 			continue
 		}
 		if _, err := d.Configurator.Reconfigure(req); err != nil {
+			d.notifyLost(sid, id, err.Error())
 			if firstErr == nil {
 				firstErr = fmt.Errorf("domain: reconfigure %s: %w", sid, err)
 			}
@@ -310,6 +379,16 @@ func (d *Domain) RemoveDevice(id device.ID) ([]string, error) {
 		moved = append(moved, sid)
 	}
 	return moved, firstErr
+}
+
+// notifyLost raises the user notification for a session that cannot be
+// kept alive automatically.
+func (d *Domain) notifyLost(sessionID string, dev device.ID, reason string) {
+	d.Bus.Publish(eventbus.TopicUserNotification, core.SessionLostNotice{
+		SessionID: sessionID,
+		Device:    dev,
+		Reason:    reason,
+	})
 }
 
 // sessionsOn returns the session IDs with at least one component placed on

@@ -7,6 +7,7 @@ package eventbus
 
 import (
 	"fmt"
+	"reflect"
 	"sync"
 	"time"
 
@@ -33,6 +34,9 @@ const (
 	// sessions.
 	TopicSessionStarted Topic = "session.started"
 	TopicSessionStopped Topic = "session.stopped"
+	// TopicSessionRecovered fires when the recovery supervisor brings a
+	// session back after a fault (payload: session ID).
+	TopicSessionRecovered Topic = "session.recovered"
 	// TopicUserNotification carries messages the user must act on — e.g.
 	// a mandatory service could not be discovered and the user may
 	// "download and install an instance for the missing service into the
@@ -50,15 +54,35 @@ type Event struct {
 }
 
 // Subscription receives events for the topics it was subscribed to.
+//
+// Two delivery modes exist. The default (Subscribe) is lossy: a full
+// channel drops the event, which suits data-plane signals that are
+// re-published on further changes. Lossless subscriptions
+// (SubscribeLossless) are for control-plane consumers — e.g. the recovery
+// supervisor must never miss a device.left — and buffer overflow into an
+// unbounded coalescing queue drained by a pump goroutine instead of
+// dropping.
 type Subscription struct {
-	bus    *Bus
-	id     int
-	topics map[Topic]bool
-	ch     chan Event
+	bus      *Bus
+	id       int
+	topics   map[Topic]bool
+	ch       chan Event
+	lossless bool
+	// wake nudges the pump goroutine (lossless mode only); done is closed
+	// on cancel so a pump blocked on a slow receiver can exit.
+	wake chan struct{}
+	done chan struct{}
 
-	mu      sync.Mutex
-	dropped int
-	closed  bool
+	mu        sync.Mutex
+	dropped   int
+	coalesced int
+	closed    bool
+	// overflow holds events queued past the channel capacity (lossless
+	// mode); keys indexes pending events by (topic, payload) so a
+	// re-published identical event refreshes its pending slot instead of
+	// growing the queue without bound.
+	overflow []Event
+	keys     map[any]int
 }
 
 // C returns the receive channel. The channel is closed when the
@@ -66,11 +90,33 @@ type Subscription struct {
 func (s *Subscription) C() <-chan Event { return s.ch }
 
 // Dropped reports how many events were discarded because the subscriber
-// was not draining its channel.
+// was not draining its channel. Lossless subscriptions always report 0.
 func (s *Subscription) Dropped() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.dropped
+}
+
+// Coalesced reports how many pending duplicate events were merged into an
+// earlier queued copy (lossless mode).
+func (s *Subscription) Coalesced() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.coalesced
+}
+
+// Pending reports how many delivered-but-unconsumed events the
+// subscription holds (channel backlog plus, for lossless subscriptions,
+// the overflow queue). A zero return is momentary, not a fence: an event
+// may be mid-handoff inside the pump.
+func (s *Subscription) Pending() int {
+	n := len(s.ch)
+	if s.lossless {
+		s.mu.Lock()
+		n += len(s.overflow)
+		s.mu.Unlock()
+	}
+	return n
 }
 
 // Cancel removes the subscription from the bus and closes the channel.
@@ -123,6 +169,11 @@ func (b *Bus) gauges() {
 	depth := 0
 	for _, sub := range b.subs {
 		depth += len(sub.ch)
+		if sub.lossless {
+			sub.mu.Lock()
+			depth += len(sub.overflow)
+			sub.mu.Unlock()
+		}
 	}
 	b.reg.Gauge(metrics.BusSubscribers).Set(float64(len(b.subs)))
 	b.reg.Gauge(metrics.BusQueueDepth).Set(float64(depth))
@@ -135,8 +186,23 @@ func (b *Bus) gauges() {
 const DefaultBuffer = 16
 
 // Subscribe registers interest in the given topics (at least one) and
-// returns the subscription.
+// returns a lossy subscription: publishing to its full channel drops the
+// event.
 func (b *Bus) Subscribe(topics ...Topic) (*Subscription, error) {
+	return b.subscribe(false, topics)
+}
+
+// SubscribeLossless registers a control-plane subscription that never
+// drops events: publishes past the channel capacity queue into an
+// unbounded coalescing buffer (identical pending topic+payload pairs are
+// merged) drained by a background pump, so a slow consumer delays
+// delivery instead of losing it. FIFO order is preserved among distinct
+// events.
+func (b *Bus) SubscribeLossless(topics ...Topic) (*Subscription, error) {
+	return b.subscribe(true, topics)
+}
+
+func (b *Bus) subscribe(lossless bool, topics []Topic) (*Subscription, error) {
 	if len(topics) == 0 {
 		return nil, fmt.Errorf("eventbus: subscribe with no topics")
 	}
@@ -150,10 +216,17 @@ func (b *Bus) Subscribe(topics ...Topic) (*Subscription, error) {
 		ts[t] = true
 	}
 	sub := &Subscription{
-		bus:    b,
-		id:     b.nextID,
-		topics: ts,
-		ch:     make(chan Event, DefaultBuffer),
+		bus:      b,
+		id:       b.nextID,
+		topics:   ts,
+		ch:       make(chan Event, DefaultBuffer),
+		lossless: lossless,
+	}
+	if lossless {
+		sub.wake = make(chan struct{}, 1)
+		sub.done = make(chan struct{})
+		sub.keys = make(map[any]int)
+		go sub.pump()
 	}
 	b.subs[b.nextID] = sub
 	b.nextID++
@@ -161,9 +234,89 @@ func (b *Bus) Subscribe(topics ...Topic) (*Subscription, error) {
 	return sub, nil
 }
 
+// coalesceKey builds the pending-queue identity of an event; events with
+// non-comparable payloads are never coalesced.
+func coalesceKey(ev Event) (any, bool) {
+	if ev.Payload == nil {
+		return [2]any{ev.Topic, nil}, true
+	}
+	if !reflect.TypeOf(ev.Payload).Comparable() {
+		return nil, false
+	}
+	return [2]any{ev.Topic, ev.Payload}, true
+}
+
+// enqueue appends an event to a lossless subscription's overflow queue,
+// merging it into an identical pending event when possible, and nudges
+// the pump. It reports whether the event was newly queued (false =
+// coalesced into an existing slot).
+func (s *Subscription) enqueue(ev Event) bool {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return false
+	}
+	fresh := true
+	if k, ok := coalesceKey(ev); ok {
+		if i, dup := s.keys[k]; dup {
+			s.overflow[i].Time = ev.Time
+			s.coalesced++
+			fresh = false
+		} else {
+			s.keys[k] = len(s.overflow)
+			s.overflow = append(s.overflow, ev)
+		}
+	} else {
+		s.overflow = append(s.overflow, ev)
+	}
+	s.mu.Unlock()
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+	return fresh
+}
+
+// pump is the delivery goroutine of a lossless subscription: it moves
+// queued events onto the receive channel in order, blocking on a slow
+// receiver rather than dropping, and closes the channel once the
+// subscription is cancelled. The pump is the channel's only sender, which
+// is what makes closing it here safe.
+func (s *Subscription) pump() {
+	defer close(s.ch)
+	for {
+		s.mu.Lock()
+		for len(s.overflow) == 0 && !s.closed {
+			s.mu.Unlock()
+			select {
+			case <-s.wake:
+			case <-s.done:
+			}
+			s.mu.Lock()
+		}
+		if len(s.overflow) == 0 {
+			s.mu.Unlock()
+			return
+		}
+		batch := s.overflow
+		s.overflow = nil
+		s.keys = make(map[any]int)
+		s.mu.Unlock()
+		for _, ev := range batch {
+			select {
+			case s.ch <- ev:
+			case <-s.done:
+				return
+			}
+		}
+	}
+}
+
 // Publish delivers the event to every matching subscriber without
-// blocking; slow subscribers lose events (counted per subscription). It
-// returns the number of subscribers that received the event.
+// blocking. Lossy subscribers that are not draining lose events (counted
+// per subscription); lossless subscribers have the event queued for their
+// pump. It returns the number of subscribers that received (or queued)
+// the event.
 func (b *Bus) Publish(topic Topic, payload any) int {
 	ev := Event{Topic: topic, Time: time.Now(), Payload: payload}
 	b.mu.RLock()
@@ -171,9 +324,17 @@ func (b *Bus) Publish(topic Topic, payload any) int {
 	if b.closed {
 		return 0
 	}
-	delivered, dropped := 0, 0
+	delivered, dropped, coalesced := 0, 0, 0
 	for _, sub := range b.subs {
 		if !sub.topics[topic] {
+			continue
+		}
+		if sub.lossless {
+			if sub.enqueue(ev) {
+				delivered++
+			} else {
+				coalesced++
+			}
 			continue
 		}
 		select {
@@ -190,9 +351,10 @@ func (b *Bus) Publish(topic Topic, payload any) int {
 		b.reg.Counter(metrics.EventsPublished).Inc()
 		b.reg.Counter(metrics.EventsDelivered).Add(int64(delivered))
 		b.reg.Counter(metrics.EventsDropped).Add(int64(dropped))
+		b.reg.Counter(metrics.EventsCoalesced).Add(int64(coalesced))
 		b.gauges()
 	}
-	return delivered
+	return delivered + coalesced
 }
 
 // Close shuts the bus down, closing all subscriber channels. Close is
@@ -205,32 +367,48 @@ func (b *Bus) Close() {
 	}
 	b.closed = true
 	for id, sub := range b.subs {
-		sub.markClosed()
-		close(sub.ch)
+		if !sub.markClosed() {
+			continue
+		}
+		sub.finish()
 		delete(b.subs, id)
 	}
 	b.gauges()
 }
 
-func (s *Subscription) markClosed() {
+// markClosed flags the subscription closed, reporting whether this call
+// was the one that closed it.
+func (s *Subscription) markClosed() bool {
 	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
 	s.closed = true
-	s.mu.Unlock()
+	return true
+}
+
+// finish tears down the delivery side after markClosed: a lossy channel
+// is closed directly (publishers only send under the bus write-lock
+// exclusion); a lossless pump is told to exit and closes the channel
+// itself, since it may be mid-send.
+func (s *Subscription) finish() {
+	if s.lossless {
+		close(s.done)
+		return
+	}
+	close(s.ch)
 }
 
 func (b *Bus) cancel(s *Subscription) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	s.mu.Lock()
-	alreadyClosed := s.closed
-	s.closed = true
-	s.mu.Unlock()
-	if alreadyClosed {
+	if !s.markClosed() {
 		return
 	}
 	if _, ok := b.subs[s.id]; ok {
 		delete(b.subs, s.id)
-		close(s.ch)
+		s.finish()
 	}
 	b.gauges()
 }

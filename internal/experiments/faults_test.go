@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"ubiqos/internal/core"
+)
+
+// TestRunFaultDrillAcceptance encodes the drill's acceptance criterion:
+// with the seeded schedule crashing two of the five desktops mid-stream,
+// every affected session is recovered (possibly degraded) within the
+// backoff cap, none is lost, and nothing stays bound to a dead device.
+func TestRunFaultDrillAcceptance(t *testing.T) {
+	cfg := DefaultFaultDrillConfig()
+	// Millisecond backoffs keep the test fast without changing the
+	// ladder's shape.
+	cfg.Supervisor = core.SupervisorOptions{
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  20 * time.Millisecond,
+	}
+	res, err := RunFaultDrill(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Lost != 0 {
+		t.Errorf("lost = %d, want 0 (result %+v)", res.Lost, res)
+	}
+	if res.BoundToDead != 0 {
+		t.Errorf("boundToDead = %d, want 0 (placements on %v)", res.BoundToDead, res.DownDevices)
+	}
+	if len(res.Remaining) != cfg.Sessions {
+		t.Errorf("remaining = %v, want all %d sessions", res.Remaining, cfg.Sessions)
+	}
+	// Two desktops crash and stay down; at least one hosted something.
+	if len(res.DownDevices) != 2 {
+		t.Errorf("down devices = %v, want the 2 crash victims", res.DownDevices)
+	}
+	if res.Recovered == 0 {
+		t.Errorf("recovered = 0; the crashes hit no session (schedule %+v)", res.Schedule)
+	}
+	if res.FaultsInjected != 4 {
+		t.Errorf("faults injected = %d, want 4", res.FaultsInjected)
+	}
+	if res.RecoveryP50Ms <= 0 || res.RecoveryP95Ms < res.RecoveryP50Ms {
+		t.Errorf("latency quantiles p50=%g p95=%g", res.RecoveryP50Ms, res.RecoveryP95Ms)
+	}
+}
+
+// TestRunFaultDrillDeterministicSchedule re-runs the drill and checks the
+// injected schedule (pure data from the seed) is identical.
+func TestRunFaultDrillDeterministicSchedule(t *testing.T) {
+	cfg := DefaultFaultDrillConfig()
+	cfg.Supervisor = core.SupervisorOptions{BaseBackoff: time.Millisecond, MaxBackoff: 20 * time.Millisecond}
+	a, err := RunFaultDrill(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunFaultDrill(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Schedule.Faults) != len(b.Schedule.Faults) {
+		t.Fatalf("schedule lengths differ: %d vs %d", len(a.Schedule.Faults), len(b.Schedule.Faults))
+	}
+	for i := range a.Schedule.Faults {
+		if a.Schedule.Faults[i] != b.Schedule.Faults[i] {
+			t.Errorf("fault %d differs: %+v vs %+v", i, a.Schedule.Faults[i], b.Schedule.Faults[i])
+		}
+	}
+}
+
+func TestRunFaultDrillValidation(t *testing.T) {
+	if _, err := RunFaultDrill(FaultDrillConfig{}); err == nil {
+		t.Error("zero config should fail")
+	}
+}

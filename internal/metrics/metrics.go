@@ -431,10 +431,37 @@ const (
 	EventsPublished = "eventbus_published_total"
 	EventsDelivered = "eventbus_delivered_total"
 	EventsDropped   = "eventbus_dropped_total"
+	// EventsCoalesced counts publishes merged into an identical event still
+	// pending in a lossless subscription's queue.
+	EventsCoalesced = "eventbus_coalesced_total"
 	// BusSubscribers gauges active subscriptions; BusQueueDepth gauges the
 	// total backlog across subscriber channels at the last publish.
 	BusSubscribers = "eventbus_subscribers"
 	BusQueueDepth  = "eventbus_queue_depth"
+)
+
+// Metric names recorded by the recovery supervisor and the fault
+// injector.
+const (
+	// RecoveryAttempts counts recovery attempts (including retries);
+	// RecoveryRetries the subset that failed and were re-queued with
+	// backoff.
+	RecoveryAttempts = "recovery_attempts_total"
+	RecoveryRetries  = "recovery_retries_total"
+	// SessionsRecovered counts sessions successfully re-placed after a
+	// fault; RecoveriesDegraded the subset recovered on the degraded path
+	// (heuristic placement, optional components shed); SessionsLost the
+	// sessions given up on (stopped, user notified).
+	SessionsRecovered  = "sessions_recovered_total"
+	RecoveriesDegraded = "recoveries_degraded_total"
+	SessionsLost       = "sessions_lost_total"
+	// RecoveryLatency is fault detection → session healthy, in seconds.
+	RecoveryLatency = "recovery_latency_seconds"
+	// RecoveryBacklog gauges sessions currently queued for recovery.
+	RecoveryBacklog = "recovery_backlog"
+	// FaultsInjected counts applied faults; per-kind series attach the
+	// fault kind with WithLabel(..., "kind", name).
+	FaultsInjected = "faults_injected_total"
 )
 
 // Metric names recorded by the wire server. Per-operation series attach

@@ -126,6 +126,30 @@ func (n *Network) LinkBetween(a, b string) (Link, bool) {
 	return l, ok
 }
 
+// Degrade models a link-quality fault: the bandwidth between a and b is
+// multiplied by factor (0 < factor <= 1), e.g. wireless interference
+// halving the WLAN. It returns the link as it was before the degradation
+// so the caller can restore it later with SetLink.
+func (n *Network) Degrade(a, b string, factor float64) (Link, error) {
+	if factor <= 0 || factor > 1 {
+		return Link{}, fmt.Errorf("netsim: degrade factor must be in (0,1], got %g", factor)
+	}
+	if a == b {
+		return Link{}, fmt.Errorf("netsim: cannot degrade the loopback link")
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	k := key(a, b)
+	prev, ok := n.links[k]
+	if !ok {
+		return Link{}, fmt.Errorf("netsim: no link between %s and %s", a, b)
+	}
+	degraded := prev
+	degraded.BandwidthMbps *= factor
+	n.links[k] = degraded
+	return prev, nil
+}
+
 // TransferTime returns the modeled duration to move size megabytes from a
 // to b, or an error when no link is declared.
 func (n *Network) TransferTime(a, b string, sizeMB float64) (time.Duration, error) {

@@ -119,3 +119,44 @@ func TestBandwidthMbps(t *testing.T) {
 		t.Errorf("loopback = %g", got)
 	}
 }
+
+func TestDegrade(t *testing.T) {
+	n := MustNew(1)
+	n.MustSetLink("a", "b", WLAN)
+	prev, err := n.Degrade("a", "b", 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prev != WLAN {
+		t.Errorf("prev = %+v, want the original WLAN link", prev)
+	}
+	if got := n.BandwidthMbps("a", "b"); got != WLAN.BandwidthMbps*0.5 {
+		t.Errorf("bandwidth = %g, want %g", got, WLAN.BandwidthMbps*0.5)
+	}
+	// Degradations compound; latency is untouched.
+	if _, err := n.Degrade("b", "a", 0.5); err != nil {
+		t.Fatal(err)
+	}
+	l, _ := n.LinkBetween("a", "b")
+	if l.BandwidthMbps != WLAN.BandwidthMbps*0.25 || l.LatencyMs != WLAN.LatencyMs {
+		t.Errorf("link = %+v", l)
+	}
+	// Restore via SetLink round-trips.
+	n.MustSetLink("a", "b", prev)
+	if got := n.BandwidthMbps("a", "b"); got != WLAN.BandwidthMbps {
+		t.Errorf("restored bandwidth = %g", got)
+	}
+
+	if _, err := n.Degrade("a", "b", 0); err == nil {
+		t.Error("factor 0 should fail")
+	}
+	if _, err := n.Degrade("a", "b", 1.5); err == nil {
+		t.Error("factor > 1 should fail")
+	}
+	if _, err := n.Degrade("a", "a", 0.5); err == nil {
+		t.Error("loopback degrade should fail")
+	}
+	if _, err := n.Degrade("a", "ghost", 0.5); err == nil {
+		t.Error("undeclared link should fail")
+	}
+}

@@ -9,53 +9,139 @@ import (
 	"time"
 )
 
+// Options tunes a Client's transport behavior. The zero value keeps the
+// historical semantics: no per-call deadline, no retries.
+type Options struct {
+	// Timeout bounds one Call end to end: it is applied as a read/write
+	// deadline on the connection, so a hung or wedged daemon fails the
+	// call instead of blocking the client forever. 0 disables.
+	Timeout time.Duration
+	// Retries is how many times a Call that failed with a transport error
+	// (timeout, connection reset, server gone) is re-dialed and re-sent.
+	// Server-reported errors are never retried. Note the protocol gives
+	// at-most-once semantics per attempt, so a retried request may execute
+	// twice on the server; every operation is either idempotent or fails
+	// fast on replay (e.g. a duplicate start rejects the session ID).
+	Retries int
+	// RetryBackoff is the wait before the first retry, doubling per
+	// attempt. 0 means DefaultRetryBackoff.
+	RetryBackoff time.Duration
+}
+
+// DefaultRetryBackoff is the initial retry delay when Options.RetryBackoff
+// is unset.
+const DefaultRetryBackoff = 50 * time.Millisecond
+
 // Client speaks the protocol to a qosconfigd server. A Client is safe for
 // concurrent use: Call serializes request/response pairs over the single
-// connection.
+// connection, transparently re-dialing after transport failures.
 type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
-	enc  *json.Encoder
-	sc   *bufio.Scanner
+	addr string
+	opts Options
+
+	mu     sync.Mutex
+	conn   net.Conn
+	enc    *json.Encoder
+	sc     *bufio.Scanner
+	broken bool // the connection saw a transport error; re-dial before reuse
 }
 
 // DialTimeout is the default connect timeout.
 const DialTimeout = 5 * time.Second
 
-// Dial connects to the server.
+// Dial connects to the server with default options.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.DialTimeout("tcp", addr, DialTimeout)
+	return DialWith(addr, Options{})
+}
+
+// DialWith connects to the server with explicit transport options.
+func DialWith(addr string, opts Options) (*Client, error) {
+	if opts.RetryBackoff <= 0 {
+		opts.RetryBackoff = DefaultRetryBackoff
+	}
+	c := &Client{addr: addr, opts: opts}
+	if err := c.redial(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// redial (re)establishes the connection; callers hold c.mu (or are the
+// constructor).
+func (c *Client) redial() error {
+	if c.conn != nil {
+		c.conn.Close()
+	}
+	conn, err := net.DialTimeout("tcp", c.addr, DialTimeout)
 	if err != nil {
-		return nil, fmt.Errorf("wire: dial %s: %w", addr, err)
+		return fmt.Errorf("wire: dial %s: %w", c.addr, err)
 	}
 	sc := bufio.NewScanner(conn)
 	sc.Buffer(make([]byte, 64<<10), maxLineBytes)
-	return &Client{conn: conn, enc: json.NewEncoder(conn), sc: sc}, nil
+	c.conn, c.enc, c.sc, c.broken = conn, json.NewEncoder(conn), sc, false
+	return nil
 }
 
 // Close closes the connection.
-func (c *Client) Close() error { return c.conn.Close() }
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.broken = true
+	return c.conn.Close()
+}
 
-// Call sends one request and reads one response. A server-reported error
-// is returned as a Go error with the response still populated.
+// Call sends one request and reads one response, honoring the client's
+// timeout and retry options. A server-reported error is returned as a Go
+// error with the response still populated; transport errors are retried
+// up to Options.Retries times with doubling backoff.
 func (c *Client) Call(req Request) (Response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	var lastErr error
+	backoff := c.opts.RetryBackoff
+	for attempt := 0; attempt <= c.opts.Retries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		if c.broken {
+			if err := c.redial(); err != nil {
+				lastErr = err
+				continue
+			}
+		}
+		resp, err, transport := c.callOnce(req)
+		if !transport {
+			return resp, err
+		}
+		c.broken = true
+		lastErr = err
+	}
+	return Response{}, lastErr
+}
+
+// callOnce runs one request/response exchange. transport reports whether
+// the failure was at the transport layer (retriable) as opposed to a
+// server-reported or protocol-level error.
+func (c *Client) callOnce(req Request) (resp Response, err error, transport bool) {
+	if c.opts.Timeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.opts.Timeout))
+		defer c.conn.SetDeadline(time.Time{})
+	}
 	if err := c.enc.Encode(req); err != nil {
-		return Response{}, fmt.Errorf("wire: send: %w", err)
+		return Response{}, fmt.Errorf("wire: send: %w", err), true
 	}
 	if !c.sc.Scan() {
 		if err := c.sc.Err(); err != nil {
-			return Response{}, fmt.Errorf("wire: receive: %w", err)
+			return Response{}, fmt.Errorf("wire: receive: %w", err), true
 		}
-		return Response{}, fmt.Errorf("wire: connection closed by server")
+		return Response{}, fmt.Errorf("wire: connection closed by server"), true
 	}
-	var resp Response
 	if err := json.Unmarshal(c.sc.Bytes(), &resp); err != nil {
-		return Response{}, fmt.Errorf("wire: decode response: %w", err)
+		return Response{}, fmt.Errorf("wire: decode response: %w", err), false
 	}
 	if !resp.OK {
-		return resp, fmt.Errorf("wire: server error: %s", resp.Error)
+		return resp, fmt.Errorf("wire: server error: %s", resp.Error), false
 	}
-	return resp, nil
+	return resp, nil, false
 }

@@ -1,0 +1,217 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"net"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// stallServer accepts connections and reads requests but never responds —
+// the shape of a wedged daemon. It counts the requests it swallowed.
+func stallServer(t *testing.T) (addr string, requests *atomic.Int64) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	requests = &atomic.Int64{}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				sc := bufio.NewScanner(conn)
+				for sc.Scan() {
+					requests.Add(1)
+				}
+				conn.Close()
+			}()
+		}
+	}()
+	return ln.Addr().String(), requests
+}
+
+func TestCallTimesOutOnStalledServer(t *testing.T) {
+	addr, _ := stallServer(t)
+	c, err := DialWith(addr, Options{Timeout: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	start := time.Now()
+	_, err = c.Call(Request{Op: OpPing})
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("Call against a stalled server succeeded")
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("Call blocked %v; the deadline did not fire", elapsed)
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("error %v is not a timeout", err)
+	}
+}
+
+func TestCallWithoutTimeoutKeepsLegacyBehavior(t *testing.T) {
+	// A zero-options client against a healthy echo server works as before.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		sc := bufio.NewScanner(conn)
+		enc := json.NewEncoder(conn)
+		for sc.Scan() {
+			enc.Encode(Response{OK: true})
+		}
+	}()
+	c, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Call(Request{Op: OpPing}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCallRetriesAfterTimeout(t *testing.T) {
+	addr, requests := stallServer(t)
+	c, err := DialWith(addr, Options{
+		Timeout:      60 * time.Millisecond,
+		Retries:      2,
+		RetryBackoff: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Call(Request{Op: OpPing}); err == nil {
+		t.Fatal("expected failure")
+	}
+	// Initial attempt + 2 retries, each on a fresh connection.
+	waitFor(t, func() bool { return requests.Load() == 3 }, "3 attempts, got %d", requests)
+}
+
+func TestCallRecoversAfterServerRestart(t *testing.T) {
+	// First server dies mid-conversation; the client re-dials and the
+	// retried call lands on the replacement listening on the same port.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	conns := make(chan net.Conn, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		conns <- conn
+	}()
+	c, err := DialWith(addr, Options{Retries: 5, RetryBackoff: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// Kill the first server side entirely, then bring up a healthy one.
+	(<-conns).Close()
+	ln.Close()
+	var ln2 net.Listener
+	for i := 0; i < 50; i++ {
+		ln2, err = net.Listen("tcp", addr)
+		if err == nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("could not rebind %s: %v", addr, err)
+	}
+	defer ln2.Close()
+	go func() {
+		for {
+			conn, err := ln2.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				sc := bufio.NewScanner(conn)
+				enc := json.NewEncoder(conn)
+				for sc.Scan() {
+					enc.Encode(Response{OK: true})
+				}
+			}()
+		}
+	}()
+	resp, err := c.Call(Request{Op: OpPing})
+	if err != nil {
+		t.Fatalf("retried call failed: %v", err)
+	}
+	if !resp.OK {
+		t.Fatal("response not OK")
+	}
+}
+
+func TestServerErrorIsNotRetried(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	var served atomic.Int64
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				sc := bufio.NewScanner(conn)
+				enc := json.NewEncoder(conn)
+				for sc.Scan() {
+					served.Add(1)
+					enc.Encode(Response{Error: "nope"})
+				}
+			}()
+		}
+	}()
+	c, err := DialWith(ln.Addr().String(), Options{Retries: 3, RetryBackoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, err = c.Call(Request{Op: OpPing})
+	if err == nil || !strings.Contains(err.Error(), "server error") {
+		t.Fatalf("err = %v", err)
+	}
+	if n := served.Load(); n != 1 {
+		t.Fatalf("server error retried: %d requests", n)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool, format string, n *atomic.Int64) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf(format, n.Load())
+}

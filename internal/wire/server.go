@@ -146,7 +146,7 @@ var knownOps = map[string]bool{
 	OpPing: true, OpListDevices: true, OpListInst: true,
 	OpSessions: true, OpSession: true, OpStart: true, OpStop: true,
 	OpSwitch: true, OpMetrics: true, OpTrace: true, OpCrashDevice: true,
-	OpCheck: true, OpRegister: true, OpUnregister: true,
+	OpRejoinDevice: true, OpCheck: true, OpRegister: true, OpUnregister: true,
 }
 
 // Handle dispatches one request; it is exported so the daemon can be
@@ -208,6 +208,11 @@ func (s *Server) dispatch(req Request) Response {
 			resp.Error = err.Error() // partial recovery: report but succeed
 		}
 		return resp
+	case OpRejoinDevice:
+		if err := s.dom.RejoinDevice(device.ID(req.ToDevice)); err != nil {
+			return errResponse(err)
+		}
+		return Response{OK: true}
 	case OpCheck:
 		return s.check(req)
 	case OpRegister:

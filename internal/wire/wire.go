@@ -15,20 +15,21 @@ import (
 
 // Operation names.
 const (
-	OpPing        = "ping"
-	OpListDevices = "list-devices"
-	OpListInst    = "list-services"
-	OpSessions    = "sessions"
-	OpSession     = "session"
-	OpStart       = "start"
-	OpStop        = "stop"
-	OpSwitch      = "switch"
-	OpMetrics     = "metrics"
-	OpTrace       = "trace"
-	OpCrashDevice = "crash-device"
-	OpCheck       = "check"
-	OpRegister    = "register-service"
-	OpUnregister  = "unregister-service"
+	OpPing         = "ping"
+	OpListDevices  = "list-devices"
+	OpListInst     = "list-services"
+	OpSessions     = "sessions"
+	OpSession      = "session"
+	OpStart        = "start"
+	OpStop         = "stop"
+	OpSwitch       = "switch"
+	OpMetrics      = "metrics"
+	OpTrace        = "trace"
+	OpCrashDevice  = "crash-device"
+	OpRejoinDevice = "rejoin-device"
+	OpCheck        = "check"
+	OpRegister     = "register-service"
+	OpUnregister   = "unregister-service"
 )
 
 // Request is one client request.
