@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify fmt-check vet build test race bench bench-faults clean
+.PHONY: verify fmt-check vet build test race bench bench-faults bench-obs clean
 
 # verify is the tier-1 gate (ROADMAP.md): formatting, static checks,
 # build, and the full test suite.
@@ -23,9 +23,11 @@ test:
 
 # race runs the race detector over the concurrent subsystems: lease
 # renew/expire, publish/subscribe fan-out, wire request handling,
-# multi-session configuration, and the fault-injection/recovery path.
+# multi-session configuration, the fault-injection/recovery path, and
+# the observability layer (tracer ring, metrics registry, structured
+# logging, flight recorder).
 race:
-	$(GO) test -race ./internal/registry ./internal/eventbus ./internal/core ./internal/distributor ./internal/experiments ./internal/par ./internal/wire ./internal/faultinject ./internal/domain
+	$(GO) test -race ./internal/registry ./internal/eventbus ./internal/core ./internal/distributor ./internal/experiments ./internal/par ./internal/wire ./internal/faultinject ./internal/domain ./internal/trace ./internal/metrics ./internal/flight ./internal/obslog
 
 # bench times the parallel configuration engine against its sequential
 # equivalents, writing BENCH_parallel.json (ns/op + speedup per pair) and
@@ -41,6 +43,13 @@ bench:
 # still bound to a dead device after recovery settles.
 bench-faults:
 	$(GO) run ./cmd/benchfaults -o BENCH_faults.json
+
+# bench-obs times the observability primitives on the hot configuration
+# path — structured log calls, flight-recorder appends, trace spans — in
+# instrumented and no-op form, writing BENCH_obs.json. The no-op ceiling
+# shows what disabled instrumentation costs (it must stay within noise).
+bench-obs:
+	$(GO) run ./cmd/benchobs -o BENCH_obs.json
 
 # clean removes build outputs only. Checked-in benchmark artifacts
 # (BENCH_*.json) are part of the repo's recorded results and are

@@ -1,0 +1,214 @@
+// Command benchobs measures the overhead of the observability layer
+// (`make bench-obs` emits BENCH_obs.json). Each case times one
+// instrumentation primitive on the hot configuration path — a structured
+// log call, a flight-recorder append, a trace export — in both its
+// instrumented and its no-op form (nil logger / suppressed level / nil
+// recorder), so the report shows what a fully wired daemon pays per
+// operation and what disabled instrumentation costs, which must stay
+// within noise of zero.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"testing"
+	"time"
+
+	"ubiqos/internal/flight"
+	"ubiqos/internal/obslog"
+	"ubiqos/internal/trace"
+)
+
+// Case is one benchmark result.
+type Case struct {
+	Name string `json:"name"`
+	// What distinguishes instrumented from no-op for this primitive.
+	Mode        string  `json:"mode"`
+	NsPerOp     float64 `json:"nsPerOp"`
+	AllocsPerOp int64   `json:"allocsPerOp"`
+	BytesPerOp  int64   `json:"bytesPerOp"`
+}
+
+// Report is the full BENCH_obs.json document.
+type Report struct {
+	Generated string `json:"generated"`
+	Cases     []Case `json:"cases"`
+	// NoOpCeilingNs is the slowest no-op case: the price of leaving the
+	// instrumentation hooks in place but disabled. It must stay within
+	// noise (single-digit nanoseconds, zero allocations).
+	NoOpCeilingNs float64 `json:"noOpCeilingNs"`
+}
+
+func main() {
+	log.SetFlags(0)
+	out := flag.String("o", "BENCH_obs.json", "output file ('-' for stdout)")
+	flag.Parse()
+
+	cases := []struct {
+		name, mode string
+		fn         func(b *testing.B)
+	}{
+		{"log-info", "instrumented", benchLogRing},
+		{"log-info-flight", "instrumented", benchLogFlight},
+		{"log-below-level", "no-op", benchLogSuppressed},
+		{"log-nil-logger", "no-op", benchLogNil},
+		{"flight-record-trace", "instrumented", benchFlightTrace},
+		{"flight-record-fault", "instrumented", benchFlightFault},
+		{"flight-nil-recorder", "no-op", benchFlightNil},
+		{"trace-span", "instrumented", benchTraceSpan},
+		{"trace-nil-tracer", "no-op", benchTraceNil},
+	}
+
+	rep := Report{Generated: time.Now().UTC().Format(time.RFC3339)}
+	for _, c := range cases {
+		r := testing.Benchmark(c.fn)
+		cs := Case{
+			Name:        c.name,
+			Mode:        c.mode,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		rep.Cases = append(rep.Cases, cs)
+		if c.mode == "no-op" && cs.NsPerOp > rep.NoOpCeilingNs {
+			rep.NoOpCeilingNs = cs.NsPerOp
+		}
+		fmt.Fprintf(os.Stderr, "%-22s %-12s %10.1f ns/op %6d allocs/op %8d B/op\n",
+			c.name, c.mode, cs.NsPerOp, cs.AllocsPerOp, cs.BytesPerOp)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatalf("benchobs: %v", err)
+	}
+	fmt.Fprintln(os.Stderr, "wrote", *out)
+}
+
+// fields builds the argument list a typical configure-path log call
+// carries.
+func fields(i int) []obslog.Field {
+	return []obslog.Field{
+		obslog.Float("cost", 0.42),
+		obslog.Int("components", 5),
+		obslog.Duration("took", time.Duration(i)*time.Microsecond),
+	}
+}
+
+func benchLogRing(b *testing.B) {
+	lg := obslog.New(obslog.LevelDebug, obslog.NewRingSink(512)).
+		Named("core").ForSession("bench", "cafef00dcafef00d")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lg.Info("configured", fields(i)...)
+	}
+}
+
+func benchLogFlight(b *testing.B) {
+	rec := flight.New(flight.Options{})
+	lg := obslog.New(obslog.LevelDebug, rec).
+		Named("core").ForSession("bench", "cafef00dcafef00d")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lg.Info("configured", fields(i)...)
+	}
+}
+
+func benchLogSuppressed(b *testing.B) {
+	lg := obslog.New(obslog.LevelError, obslog.NewRingSink(512)).
+		Named("core").ForSession("bench", "cafef00dcafef00d")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if lg.Enabled(obslog.LevelInfo) {
+			lg.Info("configured", fields(i)...)
+		}
+	}
+}
+
+func benchLogNil(b *testing.B) {
+	var lg *obslog.Logger
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if lg.Enabled(obslog.LevelInfo) {
+			lg.Info("configured", fields(i)...)
+		}
+	}
+}
+
+// sampleTrace builds a representative configure span tree (root + four
+// stage children) the way the configurator exports one per session.
+func sampleTrace() trace.TraceData {
+	tr := trace.NewTracer(8).StartCtx(
+		trace.Context{TraceID: "cafef00dcafef00d", ParentSpan: "client-start"},
+		"configure", "bench")
+	for _, stage := range []string{"compose", "discover", "distribute", "deploy"} {
+		tr.Root().Child(stage).End()
+	}
+	tr.Finish()
+	return tr.Export()
+}
+
+func benchFlightTrace(b *testing.B) {
+	rec := flight.New(flight.Options{})
+	td := sampleTrace()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec.RecordTrace(td)
+	}
+}
+
+func benchFlightFault(b *testing.B) {
+	rec := flight.New(flight.Options{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec.RecordFault("bench", "device-crash", "desktop1", nil)
+	}
+}
+
+func benchFlightNil(b *testing.B) {
+	var rec *flight.Recorder
+	td := sampleTrace()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec.RecordTrace(td)
+	}
+}
+
+func benchTraceSpan(b *testing.B) {
+	tracer := trace.NewTracer(8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := tracer.StartCtx(trace.Context{TraceID: "cafef00dcafef00d"}, "configure", "bench")
+		tr.Root().Child("compose").End()
+		tr.Finish()
+	}
+}
+
+func benchTraceNil(b *testing.B) {
+	var tracer *trace.Tracer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := tracer.StartCtx(trace.Context{TraceID: "cafef00dcafef00d"}, "configure", "bench")
+		tr.Root().Child("compose").End()
+		tr.Finish()
+	}
+}

@@ -18,8 +18,10 @@
 // internal/spec and testdata/lab.space).
 //
 // The -http listener serves the observability surface: /metrics
-// (Prometheus text), /healthz, /traces, and /debug/pprof. Set -http ""
-// to disable it.
+// (Prometheus text), /healthz, /traces, /flight (per-session flight
+// recorder timelines), /slo (objective burn rates), and /debug/pprof.
+// Set -http "" to disable it. The -log flag sets the minimum level of
+// the structured log stream on stderr.
 //
 // The daemon always runs a recovery supervisor: sessions broken by device
 // churn or resource fluctuations are re-configured automatically with
@@ -45,6 +47,7 @@ import (
 	"ubiqos/internal/domain"
 	"ubiqos/internal/experiments"
 	"ubiqos/internal/faultinject"
+	"ubiqos/internal/obslog"
 	"ubiqos/internal/spec"
 	"ubiqos/internal/wire"
 )
@@ -60,14 +63,15 @@ func main() {
 	place := flag.String("place", "heuristic", "placement algorithm: heuristic, optimal, or optimal-parallel")
 	chaos := flag.String("chaos", "", `fault-injection spec, e.g. "seed=7,crashes=2,window=30s" ("" disables)`)
 	chaosOn := flag.Bool("chaos-default", false, "inject the default fault schedule (same as -chaos with an empty spec)")
+	logLevel := flag.String("log", "info", "minimum structured-log level on stderr: debug, info, warn, or error")
 	flag.Parse()
 
-	if err := run(*addr, *httpAddr, *space, *config, *scale, *place, *chaos, *chaosOn); err != nil {
+	if err := run(*addr, *httpAddr, *space, *config, *scale, *place, *chaos, *chaosOn, *logLevel); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(addr, httpAddr, space, config string, scale float64, place, chaos string, chaosOn bool) error {
+func run(addr, httpAddr, space, config string, scale float64, place, chaos string, chaosOn bool, logLevel string) error {
 	placeFn, err := experiments.PlaceByName(place)
 	if err != nil {
 		return err
@@ -92,6 +96,16 @@ func run(addr, httpAddr, space, config string, scale float64, place, chaos strin
 		return err
 	}
 	defer dom.Close()
+
+	// Mirror the structured log stream (which always feeds the flight
+	// recorder at debug level) onto stderr at the operator's chosen level.
+	min := obslog.ParseLevel(logLevel)
+	stderr := obslog.NewWriterSink(os.Stderr)
+	dom.Log.AddSink(obslog.FuncSink(func(rec obslog.Record) {
+		if rec.Level >= min {
+			stderr.Write(rec)
+		}
+	}))
 
 	srv, err := wire.NewServer(dom)
 	if err != nil {
@@ -129,7 +143,7 @@ func run(addr, httpAddr, space, config string, scale float64, place, chaos strin
 		}
 		defer ln.Close()
 		go http.Serve(ln, wire.NewHTTPHandler(dom))
-		log.Printf("observability on http://%s (/metrics /healthz /traces /debug/pprof)", ln.Addr())
+		log.Printf("observability on http://%s (/metrics /healthz /traces /flight /slo /debug/pprof)", ln.Addr())
 	}
 
 	sig := make(chan os.Signal, 1)

@@ -4,6 +4,8 @@
 //
 //	qosctl devices|services|sessions|metrics [-addr 127.0.0.1:7420]
 //	qosctl trace   [-session ID] [-json]                 (span tree of a configuration)
+//	qosctl flight  [-session ID] [-json]                 (fused session timeline; no -session lists sessions)
+//	qosctl slo     [-json]                               (burn-rate status of the service-level objectives)
 //	qosctl start   -session ID [-app audio|conf|FILE.json|FILE.spec] [-client DEV] [-qos "framerate=38-44"]
 //	qosctl check   [-app ...] [-client DEV] [-qos ...]   (dry-run composition)
 //	qosctl session -session ID
@@ -40,6 +42,7 @@ import (
 
 	"ubiqos/internal/composer"
 	"ubiqos/internal/experiments"
+	"ubiqos/internal/metrics"
 	"ubiqos/internal/qos"
 	"ubiqos/internal/registry"
 	"ubiqos/internal/spec"
@@ -64,7 +67,9 @@ func main() {
 	retries := flag.Int("retries", 0, "retry a timed-out/failed request this many times")
 
 	if len(os.Args) < 2 || strings.HasPrefix(os.Args[1], "-") {
-		log.Fatal("usage: qosctl devices|services|sessions|metrics|trace|start|check|session|switch|stop|crash|rejoin|register|unregister [flags]")
+		log.Fatal("usage: qosctl devices|services|sessions|metrics|trace|flight|slo|start|check|session|switch|stop|crash|rejoin|register|unregister [flags]\n" +
+			"  common flags: -addr HOST:PORT  -timeout DUR (0 = wait forever)  -retries N\n" +
+			"  run 'go doc ubiqos/cmd/qosctl' for the full per-verb flag list")
 	}
 	verb := os.Args[1]
 	if err := flag.CommandLine.Parse(os.Args[2:]); err != nil {
@@ -199,6 +204,48 @@ func run(a runArgs) error {
 		}
 		fmt.Printf("trace %d (session %s, %.2fms)\n", resp.Trace.ID, resp.Trace.Session, resp.Trace.DurMs)
 		fmt.Print(resp.Trace.Render())
+	case "flight":
+		resp, err := c.Call(wire.Request{Op: wire.OpFlight, SessionID: session})
+		if err != nil {
+			return err
+		}
+		if a.asJSON {
+			var v any = resp.Flight
+			if session == "" {
+				v = resp.FlightSessions
+			}
+			out, err := json.MarshalIndent(v, "", "  ")
+			if err != nil {
+				return err
+			}
+			fmt.Println(string(out))
+			return nil
+		}
+		if session == "" {
+			fmt.Printf("%-16s %8s %8s %s\n", "SESSION", "ENTRIES", "TOTAL", "LAST")
+			for _, s := range resp.FlightSessions {
+				fmt.Printf("%-16s %8d %8d %s\n", s.Session, s.Entries, s.Total, s.Last.Format(time.RFC3339))
+			}
+			return nil
+		}
+		fmt.Printf("flight %s (%d entries)\n", session, len(resp.Flight))
+		for _, e := range resp.Flight {
+			fmt.Println(e.Format())
+		}
+	case "slo":
+		resp, err := c.Call(wire.Request{Op: wire.OpSlo})
+		if err != nil {
+			return err
+		}
+		if a.asJSON {
+			out, err := json.MarshalIndent(resp.SLO, "", "  ")
+			if err != nil {
+				return err
+			}
+			fmt.Println(string(out))
+			return nil
+		}
+		fmt.Print(metrics.Render(resp.SLO))
 	case "check":
 		ag, specQoS, err := loadApp(app)
 		if err != nil {

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"ubiqos/internal/graph"
+	"ubiqos/internal/obslog"
 	"ubiqos/internal/qos"
 	"ubiqos/internal/registry"
 	"ubiqos/internal/trace"
@@ -36,6 +37,9 @@ type Request struct {
 	// (with recursion depth) and every Ordered Coordination correction.
 	// Observability only; it never affects composition.
 	Span *trace.Span
+	// Log, when non-nil, receives structured records about the composition
+	// outcome (missing services, correction counts). Observability only.
+	Log *obslog.Logger
 }
 
 // MissingServiceError reports mandatory services the discovery service
@@ -128,6 +132,8 @@ func (c *Composer) Compose(req Request) (*graph.Graph, *Report, error) {
 			types = append(types, t)
 		}
 		sort.Strings(types)
+		req.Log.Warn("mandatory services missing",
+			obslog.String("types", strings.Join(types, ", ")))
 		return nil, nil, &MissingServiceError{Types: types}
 	}
 	if g.NodeCount() == 0 {
@@ -162,6 +168,12 @@ func (c *Composer) Compose(req Request) (*graph.Graph, *Report, error) {
 	if err := g.Validate(); err != nil {
 		return nil, nil, fmt.Errorf("composer: produced invalid graph: %w", err)
 	}
+	req.Log.Debug("composition complete",
+		obslog.Int("components", int64(g.NodeCount())),
+		obslog.Int("checks", int64(report.Checks)),
+		obslog.Int("adjustments", int64(len(report.Adjustments))),
+		obslog.Int("transcoders", int64(len(report.Transcoders))),
+		obslog.Int("buffers", int64(len(report.Buffers))))
 	return g, report, nil
 }
 

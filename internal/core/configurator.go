@@ -21,9 +21,11 @@ import (
 	"ubiqos/internal/composer"
 	"ubiqos/internal/device"
 	"ubiqos/internal/distributor"
+	"ubiqos/internal/flight"
 	"ubiqos/internal/graph"
 	"ubiqos/internal/metrics"
 	"ubiqos/internal/netsim"
+	"ubiqos/internal/obslog"
 	"ubiqos/internal/par"
 	"ubiqos/internal/profiler"
 	"ubiqos/internal/qos"
@@ -77,6 +79,14 @@ type Config struct {
 	// distribution (with branch-and-bound counters), admission, download,
 	// and deployment. Nil disables tracing at zero cost.
 	Tracer *trace.Tracer
+	// Log, when set, receives structured log records for every
+	// configuration attempt and outcome, stamped with the session and
+	// trace IDs. Nil disables logging at zero cost.
+	Log *obslog.Logger
+	// Flight, when set, receives the finished configure/recover trace
+	// summaries on the per-session flight timelines (log records reach it
+	// through Log's sink set instead).
+	Flight *flight.Recorder
 	// Parallelism bounds the worker pool of the batched ConfigureAll
 	// entry point (0 = all usable CPUs, 1 = serial). Individual
 	// Configure/Reconfigure calls may always run concurrently; this knob
@@ -160,6 +170,11 @@ type Request struct {
 	// from optimal to heuristic placement once a reconfiguration deadline
 	// has been blown. Never serialized.
 	Place PlaceFunc `json:"-"`
+	// TraceCtx is the propagated trace identity: a request arriving over
+	// the wire carries the client's trace/span IDs here, so the daemon's
+	// configure trace — and every recovery trace re-issued from this
+	// request — joins the client's tree instead of starting a new one.
+	TraceCtx trace.Context `json:"traceCtx,omitempty"`
 }
 
 // ClientRole is the pin role in abstract graphs that Request.ClientDevice
@@ -300,16 +315,25 @@ func (c *Configurator) ConfigureAll(reqs []Request) (sessions []*ActiveSession, 
 // configure runs the pipeline, walking the QoS degradation ladder when
 // the full-quality configuration does not fit the current environment.
 func (c *Configurator) configure(req Request, handoff bool) (*ActiveSession, error) {
-	tr := c.cfg.Tracer.Start("configure", req.SessionID, trace.Bool("handoff", handoff))
+	tr := c.cfg.Tracer.StartCtx(req.TraceCtx, "configure", req.SessionID, trace.Bool("handoff", handoff))
+	log := c.cfg.Log.Named("core").ForSession(req.SessionID, tr.Context().TraceID)
+	log.Info("configure started", obslog.Bool("handoff", handoff))
 	root := tr.Root()
 	active, err := c.configureLadder(req, handoff, root)
 	if err != nil {
 		root.SetErr(err)
+		log.Error("configure failed", obslog.Err(err))
 	} else {
 		root.Set(trace.Float("cost", active.Cost),
 			trace.Float("degradeFactor", active.DegradeFactor))
+		log.Info("configured",
+			obslog.Float("cost", active.Cost),
+			obslog.Float("degradeFactor", active.DegradeFactor),
+			obslog.Int("components", int64(active.Graph.NodeCount())),
+			obslog.Duration("tookMs", active.Timing.Total()))
 	}
 	tr.Finish()
+	c.cfg.Flight.RecordTrace(tr.Export())
 	c.recordOutcome(active, err)
 	return active, err
 }
@@ -337,6 +361,7 @@ func (c *Configurator) recordOutcome(active *ActiveSession, err error) {
 	m.Histogram(metrics.DistributionTime).Observe(active.Timing.Distribution)
 	m.Histogram(metrics.DownloadTime).Observe(active.Timing.Downloading)
 	m.Histogram(metrics.HandoffTime).Observe(active.Timing.InitOrHandoff)
+	m.Histogram(metrics.ConfigureTime).Observe(active.Timing.Total())
 	m.Gauge(metrics.ActiveSessions).Set(float64(c.Sessions()))
 }
 
@@ -404,6 +429,7 @@ func (c *Configurator) configureOnce(req Request, handoff bool, parent *trace.Sp
 		ClientAttrs:  clientAttrs,
 		ClientDevice: string(req.ClientDevice),
 		Span:         csp,
+		Log:          c.cfg.Log.Named("composer").ForSession(req.SessionID, parent.TraceContext().TraceID),
 	})
 	compTime := time.Since(t0)
 	if err != nil {
@@ -448,6 +474,7 @@ func (c *Configurator) configureOnce(req Request, handoff bool, parent *trace.Sp
 		Weights:   c.cfg.Weights,
 		Span:      dsp,
 		Stats:     stats,
+		Log:       c.cfg.Log.Named("distributor").ForSession(req.SessionID, parent.TraceContext().TraceID),
 	}
 	place := c.cfg.Place
 	if req.Place != nil {
@@ -718,6 +745,7 @@ func (c *Configurator) Stop(sessionID string) error {
 	if c.cfg.Metrics != nil {
 		c.cfg.Metrics.Gauge(metrics.ActiveSessions).Set(float64(c.Sessions()))
 	}
+	c.cfg.Log.Named("core").ForSession(sessionID, active.Request.TraceCtx.TraceID).Info("session stopped")
 	return nil
 }
 

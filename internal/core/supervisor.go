@@ -12,6 +12,7 @@ import (
 	"ubiqos/internal/eventbus"
 	"ubiqos/internal/graph"
 	"ubiqos/internal/metrics"
+	"ubiqos/internal/obslog"
 	"ubiqos/internal/trace"
 )
 
@@ -321,6 +322,14 @@ func (s *Supervisor) enqueue(sid string, req Request, dev device.ID, reason stri
 		firstSeen: at,
 		due:       time.Now(),
 	}
+	s.logFor(sid, req).Warn("recovery queued",
+		obslog.String("reason", reason), obslog.String("device", string(dev)))
+}
+
+// logFor returns the supervisor's logger bound to a session and its
+// propagated trace ID.
+func (s *Supervisor) logFor(sid string, req Request) *obslog.Logger {
+	return s.c.cfg.Log.Named("core.supervisor").ForSession(sid, req.TraceCtx.TraceID)
 }
 
 // process runs every due recovery task once.
@@ -367,14 +376,20 @@ func (s *Supervisor) attempt(t *recoveryTask) {
 		t.degraded = true
 	}
 
-	tr := s.c.cfg.Tracer.Start("recover", t.sessionID,
+	log := s.logFor(t.sessionID, t.req)
+	tr := s.c.cfg.Tracer.StartCtx(t.req.TraceCtx, "recover", t.sessionID,
 		trace.Int("attempt", int64(t.attempts+1)),
 		trace.Bool("degraded", degraded),
 		trace.String("reason", t.reason))
 	s.count(func(st *SupervisorStats) { st.Attempts++ }, metrics.RecoveryAttempts)
+	log.Info("recovery attempt",
+		obslog.Int("attempt", int64(t.attempts+1)),
+		obslog.Bool("degraded", degraded),
+		obslog.String("reason", t.reason))
 	_, err := s.c.Recover(req)
 	tr.Root().SetErr(err)
 	tr.Finish()
+	s.c.cfg.Flight.RecordTrace(tr.Export())
 
 	if err == nil {
 		s.count(func(st *SupervisorStats) { st.Recovered++ }, metrics.SessionsRecovered)
@@ -384,6 +399,9 @@ func (s *Supervisor) attempt(t *recoveryTask) {
 		if m := s.c.cfg.Metrics; m != nil {
 			m.Histogram(metrics.RecoveryLatency).Observe(time.Since(t.firstSeen))
 		}
+		log.Info("session recovered",
+			obslog.Bool("degraded", degraded),
+			obslog.Duration("downMs", time.Since(t.firstSeen)))
 		s.finish(t.sessionID)
 		s.opts.Bus.Publish(eventbus.TopicSessionRecovered, t.sessionID)
 		return
@@ -394,8 +412,13 @@ func (s *Supervisor) attempt(t *recoveryTask) {
 		s.giveUp(t, fmt.Sprintf("no feasible placement after %d attempts: %v", t.attempts, err))
 		return
 	}
-	t.due = time.Now().Add(s.backoff(t.attempts))
+	backoff := s.backoff(t.attempts)
+	t.due = time.Now().Add(backoff)
 	s.count(func(st *SupervisorStats) { st.Retries++ }, metrics.RecoveryRetries)
+	log.Warn("recovery retry scheduled",
+		obslog.Int("attempt", int64(t.attempts)),
+		obslog.Duration("backoffMs", backoff),
+		obslog.Err(err))
 }
 
 // backoff returns base·2^(attempt-1) capped at MaxBackoff, plus up to 50%
@@ -424,6 +447,7 @@ func (s *Supervisor) giveUp(t *recoveryTask, reason string) {
 	}
 	s.finish(t.sessionID)
 	s.count(func(st *SupervisorStats) { st.Lost++ }, metrics.SessionsLost)
+	s.logFor(t.sessionID, t.req).Error("session lost", obslog.String("reason", reason))
 	s.opts.Bus.Publish(eventbus.TopicUserNotification, SessionLostNotice{
 		SessionID: t.sessionID,
 		Device:    t.dev,

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"ubiqos/internal/graph"
+	"ubiqos/internal/obslog"
 	"ubiqos/internal/resource"
 	"ubiqos/internal/trace"
 )
@@ -41,6 +42,8 @@ func Heuristic(p *Problem) (Assignment, float64, error) {
 			*p.Stats = SearchStats{Algorithm: "heuristic", Workers: 1,
 				Explored: placements, Pruned: fallbacks}
 		}
+		p.Log.Debug("greedy placement done",
+			obslog.Int("placements", placements), obslog.Int("fallbacks", fallbacks))
 	}()
 	a, err := p.pinnedAssignment()
 	if err != nil {

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"ubiqos/internal/graph"
+	"ubiqos/internal/obslog"
 	"ubiqos/internal/resource"
 	"ubiqos/internal/trace"
 )
@@ -30,6 +31,9 @@ func Optimal(p *Problem) (Assignment, float64, error) {
 	sp.Set(trace.Int("explored", w.Explored), trace.Int("pruned", w.Pruned),
 		trace.Int("incumbents", w.Incumbents))
 	sp.End()
+	p.Log.Debug("branch-and-bound solved",
+		obslog.Int("explored", w.Explored), obslog.Int("pruned", w.Pruned),
+		obslog.Int("incumbents", w.Incumbents))
 	if p.Stats != nil {
 		*p.Stats = SearchStats{
 			Algorithm:  "optimal",

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"ubiqos/internal/obslog"
 	"ubiqos/internal/trace"
 )
 
@@ -176,6 +177,10 @@ func OptimalWith(p *Problem, opt ParallelOptions) (Assignment, float64, error) {
 	sp.Set(trace.Int("explored", explored), trace.Int("pruned", prunedN),
 		trace.Int("incumbents", incumbents))
 	sp.End()
+	p.Log.Debug("parallel branch-and-bound solved",
+		obslog.Int("workers", int64(workers)), obslog.Int("tasks", int64(len(tasks))),
+		obslog.Int("explored", explored), obslog.Int("pruned", prunedN),
+		obslog.Int("incumbents", incumbents))
 	if p.Stats != nil {
 		*p.Stats = SearchStats{
 			Algorithm:     "optimal-parallel",

@@ -20,6 +20,7 @@ import (
 
 	"ubiqos/internal/device"
 	"ubiqos/internal/graph"
+	"ubiqos/internal/obslog"
 	"ubiqos/internal/resource"
 	"ubiqos/internal/trace"
 )
@@ -56,6 +57,9 @@ type Problem struct {
 	Span *trace.Span
 	// Stats, when non-nil, is filled with SearchStats by the solver.
 	Stats *SearchStats
+	// Log, when non-nil, receives one structured record per solve with
+	// the search counters. Observability only.
+	Log *obslog.Logger
 }
 
 // Validate checks the problem is well-formed: a valid graph, at least one

@@ -18,8 +18,10 @@ import (
 	"ubiqos/internal/core"
 	"ubiqos/internal/device"
 	"ubiqos/internal/eventbus"
+	"ubiqos/internal/flight"
 	"ubiqos/internal/metrics"
 	"ubiqos/internal/netsim"
+	"ubiqos/internal/obslog"
 	"ubiqos/internal/profiler"
 	"ubiqos/internal/registry"
 	"ubiqos/internal/repository"
@@ -59,18 +61,32 @@ type Options struct {
 type Domain struct {
 	Name string
 
-	Registry     *registry.Registry
-	Bus          *eventbus.Bus
-	Devices      *device.Table
-	Links        *device.Links
-	Net          *netsim.Network
-	Repo         *repository.Repository
-	Checkpoints  *checkpoint.Store
-	Profiler     *profiler.Profiler
-	Metrics      *metrics.Registry
-	Tracer       *trace.Tracer
+	Registry    *registry.Registry
+	Bus         *eventbus.Bus
+	Devices     *device.Table
+	Links       *device.Links
+	Net         *netsim.Network
+	Repo        *repository.Repository
+	Checkpoints *checkpoint.Store
+	Profiler    *profiler.Profiler
+	Metrics     *metrics.Registry
+	Tracer      *trace.Tracer
+	// Flight is the session flight recorder: it receives session-stamped
+	// log records (as a sink of Log), finished trace summaries, the
+	// control-plane bus events (via a lossless tap installed by New), and
+	// fault-injection markers.
+	Flight *flight.Recorder
+	// Log is the domain's structured logger. It writes into Flight by
+	// default; the daemon attaches an os.Stderr sink (and any other) with
+	// Log.AddSink.
+	Log *obslog.Logger
+	// SLO evaluates the stock objectives (metrics.DefaultObjectives) over
+	// the domain's registry for the /slo surface.
+	SLO          *metrics.SLO
 	Composer     *composer.Composer
 	Configurator *core.Configurator
+
+	tapCancel func()
 
 	mu       sync.Mutex
 	parent   *Domain
@@ -109,9 +125,13 @@ func New(name string, opts Options) (*Domain, error) {
 		Profiler:    profiler.MustNew(profiler.DefaultAlpha),
 		Metrics:     metrics.NewRegistry(),
 		Tracer:      trace.NewTracer(traceCapacity),
+		Flight:      flight.New(flight.Options{}),
 		children:    make(map[string]*Domain),
 	}
+	d.Log = obslog.New(obslog.LevelDebug, d.Flight)
+	d.SLO = metrics.NewSLO(d.Metrics, metrics.DefaultObjectives()...)
 	d.Bus.Instrument(d.Metrics)
+	d.Bus.SetLogger(d.Log.Named("eventbus"))
 	net, err := netsim.New(opts.Scale)
 	if err != nil {
 		return nil, err
@@ -143,12 +163,55 @@ func New(name string, opts Options) (*Domain, error) {
 		Profiler:       d.Profiler,
 		Metrics:        d.Metrics,
 		Tracer:         d.Tracer,
+		Log:            d.Log,
+		Flight:         d.Flight,
 	})
 	if err != nil {
 		return nil, err
 	}
 	d.Configurator = cfg
+	// The flight recorder taps the control-plane topics, attributing each
+	// event to the sessions it concerns.
+	d.tapCancel, err = d.Flight.Tap(d.Bus, d.resolveFlightSessions)
+	if err != nil {
+		return nil, err
+	}
 	return d, nil
+}
+
+// resolveFlightSessions attributes a control-plane bus event to sessions:
+// session-scoped topics carry the session ID (or a notice naming it) as
+// payload; device- and link-scoped topics map to the sessions with
+// components placed on the affected devices.
+func (d *Domain) resolveFlightSessions(ev eventbus.Event) []string {
+	switch p := ev.Payload.(type) {
+	case core.SessionLostNotice:
+		return []string{p.SessionID}
+	case MissingServiceNotice:
+		return []string{p.SessionID}
+	case LinkChanged:
+		sessions := d.SessionsOn(p.A)
+		seen := make(map[string]bool, len(sessions))
+		for _, s := range sessions {
+			seen[s] = true
+		}
+		for _, s := range d.SessionsOn(p.B) {
+			if !seen[s] {
+				sessions = append(sessions, s)
+			}
+		}
+		return sessions
+	case string:
+		switch ev.Topic {
+		case eventbus.TopicSessionStarted, eventbus.TopicSessionStopped,
+			eventbus.TopicSessionRecovered, eventbus.TopicUserMoved:
+			return []string{p}
+		case eventbus.TopicDeviceJoined, eventbus.TopicDeviceLeft,
+			eventbus.TopicDeviceSwitched, eventbus.TopicResourceChanged:
+			return d.SessionsOn(device.ID(p))
+		}
+	}
+	return nil
 }
 
 // MustNew is New that panics on error.
@@ -281,6 +344,7 @@ func (d *Domain) FailDevice(id device.ID) error {
 		return fmt.Errorf("domain: unknown device %s", id)
 	}
 	dev.SetUp(false)
+	d.Log.Named("domain").Warn("device left", obslog.String("device", string(id)))
 	d.Bus.Publish(eventbus.TopicDeviceLeft, string(id))
 	return nil
 }
@@ -295,6 +359,7 @@ func (d *Domain) RejoinDevice(id device.ID) error {
 		return fmt.Errorf("domain: unknown device %s", id)
 	}
 	dev.SetUp(true)
+	d.Log.Named("domain").Info("device rejoined", obslog.String("device", string(id)))
 	d.Bus.Publish(eventbus.TopicDeviceJoined, string(id))
 	return nil
 }
@@ -321,6 +386,8 @@ func (d *Domain) DegradeLink(a, b device.ID, factor float64) (netsim.Link, error
 	if err := d.Links.Set(a, b, prev.BandwidthMbps*factor); err != nil {
 		return netsim.Link{}, err
 	}
+	d.Log.Named("domain").Warn("link degraded",
+		obslog.String("link", string(a)+"-"+string(b)), obslog.Float("factor", factor))
 	d.Bus.Publish(eventbus.TopicResourceChanged, LinkChanged{A: a, B: b})
 	return prev, nil
 }
@@ -350,11 +417,12 @@ func (d *Domain) RemoveDevice(id device.ID) ([]string, error) {
 		return nil, fmt.Errorf("domain: unknown device %s", id)
 	}
 	dev.SetUp(false)
+	d.Log.Named("domain").Warn("device removed", obslog.String("device", string(id)))
 	d.Bus.Publish(eventbus.TopicDeviceLeft, string(id))
 
 	var moved []string
 	var firstErr error
-	for _, sid := range d.sessionsOn(id) {
+	for _, sid := range d.SessionsOn(id) {
 		active := d.Configurator.Session(sid)
 		if active == nil {
 			continue
@@ -391,9 +459,9 @@ func (d *Domain) notifyLost(sessionID string, dev device.ID, reason string) {
 	})
 }
 
-// sessionsOn returns the session IDs with at least one component placed on
+// SessionsOn returns the session IDs with at least one component placed on
 // the device.
-func (d *Domain) sessionsOn(id device.ID) []string {
+func (d *Domain) SessionsOn(id device.ID) []string {
 	var out []string
 	for _, sid := range d.Configurator.SessionIDs() {
 		active := d.Configurator.Session(sid)
@@ -457,7 +525,7 @@ func (d *Domain) ResizeDevice(id device.ID, rawCapacity resource.Vector) ([]stri
 
 	var moved []string
 	var firstErr error
-	for _, sid := range d.sessionsOn(id) {
+	for _, sid := range d.SessionsOn(id) {
 		active := d.Configurator.Session(sid)
 		if active == nil {
 			continue
@@ -563,7 +631,11 @@ func (d *Domain) StopApp(sessionID string) error {
 	return nil
 }
 
-// Close shuts down the domain's event bus.
+// Close stops the flight recorder's bus tap and shuts down the domain's
+// event bus.
 func (d *Domain) Close() {
+	if d.tapCancel != nil {
+		d.tapCancel()
+	}
 	d.Bus.Close()
 }

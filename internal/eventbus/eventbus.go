@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"ubiqos/internal/metrics"
+	"ubiqos/internal/obslog"
 )
 
 // Topic classifies an event.
@@ -140,6 +141,9 @@ type Bus struct {
 	// reg, when set via Instrument, receives publish fan-out counters and
 	// subscriber/queue-depth gauges.
 	reg *metrics.Registry
+	// log, when set via SetLogger, receives a warning whenever a lossy
+	// subscriber loses an event.
+	log *obslog.Logger
 }
 
 // New returns an open event bus.
@@ -157,6 +161,15 @@ func (b *Bus) Instrument(r *metrics.Registry) {
 	if r != nil {
 		r.Gauge(metrics.BusSubscribers).Set(float64(len(b.subs)))
 	}
+	b.mu.Unlock()
+}
+
+// SetLogger attaches a structured logger: every Publish that drops
+// events on a full lossy subscriber logs one warning naming the topic.
+// Pass nil to detach.
+func (b *Bus) SetLogger(l *obslog.Logger) {
+	b.mu.Lock()
+	b.log = l
 	b.mu.Unlock()
 }
 
@@ -353,6 +366,10 @@ func (b *Bus) Publish(topic Topic, payload any) int {
 		b.reg.Counter(metrics.EventsDropped).Add(int64(dropped))
 		b.reg.Counter(metrics.EventsCoalesced).Add(int64(coalesced))
 		b.gauges()
+	}
+	if dropped > 0 {
+		b.log.Warn("events dropped on full lossy subscriber",
+			obslog.String("topic", string(topic)), obslog.Int("dropped", int64(dropped)))
 	}
 	return delivered + coalesced
 }

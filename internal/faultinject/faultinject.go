@@ -23,6 +23,7 @@ import (
 	"ubiqos/internal/eventbus"
 	"ubiqos/internal/metrics"
 	"ubiqos/internal/netsim"
+	"ubiqos/internal/obslog"
 	"ubiqos/internal/resource"
 )
 
@@ -207,6 +208,10 @@ func NewInjector(dom *domain.Domain, sched Schedule) (*Injector, error) {
 
 // Apply injects a single fault now.
 func (in *Injector) Apply(f Fault) error {
+	// Attribute the fault before applying it: a crash migrates sessions
+	// away, so the affected set must be captured while they still sit on
+	// the target.
+	affected := in.affectedSessions(f)
 	var err error
 	switch f.Kind {
 	case DeviceCrash:
@@ -247,11 +252,62 @@ func (in *Injector) Apply(f Fault) error {
 	default:
 		return fmt.Errorf("faultinject: unknown fault kind %q", f.Kind)
 	}
-	if err == nil && in.dom.Metrics != nil {
-		in.dom.Metrics.Counter(metrics.FaultsInjected).Inc()
-		in.dom.Metrics.Counter(metrics.WithLabel(metrics.FaultsInjected, "kind", string(f.Kind))).Inc()
+	if err == nil {
+		if in.dom.Metrics != nil {
+			in.dom.Metrics.Counter(metrics.FaultsInjected).Inc()
+			in.dom.Metrics.Counter(metrics.WithLabel(metrics.FaultsInjected, "kind", string(f.Kind))).Inc()
+		}
+		in.mark(f, affected)
 	}
 	return err
+}
+
+// affectedSessions resolves the sessions a fault concerns: the ones with
+// components placed on the faulted device or on either endpoint of the
+// faulted link. Discovery flaps target the registry, not placements, so
+// they attribute to no session.
+func (in *Injector) affectedSessions(f Fault) []string {
+	switch f.Kind {
+	case DeviceCrash, DeviceRejoin, Stall, StallClear:
+		return in.dom.SessionsOn(f.Device)
+	case LinkDegrade, LinkRestore:
+		sessions := in.dom.SessionsOn(f.LinkA)
+		seen := make(map[string]bool, len(sessions))
+		for _, s := range sessions {
+			seen[s] = true
+		}
+		for _, s := range in.dom.SessionsOn(f.LinkB) {
+			if !seen[s] {
+				sessions = append(sessions, s)
+			}
+		}
+		return sessions
+	}
+	return nil
+}
+
+// mark records the applied fault on every affected session's flight
+// timeline and in the structured log.
+func (in *Injector) mark(f Fault, affected []string) {
+	target := string(f.Device)
+	switch f.Kind {
+	case LinkDegrade, LinkRestore:
+		target = string(f.LinkA) + "-" + string(f.LinkB)
+	case DiscoveryFlap, ServiceRestore:
+		target = f.Service
+	}
+	var detail map[string]any
+	if f.Factor != 0 {
+		detail = map[string]any{"factor": f.Factor}
+	}
+	log := in.dom.Log.Named("faultinject")
+	log.Warn("fault injected",
+		obslog.String("kind", string(f.Kind)),
+		obslog.String("target", target),
+		obslog.Int("sessionsAffected", int64(len(affected))))
+	for _, session := range affected {
+		in.dom.Flight.RecordFault(session, string(f.Kind), target, detail)
+	}
 }
 
 // stall shrinks the device's capacity to Factor× and announces the

@@ -1,0 +1,235 @@
+package flight
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ubiqos/internal/eventbus"
+	"ubiqos/internal/obslog"
+	"ubiqos/internal/trace"
+)
+
+func TestNilRecorderIsNoOp(t *testing.T) {
+	var r *Recorder
+	r.Write(obslog.Record{Session: "s"})
+	r.RecordTrace(trace.TraceData{Session: "s"})
+	r.RecordEvent("s", eventbus.Event{Topic: eventbus.TopicDeviceLeft})
+	r.RecordFault("s", "device.crash", "pc-1", nil)
+	if r.Timeline("s") != nil || r.Sessions() != nil || r.Render("s") != "" {
+		t.Fatal("nil recorder accessors must be empty")
+	}
+	cancel, err := r.Tap(eventbus.New(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+}
+
+func TestFusedStreamsSequenceOrder(t *testing.T) {
+	r := New(Options{})
+
+	// Stream 1: a structured log record.
+	log := obslog.New(obslog.LevelDebug, r)
+	log.Named("core").ForSession("s1", "t1").Info("configured", obslog.Int("components", 4))
+
+	// Stream 2: a trace summary.
+	tc := trace.NewTracer(4)
+	tr := tc.StartCtx(trace.Context{TraceID: "t1"}, "configure", "s1")
+	tr.Root().Child("compose").End()
+	tr.Finish()
+	r.RecordTrace(tr.Export())
+
+	// Stream 3: a bus event.
+	r.RecordEvent("s1", eventbus.Event{Topic: eventbus.TopicDeviceLeft, Time: time.Now(), Payload: "pc-2"})
+
+	// Stream 4: a fault marker.
+	r.RecordFault("s1", "device.crash", "pc-2", map[string]any{"at": "5s"})
+
+	entries := r.Timeline("s1")
+	if len(entries) != 4 {
+		t.Fatalf("want 4 fused entries, got %d", len(entries))
+	}
+	wantKinds := []Kind{KindLog, KindSpan, KindEvent, KindFault}
+	for i, e := range entries {
+		if e.Kind != wantKinds[i] {
+			t.Errorf("entry %d kind = %s, want %s", i, e.Kind, wantKinds[i])
+		}
+		if e.Session != "s1" {
+			t.Errorf("entry %d session = %q", i, e.Session)
+		}
+		if i > 0 && e.Seq <= entries[i-1].Seq {
+			t.Errorf("sequence not monotonic: %d after %d", e.Seq, entries[i-1].Seq)
+		}
+	}
+	if entries[0].TraceID != "t1" || entries[1].TraceID != "t1" {
+		t.Error("log and span entries must carry the trace ID")
+	}
+	if entries[0].Message != "core: configured" || entries[0].Detail["components"] != int64(4) {
+		t.Errorf("log entry = %+v", entries[0])
+	}
+	if entries[1].Message != "trace configure" || entries[1].Detail["spans"] != 2 {
+		t.Errorf("span entry = %+v", entries[1])
+	}
+	if entries[2].Message != string(eventbus.TopicDeviceLeft) || entries[2].Detail["payload"] != "pc-2" {
+		t.Errorf("event entry = %+v", entries[2])
+	}
+	if entries[3].Message != "fault device.crash" || entries[3].Detail["target"] != "pc-2" {
+		t.Errorf("fault entry = %+v", entries[3])
+	}
+}
+
+func TestSessionlessEntriesDropped(t *testing.T) {
+	r := New(Options{})
+	r.Write(obslog.Record{Msg: "no session"})
+	r.RecordTrace(trace.TraceData{Name: "anon"})
+	if got := len(r.Sessions()); got != 0 {
+		t.Fatalf("sessionless entries must be dropped, have %d sessions", got)
+	}
+}
+
+func TestPerSessionBound(t *testing.T) {
+	r := New(Options{PerSession: 3})
+	for i := 0; i < 10; i++ {
+		r.RecordFault("s", "device.crash", fmt.Sprintf("d%d", i), nil)
+	}
+	entries := r.Timeline("s")
+	if len(entries) != 3 {
+		t.Fatalf("retained = %d, want 3", len(entries))
+	}
+	if entries[0].Detail["target"] != "d7" || entries[2].Detail["target"] != "d9" {
+		t.Fatalf("eviction kept wrong entries: %v", entries)
+	}
+	info := r.Sessions()
+	if len(info) != 1 || info[0].Total != 10 || info[0].Entries != 3 {
+		t.Fatalf("session info = %+v", info)
+	}
+}
+
+func TestSessionTableEviction(t *testing.T) {
+	r := New(Options{MaxSessions: 2})
+	r.RecordFault("a", "k", "t", nil)
+	time.Sleep(time.Millisecond)
+	r.RecordFault("b", "k", "t", nil)
+	time.Sleep(time.Millisecond)
+	r.RecordFault("c", "k", "t", nil) // evicts a (least recently touched)
+	if r.Timeline("a") != nil {
+		t.Fatal("oldest session should have been evicted")
+	}
+	if r.Timeline("b") == nil || r.Timeline("c") == nil {
+		t.Fatal("recent sessions must survive")
+	}
+}
+
+func TestTapResolvesEvents(t *testing.T) {
+	r := New(Options{})
+	bus := eventbus.New()
+	defer bus.Close()
+	cancel, err := r.Tap(bus, func(ev eventbus.Event) []string {
+		if ev.Topic == eventbus.TopicDeviceLeft {
+			return []string{"s1", "s2"}
+		}
+		if ev.Topic == eventbus.TopicSessionRecovered {
+			if s, ok := ev.Payload.(string); ok {
+				return []string{s}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+
+	bus.Publish(eventbus.TopicDeviceLeft, "pc-1")
+	bus.Publish(eventbus.TopicSessionRecovered, "s1")
+
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if len(r.Timeline("s1")) == 2 && len(r.Timeline("s2")) == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s1 := r.Timeline("s1")
+	if len(s1) != 2 {
+		t.Fatalf("s1 entries = %d, want 2", len(s1))
+	}
+	if s1[0].Message != "device.left" || s1[1].Message != "session.recovered" {
+		t.Fatalf("s1 timeline = %+v", s1)
+	}
+	if got := r.Timeline("s2"); len(got) != 1 {
+		t.Fatalf("s2 entries = %d, want 1", len(got))
+	}
+	cancel()
+	cancel() // idempotent
+}
+
+func TestRender(t *testing.T) {
+	r := New(Options{})
+	log := obslog.New(obslog.LevelDebug, r)
+	log.ForSession("s", "abc").Warn("retry", obslog.Int("attempt", 2))
+	r.RecordFault("s", "link.degrade", "pc-1<->pc-2", nil)
+	out := r.Render("s")
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("render lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "flight s (2 entries)") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "log") || !strings.Contains(lines[1], "retry") ||
+		!strings.Contains(lines[1], "trace=abc") || !strings.Contains(lines[1], "attempt=2") {
+		t.Errorf("log line = %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "fault link.degrade") {
+		t.Errorf("fault line = %q", lines[2])
+	}
+	if r.Render("unknown") != "" {
+		t.Error("unknown session must render empty")
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	r := New(Options{PerSession: 64, MaxSessions: 8})
+	bus := eventbus.New()
+	defer bus.Close()
+	cancel, err := r.Tap(bus, func(ev eventbus.Event) []string {
+		if s, ok := ev.Payload.(string); ok {
+			return []string{s}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			session := fmt.Sprintf("s%d", g%4)
+			log := obslog.New(obslog.LevelDebug, r).ForSession(session, "t")
+			for i := 0; i < 50; i++ {
+				log.Info("tick", obslog.Int("i", int64(i)))
+				r.RecordFault(session, "k", "t", nil)
+				bus.Publish(eventbus.TopicResourceChanged, session)
+				r.Timeline(session)
+				r.Sessions()
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, info := range r.Sessions() {
+		entries := r.Timeline(info.Session)
+		for i := 1; i < len(entries); i++ {
+			if entries[i].Seq <= entries[i-1].Seq {
+				t.Fatalf("session %s: seq out of order", info.Session)
+			}
+		}
+	}
+}

@@ -405,6 +405,10 @@ const (
 	DistributionTime = "distribution_time_seconds"
 	DownloadTime     = "download_time_seconds"
 	HandoffTime      = "init_or_handoff_time_seconds"
+	// ConfigureTime is the end-to-end configure latency histogram
+	// (request accepted → session running), the SLO engine's primary
+	// latency signal; the per-tier histograms above break it down.
+	ConfigureTime = "configure_time_seconds"
 	// ActiveSessions gauges the live session count.
 	ActiveSessions = "active_sessions"
 	// DiscoveryAttempts and DiscoveryFailures count per-node service

@@ -1,0 +1,231 @@
+// SLO engine: declarative service-level objectives evaluated over the
+// registry's existing histograms and counters. An objective is either a
+// latency objective (a histogram quantile must stay under a target) or a
+// ratio objective (bad events over total events must stay under a
+// budget). Evaluation computes a burn rate — the fraction of the
+// objective's budget currently consumed — and classifies each objective
+// as ok (≤ 0.8), at-risk (≤ 1.0), or violated (> 1.0); objectives with
+// no samples report no-data. The daemon surfaces the evaluation at /slo
+// and republishes burn rates as slo_burn_rate gauges so dashboards can
+// alert on them like any other metric.
+
+package metrics
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Objective is one declarative SLO. Exactly one of Histogram (latency
+// objective) or BadCounter (ratio objective) must be set.
+type Objective struct {
+	// Name identifies the objective (used as the gauge label).
+	Name string `json:"name"`
+	// Description says what the objective protects, for operators.
+	Description string `json:"description,omitempty"`
+
+	// Histogram + Quantile + Target define a latency objective: the
+	// quantile of the named histogram must stay at or under Target.
+	Histogram string        `json:"histogram,omitempty"`
+	Quantile  float64       `json:"quantile,omitempty"`
+	Target    time.Duration `json:"target,omitempty"`
+
+	// BadCounter + TotalCounters + MaxRatio define a ratio objective:
+	// BadCounter's value over the sum of TotalCounters must stay at or
+	// under MaxRatio.
+	BadCounter    string   `json:"badCounter,omitempty"`
+	TotalCounters []string `json:"totalCounters,omitempty"`
+	MaxRatio      float64  `json:"maxRatio,omitempty"`
+}
+
+// The objective states, from healthy to breached.
+const (
+	StateNoData   = "no-data"
+	StateOK       = "ok"
+	StateAtRisk   = "at-risk"
+	StateViolated = "violated"
+)
+
+// burn-rate thresholds for the state classification.
+const (
+	burnOK = 0.8 // ≤ 80% of budget consumed: ok
+	burnAt = 1.0 // ≤ 100%: at risk; beyond: violated
+)
+
+// Status is one objective's evaluation.
+type Status struct {
+	Name        string `json:"name"`
+	Description string `json:"description,omitempty"`
+	Kind        string `json:"kind"` // "latency" or "ratio"
+	// Actual and Target are seconds for latency objectives, ratios for
+	// ratio objectives.
+	Actual  float64 `json:"actual"`
+	Target  float64 `json:"target"`
+	Samples int64   `json:"samples"`
+	// BurnRate is Actual/Target: the fraction of the objective's budget
+	// consumed (0 when no data).
+	BurnRate float64 `json:"burnRate"`
+	State    string  `json:"state"`
+}
+
+// SLO evaluates a set of objectives against a registry.
+type SLO struct {
+	reg        *Registry
+	objectives []Objective
+}
+
+// NewSLO binds objectives to the registry they read. A nil registry or
+// empty objective list yields an SLO that evaluates to nothing.
+func NewSLO(reg *Registry, objectives ...Objective) *SLO {
+	return &SLO{reg: reg, objectives: objectives}
+}
+
+// DefaultObjectives returns the configuration path's stock SLOs: the
+// end-to-end configure and recovery latency quantiles, and the loss and
+// failure budgets of the session population.
+func DefaultObjectives() []Objective {
+	return []Objective{
+		{
+			Name:        "configure-p95",
+			Description: "95th percentile end-to-end configure latency",
+			Histogram:   ConfigureTime,
+			Quantile:    0.95,
+			Target:      500 * time.Millisecond,
+		},
+		{
+			Name:        "recovery-p95",
+			Description: "95th percentile fault-to-healthy recovery latency",
+			Histogram:   RecoveryLatency,
+			Quantile:    0.95,
+			Target:      5 * time.Second,
+		},
+		{
+			Name:        "lost-sessions",
+			Description: "sessions lost as a fraction of recovery outcomes",
+			BadCounter:  SessionsLost,
+			TotalCounters: []string{
+				SessionsRecovered,
+				SessionsLost,
+			},
+			MaxRatio: 0.10,
+		},
+		{
+			Name:          "config-failures",
+			Description:   "failed configuration attempts over all attempts",
+			BadCounter:    ConfigsFailed,
+			TotalCounters: []string{ConfigsTotal},
+			MaxRatio:      0.50,
+		},
+	}
+}
+
+// Evaluate computes every objective's current status, in declaration
+// order.
+func (s *SLO) Evaluate() []Status {
+	if s == nil || s.reg == nil {
+		return nil
+	}
+	out := make([]Status, 0, len(s.objectives))
+	for _, o := range s.objectives {
+		out = append(out, s.evaluate(o))
+	}
+	return out
+}
+
+func (s *SLO) evaluate(o Objective) Status {
+	st := Status{Name: o.Name, Description: o.Description}
+	switch {
+	case o.Histogram != "":
+		st.Kind = "latency"
+		h := s.reg.Histogram(o.Histogram)
+		st.Samples = h.Count()
+		st.Target = o.Target.Seconds()
+		if st.Samples > 0 {
+			st.Actual = h.Quantile(o.Quantile).Seconds()
+		}
+	default:
+		st.Kind = "ratio"
+		bad := s.reg.Counter(o.BadCounter).Value()
+		var total int64
+		for _, name := range o.TotalCounters {
+			total += s.reg.Counter(name).Value()
+		}
+		st.Samples = total
+		st.Target = o.MaxRatio
+		if total > 0 {
+			st.Actual = float64(bad) / float64(total)
+		}
+	}
+	if st.Samples == 0 {
+		st.State = StateNoData
+		return st
+	}
+	if st.Target > 0 {
+		st.BurnRate = st.Actual / st.Target
+	} else if st.Actual > 0 {
+		st.BurnRate = burnAt + 1 // zero budget, nonzero spend
+	}
+	switch {
+	case st.BurnRate <= burnOK:
+		st.State = StateOK
+	case st.BurnRate <= burnAt:
+		st.State = StateAtRisk
+	default:
+		st.State = StateViolated
+	}
+	return st
+}
+
+// SLO gauge names: per-objective burn rate (labeled) and the count of
+// currently violated objectives.
+const (
+	SLOBurnRate   = "slo_burn_rate"
+	SLOViolations = "slo_violations"
+)
+
+// Publish evaluates the objectives and republishes each burn rate as a
+// labeled slo_burn_rate gauge (plus the slo_violations count) into the
+// same registry, so the SLO state rides the /metrics exposition. It
+// returns the statuses it published.
+func (s *SLO) Publish() []Status {
+	statuses := s.Evaluate()
+	if s == nil || s.reg == nil {
+		return statuses
+	}
+	violated := 0
+	for _, st := range statuses {
+		s.reg.Gauge(WithLabel(SLOBurnRate, "objective", st.Name)).Set(st.BurnRate)
+		if st.State == StateViolated {
+			violated++
+		}
+	}
+	s.reg.Gauge(SLOViolations).Set(float64(violated))
+	return statuses
+}
+
+// Render formats statuses as an aligned text report for qosctl and the
+// /slo?format=text endpoint.
+func Render(statuses []Status) string {
+	if len(statuses) == 0 {
+		return "no objectives\n"
+	}
+	var b strings.Builder
+	for _, st := range statuses {
+		var actual, target string
+		if st.Kind == "latency" {
+			actual = fmt.Sprintf("%.4gs", st.Actual)
+			target = fmt.Sprintf("%.4gs", st.Target)
+		} else {
+			actual = fmt.Sprintf("%.3f", st.Actual)
+			target = fmt.Sprintf("%.3f", st.Target)
+		}
+		fmt.Fprintf(&b, "%-16s %-8s %-9s actual=%s target=%s burn=%.2f samples=%d",
+			st.Name, st.Kind, st.State, actual, target, st.BurnRate, st.Samples)
+		if st.Description != "" {
+			fmt.Fprintf(&b, "  (%s)", st.Description)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,168 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// Histogram quantile edge cases the SLO engine reads through.
+
+func TestQuantileEmptyHistogram(t *testing.T) {
+	var h Histogram
+	for _, q := range []float64{0, 0.5, 0.95, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("empty histogram Quantile(%g) = %v, want 0", q, got)
+		}
+	}
+}
+
+func TestQuantileSingleSample(t *testing.T) {
+	var h Histogram
+	h.Observe(7 * time.Millisecond)
+	// Every quantile of a single observation is that observation: the
+	// bucket-bound estimate must clamp to the observed min==max.
+	for _, q := range []float64{0.01, 0.5, 0.95, 0.99, 1} {
+		if got := h.Quantile(q); got != 7*time.Millisecond {
+			t.Errorf("single-sample Quantile(%g) = %v, want 7ms", q, got)
+		}
+	}
+}
+
+func TestQuantileAllSameBucket(t *testing.T) {
+	var h Histogram
+	// 100 observations inside one geometric bucket: the estimate must stay
+	// inside the observed [min, max], not report the bucket's upper bound.
+	lo, hi := 1000*time.Microsecond, 1010*time.Microsecond
+	for i := 0; i < 100; i++ {
+		h.Observe(lo + time.Duration(i%2)*(hi-lo))
+	}
+	for _, q := range []float64{0.5, 0.95, 1} {
+		got := h.Quantile(q)
+		if got < lo || got > hi {
+			t.Errorf("same-bucket Quantile(%g) = %v, want within [%v, %v]", q, got, lo, hi)
+		}
+	}
+}
+
+// SLO engine.
+
+func TestSLOLatencyObjectiveStates(t *testing.T) {
+	reg := NewRegistry()
+	slo := NewSLO(reg, Objective{
+		Name: "configure-p95", Histogram: ConfigureTime, Quantile: 0.95, Target: 100 * time.Millisecond,
+	})
+
+	st := slo.Evaluate()[0]
+	if st.State != StateNoData || st.Samples != 0 || st.BurnRate != 0 {
+		t.Fatalf("empty objective = %+v", st)
+	}
+
+	// Observations well under target: ok.
+	for i := 0; i < 20; i++ {
+		reg.Histogram(ConfigureTime).Observe(10 * time.Millisecond)
+	}
+	st = slo.Evaluate()[0]
+	if st.State != StateOK || st.Kind != "latency" || st.BurnRate > burnOK {
+		t.Fatalf("healthy objective = %+v", st)
+	}
+
+	// Push p95 over target: violated.
+	for i := 0; i < 500; i++ {
+		reg.Histogram(ConfigureTime).Observe(400 * time.Millisecond)
+	}
+	st = slo.Evaluate()[0]
+	if st.State != StateViolated || st.BurnRate <= 1 {
+		t.Fatalf("breached objective = %+v", st)
+	}
+}
+
+func TestSLORatioObjectiveStates(t *testing.T) {
+	reg := NewRegistry()
+	slo := NewSLO(reg, Objective{
+		Name: "lost-sessions", BadCounter: SessionsLost,
+		TotalCounters: []string{SessionsRecovered, SessionsLost}, MaxRatio: 0.10,
+	})
+
+	if st := slo.Evaluate()[0]; st.State != StateNoData {
+		t.Fatalf("empty ratio objective = %+v", st)
+	}
+
+	reg.Counter(SessionsRecovered).Add(99)
+	reg.Counter(SessionsLost).Add(1) // ratio 0.01, burn 0.1
+	st := slo.Evaluate()[0]
+	if st.State != StateOK || st.Kind != "ratio" || st.Samples != 100 {
+		t.Fatalf("healthy ratio = %+v", st)
+	}
+
+	reg.Counter(SessionsLost).Add(9) // 10/109 ≈ 0.092, burn ≈ 0.92: at risk
+	if st := slo.Evaluate()[0]; st.State != StateAtRisk {
+		t.Fatalf("at-risk ratio = %+v", st)
+	}
+
+	reg.Counter(SessionsLost).Add(20) // 30/129 ≈ 0.23: violated
+	if st := slo.Evaluate()[0]; st.State != StateViolated {
+		t.Fatalf("violated ratio = %+v", st)
+	}
+}
+
+func TestSLODefaultObjectives(t *testing.T) {
+	reg := NewRegistry()
+	slo := NewSLO(reg, DefaultObjectives()...)
+	statuses := slo.Evaluate()
+	if len(statuses) < 3 {
+		t.Fatalf("want at least 3 default objectives, got %d", len(statuses))
+	}
+	names := map[string]bool{}
+	for _, st := range statuses {
+		names[st.Name] = true
+	}
+	for _, want := range []string{"configure-p95", "recovery-p95", "lost-sessions"} {
+		if !names[want] {
+			t.Errorf("default objectives missing %q", want)
+		}
+	}
+}
+
+func TestSLOPublishGauges(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter(ConfigsTotal).Add(10)
+	reg.Counter(ConfigsFailed).Add(9) // 0.9 over budget 0.5: violated
+	slo := NewSLO(reg,
+		Objective{Name: "config-failures", BadCounter: ConfigsFailed,
+			TotalCounters: []string{ConfigsTotal}, MaxRatio: 0.50},
+	)
+	slo.Publish()
+	exp := reg.Exposition()
+	if !strings.Contains(exp, `slo_burn_rate{objective="config-failures"} 1.8`) {
+		t.Errorf("exposition missing burn-rate gauge:\n%s", exp)
+	}
+	if !strings.Contains(exp, "slo_violations 1") {
+		t.Errorf("exposition missing violations gauge:\n%s", exp)
+	}
+}
+
+func TestSLONilSafety(t *testing.T) {
+	var s *SLO
+	if s.Evaluate() != nil || s.Publish() != nil {
+		t.Fatal("nil SLO must evaluate to nothing")
+	}
+	if got := NewSLO(nil).Evaluate(); got != nil {
+		t.Fatalf("registry-less SLO = %v", got)
+	}
+}
+
+func TestSLORender(t *testing.T) {
+	reg := NewRegistry()
+	reg.Histogram(ConfigureTime).Observe(10 * time.Millisecond)
+	slo := NewSLO(reg, DefaultObjectives()...)
+	out := Render(slo.Evaluate())
+	for _, want := range []string{"configure-p95", "latency", "recovery-p95", "no-data", "burn="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	if Render(nil) != "no objectives\n" {
+		t.Error("empty render")
+	}
+}

@@ -13,12 +13,46 @@
 package trace
 
 import (
+	"crypto/rand"
+	"encoding/hex"
 	"fmt"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
+
+// Context is the propagated trace identity: the wire client stamps a
+// fresh Context into each request envelope, the server adopts it when it
+// starts the daemon-side trace, and the recovery supervisor re-uses the
+// session's original Context for its recovery traces — so one client
+// invocation, its compose→distribute spans, and any later recovery
+// attempts all share a TraceID and can be joined into one tree.
+type Context struct {
+	// TraceID identifies the end-to-end operation (16 hex chars).
+	TraceID string `json:"traceId,omitempty"`
+	// ParentSpan names the remote parent span (e.g. the client's call
+	// span), recorded on the adopted trace for reconstruction.
+	ParentSpan string `json:"parentSpan,omitempty"`
+}
+
+// idCounter disambiguates IDs generated within the same nanosecond when
+// the random source fails (it never should).
+var idCounter atomic.Uint64
+
+// NewID returns a fresh 16-hex-character trace or span ID.
+func NewID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Fallback: time + counter is unique enough for observability IDs.
+		n := uint64(time.Now().UnixNano()) + idCounter.Add(1)
+		for i := 0; i < 8; i++ {
+			b[i] = byte(n >> (8 * i))
+		}
+	}
+	return hex.EncodeToString(b[:])
+}
 
 // Attr is one typed span attribute.
 type Attr struct {
@@ -69,6 +103,16 @@ func (s *Span) Set(attrs ...Attr) {
 	s.tr.mu.Unlock()
 }
 
+// TraceContext returns the propagation context of the span's owning
+// trace (zero for a nil span), so instrumentation downstream of a span
+// can stamp records with the trace ID.
+func (s *Span) TraceContext() Context {
+	if s == nil {
+		return Context{}
+	}
+	return s.tr.Context()
+}
+
 // SetErr records err as the span's "error" attribute (no-op on nil err).
 func (s *Span) SetErr(err error) {
 	if s == nil || err == nil {
@@ -94,6 +138,7 @@ func (s *Span) End() {
 type Trace struct {
 	t       *Tracer
 	id      uint64
+	ctx     Context
 	name    string
 	session string
 	start   time.Time
@@ -101,6 +146,15 @@ type Trace struct {
 	mu    sync.Mutex
 	spans []*Span
 	done  bool
+}
+
+// Context returns the trace's propagated identity (zero for a nil
+// trace). The TraceID is always populated, adopted or generated.
+func (tr *Trace) Context() Context {
+	if tr == nil {
+		return Context{}
+	}
+	return tr.ctx
 }
 
 // Root returns the trace's root span, or nil for a nil trace.
@@ -176,17 +230,31 @@ func NewTracer(capacity int) *Tracer {
 // attributes. A nil tracer returns a nil trace, on which every operation
 // is a no-op.
 func (t *Tracer) Start(name, session string, attrs ...Attr) *Trace {
+	return t.StartCtx(Context{}, name, session, attrs...)
+}
+
+// StartCtx begins a trace under a propagated Context: the new trace
+// adopts ctx.TraceID (generating a fresh one when empty) and records
+// ctx.ParentSpan as the root span's remote parent, joining the local span
+// tree to whatever started the operation on the other side of the wire.
+func (t *Tracer) StartCtx(ctx Context, name, session string, attrs ...Attr) *Trace {
 	if t == nil {
 		return nil
+	}
+	if ctx.TraceID == "" {
+		ctx.TraceID = NewID()
 	}
 	t.mu.Lock()
 	t.nextID++
 	id := t.nextID
 	t.mu.Unlock()
-	tr := &Trace{t: t, id: id, name: name, session: session, start: time.Now()}
+	tr := &Trace{t: t, id: id, ctx: ctx, name: name, session: session, start: time.Now()}
 	root := &Span{tr: tr, id: 0, parent: -1, name: name, start: tr.start, attrs: attrs}
 	if session != "" {
 		root.attrs = append(root.attrs, String("session", session))
+	}
+	if ctx.ParentSpan != "" {
+		root.attrs = append(root.attrs, String("parentSpan", ctx.ParentSpan))
 	}
 	tr.spans = []*Span{root}
 	return tr
@@ -274,15 +342,30 @@ type SpanData struct {
 
 // TraceData is the exported, JSON-serializable form of one finished trace.
 type TraceData struct {
-	ID      uint64     `json:"id"`
-	Name    string     `json:"name"`
-	Session string     `json:"session,omitempty"`
-	Start   time.Time  `json:"start"`
-	DurMs   float64    `json:"durMs"`
-	Spans   []SpanData `json:"spans"`
+	ID uint64 `json:"id"`
+	// TraceID is the propagated end-to-end identity; traces adopted from
+	// the same wire request (and any recovery traces for the session)
+	// share it.
+	TraceID    string     `json:"traceId,omitempty"`
+	ParentSpan string     `json:"parentSpan,omitempty"`
+	Name       string     `json:"name"`
+	Session    string     `json:"session,omitempty"`
+	Start      time.Time  `json:"start"`
+	DurMs      float64    `json:"durMs"`
+	Spans      []SpanData `json:"spans"`
 }
 
 func toMs(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// Export snapshots the trace into its serializable form; in-flight spans
+// are exported with their current state. It returns the zero TraceData
+// for a nil trace.
+func (tr *Trace) Export() TraceData {
+	if tr == nil {
+		return TraceData{}
+	}
+	return tr.export()
+}
 
 // export snapshots the trace. The caller must ensure the trace is finished
 // (or accept in-flight spans with their current state).
@@ -290,11 +373,13 @@ func (tr *Trace) export() TraceData {
 	tr.mu.Lock()
 	defer tr.mu.Unlock()
 	td := TraceData{
-		ID:      tr.id,
-		Name:    tr.name,
-		Session: tr.session,
-		Start:   tr.start,
-		Spans:   make([]SpanData, len(tr.spans)),
+		ID:         tr.id,
+		TraceID:    tr.ctx.TraceID,
+		ParentSpan: tr.ctx.ParentSpan,
+		Name:       tr.name,
+		Session:    tr.session,
+		Start:      tr.start,
+		Spans:      make([]SpanData, len(tr.spans)),
 	}
 	for i, sp := range tr.spans {
 		end := sp.end

@@ -156,6 +156,101 @@ func TestFinishClosesOpenSpansAndIsIdempotent(t *testing.T) {
 	}
 }
 
+func TestContextPropagation(t *testing.T) {
+	tc := NewTracer(4)
+
+	// A plain Start mints a fresh trace ID.
+	tr := tc.Start("configure", "s1")
+	if tr.Context().TraceID == "" {
+		t.Fatal("Start must mint a trace ID")
+	}
+	tr.Finish()
+
+	// StartCtx adopts the propagated identity and surfaces the remote
+	// parent on the root span and in the export.
+	ctx := Context{TraceID: "cafef00d", ParentSpan: "client-0"}
+	tr2 := tc.StartCtx(ctx, "configure", "s2")
+	if got := tr2.Context(); got.TraceID != "cafef00d" || got.ParentSpan != "client-0" {
+		t.Fatalf("context not adopted: %+v", got)
+	}
+	tr2.Finish()
+	td := tc.Latest()
+	if td.TraceID != "cafef00d" || td.ParentSpan != "client-0" {
+		t.Fatalf("export lost context: %+v", td)
+	}
+	if td.Spans[0].Attrs["parentSpan"] != "client-0" {
+		t.Fatalf("root span missing remote parent: %v", td.Spans[0].Attrs)
+	}
+
+	// Nil safety: context of a nil trace is zero; Export is empty.
+	var nilTr *Trace
+	if nilTr.Context() != (Context{}) {
+		t.Error("nil trace context must be zero")
+	}
+	if got := nilTr.Export(); len(got.Spans) != 0 {
+		t.Error("nil trace export must be empty")
+	}
+}
+
+func TestNewIDUnique(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 1000; i++ {
+		id := NewID()
+		if len(id) != 16 {
+			t.Fatalf("id %q: want 16 hex chars", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate id %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+// TestConcurrentStartExportEviction exercises the tracer's ring under
+// simultaneous Start/Finish (which evict), Recent/Find/Latest (which
+// export), and live-trace Export calls — the paths the flight recorder
+// and /slo read while the configurator is writing. Run with -race.
+func TestConcurrentStartExportEviction(t *testing.T) {
+	tc := NewTracer(4) // tiny ring so eviction happens constantly
+	var wg sync.WaitGroup
+	const writers, readers, iters = 4, 4, 200
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				tr := tc.Start("op", fmt.Sprintf("w%d-%d", w, i))
+				sp := tr.Root().Child("step", Int("i", int64(i)))
+				_ = tr.Export() // export while in flight
+				sp.End()
+				tr.Finish()
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				for _, td := range tc.Recent(0) {
+					if td.Name != "op" {
+						t.Errorf("corrupt export: %+v", td)
+						return
+					}
+				}
+				tc.Find(fmt.Sprintf("w%d-%d", r, i))
+				tc.Latest()
+				tc.Len()
+			}
+		}(r)
+	}
+	wg.Wait()
+	if tc.Len() != 4 {
+		t.Fatalf("ring = %d, want 4 after churn", tc.Len())
+	}
+}
+
 func TestRender(t *testing.T) {
 	tc := NewTracer(2)
 	tr := tc.Start("configure", "audio-1")

@@ -7,6 +7,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"ubiqos/internal/trace"
 )
 
 // Options tunes a Client's transport behavior. The zero value keeps the
@@ -95,6 +97,14 @@ func (c *Client) Close() error {
 // error with the response still populated; transport errors are retried
 // up to Options.Retries times with doubling backoff.
 func (c *Client) Call(req Request) (Response, error) {
+	// Originate trace context here so the daemon's spans join a trace the
+	// caller can correlate with; retries reuse the same trace ID.
+	if req.TraceID == "" {
+		req.TraceID = trace.NewID()
+	}
+	if req.SpanID == "" {
+		req.SpanID = "client-" + req.Op
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	var lastErr error

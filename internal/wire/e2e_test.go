@@ -1,13 +1,17 @@
 package wire
 
 import (
+	"strings"
 	"testing"
 	"time"
 
 	"ubiqos/internal/core"
+	"ubiqos/internal/device"
 	"ubiqos/internal/domain"
 	"ubiqos/internal/eventbus"
 	"ubiqos/internal/experiments"
+	"ubiqos/internal/faultinject"
+	"ubiqos/internal/flight"
 	"ubiqos/internal/qos"
 )
 
@@ -181,5 +185,136 @@ func TestCrashCascadeFiresUserNotification(t *testing.T) {
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("no user notification for the unplaceable session")
+	}
+}
+
+// TestFlightTimelineOverWire is the observability acceptance path: a
+// session is started over the wire with client-originated trace context,
+// a chaos fault crashes the device hosting its server component, the
+// supervisor recovers it, and the flight op then returns one fused
+// timeline containing — in sequence order — the client's trace ID, the
+// injected fault marker, the recovery attempts, and the final outcome.
+func TestFlightTimelineOverWire(t *testing.T) {
+	dom, addr := startChaosServer(t)
+	sup, err := core.NewSupervisor(dom.Configurator, core.SupervisorOptions{
+		Bus:         dom.Bus,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sup.Stop)
+
+	c, err := DialWith(addr, Options{Timeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const traceID = "cafec0dedeadbeef"
+	resp, err := c.Call(Request{
+		Op:           OpStart,
+		SessionID:    "f1",
+		TraceID:      traceID,
+		App:          experiments.ChaosAudioApp(),
+		UserQoS:      qos.V(qos.P(qos.DimFrameRate, qos.Range(30, 44))),
+		ClientDevice: "jornada",
+	})
+	if err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	victim := resp.Session.Placement["server"]
+
+	// Crash the hosting device through the fault injector so the timeline
+	// gains a fault marker, then let the supervisor heal the session.
+	inj, err := faultinject.NewInjector(dom, faultinject.Schedule{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inj.Apply(faultinject.Fault{Kind: faultinject.DeviceCrash, Device: device.ID(victim)}); err != nil {
+		t.Fatalf("inject crash: %v", err)
+	}
+	if !sup.AwaitIdle(10 * time.Second) {
+		t.Fatal("supervisor never went idle after the crash")
+	}
+	if got := sup.Stats().Recovered; got == 0 {
+		t.Fatalf("session not recovered; stats = %+v", sup.Stats())
+	}
+
+	resp, err = c.Call(Request{Op: OpFlight, SessionID: "f1"})
+	if err != nil {
+		t.Fatalf("flight: %v", err)
+	}
+	if len(resp.Flight) == 0 {
+		t.Fatal("empty flight timeline")
+	}
+
+	var sawTrace, sawFault, sawAttempt, sawOutcome bool
+	var faultSeq, outcomeSeq uint64
+	lastSeq := uint64(0)
+	for i, e := range resp.Flight {
+		if i > 0 && e.Seq <= lastSeq {
+			t.Errorf("entry %d out of sequence: %d after %d", i, e.Seq, lastSeq)
+		}
+		lastSeq = e.Seq
+		if e.TraceID == traceID {
+			sawTrace = true
+		}
+		switch {
+		case e.Kind == flight.KindFault:
+			sawFault, faultSeq = true, e.Seq
+		case strings.Contains(e.Message, "recovery attempt"):
+			sawAttempt = true
+		case strings.Contains(e.Message, "session recovered"):
+			sawOutcome, outcomeSeq = true, e.Seq
+		}
+	}
+	if !sawTrace {
+		t.Errorf("no entry carries the client trace ID %s", traceID)
+	}
+	if !sawFault {
+		t.Error("no injected-fault marker in the timeline")
+	}
+	if !sawAttempt {
+		t.Error("no recovery attempt in the timeline")
+	}
+	if !sawOutcome {
+		t.Error("no final recovery outcome in the timeline")
+	}
+	if sawFault && sawOutcome && outcomeSeq <= faultSeq {
+		t.Errorf("outcome (seq %d) does not follow fault (seq %d)", outcomeSeq, faultSeq)
+	}
+
+	// The sessionless flight op indexes recorded sessions.
+	resp, err = c.Call(Request{Op: OpFlight})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, s := range resp.FlightSessions {
+		if s.Session == "f1" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("flight index %+v missing f1", resp.FlightSessions)
+	}
+	if _, err := c.Call(Request{Op: OpFlight, SessionID: "ghost"}); err == nil {
+		t.Error("flight for an unknown session should fail")
+	}
+
+	// The slo op reports the declared objectives with burn-rate states.
+	resp, err = c.Call(Request{Op: OpSlo})
+	if err != nil {
+		t.Fatalf("slo: %v", err)
+	}
+	if len(resp.SLO) < 3 {
+		t.Fatalf("slo reported %d objectives, want at least 3", len(resp.SLO))
+	}
+	for _, st := range resp.SLO {
+		if st.State == "" {
+			t.Errorf("objective %s has no state", st.Name)
+		}
 	}
 }

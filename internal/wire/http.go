@@ -6,9 +6,12 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"strings"
 	"time"
 
 	"ubiqos/internal/domain"
+	"ubiqos/internal/flight"
+	"ubiqos/internal/metrics"
 	"ubiqos/internal/trace"
 )
 
@@ -18,11 +21,16 @@ const tracesDefault = 16
 
 // NewHTTPHandler exposes the domain's observability surface over HTTP:
 //
-//	/metrics      Prometheus text exposition of the metrics registry
-//	/healthz      liveness JSON (device/session counts, uptime)
-//	/traces       recent configuration traces (?session= one session,
-//	              ?n= list length)
-//	/debug/pprof  the standard Go profiling endpoints
+//	/metrics          Prometheus text exposition of the metrics registry
+//	/healthz          liveness JSON (device/session counts, uptime)
+//	/traces           recent configuration traces (?session= one session,
+//	                  ?n= list length)
+//	/flight           index of sessions with flight-recorder timelines
+//	/flight/<session> one session's fused timeline (?format=text renders
+//	                  the human-readable form)
+//	/slo              burn-rate status of the declared service-level
+//	                  objectives (?format=text renders the table)
+//	/debug/pprof      the standard Go profiling endpoints
 //
 // It is mounted by qosconfigd's -http listener and by tests via
 // httptest.NewServer.
@@ -70,6 +78,47 @@ func NewHTTPHandler(dom *domain.Domain) http.Handler {
 			tds = []trace.TraceData{}
 		}
 		writeJSON(w, http.StatusOK, tds)
+	})
+	mux.HandleFunc("/flight", func(w http.ResponseWriter, r *http.Request) {
+		sessions := dom.Flight.Sessions()
+		if sessions == nil {
+			sessions = []flight.SessionInfo{}
+		}
+		writeJSON(w, http.StatusOK, sessions)
+	})
+	mux.HandleFunc("/flight/", func(w http.ResponseWriter, r *http.Request) {
+		session := strings.TrimPrefix(r.URL.Path, "/flight/")
+		if session == "" {
+			writeJSON(w, http.StatusBadRequest, map[string]any{
+				"ok": false, "error": "missing session: GET /flight/<session>",
+			})
+			return
+		}
+		entries := dom.Flight.Timeline(session)
+		if len(entries) == 0 {
+			writeJSON(w, http.StatusNotFound, map[string]any{
+				"ok": false, "error": "no flight timeline for session " + session,
+			})
+			return
+		}
+		if r.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			io.WriteString(w, dom.Flight.Render(session))
+			return
+		}
+		writeJSON(w, http.StatusOK, entries)
+	})
+	mux.HandleFunc("/slo", func(w http.ResponseWriter, r *http.Request) {
+		statuses := dom.SLO.Publish()
+		if r.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			io.WriteString(w, metrics.Render(statuses))
+			return
+		}
+		if statuses == nil {
+			statuses = []metrics.Status{}
+		}
+		writeJSON(w, http.StatusOK, statuses)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

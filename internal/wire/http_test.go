@@ -10,6 +10,8 @@ import (
 
 	"ubiqos/internal/distributor"
 	"ubiqos/internal/experiments"
+	"ubiqos/internal/flight"
+	"ubiqos/internal/metrics"
 	"ubiqos/internal/qos"
 	"ubiqos/internal/trace"
 )
@@ -135,6 +137,45 @@ func TestObservabilityEndToEnd(t *testing.T) {
 	if one.Session != "e2e-1" || len(one.Spans) != len(td.Spans) {
 		t.Errorf("trace by session = %d spans, want %d", len(one.Spans), len(td.Spans))
 	}
+
+	// --- /flight: fused timeline for the configured session. ---
+	var index []flight.SessionInfo
+	if err := json.Unmarshal([]byte(httpGet(t, web.URL+"/flight")), &index); err != nil {
+		t.Fatal(err)
+	}
+	if len(index) != 1 || index[0].Session != "e2e-1" {
+		t.Errorf("flight index = %+v", index)
+	}
+	var entries []flight.Entry
+	if err := json.Unmarshal([]byte(httpGet(t, web.URL+"/flight/e2e-1")), &entries); err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[flight.Kind]bool{}
+	for _, e := range entries {
+		kinds[e.Kind] = true
+	}
+	if !kinds[flight.KindLog] || !kinds[flight.KindSpan] {
+		t.Errorf("flight timeline kinds = %v, want log and span entries", kinds)
+	}
+	if text := httpGet(t, web.URL+"/flight/e2e-1?format=text"); !strings.Contains(text, "flight e2e-1") {
+		t.Errorf("text flight rendering = %q", text)
+	}
+
+	// --- /slo: burn-rate status of the default objectives. ---
+	var slo []metrics.Status
+	if err := json.Unmarshal([]byte(httpGet(t, web.URL+"/slo")), &slo); err != nil {
+		t.Fatal(err)
+	}
+	if len(slo) < 3 {
+		t.Errorf("/slo reported %d objectives, want at least 3", len(slo))
+	}
+	if text := httpGet(t, web.URL+"/slo?format=text"); !strings.Contains(text, "configure-p95") {
+		t.Errorf("text slo rendering = %q", text)
+	}
+	body = httpGet(t, web.URL+"/metrics")
+	if !strings.Contains(body, "slo_burn_rate{") || !strings.Contains(body, "slo_violations") {
+		t.Error("/slo did not publish burn-rate gauges into /metrics")
+	}
 }
 
 func TestHTTPHandlerErrors(t *testing.T) {
@@ -154,6 +195,12 @@ func TestHTTPHandlerErrors(t *testing.T) {
 	}
 	if body := httpGet(t, web.URL+"/traces"); strings.TrimSpace(body) != "[]" {
 		t.Errorf("empty traces = %q", body)
+	}
+	if code := httpStatus(t, web.URL+"/flight/ghost"); code != http.StatusNotFound {
+		t.Errorf("unknown flight session status = %d", code)
+	}
+	if body := httpGet(t, web.URL+"/flight"); strings.TrimSpace(body) != "[]" {
+		t.Errorf("empty flight index = %q", body)
 	}
 	if !strings.Contains(httpGet(t, web.URL+"/debug/pprof/cmdline"), "wire") {
 		t.Error("pprof cmdline endpoint not serving")

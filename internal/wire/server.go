@@ -147,6 +147,7 @@ var knownOps = map[string]bool{
 	OpSessions: true, OpSession: true, OpStart: true, OpStop: true,
 	OpSwitch: true, OpMetrics: true, OpTrace: true, OpCrashDevice: true,
 	OpRejoinDevice: true, OpCheck: true, OpRegister: true, OpUnregister: true,
+	OpFlight: true, OpSlo: true,
 }
 
 // Handle dispatches one request; it is exported so the daemon can be
@@ -215,6 +216,10 @@ func (s *Server) dispatch(req Request) Response {
 		return Response{OK: true}
 	case OpCheck:
 		return s.check(req)
+	case OpFlight:
+		return s.flightInfo(req.SessionID)
+	case OpSlo:
+		return Response{OK: true, SLO: s.dom.SLO.Publish()}
 	case OpRegister:
 		return s.registerService(req)
 	case OpUnregister:
@@ -265,6 +270,7 @@ func (s *Server) start(req Request) Response {
 		UserQoS:      req.UserQoS,
 		ClientDevice: device.ID(req.ClientDevice),
 		MaxFrames:    req.MaxFrames,
+		TraceCtx:     trace.Context{TraceID: req.TraceID, ParentSpan: req.SpanID},
 	})
 	if err != nil {
 		return errResponse(err)
@@ -360,6 +366,19 @@ func (s *Server) traceInfo(sessionID string) Response {
 		return errResponse(fmt.Errorf("wire: no trace for session %q", sessionID))
 	}
 	return Response{OK: true, Trace: td}
+}
+
+// flightInfo returns one session's fused flight-recorder timeline, or
+// the index of recorded sessions when no session is named.
+func (s *Server) flightInfo(sessionID string) Response {
+	if sessionID == "" {
+		return Response{OK: true, FlightSessions: s.dom.Flight.Sessions()}
+	}
+	entries := s.dom.Flight.Timeline(sessionID)
+	if len(entries) == 0 {
+		return errResponse(fmt.Errorf("wire: no flight timeline for session %q", sessionID))
+	}
+	return Response{OK: true, Flight: entries}
 }
 
 func (s *Server) sessionInfo(id string) Response {

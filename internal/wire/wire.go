@@ -8,6 +8,8 @@ import (
 	"time"
 
 	"ubiqos/internal/composer"
+	"ubiqos/internal/flight"
+	"ubiqos/internal/metrics"
 	"ubiqos/internal/qos"
 	"ubiqos/internal/registry"
 	"ubiqos/internal/trace"
@@ -30,6 +32,8 @@ const (
 	OpCheck        = "check"
 	OpRegister     = "register-service"
 	OpUnregister   = "unregister-service"
+	OpFlight       = "flight"
+	OpSlo          = "slo"
 )
 
 // Request is one client request.
@@ -55,6 +59,13 @@ type Request struct {
 	// InstalledOn optionally marks the registered instance pre-installed
 	// on these devices ("*" = everywhere).
 	InstalledOn []string `json:"installedOn,omitempty"`
+	// TraceID carries the client-originated trace context so the server's
+	// spans join the caller's trace (start/switch). The client fills it in
+	// automatically when empty.
+	TraceID string `json:"traceId,omitempty"`
+	// SpanID names the client-side span that caused this request; the
+	// server records it as the parent of its root span.
+	SpanID string `json:"spanId,omitempty"`
 }
 
 // DeviceInfo describes one device in a list-devices response.
@@ -114,6 +125,13 @@ type Response struct {
 	Moved []string `json:"moved,omitempty"`
 	// CheckSummary reports what composing the app would do (check op).
 	CheckSummary string `json:"checkSummary,omitempty"`
+	// Flight is one session's fused observability timeline (flight op).
+	Flight []flight.Entry `json:"flight,omitempty"`
+	// FlightSessions lists sessions with recorded timelines (flight op
+	// with no session named), most recently active first.
+	FlightSessions []flight.SessionInfo `json:"flightSessions,omitempty"`
+	// SLO reports the burn-rate status of each declared objective (slo op).
+	SLO []metrics.Status `json:"slo,omitempty"`
 }
 
 func timingInfo(c, d, dl, ih time.Duration) TimingInfo {
