@@ -25,9 +25,9 @@ test:
 # renew/expire, publish/subscribe fan-out, wire request handling,
 # multi-session configuration, the fault-injection/recovery path, and
 # the observability layer (tracer ring, metrics registry, structured
-# logging, flight recorder).
+# logging, flight recorder, explain recorder).
 race:
-	$(GO) test -race ./internal/registry ./internal/eventbus ./internal/core ./internal/distributor ./internal/experiments ./internal/par ./internal/wire ./internal/faultinject ./internal/domain ./internal/trace ./internal/metrics ./internal/flight ./internal/obslog
+	$(GO) test -race ./internal/registry ./internal/eventbus ./internal/core ./internal/distributor ./internal/experiments ./internal/par ./internal/wire ./internal/faultinject ./internal/domain ./internal/trace ./internal/metrics ./internal/flight ./internal/obslog ./internal/explain
 
 # bench times the parallel configuration engine against its sequential
 # equivalents, writing BENCH_parallel.json (ns/op + speedup per pair) and

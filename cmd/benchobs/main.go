@@ -1,9 +1,10 @@
 // Command benchobs measures the overhead of the observability layer
 // (`make bench-obs` emits BENCH_obs.json). Each case times one
 // instrumentation primitive on the hot configuration path — a structured
-// log call, a flight-recorder append, a trace export — in both its
-// instrumented and its no-op form (nil logger / suppressed level / nil
-// recorder), so the report shows what a fully wired daemon pays per
+// log call, a flight-recorder append, a trace export, an explain-record
+// append — in both its instrumented and its no-op form (nil logger /
+// suppressed level / nil recorder), so the report shows what a fully
+// wired daemon pays per
 // operation and what disabled instrumentation costs, which must stay
 // within noise of zero.
 package main
@@ -17,6 +18,7 @@ import (
 	"testing"
 	"time"
 
+	"ubiqos/internal/explain"
 	"ubiqos/internal/flight"
 	"ubiqos/internal/obslog"
 	"ubiqos/internal/trace"
@@ -60,6 +62,9 @@ func main() {
 		{"flight-nil-recorder", "no-op", benchFlightNil},
 		{"trace-span", "instrumented", benchTraceSpan},
 		{"trace-nil-tracer", "no-op", benchTraceNil},
+		{"explain-record", "instrumented", benchExplainRecord},
+		{"explain-nil-recorder", "no-op", benchExplainNil},
+		{"explain-nil-composition", "no-op", benchExplainNilComposition},
 	}
 
 	rep := Report{Generated: time.Now().UTC().Format(time.RFC3339)}
@@ -199,6 +204,62 @@ func benchTraceSpan(b *testing.B) {
 		tr := tracer.StartCtx(trace.Context{TraceID: "cafef00dcafef00d"}, "configure", "bench")
 		tr.Root().Child("compose").End()
 		tr.Finish()
+	}
+}
+
+// sampleExplain builds a representative decision-provenance record the
+// way the configurator emits one per configuration: one attempt with a
+// discovery, a correction, and a search summary.
+func sampleExplain() explain.Record {
+	return explain.Record{
+		Session: "bench",
+		TraceID: "cafef00dcafef00d",
+		Action:  explain.ActionConfigure,
+		Attempts: []explain.Attempt{{
+			DegradeFactor: 1,
+			Discoveries: []explain.Discovery{{
+				Node: "player", Type: "audio-player", Outcome: "found", Chosen: "wav-player",
+			}},
+			Corrections: []explain.Correction{{
+				Rule: "transcoder", Node: "mpeg2wav", Dim: "format",
+				BeforeQoS: "[format=MPEG]", AfterQoS: "[format=WAV]",
+			}},
+			Search: &explain.Search{Algorithm: "optimal", Explored: 64, Pruned: 16, Cost: 0.42},
+		}},
+		Placement: map[string]string{"server": "desktop1", "player": "jornada"},
+		Cost:      0.42,
+	}
+}
+
+func benchExplainRecord(b *testing.B) {
+	rec := explain.New(explain.Options{})
+	xr := sampleExplain()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec.Record(xr)
+	}
+}
+
+func benchExplainNil(b *testing.B) {
+	var rec *explain.Recorder
+	xr := sampleExplain()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec.Record(xr)
+	}
+}
+
+// benchExplainNilComposition is the hot-path guard the composer and OC
+// tier take per discovery/correction when no explain sink is attached.
+func benchExplainNilComposition(b *testing.B) {
+	var comp *explain.Composition
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		comp.AddDiscovery(explain.Discovery{Node: "player"})
+		comp.AddCorrection(explain.Correction{Rule: "adjust"})
 	}
 }
 

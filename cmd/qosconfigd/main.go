@@ -19,7 +19,8 @@
 //
 // The -http listener serves the observability surface: /metrics
 // (Prometheus text), /healthz, /traces, /flight (per-session flight
-// recorder timelines), /slo (objective burn rates), and /debug/pprof.
+// recorder timelines), /explain (per-session decision provenance),
+// /slo (objective burn rates), and /debug/pprof.
 // Set -http "" to disable it. The -log flag sets the minimum level of
 // the structured log stream on stderr.
 //
@@ -143,7 +144,7 @@ func run(addr, httpAddr, space, config string, scale float64, place, chaos strin
 		}
 		defer ln.Close()
 		go http.Serve(ln, wire.NewHTTPHandler(dom))
-		log.Printf("observability on http://%s (/metrics /healthz /traces /flight /slo /debug/pprof)", ln.Addr())
+		log.Printf("observability on http://%s (/metrics /healthz /traces /flight /explain /slo /debug/pprof)", ln.Addr())
 	}
 
 	sig := make(chan os.Signal, 1)

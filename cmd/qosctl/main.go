@@ -6,6 +6,10 @@
 //	qosctl trace   [-session ID] [-json]                 (span tree of a configuration)
 //	qosctl flight  [-session ID] [-json]                 (fused session timeline; no -session lists sessions)
 //	qosctl slo     [-json]                               (burn-rate status of the service-level objectives)
+//	qosctl explain [-session ID] [-json]                 (decision provenance: discovery candidates, OC
+//	                                                      corrections, solver stats, recovery ladder,
+//	                                                      placement diffs; no -session lists sessions)
+//	qosctl version [-json]                               (client and daemon build identity)
 //	qosctl start   -session ID [-app audio|conf|FILE.json|FILE.spec] [-client DEV] [-qos "framerate=38-44"]
 //	qosctl check   [-app ...] [-client DEV] [-qos ...]   (dry-run composition)
 //	qosctl session -session ID
@@ -40,6 +44,7 @@ import (
 	"strings"
 	"time"
 
+	"ubiqos/internal/buildinfo"
 	"ubiqos/internal/composer"
 	"ubiqos/internal/experiments"
 	"ubiqos/internal/metrics"
@@ -67,7 +72,7 @@ func main() {
 	retries := flag.Int("retries", 0, "retry a timed-out/failed request this many times")
 
 	if len(os.Args) < 2 || strings.HasPrefix(os.Args[1], "-") {
-		log.Fatal("usage: qosctl devices|services|sessions|metrics|trace|flight|slo|start|check|session|switch|stop|crash|rejoin|register|unregister [flags]\n" +
+		log.Fatal("usage: qosctl devices|services|sessions|metrics|trace|flight|slo|explain|version|start|check|session|switch|stop|crash|rejoin|register|unregister [flags]\n" +
 			"  common flags: -addr HOST:PORT  -timeout DUR (0 = wait forever)  -retries N\n" +
 			"  run 'go doc ubiqos/cmd/qosctl' for the full per-verb flag list")
 	}
@@ -96,6 +101,10 @@ type runArgs struct {
 
 func run(a runArgs) error {
 	verb, addr, session, app, client, to, userQoS, dot := a.verb, a.addr, a.session, a.app, a.client, a.to, a.userQoS, a.dot
+	if verb == "version" {
+		// The client's own identity prints even when no daemon is running.
+		return printVersion(a)
+	}
 	c, err := wire.DialWith(addr, wire.Options{Timeout: a.timeout, Retries: a.retries})
 	if err != nil {
 		return err
@@ -232,6 +241,31 @@ func run(a runArgs) error {
 		for _, e := range resp.Flight {
 			fmt.Println(e.Format())
 		}
+	case "explain":
+		resp, err := c.Call(wire.Request{Op: wire.OpExplain, SessionID: session})
+		if err != nil {
+			return err
+		}
+		if a.asJSON {
+			var v any = resp.Explain
+			if session == "" {
+				v = resp.ExplainSessions
+			}
+			out, err := json.MarshalIndent(v, "", "  ")
+			if err != nil {
+				return err
+			}
+			fmt.Println(string(out))
+			return nil
+		}
+		if session == "" {
+			fmt.Printf("%-16s %8s %8s %s\n", "SESSION", "RECORDS", "TOTAL", "LAST")
+			for _, s := range resp.ExplainSessions {
+				fmt.Printf("%-16s %8d %8d %s\n", s.Session, s.Records, s.Total, s.Last.Format(time.RFC3339))
+			}
+			return nil
+		}
+		fmt.Print(resp.Explain.Render())
 	case "slo":
 		resp, err := c.Call(wire.Request{Op: wire.OpSlo})
 		if err != nil {
@@ -312,6 +346,42 @@ func run(a runArgs) error {
 		fmt.Printf("device %s rejoined the smart space\n", to)
 	default:
 		return fmt.Errorf("unknown verb %q", verb)
+	}
+	return nil
+}
+
+// printVersion reports the client's build identity and, when a daemon is
+// reachable at -addr, the daemon's too. An unreachable daemon is not an
+// error: version must work offline.
+func printVersion(a runArgs) error {
+	client := buildinfo.Get()
+	var daemon *buildinfo.Info
+	var dialErr error
+	if c, err := wire.DialWith(a.addr, wire.Options{Timeout: a.timeout, Retries: a.retries}); err != nil {
+		dialErr = err
+	} else {
+		defer c.Close()
+		if resp, err := c.Call(wire.Request{Op: wire.OpVersion}); err != nil {
+			dialErr = err
+		} else {
+			daemon = resp.Version
+		}
+	}
+	if a.asJSON {
+		out, err := json.MarshalIndent(map[string]any{
+			"client": client, "daemon": daemon,
+		}, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(out))
+		return nil
+	}
+	fmt.Println("qosctl    ", client.String())
+	if daemon != nil {
+		fmt.Println("qosconfigd", daemon.String())
+	} else {
+		fmt.Printf("qosconfigd unreachable at %s (%v)\n", a.addr, dialErr)
 	}
 	return nil
 }

@@ -1,0 +1,71 @@
+// Package buildinfo surfaces the binary's embedded build metadata
+// (module path/version, VCS revision, Go toolchain) for the /healthz
+// endpoint and the qosctl version verb. The data comes from
+// runtime/debug.ReadBuildInfo, so it is accurate for any `go build` of
+// the module with no linker-flag stamping required.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// Info is the build/version identity of a running binary.
+type Info struct {
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"goVersion"`
+	// Path is the main module path (e.g. "ubiqos").
+	Path string `json:"path,omitempty"`
+	// Version is the main module version ("(devel)" for a workspace
+	// build).
+	Version string `json:"version,omitempty"`
+	// Revision is the VCS commit the binary was built from, when the
+	// build embedded VCS metadata.
+	Revision string `json:"revision,omitempty"`
+	// Modified marks a build from a dirty working tree.
+	Modified bool `json:"modified,omitempty"`
+}
+
+// Get reads the running binary's build info. It degrades gracefully:
+// binaries built without module support still report the Go version.
+func Get() Info {
+	info := Info{}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	info.GoVersion = bi.GoVersion
+	info.Path = bi.Main.Path
+	info.Version = bi.Main.Version
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			info.Revision = s.Value
+		case "vcs.modified":
+			info.Modified = s.Value == "true"
+		}
+	}
+	return info
+}
+
+// String renders the identity on one line, e.g.
+// "ubiqos (devel) go1.22.1 rev=abc123 (modified)".
+func (i Info) String() string {
+	s := i.Path
+	if s == "" {
+		s = "unknown"
+	}
+	if i.Version != "" {
+		s += " " + i.Version
+	}
+	if i.GoVersion != "" {
+		s += " " + i.GoVersion
+	}
+	if i.Revision != "" {
+		s += fmt.Sprintf(" rev=%s", i.Revision)
+	}
+	if i.Modified {
+		s += " (modified)"
+	}
+	return s
+}

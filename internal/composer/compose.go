@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"ubiqos/internal/explain"
 	"ubiqos/internal/graph"
 	"ubiqos/internal/obslog"
 	"ubiqos/internal/qos"
@@ -40,6 +41,10 @@ type Request struct {
 	// Log, when non-nil, receives structured records about the composition
 	// outcome (missing services, correction counts). Observability only.
 	Log *obslog.Logger
+	// Explain, when non-nil, collects decision provenance: the candidate
+	// set behind every discovery binding and every Ordered Coordination
+	// correction with its before/after QoS vectors. Observability only.
+	Explain *explain.Composition
 }
 
 // MissingServiceError reports mandatory services the discovery service
@@ -64,6 +69,14 @@ func (e *MissingServiceError) Error() string {
 // domains.
 type Discovery interface {
 	Best(spec registry.Spec) *registry.Instance
+}
+
+// CandidateExplainer is optionally implemented by discovery services
+// that can enumerate the full ranked candidate set behind a Best
+// decision, with per-candidate rejection reasons. *registry.Registry
+// implements it, as does the domain's federated discovery.
+type CandidateExplainer interface {
+	Candidates(spec registry.Spec) []registry.Candidate
 }
 
 // Composer is the service composition tier. It is configured with the
@@ -155,7 +168,7 @@ func (c *Composer) Compose(req Request) (*graph.Graph, *Report, error) {
 	}
 
 	ocsp := req.Span.Child("ordered-coordination")
-	if err := c.coordinate(g, report, ocsp); err != nil {
+	if err := c.coordinate(g, report, ocsp, req.Explain); err != nil {
 		ocsp.SetErr(err)
 		ocsp.End()
 		return nil, nil, err
@@ -265,6 +278,7 @@ func (in *instantiation) run(ag *AbstractGraph, prefix string, depth int, parent
 			in.exits[qid] = []graph.NodeID{qid}
 			in.report.Discovered[qid] = best.Name
 			dsp.Set(trace.String("outcome", "found"), trace.String("instance", best.Name))
+			in.explainDiscovery(qid, spec, depth, "found", best.Name)
 
 		case an.Optional:
 			// "If the service that cannot be discovered is optional, then
@@ -274,6 +288,7 @@ func (in *instantiation) run(ag *AbstractGraph, prefix string, depth int, parent
 			in.report.Skipped = append(in.report.Skipped, qid)
 			in.report.DiscoveryFailures++
 			dsp.Set(trace.String("outcome", "skipped-optional"))
+			in.explainDiscovery(qid, spec, depth, "skipped-optional", "")
 
 		case depth < MaxRecursionDepth:
 			in.report.DiscoveryFailures++
@@ -281,6 +296,7 @@ func (in *instantiation) run(ag *AbstractGraph, prefix string, depth int, parent
 			if !ok {
 				in.missing[an.Spec.Type] = true
 				dsp.Set(trace.String("outcome", "missing"))
+				in.explainDiscovery(qid, spec, depth, "missing", "")
 				dsp.End()
 				continue
 			}
@@ -288,6 +304,7 @@ func (in *instantiation) run(ag *AbstractGraph, prefix string, depth int, parent
 			// service graph that performs the same task as the missing
 			// service.
 			dsp.Set(trace.String("outcome", "recompose"))
+			in.explainDiscovery(qid, spec, depth, "recompose", "")
 			subPrefix := string(qid) + "/"
 			if err := in.run(sub, subPrefix, depth+1, dsp); err != nil {
 				dsp.End()
@@ -310,6 +327,7 @@ func (in *instantiation) run(ag *AbstractGraph, prefix string, depth int, parent
 			in.report.DiscoveryFailures++
 			in.missing[an.Spec.Type] = true
 			dsp.Set(trace.String("outcome", "missing"))
+			in.explainDiscovery(qid, spec, depth, "missing", "")
 		}
 		dsp.End()
 	}
@@ -332,6 +350,24 @@ func (in *instantiation) run(ag *AbstractGraph, prefix string, depth int, parent
 		}
 	}
 	return nil
+}
+
+// explainDiscovery records one discovery decision — with the full
+// ranked candidate set, when the discovery service can enumerate it —
+// into the request's provenance sink. The spec passed in is the final
+// (sink-output- and client-attr-merged) spec the binding was made over.
+func (in *instantiation) explainDiscovery(qid graph.NodeID, spec registry.Spec, depth int, outcome, chosen string) {
+	if in.req.Explain == nil {
+		return
+	}
+	d := explain.Discovery{
+		Node: string(qid), Type: spec.Type, Depth: depth,
+		Outcome: outcome, Chosen: chosen,
+	}
+	if ce, ok := in.c.reg.(CandidateExplainer); ok {
+		d.Candidates = ce.Candidates(spec)
+	}
+	in.req.Explain.AddDiscovery(d)
 }
 
 // subBoundary returns the concrete sources (entry=true) or sinks of an

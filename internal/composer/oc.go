@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"ubiqos/internal/explain"
 	"ubiqos/internal/graph"
 	"ubiqos/internal/qos"
 	"ubiqos/internal/registry"
@@ -62,7 +63,7 @@ func (c *Composer) SetCheckOrder(o CheckOrder) { c.checkOrder = o }
 // Checking in reverse topological order means the first examined nodes are
 // the sinks — the client services carrying the user's QoS requirements —
 // so their QoS is preserved while upstream components adapt.
-func (c *Composer) coordinate(g *graph.Graph, report *Report, sp *trace.Span) error {
+func (c *Composer) coordinate(g *graph.Graph, report *Report, sp *trace.Span, exp *explain.Composition) error {
 	order, err := g.TopoSort()
 	if err != nil {
 		return err
@@ -84,7 +85,7 @@ func (c *Composer) coordinate(g *graph.Graph, report *Report, sp *trace.Span) er
 		cur := work[i]
 		// Snapshot the incoming edges: corrections splice nodes onto them.
 		for _, e := range g.In(cur) {
-			inserted, err := c.checkEdge(g, e, report, sp)
+			inserted, err := c.checkEdge(g, e, report, sp, exp)
 			if err != nil {
 				return err
 			}
@@ -113,7 +114,7 @@ func (c *Composer) coordinate(g *graph.Graph, report *Report, sp *trace.Span) er
 // re-routed) direct edge after each: a splice fills in every dimension the
 // consumer requires, so residual inconsistencies migrate to the new
 // upstream edge and are handled when the spliced node is examined.
-func (c *Composer) checkEdge(g *graph.Graph, e graph.Edge, report *Report, sp *trace.Span) ([]graph.NodeID, error) {
+func (c *Composer) checkEdge(g *graph.Graph, e graph.Edge, report *Report, sp *trace.Span, exp *explain.Composition) ([]graph.NodeID, error) {
 	cons := g.Node(e.To)
 	var inserted []graph.NodeID
 	// Each iteration resolves at least one mismatched dimension of the
@@ -134,6 +135,12 @@ func (c *Composer) checkEdge(g *graph.Graph, e graph.Edge, report *Report, sp *t
 			return inserted, fmt.Errorf("composer: corrections on %s -> %s do not converge: %w", from, cons.ID, ms[0])
 		}
 		m := ms[0]
+		// Snapshot the producer's vector so the provenance record can show
+		// exactly what the correction changed.
+		var beforeQoS string
+		if exp != nil {
+			beforeQoS = pred.Out.String()
+		}
 		// First preference: adjust the predecessor's configurable output
 		// (and, for pass-through dimensions, its input requirement, so the
 		// adjustment cascades upstream when the predecessor is examined).
@@ -145,6 +152,13 @@ func (c *Composer) checkEdge(g *graph.Graph, e graph.Edge, report *Report, sp *t
 				trace.String("dim", adj.Dim),
 				trace.String("from", adj.From),
 				trace.String("to", adj.To)).End()
+			if exp != nil {
+				exp.AddCorrection(explain.Correction{
+					Rule: "adjust", Node: string(adj.Node), Dim: adj.Dim,
+					From: adj.From, To: adj.To,
+					BeforeQoS: beforeQoS, AfterQoS: pred.Out.String(),
+				})
+			}
 			continue
 		}
 		switch m.Kind {
@@ -159,6 +173,14 @@ func (c *Composer) checkEdge(g *graph.Graph, e graph.Edge, report *Report, sp *t
 				trace.String("node", string(id)),
 				trace.String("dim", m.Name),
 				trace.String("edge", string(from)+"->"+string(e.To))).End()
+			if exp != nil {
+				exp.AddCorrection(explain.Correction{
+					Rule: "transcoder", Node: string(id), Dim: m.Name,
+					Edge: string(from) + "->" + string(e.To),
+					From: m.Offered.String(), To: m.Required.String(),
+					BeforeQoS: beforeQoS, AfterQoS: g.Node(id).Out.String(),
+				})
+			}
 		case qos.MismatchPerformance:
 			id, err := c.insertBuffer(g, from, e.To, m, report)
 			if err != nil {
@@ -170,6 +192,14 @@ func (c *Composer) checkEdge(g *graph.Graph, e graph.Edge, report *Report, sp *t
 				trace.String("node", string(id)),
 				trace.String("dim", m.Name),
 				trace.String("edge", string(from)+"->"+string(e.To))).End()
+			if exp != nil {
+				exp.AddCorrection(explain.Correction{
+					Rule: "buffer", Node: string(id), Dim: m.Name,
+					Edge: string(from) + "->" + string(e.To),
+					From: m.Offered.String(), To: m.Required.String(),
+					BeforeQoS: beforeQoS, AfterQoS: g.Node(id).Out.String(),
+				})
+			}
 		default:
 			return inserted, fmt.Errorf("composer: cannot correct %s -> %s: %w", pred.ID, cons.ID, m)
 		}

@@ -21,6 +21,7 @@ import (
 	"ubiqos/internal/composer"
 	"ubiqos/internal/device"
 	"ubiqos/internal/distributor"
+	"ubiqos/internal/explain"
 	"ubiqos/internal/flight"
 	"ubiqos/internal/graph"
 	"ubiqos/internal/metrics"
@@ -87,6 +88,12 @@ type Config struct {
 	// summaries on the per-session flight timelines (log records reach it
 	// through Log's sink set instead).
 	Flight *flight.Recorder
+	// Explain, when set, receives one decision-provenance record per
+	// configure/reconfigure/recover action: discovery candidate sets, OC
+	// corrections with before/after QoS vectors, the distributor's search
+	// summary, and the winning placement. Nil disables provenance at zero
+	// cost on the pipeline's hot path.
+	Explain *explain.Recorder
 	// Parallelism bounds the worker pool of the batched ConfigureAll
 	// entry point (0 = all usable CPUs, 1 = serial). Individual
 	// Configure/Reconfigure calls may always run concurrently; this knob
@@ -287,7 +294,7 @@ func (c *Configurator) Configure(req Request) (*ActiveSession, error) {
 	if err := c.reserve(req.SessionID); err != nil {
 		return nil, err
 	}
-	active, err := c.configure(req, false)
+	active, err := c.configure(req, false, explain.ActionConfigure)
 	if err != nil {
 		c.unreserve(req.SessionID)
 	}
@@ -314,12 +321,23 @@ func (c *Configurator) ConfigureAll(reqs []Request) (sessions []*ActiveSession, 
 
 // configure runs the pipeline, walking the QoS degradation ladder when
 // the full-quality configuration does not fit the current environment.
-func (c *Configurator) configure(req Request, handoff bool) (*ActiveSession, error) {
+// action labels the run for provenance: ActionConfigure, ActionResume,
+// ActionRecover, or ActionReconfigure.
+func (c *Configurator) configure(req Request, handoff bool, action string) (*ActiveSession, error) {
 	tr := c.cfg.Tracer.StartCtx(req.TraceCtx, "configure", req.SessionID, trace.Bool("handoff", handoff))
 	log := c.cfg.Log.Named("core").ForSession(req.SessionID, tr.Context().TraceID)
 	log.Info("configure started", obslog.Bool("handoff", handoff))
 	root := tr.Root()
-	active, err := c.configureLadder(req, handoff, root)
+	var xr *explain.Record
+	if c.cfg.Explain != nil {
+		xr = &explain.Record{
+			Session: req.SessionID,
+			TraceID: tr.Context().TraceID,
+			Action:  action,
+			Handoff: handoff,
+		}
+	}
+	active, err := c.configureLadder(req, handoff, root, xr)
 	if err != nil {
 		root.SetErr(err)
 		log.Error("configure failed", obslog.Err(err))
@@ -334,6 +352,19 @@ func (c *Configurator) configure(req Request, handoff bool) (*ActiveSession, err
 	}
 	tr.Finish()
 	c.cfg.Flight.RecordTrace(tr.Export())
+	if xr != nil {
+		if err != nil {
+			xr.Err = err.Error()
+		} else {
+			xr.Cost = active.Cost
+			xr.DegradeFactor = active.DegradeFactor
+			xr.Placement = make(map[string]string, len(active.Placement))
+			for id, dev := range active.Placement {
+				xr.Placement[string(id)] = string(dev)
+			}
+		}
+		c.cfg.Explain.Record(*xr)
+	}
 	c.recordOutcome(active, err)
 	return active, err
 }
@@ -365,15 +396,16 @@ func (c *Configurator) recordOutcome(active *ActiveSession, err error) {
 	m.Gauge(metrics.ActiveSessions).Set(float64(c.Sessions()))
 }
 
-func (c *Configurator) configureLadder(req Request, handoff bool, root *trace.Span) (*ActiveSession, error) {
+func (c *Configurator) configureLadder(req Request, handoff bool, root *trace.Span, xr *explain.Record) (*ActiveSession, error) {
 	asp := root.Child("attempt", trace.Float("degradeFactor", 1))
-	active, err := c.configureOnce(req, handoff, asp)
+	active, err := c.configureOnce(req, handoff, asp, nextAttempt(xr, 1))
 	asp.SetErr(err)
 	asp.End()
 	if err == nil {
 		active.DegradeFactor = 1
 		return active, nil
 	}
+	finishAttempt(xr, err)
 	// Missing services cannot be fixed by lowering quality; notify the
 	// user instead of degrading.
 	var miss *composer.MissingServiceError
@@ -387,15 +419,35 @@ func (c *Configurator) configureLadder(req Request, handoff bool, root *trace.Sp
 		degraded := req
 		degraded.UserQoS = degradeVector(req.UserQoS, f)
 		asp := root.Child("attempt", trace.Float("degradeFactor", f))
-		active, derr := c.configureOnce(degraded, handoff, asp)
+		active, derr := c.configureOnce(degraded, handoff, asp, nextAttempt(xr, f))
 		asp.SetErr(derr)
 		asp.End()
 		if derr == nil {
 			active.DegradeFactor = f
 			return active, nil
 		}
+		finishAttempt(xr, derr)
 	}
 	return nil, err
+}
+
+// nextAttempt appends a fresh provenance attempt to the record and
+// returns it for configureOnce to fill; a nil record yields nil.
+func nextAttempt(xr *explain.Record, degradeFactor float64) *explain.Attempt {
+	if xr == nil {
+		return nil
+	}
+	xr.Attempts = append(xr.Attempts, explain.Attempt{DegradeFactor: degradeFactor})
+	return &xr.Attempts[len(xr.Attempts)-1]
+}
+
+// finishAttempt stamps the most recent provenance attempt with the error
+// that ended it.
+func finishAttempt(xr *explain.Record, err error) {
+	if xr == nil || len(xr.Attempts) == 0 || err == nil {
+		return
+	}
+	xr.Attempts[len(xr.Attempts)-1].Err = err.Error()
 }
 
 // degradeVector scales the numeric dimensions of a QoS requirement by f,
@@ -414,7 +466,7 @@ func degradeVector(v qos.Vector, f float64) qos.Vector {
 	return out
 }
 
-func (c *Configurator) configureOnce(req Request, handoff bool, parent *trace.Span) (*ActiveSession, error) {
+func (c *Configurator) configureOnce(req Request, handoff bool, parent *trace.Span, att *explain.Attempt) (*ActiveSession, error) {
 	// --- Tier 1: service composition. ---
 	var clientAttrs map[string]string
 	if d := c.cfg.Devices.Get(req.ClientDevice); d != nil {
@@ -423,6 +475,10 @@ func (c *Configurator) configureOnce(req Request, handoff bool, parent *trace.Sp
 	t0 := time.Now()
 	csp := parent.Child("compose")
 	app := resolveClientPins(req.App, req.ClientDevice)
+	var comp *explain.Composition
+	if att != nil {
+		comp = &explain.Composition{}
+	}
 	g, rep, err := c.cfg.Composer.Compose(composer.Request{
 		App:          app,
 		UserQoS:      req.UserQoS,
@@ -430,8 +486,13 @@ func (c *Configurator) configureOnce(req Request, handoff bool, parent *trace.Sp
 		ClientDevice: string(req.ClientDevice),
 		Span:         csp,
 		Log:          c.cfg.Log.Named("composer").ForSession(req.SessionID, parent.TraceContext().TraceID),
+		Explain:      comp,
 	})
 	compTime := time.Since(t0)
+	if att != nil {
+		att.Discoveries = comp.Discoveries
+		att.Corrections = comp.Corrections
+	}
 	if err != nil {
 		csp.SetErr(err)
 		csp.End()
@@ -483,6 +544,23 @@ func (c *Configurator) configureOnce(req Request, handoff bool, parent *trace.Sp
 	assignment, cost, err := place(prob)
 	distTime := time.Since(t1)
 	c.recordSearch(dsp, stats, cost, err)
+	if att != nil {
+		att.Search = &explain.Search{
+			Algorithm:       stats.Algorithm,
+			Workers:         stats.Workers,
+			Tasks:           stats.Tasks,
+			FrontierDepth:   stats.FrontierDepth,
+			Explored:        stats.Explored,
+			Pruned:          stats.Pruned,
+			Incumbents:      stats.Incumbents,
+			BoundTrajectory: stats.BoundTrajectory,
+			RunnerUp:        stats.RunnerUp,
+			Devices:         len(up),
+		}
+		if err == nil {
+			att.Search.Cost = cost
+		}
+	}
 	if err != nil {
 		return nil, fmt.Errorf("core: distribution: %w", err)
 	}
@@ -809,7 +887,7 @@ func (c *Configurator) ResumeFrom(req Request, st checkpoint.State) (*ActiveSess
 		c.unreserve(req.SessionID)
 		return nil, err
 	}
-	active, err := c.configure(req, true)
+	active, err := c.configure(req, true, explain.ActionResume)
 	if err != nil {
 		c.unreserve(req.SessionID)
 	}
@@ -830,7 +908,7 @@ func (c *Configurator) Recover(req Request) (*ActiveSession, error) {
 		return nil, err
 	}
 	_, resuming := c.cfg.Checkpoints.Load(req.SessionID)
-	active, err := c.configure(req, resuming)
+	active, err := c.configure(req, resuming, explain.ActionRecover)
 	if err != nil {
 		c.unreserve(req.SessionID)
 	}
@@ -896,7 +974,7 @@ func (c *Configurator) Reconfigure(req Request) (*ActiveSession, error) {
 		handoffTime = d
 	}
 
-	active, err := c.configure(req, true)
+	active, err := c.configure(req, true, explain.ActionReconfigure)
 	if err != nil {
 		c.unreserve(req.SessionID)
 		return nil, err

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 	"time"
 
@@ -10,6 +11,7 @@ import (
 	"ubiqos/internal/device"
 	"ubiqos/internal/distributor"
 	"ubiqos/internal/eventbus"
+	"ubiqos/internal/explain"
 	"ubiqos/internal/graph"
 	"ubiqos/internal/metrics"
 	"ubiqos/internal/obslog"
@@ -370,8 +372,17 @@ func (s *Supervisor) attempt(t *recoveryTask) {
 
 	degraded := t.attempts >= s.opts.DegradeAfter || time.Since(t.firstSeen) > s.opts.Deadline
 	req := t.req
+	var shed []string
+	fallback := ""
 	if degraded {
 		req.Place = distributor.Heuristic
+		fallback = "heuristic"
+		for _, n := range req.App.Nodes() {
+			if n.Optional {
+				shed = append(shed, string(n.ID))
+			}
+		}
+		sort.Strings(shed)
 		req.App = shedOptional(req.App)
 		t.degraded = true
 	}
@@ -402,6 +413,10 @@ func (s *Supervisor) attempt(t *recoveryTask) {
 		log.Info("session recovered",
 			obslog.Bool("degraded", degraded),
 			obslog.Duration("downMs", time.Since(t.firstSeen)))
+		s.recordLadder(t.sessionID, tr.Context().TraceID, explain.LadderStep{
+			Attempt: t.attempts + 1, Reason: t.reason, Degraded: degraded,
+			Shed: shed, PlacementFallback: fallback, Outcome: "recovered",
+		})
 		s.finish(t.sessionID)
 		s.opts.Bus.Publish(eventbus.TopicSessionRecovered, t.sessionID)
 		return
@@ -419,6 +434,26 @@ func (s *Supervisor) attempt(t *recoveryTask) {
 		obslog.Int("attempt", int64(t.attempts)),
 		obslog.Duration("backoffMs", backoff),
 		obslog.Err(err))
+	s.recordLadder(t.sessionID, tr.Context().TraceID, explain.LadderStep{
+		Attempt: t.attempts, Reason: t.reason, Degraded: degraded,
+		Shed: shed, PlacementFallback: fallback, Outcome: "retry",
+		BackoffMs: float64(backoff) / float64(time.Millisecond),
+		Detail:    err.Error(),
+	})
+}
+
+// recordLadder publishes one recovery-ladder decision on the session's
+// provenance timeline.
+func (s *Supervisor) recordLadder(sid, traceID string, step explain.LadderStep) {
+	if s.c.cfg.Explain == nil {
+		return
+	}
+	s.c.cfg.Explain.Record(explain.Record{
+		Session: sid,
+		TraceID: traceID,
+		Action:  explain.ActionRecoveryStep,
+		Ladder:  &step,
+	})
 }
 
 // backoff returns base·2^(attempt-1) capped at MaxBackoff, plus up to 50%
@@ -448,6 +483,10 @@ func (s *Supervisor) giveUp(t *recoveryTask, reason string) {
 	s.finish(t.sessionID)
 	s.count(func(st *SupervisorStats) { st.Lost++ }, metrics.SessionsLost)
 	s.logFor(t.sessionID, t.req).Error("session lost", obslog.String("reason", reason))
+	s.recordLadder(t.sessionID, t.req.TraceCtx.TraceID, explain.LadderStep{
+		Attempt: t.attempts, Reason: t.reason, Degraded: t.degraded,
+		Outcome: "lost", Detail: reason,
+	})
 	s.opts.Bus.Publish(eventbus.TopicUserNotification, SessionLostNotice{
 		SessionID: t.sessionID,
 		Device:    t.dev,

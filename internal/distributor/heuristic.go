@@ -29,7 +29,7 @@ import (
 // nowhere the instance is infeasible for this heuristic. The final
 // assignment is verified against the full fit-into constraints (including
 // link bandwidth).
-func Heuristic(p *Problem) (Assignment, float64, error) {
+func Heuristic(p *Problem) (asg Assignment, cost float64, err error) {
 	if err := p.Validate(); err != nil {
 		return nil, 0, err
 	}
@@ -41,6 +41,11 @@ func Heuristic(p *Problem) (Assignment, float64, error) {
 		if p.Stats != nil {
 			*p.Stats = SearchStats{Algorithm: "heuristic", Workers: 1,
 				Explored: placements, Pruned: fallbacks}
+			if err == nil {
+				// The greedy walk commits a single solution; its cost is the
+				// whole bound trajectory.
+				p.Stats.BoundTrajectory = []float64{cost}
+			}
 		}
 		p.Log.Debug("greedy placement done",
 			obslog.Int("placements", placements), obslog.Int("fallbacks", fallbacks))

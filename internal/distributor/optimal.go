@@ -36,14 +36,25 @@ func Optimal(p *Problem) (Assignment, float64, error) {
 		obslog.Int("incumbents", w.Incumbents))
 	if p.Stats != nil {
 		*p.Stats = SearchStats{
-			Algorithm:  "optimal",
-			Workers:    1,
-			Explored:   w.Explored,
-			Pruned:     w.Pruned,
-			Incumbents: w.Incumbents,
+			Algorithm:       "optimal",
+			Workers:         1,
+			Explored:        w.Explored,
+			Pruned:          w.Pruned,
+			Incumbents:      w.Incumbents,
+			BoundTrajectory: append([]float64(nil), s.trajectory...),
+			RunnerUp:        runnerUp(s.trajectory),
 		}
 	}
 	return s.result()
+}
+
+// runnerUp returns the second-to-last incumbent cost of a chronological
+// trajectory — the best complete solution the winner displaced.
+func runnerUp(trajectory []float64) float64 {
+	if len(trajectory) < 2 {
+		return 0
+	}
+	return trajectory[len(trajectory)-2]
 }
 
 type obbEdge struct {
@@ -79,6 +90,11 @@ type obbState struct {
 	assign     []int
 	best       float64
 	bestAssign []int
+
+	// trajectory records the incumbent costs in the order this searcher
+	// found them (bounded to TrajectoryCap, oldest dropped) — the bound
+	// trajectory reported via SearchStats.
+	trajectory []float64
 
 	// global, when non-nil, is the incumbent best cost shared by all
 	// parallel workers; searchers additionally prune against it (strictly,
@@ -184,6 +200,7 @@ func (s *obbState) clone() *obbState {
 	}
 	c.bestAssign = nil
 	c.best = math.Inf(1)
+	c.trajectory = nil
 	return &c
 }
 
@@ -277,6 +294,12 @@ func (s *obbState) search(i int, cost float64) {
 		s.best = cost
 		s.bestAssign = append(s.bestAssign[:0], s.assign...)
 		s.incumbents++
+		if len(s.trajectory) == TrajectoryCap {
+			copy(s.trajectory, s.trajectory[1:])
+			s.trajectory[len(s.trajectory)-1] = cost
+		} else {
+			s.trajectory = append(s.trajectory, cost)
+		}
 		if s.global != nil {
 			s.global.lower(cost)
 		}

@@ -3,6 +3,7 @@ package distributor
 import (
 	"math"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -110,7 +111,9 @@ func OptimalWith(p *Problem, opt ParallelOptions) (Assignment, float64, error) {
 		if p.Stats != nil {
 			w := base.counters(0, 1)
 			*p.Stats = SearchStats{Algorithm: "optimal", Workers: 1,
-				Explored: w.Explored, Pruned: w.Pruned, Incumbents: w.Incumbents}
+				Explored: w.Explored, Pruned: w.Pruned, Incumbents: w.Incumbents,
+				BoundTrajectory: append([]float64(nil), base.trajectory...),
+				RunnerUp:        runnerUp(base.trajectory)}
 		}
 		return base.result()
 	}
@@ -125,6 +128,7 @@ func OptimalWith(p *Problem, opt ParallelOptions) (Assignment, float64, error) {
 	bound := newSharedBound()
 	results := make([]*taskBest, len(tasks)) // indexed by task, so the reduce is order-independent
 	wstats := make([]WorkerStats, workers)
+	trajs := make([][]float64, workers)
 	next := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -152,6 +156,7 @@ func OptimalWith(p *Problem, opt ParallelOptions) (Assignment, float64, error) {
 			}
 			if s != nil {
 				wstats[w] = s.counters(w, pulled)
+				trajs[w] = s.trajectory
 			} else {
 				wstats[w] = WorkerStats{Worker: w}
 			}
@@ -181,19 +186,6 @@ func OptimalWith(p *Problem, opt ParallelOptions) (Assignment, float64, error) {
 		obslog.Int("workers", int64(workers)), obslog.Int("tasks", int64(len(tasks))),
 		obslog.Int("explored", explored), obslog.Int("pruned", prunedN),
 		obslog.Int("incumbents", incumbents))
-	if p.Stats != nil {
-		*p.Stats = SearchStats{
-			Algorithm:     "optimal-parallel",
-			Workers:       workers,
-			FrontierDepth: len(tasks[0]),
-			Tasks:         len(tasks),
-			Explored:      explored,
-			Pruned:        prunedN,
-			Incumbents:    incumbents,
-			PerWorker:     wstats,
-		}
-	}
-
 	// Deterministic reduce: minimum cost, ties to the lexicographically
 	// smallest assignment. Tasks are enumerated in lexicographic prefix
 	// order and each task's DFS finds its lexicographically first optimum,
@@ -209,6 +201,22 @@ func OptimalWith(p *Problem, opt ParallelOptions) (Assignment, float64, error) {
 			bestAssign = r.assign
 		}
 	}
+	if p.Stats != nil {
+		*p.Stats = SearchStats{
+			Algorithm:       "optimal-parallel",
+			Workers:         workers,
+			FrontierDepth:   len(tasks[0]),
+			Tasks:           len(tasks),
+			Explored:        explored,
+			Pruned:          prunedN,
+			Incumbents:      incumbents,
+			PerWorker:       wstats,
+			BoundTrajectory: mergeTrajectories(trajs),
+		}
+		if bestAssign != nil {
+			p.Stats.RunnerUp = runnerUpAbove(p.Stats.BoundTrajectory, best)
+		}
+	}
 	if bestAssign == nil {
 		return nil, 0, ErrInfeasible
 	}
@@ -217,6 +225,45 @@ func OptimalWith(p *Problem, opt ParallelOptions) (Assignment, float64, error) {
 		out[n.ID] = bestAssign[i]
 	}
 	return out, best, nil
+}
+
+// mergeTrajectories flattens per-worker incumbent trajectories into one
+// best-last sequence. Worker interleaving has no global chronological
+// order, so the merge sorts worst-first (mirroring how a sequential
+// search improves), deduplicates, and keeps the best TrajectoryCap
+// entries.
+func mergeTrajectories(trajs [][]float64) []float64 {
+	var all []float64
+	for _, t := range trajs {
+		all = append(all, t...)
+	}
+	if len(all) == 0 {
+		return nil
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(all)))
+	out := all[:1]
+	for _, v := range all[1:] {
+		if v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	if len(out) > TrajectoryCap {
+		out = out[len(out)-TrajectoryCap:]
+	}
+	return out
+}
+
+// runnerUpAbove returns the smallest trajectory cost strictly worse than
+// the winning cost (0 when the search never saw a second-best solution).
+// merged must be sorted descending, as mergeTrajectories produces.
+func runnerUpAbove(merged []float64, best float64) float64 {
+	ru := 0.0
+	for _, v := range merged {
+		if v > best {
+			ru = v
+		}
+	}
+	return ru
 }
 
 // lexLess reports whether a comes before b in lexicographic device-index

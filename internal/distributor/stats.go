@@ -35,7 +35,23 @@ type SearchStats struct {
 	Incumbents int64 `json:"incumbents"`
 	// PerWorker breaks the totals down by pool worker (parallel only).
 	PerWorker []WorkerStats `json:"perWorker,omitempty"`
+	// BoundTrajectory is the sequence of incumbent costs the search moved
+	// through, improving toward the returned optimum (last entry). The
+	// sequential solvers record it chronologically; the parallel solver
+	// merges the workers' trajectories best-last, deduplicated, since no
+	// global chronological order exists. Bounded to TrajectoryCap entries
+	// (oldest dropped). The heuristic records its single greedy cost.
+	BoundTrajectory []float64 `json:"boundTrajectory,omitempty"`
+	// RunnerUp is the cost of the best complete solution found that is
+	// strictly worse than the winner — the margin the winner won by.
+	// Zero when the search saw no second-best solution.
+	RunnerUp float64 `json:"runnerUp,omitempty"`
 }
+
+// TrajectoryCap bounds BoundTrajectory: trajectories keep the newest
+// (best) entries, dropping the oldest, so provenance records stay small
+// on adversarial instances with many incumbent updates.
+const TrajectoryCap = 64
 
 // counters extracts an obbState's search counters as a WorkerStats value.
 func (s *obbState) counters(worker, tasks int) WorkerStats {

@@ -18,6 +18,7 @@ import (
 	"ubiqos/internal/core"
 	"ubiqos/internal/device"
 	"ubiqos/internal/eventbus"
+	"ubiqos/internal/explain"
 	"ubiqos/internal/flight"
 	"ubiqos/internal/metrics"
 	"ubiqos/internal/netsim"
@@ -76,6 +77,10 @@ type Domain struct {
 	// control-plane bus events (via a lossless tap installed by New), and
 	// fault-injection markers.
 	Flight *flight.Recorder
+	// Explain is the decision-provenance recorder: one record per
+	// configure/reconfigure/recover action and recovery-ladder step,
+	// cross-linked to the session's trace IDs and flight timeline.
+	Explain *explain.Recorder
 	// Log is the domain's structured logger. It writes into Flight by
 	// default; the daemon attaches an os.Stderr sink (and any other) with
 	// Log.AddSink.
@@ -126,6 +131,7 @@ func New(name string, opts Options) (*Domain, error) {
 		Metrics:     metrics.NewRegistry(),
 		Tracer:      trace.NewTracer(traceCapacity),
 		Flight:      flight.New(flight.Options{}),
+		Explain:     explain.New(explain.Options{}),
 		children:    make(map[string]*Domain),
 	}
 	d.Log = obslog.New(obslog.LevelDebug, d.Flight)
@@ -165,6 +171,7 @@ func New(name string, opts Options) (*Domain, error) {
 		Tracer:         d.Tracer,
 		Log:            d.Log,
 		Flight:         d.Flight,
+		Explain:        d.Explain,
 	})
 	if err != nil {
 		return nil, err
@@ -238,6 +245,23 @@ func (f *federatedDiscovery) Best(spec registry.Spec) *registry.Instance {
 		}
 	}
 	return nil
+}
+
+// Candidates implements composer.CandidateExplainer: the candidate set
+// accumulates across the same escalation path Best walks, stopping at
+// the first domain that can satisfy the spec — exactly the instances the
+// federated Best decision was made over. Domains before the stopping one
+// had no eligible instance, so their contributions are all rejections
+// and the single Chosen candidate is the federated winner.
+func (f *federatedDiscovery) Candidates(spec registry.Spec) []registry.Candidate {
+	var out []registry.Candidate
+	for d := f.domain; d != nil; d = d.Parent() {
+		out = append(out, d.Registry.Candidates(spec)...)
+		if d.Registry.Best(spec) != nil {
+			break
+		}
+	}
+	return out
 }
 
 // Parent returns the parent domain, or nil at the root.

@@ -1,0 +1,570 @@
+// Package explain implements the decision-provenance recorder: a
+// per-session record of *why* each configuration decision came out the
+// way it did. Where the trace layer shows that composition and
+// distribution happened and the flight recorder shows when, the explain
+// layer captures the alternatives each tier considered and the reasons
+// the losers lost — the discovery candidate set behind every instance
+// binding, every Ordered Coordination correction with the QoS vectors
+// before and after it, the distributor's bound trajectory and runner-up
+// cost, and the recovery supervisor's degradation-ladder steps.
+//
+// Like the flight recorder, records live on bounded per-session rings
+// (oldest evicted first) under a bounded session table
+// (least-recently-touched session evicted first), and the whole API is
+// nil-safe: every method on a nil *Recorder or nil *Composition is a
+// no-op, so disabled provenance costs nothing on the hot path.
+package explain
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ubiqos/internal/registry"
+)
+
+// Actions a Record can describe. The first four are configuration
+// pipeline runs; the ladder actions are recovery-supervisor steps.
+const (
+	ActionConfigure    = "configure"
+	ActionReconfigure  = "reconfigure"
+	ActionRecover      = "recover"
+	ActionResume       = "resume"
+	ActionRecoveryStep = "recovery-step"
+)
+
+// Discovery is the provenance of one service-discovery binding: the
+// abstract component, the full candidate set with per-candidate
+// rejection reasons, and the outcome of the binding.
+type Discovery struct {
+	// Node is the (qualified) abstract component ID, Type its abstract
+	// service type, and Depth the recursive-composition depth.
+	Node  string `json:"node"`
+	Type  string `json:"type"`
+	Depth int    `json:"depth,omitempty"`
+	// Outcome is "found", "skipped-optional", "recompose", or "missing".
+	Outcome string `json:"outcome"`
+	// Chosen names the winning instance (empty unless Outcome is found).
+	Chosen string `json:"chosen,omitempty"`
+	// Candidates is the ranked candidate set the decision was made over.
+	Candidates []registry.Candidate `json:"candidates,omitempty"`
+}
+
+// Correction is one Ordered Coordination correction: which rule fired,
+// where, and the producer-side QoS vector before and after.
+type Correction struct {
+	// Rule is "adjust", "transcoder", or "buffer".
+	Rule string `json:"rule"`
+	// Node is the adjusted predecessor (adjust) or the spliced
+	// corrective component (transcoder/buffer).
+	Node string `json:"node"`
+	// Dim is the mismatched QoS dimension that triggered the rule.
+	Dim string `json:"dim"`
+	// Edge is the producer->consumer edge a corrective node was spliced
+	// onto (splices only).
+	Edge string `json:"edge,omitempty"`
+	// From and To are the dimension's value before and after.
+	From string `json:"from,omitempty"`
+	To   string `json:"to,omitempty"`
+	// BeforeQoS is the producer's full output QoS vector before the
+	// correction; AfterQoS is the vector the consumer sees after it (the
+	// adjusted producer's, or the spliced node's, output).
+	BeforeQoS string `json:"beforeQoS"`
+	AfterQoS  string `json:"afterQoS"`
+}
+
+// Search summarizes how the distribution tier solved one placement.
+type Search struct {
+	// Algorithm is the solver that ran (heuristic, optimal,
+	// optimal-parallel, or empty for a custom placement function).
+	Algorithm string `json:"algorithm,omitempty"`
+	// Workers, Tasks, and FrontierDepth describe the parallel split.
+	Workers       int `json:"workers,omitempty"`
+	Tasks         int `json:"tasks,omitempty"`
+	FrontierDepth int `json:"frontierDepth,omitempty"`
+	// Explored, Pruned, and Incumbents are the branch-and-bound search
+	// counters (for the heuristic: placements and fallbacks).
+	Explored   int64 `json:"explored"`
+	Pruned     int64 `json:"pruned"`
+	Incumbents int64 `json:"incumbents,omitempty"`
+	// BoundTrajectory is the sequence of incumbent costs the search
+	// moved through, best last.
+	BoundTrajectory []float64 `json:"boundTrajectory,omitempty"`
+	// Cost is the winning placement's cost aggregation; RunnerUp is the
+	// best strictly-worse complete solution observed (0 when none was).
+	Cost     float64 `json:"cost"`
+	RunnerUp float64 `json:"runnerUp,omitempty"`
+	// Devices is how many devices the k-cut was computed over.
+	Devices int `json:"devices,omitempty"`
+}
+
+// Attempt is one run of the compose→distribute pipeline: the
+// full-quality try, or one rung of the QoS degradation ladder.
+type Attempt struct {
+	// DegradeFactor scales the user QoS for this attempt (1 = full).
+	DegradeFactor float64      `json:"degradeFactor"`
+	Discoveries   []Discovery  `json:"discoveries,omitempty"`
+	Corrections   []Correction `json:"corrections,omitempty"`
+	Search        *Search      `json:"search,omitempty"`
+	// Err is why the attempt failed (empty on the winning attempt).
+	Err string `json:"err,omitempty"`
+}
+
+// LadderStep is one recovery-supervisor decision about a broken session.
+type LadderStep struct {
+	// Attempt is the 1-based recovery attempt number.
+	Attempt int `json:"attempt"`
+	// Reason is why recovery was triggered (the diagnosis).
+	Reason string `json:"reason,omitempty"`
+	// Degraded marks the degraded rung: optional components shed and
+	// placement fallen back to the greedy heuristic.
+	Degraded bool `json:"degraded,omitempty"`
+	// Shed lists the optional components dropped by the degraded rung.
+	Shed []string `json:"shed,omitempty"`
+	// PlacementFallback names the algorithm the rung fell back to.
+	PlacementFallback string `json:"placementFallback,omitempty"`
+	// Outcome is "recovered", "retry", or "lost".
+	Outcome string `json:"outcome"`
+	// BackoffMs is the delay before the next retry (retry outcome only).
+	BackoffMs float64 `json:"backoffMs,omitempty"`
+	// Detail carries the retry error or the give-up reason.
+	Detail string `json:"detail,omitempty"`
+}
+
+// Record is one entry on a session's provenance timeline: a
+// configuration pipeline run (Attempts filled, Placement on success) or
+// a recovery-supervisor ladder step (Ladder filled).
+type Record struct {
+	// Seq is the recorder-wide monotonic sequence number.
+	Seq  uint64    `json:"seq"`
+	Time time.Time `json:"time"`
+	// Session and TraceID cross-link the record to the session's trace
+	// and flight timeline.
+	Session string `json:"session"`
+	TraceID string `json:"traceId,omitempty"`
+	// Action is one of the Action* constants.
+	Action  string `json:"action"`
+	Handoff bool   `json:"handoff,omitempty"`
+	// Attempts are the pipeline runs, full quality first, one more per
+	// degradation rung tried.
+	Attempts []Attempt `json:"attempts,omitempty"`
+	// Placement, Cost, and DegradeFactor describe the winning
+	// configuration (set only when the action succeeded).
+	Placement     map[string]string `json:"placement,omitempty"`
+	Cost          float64           `json:"cost,omitempty"`
+	DegradeFactor float64           `json:"degradeFactor,omitempty"`
+	// Ladder is the recovery-supervisor step (ActionRecoveryStep only).
+	Ladder *LadderStep `json:"ladder,omitempty"`
+	// Err is why the action failed.
+	Err string `json:"err,omitempty"`
+}
+
+// Composition collects the composition tier's provenance for one
+// pipeline attempt. The composer fills it single-threadedly during
+// Compose; a nil *Composition ignores every add, so the composer's hot
+// path carries no conditionals beyond the nil receiver check.
+type Composition struct {
+	Discoveries []Discovery
+	Corrections []Correction
+}
+
+// AddDiscovery appends one discovery decision.
+func (c *Composition) AddDiscovery(d Discovery) {
+	if c == nil {
+		return
+	}
+	c.Discoveries = append(c.Discoveries, d)
+}
+
+// AddCorrection appends one Ordered Coordination correction.
+func (c *Composition) AddCorrection(x Correction) {
+	if c == nil {
+		return
+	}
+	c.Corrections = append(c.Corrections, x)
+}
+
+// Move is one component's placement change between two records.
+type Move struct {
+	Component string `json:"component"`
+	// From is empty for components new in the later placement; To is
+	// empty for components that disappeared (e.g. shed optionals).
+	From string `json:"from,omitempty"`
+	To   string `json:"to,omitempty"`
+}
+
+// PlacementDiff compares the placements of two successive successful
+// records — e.g. pre- vs. post-crash.
+type PlacementDiff struct {
+	// FromSeq/ToSeq identify the compared records; FromAction/ToAction
+	// are their actions (configure, reconfigure, recover, resume).
+	FromSeq    uint64 `json:"fromSeq"`
+	ToSeq      uint64 `json:"toSeq"`
+	FromAction string `json:"fromAction"`
+	ToAction   string `json:"toAction"`
+	// Moved lists components whose device changed, Added components only
+	// in the later placement, Removed components only in the earlier.
+	Moved   []Move `json:"moved,omitempty"`
+	Added   []Move `json:"added,omitempty"`
+	Removed []Move `json:"removed,omitempty"`
+	// Unchanged counts components that stayed put.
+	Unchanged int `json:"unchanged"`
+}
+
+// DiffPlacements computes the placement diff between two records.
+func DiffPlacements(from, to *Record) PlacementDiff {
+	d := PlacementDiff{
+		FromSeq: from.Seq, ToSeq: to.Seq,
+		FromAction: from.Action, ToAction: to.Action,
+	}
+	comps := make([]string, 0, len(from.Placement)+len(to.Placement))
+	seen := make(map[string]bool)
+	for c := range from.Placement {
+		comps = append(comps, c)
+		seen[c] = true
+	}
+	for c := range to.Placement {
+		if !seen[c] {
+			comps = append(comps, c)
+		}
+	}
+	sort.Strings(comps)
+	for _, c := range comps {
+		old, hadOld := from.Placement[c]
+		cur, hasNew := to.Placement[c]
+		switch {
+		case hadOld && hasNew && old == cur:
+			d.Unchanged++
+		case hadOld && hasNew:
+			d.Moved = append(d.Moved, Move{Component: c, From: old, To: cur})
+		case hasNew:
+			d.Added = append(d.Added, Move{Component: c, To: cur})
+		default:
+			d.Removed = append(d.Removed, Move{Component: c, From: old})
+		}
+	}
+	return d
+}
+
+// SessionExplain is one session's full provenance report.
+type SessionExplain struct {
+	Session string   `json:"session"`
+	Records []Record `json:"records"`
+	// Diffs compares each pair of successive records that carry a
+	// placement, oldest pair first — the reconfiguration history.
+	Diffs []PlacementDiff `json:"diffs,omitempty"`
+}
+
+// SessionInfo summarizes one recorded session for index listings.
+type SessionInfo struct {
+	Session string    `json:"session"`
+	Records int       `json:"records"` // retained (post-eviction) count
+	Total   uint64    `json:"total"`   // lifetime count, including evicted
+	Last    time.Time `json:"last"`    // time of the newest record
+}
+
+// timeline is one session's bounded record ring (oldest first).
+type timeline struct {
+	records []Record
+	total   uint64
+	last    time.Time
+}
+
+// Defaults for Options fields left zero. Provenance records are larger
+// than flight entries, so the per-session ring is smaller.
+const (
+	DefaultPerSession  = 32
+	DefaultMaxSessions = 128
+)
+
+// Options bound the recorder.
+type Options struct {
+	// PerSession caps each session's retained records (default 32).
+	PerSession int
+	// MaxSessions caps the session table (default 128); the
+	// least-recently-touched session is evicted when a new one arrives.
+	MaxSessions int
+}
+
+// Recorder maintains the per-session provenance timelines. All methods
+// are safe for concurrent use; a nil *Recorder is a valid no-op.
+type Recorder struct {
+	perSession  int
+	maxSessions int
+	seq         atomic.Uint64
+
+	mu       sync.Mutex
+	sessions map[string]*timeline
+}
+
+// New returns a recorder with the given bounds.
+func New(opts Options) *Recorder {
+	if opts.PerSession <= 0 {
+		opts.PerSession = DefaultPerSession
+	}
+	if opts.MaxSessions <= 0 {
+		opts.MaxSessions = DefaultMaxSessions
+	}
+	return &Recorder{
+		perSession:  opts.PerSession,
+		maxSessions: opts.MaxSessions,
+		sessions:    make(map[string]*timeline),
+	}
+}
+
+// Record stamps and appends one record. Records without a session are
+// dropped: provenance is a per-session instrument.
+func (r *Recorder) Record(rec Record) {
+	if r == nil || rec.Session == "" {
+		return
+	}
+	rec.Seq = r.seq.Add(1)
+	if rec.Time.IsZero() {
+		rec.Time = time.Now()
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	tl := r.sessions[rec.Session]
+	if tl == nil {
+		r.evictLocked()
+		tl = &timeline{}
+		r.sessions[rec.Session] = tl
+	}
+	tl.total++
+	tl.last = rec.Time
+	tl.records = append(tl.records, rec)
+	if len(tl.records) > r.perSession {
+		tl.records = tl.records[len(tl.records)-r.perSession:]
+	}
+}
+
+// evictLocked makes room for one more session by dropping the
+// least-recently-touched timeline when the table is full.
+func (r *Recorder) evictLocked() {
+	if len(r.sessions) < r.maxSessions {
+		return
+	}
+	var victim string
+	var oldest time.Time
+	for s, tl := range r.sessions {
+		if victim == "" || tl.last.Before(oldest) {
+			victim, oldest = s, tl.last
+		}
+	}
+	delete(r.sessions, victim)
+}
+
+// Records returns the session's retained records in sequence order
+// (nil when the session is unknown or the recorder is nil).
+func (r *Recorder) Records(session string) []Record {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	tl := r.sessions[session]
+	if tl == nil {
+		return nil
+	}
+	return append([]Record(nil), tl.records...)
+}
+
+// Explain assembles the session's provenance report, computing the
+// placement diff between each pair of successive placement-carrying
+// records. It returns nil for an unknown session or a nil recorder.
+func (r *Recorder) Explain(session string) *SessionExplain {
+	records := r.Records(session)
+	if records == nil {
+		return nil
+	}
+	se := &SessionExplain{Session: session, Records: records}
+	var prev *Record
+	for i := range records {
+		if records[i].Placement == nil {
+			continue
+		}
+		if prev != nil {
+			se.Diffs = append(se.Diffs, DiffPlacements(prev, &records[i]))
+		}
+		prev = &records[i]
+	}
+	return se
+}
+
+// Sessions lists the recorded sessions, most recently touched first.
+func (r *Recorder) Sessions() []SessionInfo {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]SessionInfo, 0, len(r.sessions))
+	for s, tl := range r.sessions {
+		out = append(out, SessionInfo{Session: s, Records: len(tl.records), Total: tl.total, Last: tl.last})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Last.Equal(out[j].Last) {
+			return out[i].Last.After(out[j].Last)
+		}
+		return out[i].Session < out[j].Session
+	})
+	return out
+}
+
+// Render formats one session's provenance report as human-readable
+// text. It returns "" for an unknown session.
+func (se *SessionExplain) Render() string {
+	if se == nil || len(se.Records) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "explain %s (%d records)\n", se.Session, len(se.Records))
+	for i := range se.Records {
+		renderRecord(&b, &se.Records[i])
+	}
+	if len(se.Diffs) > 0 {
+		b.WriteString("placement diffs:\n")
+		for i := range se.Diffs {
+			renderDiff(&b, &se.Diffs[i])
+		}
+	}
+	fmt.Fprintf(&b, "cross-links: trace IDs above join the session's span trees "+
+		"(qosctl trace -session %s) and fused flight timeline (qosctl flight -session %s, /flight/%s)\n",
+		se.Session, se.Session, se.Session)
+	return b.String()
+}
+
+func renderRecord(b *strings.Builder, rec *Record) {
+	fmt.Fprintf(b, "#%d %s %s", rec.Seq, rec.Time.Format("15:04:05.000"), rec.Action)
+	if rec.Handoff {
+		b.WriteString(" handoff")
+	}
+	if rec.TraceID != "" {
+		fmt.Fprintf(b, " trace=%s", rec.TraceID)
+	}
+	if rec.Err != "" {
+		fmt.Fprintf(b, " FAILED: %s", rec.Err)
+	} else if rec.Placement != nil {
+		fmt.Fprintf(b, " cost=%.4f degradeFactor=%g", rec.Cost, rec.DegradeFactor)
+	}
+	b.WriteByte('\n')
+	if rec.Ladder != nil {
+		renderLadder(b, rec.Ladder)
+	}
+	for i := range rec.Attempts {
+		renderAttempt(b, &rec.Attempts[i])
+	}
+	if rec.Placement != nil {
+		comps := make([]string, 0, len(rec.Placement))
+		for c := range rec.Placement {
+			comps = append(comps, c)
+		}
+		sort.Strings(comps)
+		b.WriteString("  placement:")
+		for _, c := range comps {
+			fmt.Fprintf(b, " %s->%s", c, rec.Placement[c])
+		}
+		b.WriteByte('\n')
+	}
+}
+
+func renderLadder(b *strings.Builder, l *LadderStep) {
+	fmt.Fprintf(b, "  ladder attempt %d: %s", l.Attempt, l.Outcome)
+	if l.Degraded {
+		b.WriteString(" degraded")
+		if len(l.Shed) > 0 {
+			fmt.Fprintf(b, " shed=%s", strings.Join(l.Shed, ","))
+		}
+		if l.PlacementFallback != "" {
+			fmt.Fprintf(b, " place=%s", l.PlacementFallback)
+		}
+	}
+	if l.Reason != "" {
+		fmt.Fprintf(b, " reason=%q", l.Reason)
+	}
+	if l.BackoffMs > 0 {
+		fmt.Fprintf(b, " backoff=%.1fms", l.BackoffMs)
+	}
+	if l.Detail != "" {
+		fmt.Fprintf(b, " detail=%q", l.Detail)
+	}
+	b.WriteByte('\n')
+}
+
+func renderAttempt(b *strings.Builder, a *Attempt) {
+	fmt.Fprintf(b, "  attempt (degradeFactor=%g)", a.DegradeFactor)
+	if a.Err != "" {
+		fmt.Fprintf(b, " failed: %s", a.Err)
+	}
+	b.WriteByte('\n')
+	for _, d := range a.Discoveries {
+		fmt.Fprintf(b, "    discover %s (%s): %s", d.Node, d.Type, d.Outcome)
+		if d.Chosen != "" {
+			fmt.Fprintf(b, " -> %s", d.Chosen)
+		}
+		b.WriteByte('\n')
+		for _, c := range d.Candidates {
+			mark := " "
+			if c.Chosen {
+				mark = "*"
+			}
+			fmt.Fprintf(b, "      %s %s score=%d", mark, c.Name, c.Score)
+			if c.Rejection != "" {
+				fmt.Fprintf(b, " rejected: %s", c.Rejection)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	for _, c := range a.Corrections {
+		fmt.Fprintf(b, "    correction %s on %s dim=%s", c.Rule, c.Node, c.Dim)
+		if c.Edge != "" {
+			fmt.Fprintf(b, " edge=%s", c.Edge)
+		}
+		if c.From != "" || c.To != "" {
+			fmt.Fprintf(b, " %s -> %s", c.From, c.To)
+		}
+		fmt.Fprintf(b, "\n      before %s\n      after  %s\n", c.BeforeQoS, c.AfterQoS)
+	}
+	if s := a.Search; s != nil {
+		fmt.Fprintf(b, "    search %s: devices=%d explored=%d pruned=%d incumbents=%d cost=%.4f",
+			s.Algorithm, s.Devices, s.Explored, s.Pruned, s.Incumbents, s.Cost)
+		if s.Workers > 1 {
+			fmt.Fprintf(b, " workers=%d tasks=%d", s.Workers, s.Tasks)
+		}
+		if s.RunnerUp > 0 {
+			fmt.Fprintf(b, " runnerUp=%.4f", s.RunnerUp)
+		}
+		b.WriteByte('\n')
+		if len(s.BoundTrajectory) > 0 {
+			b.WriteString("      bound trajectory:")
+			for _, c := range s.BoundTrajectory {
+				fmt.Fprintf(b, " %.4f", c)
+			}
+			b.WriteByte('\n')
+		}
+	}
+}
+
+func renderDiff(b *strings.Builder, d *PlacementDiff) {
+	fmt.Fprintf(b, "  #%d (%s) -> #%d (%s): %d unchanged",
+		d.FromSeq, d.FromAction, d.ToSeq, d.ToAction, d.Unchanged)
+	b.WriteByte('\n')
+	for _, m := range d.Moved {
+		fmt.Fprintf(b, "    moved   %s: %s -> %s\n", m.Component, m.From, m.To)
+	}
+	for _, m := range d.Added {
+		fmt.Fprintf(b, "    added   %s -> %s\n", m.Component, m.To)
+	}
+	for _, m := range d.Removed {
+		fmt.Fprintf(b, "    removed %s (was %s)\n", m.Component, m.From)
+	}
+}
+
+// Render formats the session's provenance as text (see
+// SessionExplain.Render). It returns "" for an unknown session.
+func (r *Recorder) Render(session string) string {
+	return r.Explain(session).Render()
+}

@@ -1,0 +1,58 @@
+package metrics
+
+import (
+	"runtime"
+	"sort"
+	"time"
+)
+
+// Go runtime health gauges, refreshed by CollectRuntime on every
+// /metrics scrape so dashboards see process health next to the domain
+// metrics.
+const (
+	// GoGoroutines gauges the live goroutine count.
+	GoGoroutines = "go_goroutines"
+	// GoHeapAllocBytes gauges the bytes of allocated heap objects.
+	GoHeapAllocBytes = "go_heap_alloc_bytes"
+	// GoGCPauseP99Seconds gauges the p99 stop-the-world GC pause over
+	// the runtime's recent-pause ring (up to the last 256 GCs).
+	GoGCPauseP99Seconds = "go_gc_pause_p99_seconds"
+	// ProcessUptimeSeconds gauges the seconds since the process (or the
+	// metrics surface) started.
+	ProcessUptimeSeconds = "process_uptime_seconds"
+)
+
+// CollectRuntime samples the Go runtime into the registry's health
+// gauges. Callers pass the process start time; the scrape handler calls
+// this just before rendering the exposition so the gauges are fresh.
+func CollectRuntime(r *Registry, start time.Time) {
+	if r == nil {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	r.Gauge(GoGoroutines).Set(float64(runtime.NumGoroutine()))
+	r.Gauge(GoHeapAllocBytes).Set(float64(ms.HeapAlloc))
+	r.Gauge(GoGCPauseP99Seconds).Set(gcPauseP99(&ms))
+	r.Gauge(ProcessUptimeSeconds).Set(time.Since(start).Seconds())
+}
+
+// gcPauseP99 computes the 99th-percentile pause from MemStats.PauseNs, a
+// circular buffer holding the most recent GC pauses (at most 256).
+func gcPauseP99(ms *runtime.MemStats) float64 {
+	n := int(ms.NumGC)
+	if n == 0 {
+		return 0
+	}
+	if n > len(ms.PauseNs) {
+		n = len(ms.PauseNs)
+	}
+	pauses := make([]uint64, n)
+	copy(pauses, ms.PauseNs[:n])
+	sort.Slice(pauses, func(i, j int) bool { return pauses[i] < pauses[j] })
+	idx := (99*n + 99) / 100 // ceil(0.99·n), 1-based rank
+	if idx > n {
+		idx = n
+	}
+	return float64(pauses[idx-1]) / float64(time.Second)
+}

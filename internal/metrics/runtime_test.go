@@ -1,0 +1,54 @@
+package metrics
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCollectRuntimeSetsHealthGauges(t *testing.T) {
+	r := NewRegistry()
+	runtime.GC() // ensure at least one GC pause sample exists
+	CollectRuntime(r, time.Now().Add(-2*time.Second))
+
+	if g, ok := r.Gauge(GoGoroutines).Value(); !ok || g < 1 {
+		t.Errorf("go_goroutines = %v, want >= 1", g)
+	}
+	if g, ok := r.Gauge(GoHeapAllocBytes).Value(); !ok || g <= 0 {
+		t.Errorf("go_heap_alloc_bytes = %v, want > 0", g)
+	}
+	if g, ok := r.Gauge(GoGCPauseP99Seconds).Value(); !ok || g < 0 {
+		t.Errorf("go_gc_pause_p99_seconds = %v, want >= 0", g)
+	}
+	if g, ok := r.Gauge(ProcessUptimeSeconds).Value(); !ok || g < 2 {
+		t.Errorf("process_uptime_seconds = %v, want >= 2", g)
+	}
+
+	exp := r.Exposition()
+	for _, name := range []string{GoGoroutines, GoHeapAllocBytes, GoGCPauseP99Seconds, ProcessUptimeSeconds} {
+		if !strings.Contains(exp, name) {
+			t.Errorf("exposition missing %s", name)
+		}
+	}
+}
+
+func TestCollectRuntimeNilRegistry(t *testing.T) {
+	CollectRuntime(nil, time.Now()) // must not panic
+}
+
+func TestGCPauseP99(t *testing.T) {
+	var ms runtime.MemStats
+	if p := gcPauseP99(&ms); p != 0 {
+		t.Errorf("zero GCs should yield 0, got %v", p)
+	}
+	ms.NumGC = 4
+	ms.PauseNs[0] = 100
+	ms.PauseNs[1] = 200
+	ms.PauseNs[2] = 300
+	ms.PauseNs[3] = 400
+	want := 400 / float64(time.Second)
+	if p := gcPauseP99(&ms); p != want {
+		t.Errorf("p99 of 4 samples = %v, want %v", p, want)
+	}
+}

@@ -209,6 +209,91 @@ func (r *Registry) Best(spec Spec) *Instance {
 	return ms[0].Instance
 }
 
+// Candidate is one same-type instance considered for an abstract spec,
+// with the reason it lost when it did. Candidate sets feed the explain
+// layer's discovery provenance.
+type Candidate struct {
+	Name string `json:"name"`
+	// Score is the QoS rank (attr-rejected candidates keep score 0).
+	Score int `json:"score"`
+	// Chosen marks the winning instance.
+	Chosen bool `json:"chosen,omitempty"`
+	// Rejection explains why this candidate lost, relative to the winner
+	// (empty for the winner).
+	Rejection string `json:"rejection,omitempty"`
+}
+
+// Candidates returns every same-type instance the discovery ranking
+// considered for the spec, winners first: eligible instances in Find
+// order (the first marked Chosen, the rest annotated with why the
+// winner beat them), then attribute-rejected instances sorted by name.
+func (r *Registry) Candidates(spec Spec) []Candidate {
+	r.mu.RLock()
+	var eligible []Match
+	var rejected []Candidate
+	for _, in := range r.instances {
+		if in.Type != spec.Type {
+			continue
+		}
+		if reason, ok := attrMismatch(spec.Attrs, in.Attrs); !ok {
+			rejected = append(rejected, Candidate{Name: in.Name, Rejection: reason})
+			continue
+		}
+		eligible = append(eligible, Match{Instance: in, Score: scoreQoS(spec, in)})
+	}
+	r.mu.RUnlock()
+	sort.Slice(eligible, func(i, j int) bool {
+		if eligible[i].Score != eligible[j].Score {
+			return eligible[i].Score > eligible[j].Score
+		}
+		ri := footprint(eligible[i].Instance.Resources)
+		rj := footprint(eligible[j].Instance.Resources)
+		if ri != rj {
+			return ri < rj
+		}
+		return eligible[i].Instance.Name < eligible[j].Instance.Name
+	})
+	sort.Slice(rejected, func(i, j int) bool { return rejected[i].Name < rejected[j].Name })
+
+	out := make([]Candidate, 0, len(eligible)+len(rejected))
+	for i, m := range eligible {
+		c := Candidate{Name: m.Instance.Name, Score: m.Score, Chosen: i == 0}
+		if i > 0 {
+			winner := eligible[0]
+			switch {
+			case m.Score < winner.Score:
+				c.Rejection = fmt.Sprintf("QoS score %d < %d (%s)", m.Score, winner.Score, winner.Instance.Name)
+			case footprint(m.Instance.Resources) > footprint(winner.Instance.Resources):
+				c.Rejection = fmt.Sprintf("larger resource footprint than %s (%.2f > %.2f)",
+					winner.Instance.Name, footprint(m.Instance.Resources), footprint(winner.Instance.Resources))
+			default:
+				c.Rejection = fmt.Sprintf("name tie-break behind %s", winner.Instance.Name)
+			}
+		}
+		out = append(out, c)
+	}
+	return append(out, rejected...)
+}
+
+// attrMismatch reports whether have satisfies every required attribute;
+// when not, it names the first (alphabetically) unmet requirement.
+func attrMismatch(want, have map[string]string) (string, bool) {
+	if attrsSubset(want, have) {
+		return "", true
+	}
+	keys := make([]string, 0, len(want))
+	for k := range want {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if have[k] != want[k] {
+			return fmt.Sprintf("requires attr %s=%s", k, want[k]), false
+		}
+	}
+	return "attr mismatch", false
+}
+
 func attrsSubset(want, have map[string]string) bool {
 	for k, v := range want {
 		if have[k] != v {

@@ -9,7 +9,9 @@ import (
 	"strings"
 	"time"
 
+	"ubiqos/internal/buildinfo"
 	"ubiqos/internal/domain"
+	"ubiqos/internal/explain"
 	"ubiqos/internal/flight"
 	"ubiqos/internal/metrics"
 	"ubiqos/internal/trace"
@@ -21,36 +23,57 @@ const tracesDefault = 16
 
 // NewHTTPHandler exposes the domain's observability surface over HTTP:
 //
-//	/metrics          Prometheus text exposition of the metrics registry
-//	/healthz          liveness JSON (device/session counts, uptime)
-//	/traces           recent configuration traces (?session= one session,
-//	                  ?n= list length)
-//	/flight           index of sessions with flight-recorder timelines
-//	/flight/<session> one session's fused timeline (?format=text renders
-//	                  the human-readable form)
-//	/slo              burn-rate status of the declared service-level
-//	                  objectives (?format=text renders the table)
-//	/debug/pprof      the standard Go profiling endpoints
+//	/metrics           Prometheus text exposition of the metrics registry,
+//	                   including Go runtime health gauges refreshed per scrape
+//	/healthz           liveness JSON (device/session counts, uptime, build
+//	                   version)
+//	/traces            recent configuration traces (?session= one session,
+//	                   ?n= list length)
+//	/flight            index of sessions with flight-recorder timelines
+//	/flight/<session>  one session's fused timeline (?format=text renders
+//	                   the human-readable form)
+//	/explain           index of sessions with decision-provenance records
+//	/explain/<session> one session's decision provenance — discovery
+//	                   candidates, OC corrections, solver search stats,
+//	                   recovery ladder, placement diffs (?format=text)
+//	/slo               burn-rate status of the declared service-level
+//	                   objectives (?format=text renders the table)
+//	/debug/pprof       the standard Go profiling endpoints
 //
+// All endpoints are read-only: anything but GET/HEAD gets a 405.
 // It is mounted by qosconfigd's -http listener and by tests via
 // httptest.NewServer.
 func NewHTTPHandler(dom *domain.Domain) http.Handler {
 	start := time.Now()
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+	handle := func(pattern string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+			if r.Method != http.MethodGet && r.Method != http.MethodHead {
+				w.Header().Set("Allow", "GET, HEAD")
+				writeJSON(w, http.StatusMethodNotAllowed, map[string]any{
+					"ok": false, "error": "method " + r.Method + " not allowed",
+				})
+				return
+			}
+			h(w, r)
+		})
+	}
+	handle("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		metrics.CollectRuntime(dom.Metrics, start)
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		io.WriteString(w, dom.Metrics.Exposition())
 	})
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+	handle("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{
 			"ok":            true,
 			"domain":        dom.Name,
 			"devices":       len(dom.Devices.All()),
 			"sessions":      len(dom.Configurator.SessionIDs()),
 			"uptimeSeconds": time.Since(start).Seconds(),
+			"version":       buildinfo.Get(),
 		})
 	})
-	mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {
+	handle("/traces", func(w http.ResponseWriter, r *http.Request) {
 		if session := r.URL.Query().Get("session"); session != "" {
 			td := dom.Tracer.Find(session)
 			if td == nil {
@@ -79,14 +102,14 @@ func NewHTTPHandler(dom *domain.Domain) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, tds)
 	})
-	mux.HandleFunc("/flight", func(w http.ResponseWriter, r *http.Request) {
+	handle("/flight", func(w http.ResponseWriter, r *http.Request) {
 		sessions := dom.Flight.Sessions()
 		if sessions == nil {
 			sessions = []flight.SessionInfo{}
 		}
 		writeJSON(w, http.StatusOK, sessions)
 	})
-	mux.HandleFunc("/flight/", func(w http.ResponseWriter, r *http.Request) {
+	handle("/flight/", func(w http.ResponseWriter, r *http.Request) {
 		session := strings.TrimPrefix(r.URL.Path, "/flight/")
 		if session == "" {
 			writeJSON(w, http.StatusBadRequest, map[string]any{
@@ -108,7 +131,36 @@ func NewHTTPHandler(dom *domain.Domain) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, entries)
 	})
-	mux.HandleFunc("/slo", func(w http.ResponseWriter, r *http.Request) {
+	handle("/explain", func(w http.ResponseWriter, r *http.Request) {
+		sessions := dom.Explain.Sessions()
+		if sessions == nil {
+			sessions = []explain.SessionInfo{}
+		}
+		writeJSON(w, http.StatusOK, sessions)
+	})
+	handle("/explain/", func(w http.ResponseWriter, r *http.Request) {
+		session := strings.TrimPrefix(r.URL.Path, "/explain/")
+		if session == "" {
+			writeJSON(w, http.StatusBadRequest, map[string]any{
+				"ok": false, "error": "missing session: GET /explain/<session>",
+			})
+			return
+		}
+		se := dom.Explain.Explain(session)
+		if se == nil {
+			writeJSON(w, http.StatusNotFound, map[string]any{
+				"ok": false, "error": "no explain record for session " + session,
+			})
+			return
+		}
+		if r.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			io.WriteString(w, se.Render())
+			return
+		}
+		writeJSON(w, http.StatusOK, se)
+	})
+	handle("/slo", func(w http.ResponseWriter, r *http.Request) {
 		statuses := dom.SLO.Publish()
 		if r.URL.Query().Get("format") == "text" {
 			w.Header().Set("Content-Type", "text/plain; charset=utf-8")

@@ -8,8 +8,10 @@ import (
 	"strings"
 	"testing"
 
+	"ubiqos/internal/buildinfo"
 	"ubiqos/internal/distributor"
 	"ubiqos/internal/experiments"
+	"ubiqos/internal/explain"
 	"ubiqos/internal/flight"
 	"ubiqos/internal/metrics"
 	"ubiqos/internal/qos"
@@ -102,6 +104,11 @@ func TestObservabilityEndToEnd(t *testing.T) {
 		"bnb_nodes_explored_total",
 		`wire_requests_total{op="start"} 1`,
 		"# TYPE composition_time_seconds summary",
+		// Go runtime health gauges, refreshed per scrape.
+		"go_goroutines",
+		"go_heap_alloc_bytes",
+		"go_gc_pause_p99_seconds",
+		"process_uptime_seconds",
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("/metrics missing %q", want)
@@ -110,16 +117,20 @@ func TestObservabilityEndToEnd(t *testing.T) {
 
 	// --- /healthz ---
 	var health struct {
-		OK       bool   `json:"ok"`
-		Domain   string `json:"domain"`
-		Devices  int    `json:"devices"`
-		Sessions int    `json:"sessions"`
+		OK       bool           `json:"ok"`
+		Domain   string         `json:"domain"`
+		Devices  int            `json:"devices"`
+		Sessions int            `json:"sessions"`
+		Version  buildinfo.Info `json:"version"`
 	}
 	if err := json.Unmarshal([]byte(httpGet(t, web.URL+"/healthz")), &health); err != nil {
 		t.Fatal(err)
 	}
 	if !health.OK || health.Domain != "audio-space" || health.Devices != 4 || health.Sessions != 1 {
 		t.Errorf("healthz = %+v", health)
+	}
+	if health.Version.GoVersion == "" || health.Version.Path != "ubiqos" {
+		t.Errorf("healthz version = %+v, want goVersion and path=ubiqos", health.Version)
 	}
 
 	// --- /traces ---
@@ -161,6 +172,68 @@ func TestObservabilityEndToEnd(t *testing.T) {
 		t.Errorf("text flight rendering = %q", text)
 	}
 
+	// --- /explain: decision provenance for the configured session. ---
+	var xindex []explain.SessionInfo
+	if err := json.Unmarshal([]byte(httpGet(t, web.URL+"/explain")), &xindex); err != nil {
+		t.Fatal(err)
+	}
+	if len(xindex) != 1 || xindex[0].Session != "e2e-1" || xindex[0].Records != 1 {
+		t.Errorf("explain index = %+v", xindex)
+	}
+	var se explain.SessionExplain
+	if err := json.Unmarshal([]byte(httpGet(t, web.URL+"/explain/e2e-1")), &se); err != nil {
+		t.Fatal(err)
+	}
+	if len(se.Records) != 1 {
+		t.Fatalf("explain records = %d, want 1", len(se.Records))
+	}
+	rec := se.Records[0]
+	if rec.Action != explain.ActionConfigure || rec.TraceID == "" || len(rec.Placement) == 0 {
+		t.Errorf("explain record = action %q trace %q placement %v", rec.Action, rec.TraceID, rec.Placement)
+	}
+	if rec.TraceID != td.TraceID {
+		t.Errorf("explain traceId = %q, want the configuration trace %q", rec.TraceID, td.TraceID)
+	}
+	if len(rec.Attempts) == 0 {
+		t.Fatal("explain record has no attempts")
+	}
+	att := rec.Attempts[len(rec.Attempts)-1]
+	withCandidates := 0
+	for _, d := range att.Discoveries {
+		if len(d.Candidates) > 0 {
+			withCandidates++
+		}
+	}
+	if len(att.Discoveries) == 0 || withCandidates == 0 {
+		t.Errorf("explain discoveries = %d (%d with candidate sets), want both > 0",
+			len(att.Discoveries), withCandidates)
+	}
+	foundTranscoder := false
+	for _, c := range att.Corrections {
+		if c.Rule == "transcoder" {
+			foundTranscoder = true
+			if c.BeforeQoS == "" || c.AfterQoS == "" {
+				t.Errorf("transcoder correction missing QoS vectors: %+v", c)
+			}
+		}
+	}
+	if !foundTranscoder {
+		t.Errorf("explain corrections = %+v, want a transcoder rule", att.Corrections)
+	}
+	if att.Search == nil {
+		t.Fatal("explain attempt has no search summary")
+	}
+	if att.Search.Algorithm != "optimal-parallel" || att.Search.Explored == 0 ||
+		att.Search.Cost <= 0 || len(att.Search.BoundTrajectory) == 0 {
+		t.Errorf("explain search = %+v", att.Search)
+	}
+	xtext := httpGet(t, web.URL+"/explain/e2e-1?format=text")
+	for _, want := range []string{"explain e2e-1", "discover", "correction transcoder", "search optimal-parallel", "placement:"} {
+		if !strings.Contains(xtext, want) {
+			t.Errorf("text explain rendering missing %q:\n%s", want, xtext)
+		}
+	}
+
 	// --- /slo: burn-rate status of the default objectives. ---
 	var slo []metrics.Status
 	if err := json.Unmarshal([]byte(httpGet(t, web.URL+"/slo")), &slo); err != nil {
@@ -175,6 +248,77 @@ func TestObservabilityEndToEnd(t *testing.T) {
 	body = httpGet(t, web.URL+"/metrics")
 	if !strings.Contains(body, "slo_burn_rate{") || !strings.Contains(body, "slo_violations") {
 		t.Error("/slo did not publish burn-rate gauges into /metrics")
+	}
+}
+
+// TestExplainPlacementDiffAfterCrash is the recovery half of the
+// acceptance scenario: crash the device hosting a session's server
+// component and verify /explain/<session> records the recovery as a
+// second record, diffs the placements (the server moved off the dead
+// device), and captures the supervisor's ladder outcome.
+func TestExplainPlacementDiffAfterCrash(t *testing.T) {
+	dom, err := experiments.BuildChaosSpace(0.05, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(dom.Close)
+	srv, err := NewServer(dom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	web := httptest.NewServer(NewHTTPHandler(dom))
+	t.Cleanup(web.Close)
+
+	resp := srv.Handle(Request{
+		Op:           OpStart,
+		SessionID:    "diff-1",
+		App:          experiments.ChaosAudioApp(),
+		UserQoS:      qos.V(qos.P(qos.DimFrameRate, qos.Range(30, 44))),
+		ClientDevice: "jornada",
+	})
+	if !resp.OK {
+		t.Fatalf("start: %s", resp.Error)
+	}
+	victim := resp.Session.Placement["server"]
+	if victim == "" || victim == "jornada" {
+		t.Fatalf("server placed on %q", victim)
+	}
+	if resp = srv.Handle(Request{Op: OpCrashDevice, ToDevice: victim}); !resp.OK {
+		t.Fatalf("crash: %s", resp.Error)
+	}
+
+	var se explain.SessionExplain
+	if err := json.Unmarshal([]byte(httpGet(t, web.URL+"/explain/diff-1")), &se); err != nil {
+		t.Fatal(err)
+	}
+	if len(se.Records) < 2 {
+		t.Fatalf("explain records after crash = %d, want >= 2", len(se.Records))
+	}
+	last := se.Records[len(se.Records)-1]
+	if last.Action == explain.ActionConfigure {
+		t.Errorf("last record action = %q, want a recovery/reconfigure action", last.Action)
+	}
+	for comp, dev := range last.Placement {
+		if dev == victim {
+			t.Errorf("recovered placement still maps %s to crashed %s", comp, victim)
+		}
+	}
+	if len(se.Diffs) == 0 {
+		t.Fatal("explain has no placement diffs after recovery")
+	}
+	diff := se.Diffs[len(se.Diffs)-1]
+	movedOff := false
+	for _, m := range diff.Moved {
+		if m.From == victim {
+			movedOff = true
+		}
+	}
+	if !movedOff {
+		t.Errorf("placement diff moved = %+v, want a move off %s", diff.Moved, victim)
+	}
+	text := httpGet(t, web.URL+"/explain/diff-1?format=text")
+	if !strings.Contains(text, "placement diffs:") || !strings.Contains(text, "moved") {
+		t.Errorf("text rendering missing placement diff:\n%s", text)
 	}
 }
 
@@ -201,6 +345,26 @@ func TestHTTPHandlerErrors(t *testing.T) {
 	}
 	if body := httpGet(t, web.URL+"/flight"); strings.TrimSpace(body) != "[]" {
 		t.Errorf("empty flight index = %q", body)
+	}
+	if code := httpStatus(t, web.URL+"/explain/ghost"); code != http.StatusNotFound {
+		t.Errorf("unknown explain session status = %d", code)
+	}
+	if body := httpGet(t, web.URL+"/explain"); strings.TrimSpace(body) != "[]" {
+		t.Errorf("empty explain index = %q", body)
+	}
+	// Read-only surface: writes are rejected with 405 on every endpoint.
+	for _, path := range []string{"/metrics", "/healthz", "/traces", "/flight", "/explain", "/slo"} {
+		resp, err := http.Post(web.URL+path, "application/json", strings.NewReader("{}"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("POST %s status = %d, want 405", path, resp.StatusCode)
+		}
+		if allow := resp.Header.Get("Allow"); !strings.Contains(allow, "GET") {
+			t.Errorf("POST %s Allow header = %q", path, allow)
+		}
 	}
 	if !strings.Contains(httpGet(t, web.URL+"/debug/pprof/cmdline"), "wire") {
 		t.Error("pprof cmdline endpoint not serving")

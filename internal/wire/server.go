@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"ubiqos/internal/buildinfo"
 	"ubiqos/internal/composer"
 	"ubiqos/internal/core"
 	"ubiqos/internal/device"
@@ -147,7 +148,7 @@ var knownOps = map[string]bool{
 	OpSessions: true, OpSession: true, OpStart: true, OpStop: true,
 	OpSwitch: true, OpMetrics: true, OpTrace: true, OpCrashDevice: true,
 	OpRejoinDevice: true, OpCheck: true, OpRegister: true, OpUnregister: true,
-	OpFlight: true, OpSlo: true,
+	OpFlight: true, OpSlo: true, OpExplain: true, OpVersion: true,
 }
 
 // Handle dispatches one request; it is exported so the daemon can be
@@ -220,6 +221,11 @@ func (s *Server) dispatch(req Request) Response {
 		return s.flightInfo(req.SessionID)
 	case OpSlo:
 		return Response{OK: true, SLO: s.dom.SLO.Publish()}
+	case OpExplain:
+		return s.explainInfo(req.SessionID)
+	case OpVersion:
+		info := buildinfo.Get()
+		return Response{OK: true, Version: &info}
 	case OpRegister:
 		return s.registerService(req)
 	case OpUnregister:
@@ -379,6 +385,19 @@ func (s *Server) flightInfo(sessionID string) Response {
 		return errResponse(fmt.Errorf("wire: no flight timeline for session %q", sessionID))
 	}
 	return Response{OK: true, Flight: entries}
+}
+
+// explainInfo returns one session's decision-provenance report, or the
+// index of sessions with records when no session is named.
+func (s *Server) explainInfo(sessionID string) Response {
+	if sessionID == "" {
+		return Response{OK: true, ExplainSessions: s.dom.Explain.Sessions()}
+	}
+	se := s.dom.Explain.Explain(sessionID)
+	if se == nil {
+		return errResponse(fmt.Errorf("wire: no explain record for session %q", sessionID))
+	}
+	return Response{OK: true, Explain: se}
 }
 
 func (s *Server) sessionInfo(id string) Response {

@@ -7,7 +7,9 @@ package wire
 import (
 	"time"
 
+	"ubiqos/internal/buildinfo"
 	"ubiqos/internal/composer"
+	"ubiqos/internal/explain"
 	"ubiqos/internal/flight"
 	"ubiqos/internal/metrics"
 	"ubiqos/internal/qos"
@@ -34,6 +36,8 @@ const (
 	OpUnregister   = "unregister-service"
 	OpFlight       = "flight"
 	OpSlo          = "slo"
+	OpExplain      = "explain"
+	OpVersion      = "version"
 )
 
 // Request is one client request.
@@ -132,6 +136,13 @@ type Response struct {
 	FlightSessions []flight.SessionInfo `json:"flightSessions,omitempty"`
 	// SLO reports the burn-rate status of each declared objective (slo op).
 	SLO []metrics.Status `json:"slo,omitempty"`
+	// Explain is one session's decision-provenance report (explain op).
+	Explain *explain.SessionExplain `json:"explain,omitempty"`
+	// ExplainSessions lists sessions with provenance records (explain op
+	// with no session named), most recently active first.
+	ExplainSessions []explain.SessionInfo `json:"explainSessions,omitempty"`
+	// Version is the daemon's build identity (version op).
+	Version *buildinfo.Info `json:"version,omitempty"`
 }
 
 func timingInfo(c, d, dl, ih time.Duration) TimingInfo {
