@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify fmt-check vet build test race bench bench-faults bench-obs clean
+.PHONY: verify fmt-check vet build test race bench bench-faults bench-obs bench-warm clean
 
 # verify is the tier-1 gate (ROADMAP.md): formatting, static checks,
 # build, and the full test suite.
@@ -43,6 +43,15 @@ bench:
 # still bound to a dead device after recovery settles.
 bench-faults:
 	$(GO) run ./cmd/benchfaults -o BENCH_faults.json
+
+# bench-warm measures incremental reconfiguration at 1x/10x/50x Table 1
+# graph sizes: after a device crash, a cold branch-and-bound re-solve of
+# the whole graph versus a warm re-solve seeded with the broken
+# incumbent, writing BENCH_warm.json. It exits non-zero if the warm
+# re-solve does not beat cold by at least 3x p95 explored nodes at the
+# 10x and 50x scales.
+bench-warm:
+	$(GO) run ./cmd/benchwarm -o BENCH_warm.json
 
 # bench-obs times the observability primitives on the hot configuration
 # path — structured log calls, flight-recorder appends, trace spans — in

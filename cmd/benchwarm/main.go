@@ -1,0 +1,78 @@
+// Command benchwarm measures incremental reconfiguration: after a
+// device crash, how much search does a cold branch-and-bound re-solve
+// of the whole session graph cost versus a warm-started re-solve seeded
+// with the broken incumbent? It runs the active-space media workload at
+// 1x/10x/50x Table 1 graph sizes and writes BENCH_warm.json
+// (`make bench-warm`).
+//
+// The exit status encodes the acceptance criterion: at the 10x and 50x
+// scales the warm re-solve must beat the cold re-solve by at least 3x
+// in p95 explored nodes.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"ubiqos/internal/experiments"
+)
+
+// Report is the full BENCH_warm.json document.
+type Report struct {
+	Generated string                       `json:"generated"`
+	Result    *experiments.WarmBenchResult `json:"result"`
+}
+
+func main() {
+	log.SetFlags(0)
+	def := experiments.DefaultWarmBenchConfig()
+	out := flag.String("o", "BENCH_warm.json", "output file ('-' for stdout)")
+	seed := flag.Int64("seed", def.Seed, "workload seed")
+	trials := flag.Int("trials", def.Trials, "crash re-solves per scale")
+	minSpeedup := flag.Float64("min-speedup", 3, "required p95 explored-node speedup at 10x/50x (0 disables)")
+	flag.Parse()
+
+	cfg := def
+	cfg.Seed = *seed
+	cfg.Trials = *trials
+	res, err := experiments.RunWarmBench(cfg)
+	if err != nil {
+		log.Fatalf("benchwarm: %v", err)
+	}
+	rep := Report{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Result:    res,
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+	} else {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	failed := false
+	for _, sr := range res.Scales {
+		fmt.Printf("%-4s n(p50)=%-4.0f cold p95 %8.0f nodes %8.0fµs | warm p95 %7.0f nodes %7.0fµs | reused p50 %4.0f | speedup %.1fx (wall %.1fx)\n",
+			sr.Scale.Name, sr.Nodes.P50,
+			sr.ColdExplored.P95, sr.ColdMicros.P95,
+			sr.WarmExplored.P95, sr.WarmMicros.P95,
+			sr.Reused.P50, sr.ExploredSpeedup, sr.WallSpeedup)
+		if *minSpeedup > 0 && sr.Scale.Mult >= 10 && sr.ExploredSpeedup < *minSpeedup {
+			failed = true
+			fmt.Printf("FAIL %s: explored-node speedup %.2fx below required %.2fx\n", sr.Scale.Name, sr.ExploredSpeedup, *minSpeedup)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -9,6 +9,7 @@
 //	qosctl explain [-session ID] [-json]                 (decision provenance: discovery candidates, OC
 //	                                                      corrections, solver stats, recovery ladder,
 //	                                                      placement diffs; no -session lists sessions)
+//	qosctl stats   [-json]                               (plan-cache hit/miss ledger and warm/cold solve split)
 //	qosctl version [-json]                               (client and daemon build identity)
 //	qosctl start   -session ID [-app audio|conf|FILE.json|FILE.spec] [-client DEV] [-qos "framerate=38-44"]
 //	qosctl check   [-app ...] [-client DEV] [-qos ...]   (dry-run composition)
@@ -72,7 +73,7 @@ func main() {
 	retries := flag.Int("retries", 0, "retry a timed-out/failed request this many times")
 
 	if len(os.Args) < 2 || strings.HasPrefix(os.Args[1], "-") {
-		log.Fatal("usage: qosctl devices|services|sessions|metrics|trace|flight|slo|explain|version|start|check|session|switch|stop|crash|rejoin|register|unregister [flags]\n" +
+		log.Fatal("usage: qosctl devices|services|sessions|metrics|trace|flight|slo|explain|stats|version|start|check|session|switch|stop|crash|rejoin|register|unregister [flags]\n" +
 			"  common flags: -addr HOST:PORT  -timeout DUR (0 = wait forever)  -retries N\n" +
 			"  run 'go doc ubiqos/cmd/qosctl' for the full per-verb flag list")
 	}
@@ -280,6 +281,32 @@ func run(a runArgs) error {
 			return nil
 		}
 		fmt.Print(metrics.Render(resp.SLO))
+	case "stats":
+		resp, err := c.Call(wire.Request{Op: wire.OpStats})
+		if err != nil {
+			return err
+		}
+		if a.asJSON {
+			out, err := json.MarshalIndent(resp.Stats, "", "  ")
+			if err != nil {
+				return err
+			}
+			fmt.Println(string(out))
+			return nil
+		}
+		st := resp.Stats
+		fmt.Printf("solves: %d warm, %d cold", st.WarmSolves, st.ColdSolves)
+		if st.WarmSpeedup > 0 {
+			fmt.Printf(" (last warm recovery explored %.1fx fewer nodes)", st.WarmSpeedup)
+		}
+		fmt.Println()
+		if st.PlanCache == nil {
+			fmt.Println("plan cache: disabled")
+			return nil
+		}
+		pc := st.PlanCache
+		fmt.Printf("plan cache: %d/%d entries, %d hits, %d misses, %d invalidations, %d evictions\n",
+			pc.Entries, pc.Capacity, pc.Hits, pc.Misses, pc.Invalidations, pc.Evictions)
 	case "check":
 		ag, specQoS, err := loadApp(app)
 		if err != nil {

@@ -52,6 +52,13 @@ type Config struct {
 	Weights     resource.Weights
 	// Place overrides the placement algorithm (default: Heuristic).
 	Place PlaceFunc
+	// PlanCache, when set, memoizes solved placements keyed by the
+	// canonical problem signature: configureOnce consults it before
+	// running the placement algorithm and stores fresh solutions after.
+	// Only requests using the configurator's default placer participate —
+	// a per-request Place override (e.g. the recovery ladder's warm or
+	// heuristic rungs) must neither serve nor pollute cached plans.
+	PlanCache *distributor.PlanCache
 	// StateSizeMB is the serialized session state size used for handoffs.
 	StateSizeMB float64
 	// StateSizeFor, when set, sizes the checkpoint by the portal device it
@@ -245,6 +252,11 @@ type ActiveSession struct {
 	Runtime *runtime.Session
 	// ClientDevice is the session's current portal device.
 	ClientDevice device.ID
+	// SearchExplored is the placement search's explored-node count (zero
+	// for plan-cache hits and solvers that report no stats); the recovery
+	// supervisor compares it against the warm re-solve to gauge the
+	// warm-start speedup.
+	SearchExplored int64
 
 	loads   []resource.Vector
 	devIDs  []device.ID
@@ -541,7 +553,21 @@ func (c *Configurator) configureOnce(req Request, handoff bool, parent *trace.Sp
 	if req.Place != nil {
 		place = req.Place
 	}
-	assignment, cost, err := place(prob)
+	var assignment distributor.Assignment
+	var cost float64
+	cacheHit := false
+	if req.Place == nil && c.cfg.PlanCache != nil {
+		if a, cc, ok := c.cfg.PlanCache.Lookup(prob); ok {
+			assignment, cost, cacheHit = a, cc, true
+			stats.Algorithm = "plan-cache"
+		}
+	}
+	if !cacheHit {
+		assignment, cost, err = place(prob)
+		if err == nil && req.Place == nil && c.cfg.PlanCache != nil {
+			c.cfg.PlanCache.Store(prob, assignment, cost)
+		}
+	}
 	distTime := time.Since(t1)
 	c.recordSearch(dsp, stats, cost, err)
 	if att != nil {
@@ -556,6 +582,10 @@ func (c *Configurator) configureOnce(req Request, handoff bool, parent *trace.Sp
 			BoundTrajectory: stats.BoundTrajectory,
 			RunnerUp:        stats.RunnerUp,
 			Devices:         len(up),
+			CacheHit:        cacheHit,
+			Warm:            stats.Warm,
+			SeedCost:        stats.SeedCost,
+			Reused:          stats.Reused,
 		}
 		if err == nil {
 			att.Search.Cost = cost
@@ -652,17 +682,18 @@ func (c *Configurator) configureOnce(req Request, handoff bool, parent *trace.Sp
 	depSp.End()
 
 	active := &ActiveSession{
-		ID:           req.SessionID,
-		Request:      req,
-		Graph:        g,
-		Placement:    placement,
-		Cost:         cost,
-		Report:       rep,
-		Runtime:      sess,
-		ClientDevice: req.ClientDevice,
-		loads:        loads,
-		devIDs:       devIDs,
-		demands:      demands,
+		ID:             req.SessionID,
+		Request:        req,
+		Graph:          g,
+		Placement:      placement,
+		Cost:           cost,
+		Report:         rep,
+		Runtime:        sess,
+		ClientDevice:   req.ClientDevice,
+		SearchExplored: stats.Explored,
+		loads:          loads,
+		devIDs:         devIDs,
+		demands:        demands,
 		Timing: Timing{
 			Composition:   compTime,
 			Distribution:  distTime,
@@ -696,10 +727,15 @@ func (c *Configurator) recordSearch(dsp *trace.Span, stats *distributor.SearchSt
 		return
 	}
 	switch stats.Algorithm {
-	case "optimal", "optimal-parallel":
+	case "optimal", "optimal-parallel", "optimal-warm":
 		m.Counter(metrics.BnBExplored).Add(stats.Explored)
 		m.Counter(metrics.BnBPruned).Add(stats.Pruned)
 		m.Counter(metrics.BnBIncumbents).Add(stats.Incumbents)
+		if stats.Warm {
+			m.Counter(metrics.WarmSolves).Inc()
+		} else {
+			m.Counter(metrics.ColdSolves).Inc()
+		}
 	}
 }
 

@@ -94,6 +94,14 @@ type recoveryTask struct {
 	degraded  bool
 	firstSeen time.Time
 	due       time.Time
+	// incumbent is the broken session's last committed placement and
+	// cost, captured at enqueue time to warm-start the re-solve:
+	// full-quality attempts seed the branch-and-bound from it so only the
+	// lost device's components are genuinely re-searched.
+	incumbent *distributor.Incumbent
+	// prevExplored is the explored-node count of the solve that produced
+	// the incumbent, for the warm-speedup gauge.
+	prevExplored int64
 }
 
 // Supervisor is the self-healing loop of the configuration model: it
@@ -316,7 +324,7 @@ func (s *Supervisor) enqueue(sid string, req Request, dev device.ID, reason stri
 		t.dev, t.reason = dev, reason
 		return
 	}
-	s.tasks[sid] = &recoveryTask{
+	task := &recoveryTask{
 		sessionID: sid,
 		req:       req,
 		dev:       dev,
@@ -324,6 +332,15 @@ func (s *Supervisor) enqueue(sid string, req Request, dev device.ID, reason stri
 		firstSeen: at,
 		due:       time.Now(),
 	}
+	if active := s.c.Session(sid); active != nil && len(active.Placement) > 0 {
+		placement := make(map[graph.NodeID]device.ID, len(active.Placement))
+		for id, d := range active.Placement {
+			placement[id] = d
+		}
+		task.incumbent = &distributor.Incumbent{Placement: placement, Cost: active.Cost}
+		task.prevExplored = active.SearchExplored
+	}
+	s.tasks[sid] = task
 	s.logFor(sid, req).Warn("recovery queued",
 		obslog.String("reason", reason), obslog.String("device", string(dev)))
 }
@@ -374,6 +391,7 @@ func (s *Supervisor) attempt(t *recoveryTask) {
 	req := t.req
 	var shed []string
 	fallback := ""
+	warm := false
 	if degraded {
 		req.Place = distributor.Heuristic
 		fallback = "heuristic"
@@ -385,6 +403,17 @@ func (s *Supervisor) attempt(t *recoveryTask) {
 		sort.Strings(shed)
 		req.App = shedOptional(req.App)
 		t.degraded = true
+	} else if t.incumbent != nil {
+		// Full-quality rung: warm-start the exact solver from the broken
+		// session's last placement, so only the components stranded by the
+		// fault are genuinely re-searched. The heuristic fallback above
+		// takes over once the deadline or attempt budget is blown.
+		inc := t.incumbent
+		req.Place = func(p *distributor.Problem) (distributor.Assignment, float64, error) {
+			return distributor.OptimalWarm(p, inc)
+		}
+		fallback = "optimal-warm"
+		warm = true
 	}
 
 	log := s.logFor(t.sessionID, t.req)
@@ -407,15 +436,26 @@ func (s *Supervisor) attempt(t *recoveryTask) {
 		if degraded {
 			s.count(func(st *SupervisorStats) { st.Degraded++ }, metrics.RecoveriesDegraded)
 		}
+		var seedCost float64
+		if warm {
+			seedCost = t.incumbent.Cost
+		}
 		if m := s.c.cfg.Metrics; m != nil {
 			m.Histogram(metrics.RecoveryLatency).Observe(time.Since(t.firstSeen))
+			if warm && t.prevExplored > 0 {
+				if active := s.c.Session(t.sessionID); active != nil && active.SearchExplored > 0 {
+					m.Gauge(metrics.WarmSpeedup).Set(float64(t.prevExplored) / float64(active.SearchExplored))
+				}
+			}
 		}
 		log.Info("session recovered",
 			obslog.Bool("degraded", degraded),
+			obslog.Bool("warm", warm),
 			obslog.Duration("downMs", time.Since(t.firstSeen)))
 		s.recordLadder(t.sessionID, tr.Context().TraceID, explain.LadderStep{
 			Attempt: t.attempts + 1, Reason: t.reason, Degraded: degraded,
 			Shed: shed, PlacementFallback: fallback, Outcome: "recovered",
+			Warm: warm, SeedCost: seedCost,
 		})
 		s.finish(t.sessionID)
 		s.opts.Bus.Publish(eventbus.TopicSessionRecovered, t.sessionID)
@@ -437,6 +477,7 @@ func (s *Supervisor) attempt(t *recoveryTask) {
 	s.recordLadder(t.sessionID, tr.Context().TraceID, explain.LadderStep{
 		Attempt: t.attempts, Reason: t.reason, Degraded: degraded,
 		Shed: shed, PlacementFallback: fallback, Outcome: "retry",
+		Warm:      warm,
 		BackoffMs: float64(backoff) / float64(time.Millisecond),
 		Detail:    err.Error(),
 	})

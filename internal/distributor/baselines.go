@@ -139,14 +139,22 @@ func FirstFit(p *Problem) (Assignment, float64, error) {
 // dynamic service distribution considerations". At request time the cached
 // placement is only re-checked against the current conditions.
 //
+// The per-application memo is bounded with the same LRU discipline as the
+// PlanCache, so a long chaos drill cycling through many application keys
+// cannot grow it without limit; a re-requested evicted key is simply
+// recomputed against the initial availability, which is deterministic.
+//
 // Fixed is safe for concurrent use.
 type Fixed struct {
 	mu    sync.Mutex
-	cache map[string]Assignment
+	cache *lruCache[Assignment]
 	// Initial are the devices with their initial availability used to
 	// precompute placements.
 	initial []DeviceInfo
 }
+
+// FixedCacheCapacity bounds the static baseline's per-application memo.
+const FixedCacheCapacity = 256
 
 // NewFixed returns a fixed policy precomputing against the given initial
 // device availability.
@@ -155,7 +163,7 @@ func NewFixed(initial []DeviceInfo) *Fixed {
 	for i, d := range initial {
 		cloned[i] = DeviceInfo{ID: d.ID, Avail: d.Avail.Clone()}
 	}
-	return &Fixed{cache: make(map[string]Assignment), initial: cloned}
+	return &Fixed{cache: newLRU[Assignment](FixedCacheCapacity), initial: cloned}
 }
 
 // Place returns the static placement for the application identified by
@@ -165,7 +173,7 @@ func NewFixed(initial []DeviceInfo) *Fixed {
 // placement does not fit the current conditions.
 func (f *Fixed) Place(key string, p *Problem) (Assignment, float64, error) {
 	f.mu.Lock()
-	a, ok := f.cache[key]
+	a, ok := f.cache.get(key)
 	f.mu.Unlock()
 	if !ok {
 		initial := &Problem{
@@ -180,7 +188,7 @@ func (f *Fixed) Place(key string, p *Problem) (Assignment, float64, error) {
 			return nil, 0, err
 		}
 		f.mu.Lock()
-		f.cache[key] = a
+		f.cache.put(key, a)
 		f.mu.Unlock()
 	}
 	if err := p.FitInto(a); err != nil {

@@ -75,6 +75,20 @@ type obbState struct {
 	pin   []int
 	bw    [][]float64
 
+	// sufMin[i] is an admissible lower bound on the cost still to be paid
+	// by nodes i..: the sum over those nodes of the cheapest end-system
+	// term any statically-fitting (and pin-compatible) device offers. The
+	// network term is nonnegative, so partial cost + sufMin[i] never
+	// exceeds the cost of any feasible completion — pruning on it removes
+	// only paths that cannot beat (or tie earlier than) the incumbent,
+	// leaving the returned optimum bit-identical.
+	sufMin []float64
+
+	// pref, when non-nil, names a preferred device index per node position
+	// that search tries before the plain increasing-index scan (warm
+	// start). nil for cold solves, whose device order is unchanged.
+	pref []int
+
 	loads  []resource.Vector
 	pairTP [][]float64 // symmetric cumulative cut throughput
 
@@ -115,6 +129,14 @@ type obbState struct {
 // nodes sorted big-first for pruning strength, internal adjacency for
 // incremental cost updates, and empty device loads/reservations.
 func newOBBState(p *Problem) (*obbState, error) {
+	return newOBBStateOrdered(p, nil)
+}
+
+// newOBBStateOrdered is newOBBState with an explicit node order (nil means
+// the default big-first order). The warm-start solver passes a
+// still-valid-placements-first permutation; every order yields a correct
+// optimum, only the tie-break among equal-cost optima moves.
+func newOBBStateOrdered(p *Problem, order []*graph.Node) (*obbState, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -123,10 +145,13 @@ func newOBBState(p *Problem) (*obbState, error) {
 		return nil, err
 	}
 
+	if order == nil {
+		order = p.sortedNodesByRequirement() // big components first: stronger pruning
+	}
 	s := &obbState{
 		p:     p,
 		m:     p.Weights.Dims(),
-		nodes: p.sortedNodesByRequirement(), // big components first: stronger pruning
+		nodes: order,
 		best:  math.Inf(1),
 	}
 	s.index = make(map[graph.NodeID]int, len(s.nodes))
@@ -172,6 +197,118 @@ func newOBBState(p *Problem) (*obbState, error) {
 	for i := range s.nodes {
 		s.savedLoad[i] = resource.New(s.m)
 		s.savedTP[i] = make([]float64, len(p.Devices))
+	}
+
+	// netFloor[i] (opt-in via Problem.NetworkFloor) is an admissible
+	// lower bound on the network cost that first becomes payable when
+	// node i is placed: every edge whose two endpoints cannot colocate on
+	// any device (pins and static capacity considered, devices taken
+	// empty) must cross some link, and the cheapest it can ever be is its
+	// throughput over the best bandwidth a pin-compatible device pair
+	// offers. The bound is charged to the later-ordered endpoint —
+	// exactly where tryPlace pays the real cost — so partial cost plus
+	// suffix never double-counts an edge.
+	fits := func(n *graph.Node, d int) bool {
+		avail := p.Devices[d].Avail
+		for dim := 0; dim < s.m; dim++ {
+			if n.Resources[dim] > avail[dim] {
+				return false
+			}
+		}
+		return true
+	}
+	wNet := p.Weights.Network()
+	netFloor := make([]float64, len(s.nodes))
+	for _, e := range p.Graph.Edges() {
+		if !p.NetworkFloor {
+			break
+		}
+		if e.ThroughputMbps <= 0 {
+			continue
+		}
+		fi, ti := s.index[e.From], s.index[e.To]
+		from, to := s.nodes[fi], s.nodes[ti]
+		colocatable := false
+		for d := range p.Devices {
+			if s.pin[fi] >= 0 && s.pin[fi] != d {
+				continue
+			}
+			if s.pin[ti] >= 0 && s.pin[ti] != d {
+				continue
+			}
+			avail := p.Devices[d].Avail
+			ok := true
+			for dim := 0; dim < s.m; dim++ {
+				if from.Resources[dim]+to.Resources[dim] > avail[dim] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				colocatable = true
+				break
+			}
+		}
+		if colocatable {
+			continue
+		}
+		// The edge must cross: find the best bandwidth any compatible
+		// device pair offers.
+		maxBW := 0.0
+		for d1 := range p.Devices {
+			if s.pin[fi] >= 0 && s.pin[fi] != d1 {
+				continue
+			}
+			if !fits(from, d1) {
+				continue
+			}
+			for d2 := range p.Devices {
+				if d1 == d2 {
+					continue
+				}
+				if s.pin[ti] >= 0 && s.pin[ti] != d2 {
+					continue
+				}
+				if !fits(to, d2) {
+					continue
+				}
+				if b := s.bw[d1][d2]; b > maxBW {
+					maxBW = b
+				}
+			}
+		}
+		if maxBW > 0 {
+			late := fi
+			if ti > fi {
+				late = ti
+			}
+			netFloor[late] += wNet * e.ThroughputMbps / maxBW
+		}
+	}
+
+	// Suffix lower bound: for each node, the cheapest end-system cost any
+	// device it could ever land on (statically fitting an empty device,
+	// pin respected) would charge, plus the node's forced-crossing network
+	// floor. A node no device can hold makes the whole suffix +Inf, which
+	// prunes the root immediately — correct, since no feasible completion
+	// exists.
+	s.sufMin = make([]float64, len(s.nodes)+1)
+	wEnd := p.Weights.EndSystem()
+	for i := len(s.nodes) - 1; i >= 0; i-- {
+		n := s.nodes[i]
+		minLoad := math.Inf(1)
+		for d := range p.Devices {
+			if s.pin[i] >= 0 && s.pin[i] != d {
+				continue
+			}
+			if !fits(n, d) {
+				continue
+			}
+			if l := n.Resources.RelativeLoad(p.Devices[d].Avail, wEnd); l < minLoad {
+				minLoad = l
+			}
+		}
+		s.sufMin[i] = minLoad + netFloor[i] + s.sufMin[i+1]
 	}
 	return s, nil
 }
@@ -268,25 +405,27 @@ func (s *obbState) unplace(i, d int) {
 	s.restoreTP(i, d)
 }
 
-// pruned reports whether a partial path with the given accumulated cost
-// cannot improve on the best known solution. The partial cost is a lower
-// bound on any completion (both cost terms are nonnegative and additive),
-// so pruning is safe. Against the searcher's own best the comparison is
-// ≥ (an equal-cost leaf later in DFS order can never win the tie-break);
-// against the shared parallel incumbent it is strictly >, so that an
-// equal-cost optimum in a lexicographically earlier subtree is still
-// found and can win the deterministic reduce.
-func (s *obbState) pruned(cost float64) bool {
-	if cost >= s.best {
+// pruned reports whether a partial path with the given completion lower
+// bound (accumulated cost plus the admissible suffix bound) cannot improve
+// on the best known solution. Both cost terms are nonnegative and
+// additive, so the bound never exceeds any completion's cost and pruning
+// is safe. Against the searcher's own best the comparison is ≥ (an
+// equal-cost leaf later in DFS order can never win the tie-break); against
+// the shared parallel incumbent it is strictly >, so that an equal-cost
+// optimum in a lexicographically earlier subtree is still found and can
+// win the deterministic reduce.
+func (s *obbState) pruned(bound float64) bool {
+	if bound >= s.best {
 		return true
 	}
-	return s.global != nil && cost > s.global.load()
+	return s.global != nil && bound > s.global.load()
 }
 
 // search assigns nodes i.. depth-first, device indices in increasing
-// order, with accumulated partial cost.
+// order (a warm-start preferred device, when set, jumps the queue), with
+// accumulated partial cost.
 func (s *obbState) search(i int, cost float64) {
-	if s.pruned(cost) {
+	if s.pruned(cost + s.sufMin[i]) {
 		s.prunedN++
 		return
 	}
@@ -305,7 +444,21 @@ func (s *obbState) search(i int, cost float64) {
 		}
 		return
 	}
+	pref := -1
+	if s.pref != nil {
+		pref = s.pref[i]
+	}
+	if pref >= 0 && (s.pin[i] < 0 || s.pin[i] == pref) {
+		if delta, ok := s.tryPlace(i, pref); ok {
+			s.explored++
+			s.search(i+1, cost+delta)
+			s.unplace(i, pref)
+		}
+	}
 	for d := range s.p.Devices {
+		if d == pref {
+			continue
+		}
 		if s.pin[i] >= 0 && s.pin[i] != d {
 			continue
 		}

@@ -53,9 +53,10 @@ func randomTestProblem(rng *rand.Rand, nodes int, devices []DeviceInfo, linkMbps
 }
 
 // TestOptimalParallelMatchesSequential is the tentpole contract: for every
-// instance and every worker count, the parallel solver returns the same
-// assignment and the bit-identical cost as the sequential oracle,
-// including agreeing on infeasibility.
+// instance and every worker count, the parallel solver — and a cold
+// (incumbent-free) warm solver — return the same assignment and the
+// bit-identical cost as the sequential oracle, including agreeing on
+// infeasibility.
 func TestOptimalParallelMatchesSequential(t *testing.T) {
 	rng := rand.New(rand.NewSource(424242))
 	devices := []DeviceInfo{
@@ -85,6 +86,22 @@ func TestOptimalParallelMatchesSequential(t *testing.T) {
 			}
 			if !reflect.DeepEqual(seqA, parA) {
 				t.Fatalf("trial %d workers %d: assignment\n%v\n!= sequential\n%v", trial, workers, parA, seqA)
+			}
+		}
+		for name, inc := range map[string]*Incumbent{"nil": nil, "empty": {}} {
+			warmA, warmCost, warmErr := OptimalWarm(p, inc)
+			if (seqErr == nil) != (warmErr == nil) {
+				t.Fatalf("trial %d cold warm (%s incumbent): seq err %v, warm err %v", trial, name, seqErr, warmErr)
+			}
+			if seqErr != nil {
+				if !errors.Is(warmErr, ErrInfeasible) {
+					t.Fatalf("trial %d cold warm (%s incumbent): want ErrInfeasible, got %v", trial, name, warmErr)
+				}
+				continue
+			}
+			if math.Float64bits(seqCost) != math.Float64bits(warmCost) || !reflect.DeepEqual(seqA, warmA) {
+				t.Fatalf("trial %d cold warm (%s incumbent): (%v, %v) != sequential (%v, %v)",
+					trial, name, warmA, warmCost, seqA, seqCost)
 			}
 		}
 		if seqErr != nil {
@@ -184,5 +201,44 @@ func TestSharedBoundLower(t *testing.T) {
 	b.lower(1.25)
 	if b.load() != 1.25 {
 		t.Fatalf("bound = %v, want 1.25", b.load())
+	}
+}
+
+// TestSolverEquivalenceWithNetworkFloor repeats the tri-solver contract
+// with the opt-in forced-crossing bound enabled: the floor may change
+// which equal-cost optimum wins, but Optimal, OptimalParallel, and a
+// cold OptimalWarm must still agree bit-for-bit with each other, and the
+// optimal cost must match the floor-free solve exactly.
+func TestSolverEquivalenceWithNetworkFloor(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	devices := []DeviceInfo{
+		{ID: "pc", Avail: resource.MB(96, 160)},
+		{ID: "pda", Avail: resource.MB(32, 90)},
+		{ID: "tablet", Avail: resource.MB(48, 120)},
+	}
+	for trial := 0; trial < 25; trial++ {
+		nodes := 8 + rng.Intn(7)
+		p := randomTestProblem(rng, nodes, devices, 40)
+		baseA, baseCost, baseErr := Optimal(p)
+		p.NetworkFloor = true
+		seqA, seqCost, seqErr := Optimal(p)
+		if (baseErr == nil) != (seqErr == nil) {
+			t.Fatalf("trial %d: floor changed feasibility: base err %v, floor err %v", trial, baseErr, seqErr)
+		}
+		if seqErr != nil {
+			continue
+		}
+		if math.Float64bits(baseCost) != math.Float64bits(seqCost) {
+			t.Fatalf("trial %d: floor changed the optimal cost %v -> %v", trial, baseCost, seqCost)
+		}
+		_ = baseA
+		parA, parCost, parErr := OptimalParallel(p, 3)
+		if parErr != nil || math.Float64bits(seqCost) != math.Float64bits(parCost) || !reflect.DeepEqual(seqA, parA) {
+			t.Fatalf("trial %d: parallel (%v, %v, %v) != sequential (%v, %v)", trial, parA, parCost, parErr, seqA, seqCost)
+		}
+		warmA, warmCost, warmErr := OptimalWarm(p, nil)
+		if warmErr != nil || math.Float64bits(seqCost) != math.Float64bits(warmCost) || !reflect.DeepEqual(seqA, warmA) {
+			t.Fatalf("trial %d: cold warm (%v, %v, %v) != sequential (%v, %v)", trial, warmA, warmCost, warmErr, seqA, seqCost)
+		}
 	}
 }

@@ -1,0 +1,138 @@
+package distributor
+
+import (
+	"testing"
+
+	"ubiqos/internal/device"
+	"ubiqos/internal/graph"
+	"ubiqos/internal/qos"
+	"ubiqos/internal/resource"
+)
+
+// sigFixture builds one small concrete problem; nodeOrder and devOrder
+// permute the insertion orders without changing the instance itself.
+func sigFixture(t *testing.T, nodeOrder, devOrder []int, mutate func(p *Problem)) *Problem {
+	t.Helper()
+	type nodeSpec struct {
+		id  graph.NodeID
+		res resource.Vector
+		pin string
+	}
+	nodes := []nodeSpec{
+		{id: "src", res: resource.MB(8, 12)},
+		{id: "mid", res: resource.MB(6, 10)},
+		{id: "snk", res: resource.MB(4, 6), pin: "pda"},
+	}
+	g := graph.New()
+	for _, i := range nodeOrder {
+		n := nodes[i]
+		g.MustAddNode(&graph.Node{
+			ID: n.id, Type: "component", Resources: n.res, Pin: n.pin,
+			Out: qos.Vector{}.With("framerate", qos.Scalar(30)),
+		})
+	}
+	g.MustAddEdge("src", "mid", 1.5)
+	g.MustAddEdge("mid", "snk", 1.0)
+	devs := []DeviceInfo{
+		{ID: "pc", Avail: resource.MB(96, 160)},
+		{ID: "pda", Avail: resource.MB(32, 90)},
+	}
+	ordered := make([]DeviceInfo, 0, len(devs))
+	for _, i := range devOrder {
+		ordered = append(ordered, DeviceInfo{ID: devs[i].ID, Avail: devs[i].Avail.Clone()})
+	}
+	w, err := resource.NewWeights(0.3, 0.3, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &Problem{
+		Graph:     g,
+		Devices:   ordered,
+		Bandwidth: func(a, b device.ID) float64 { return 40 },
+		Weights:   w,
+	}
+	if mutate != nil {
+		mutate(p)
+	}
+	return p
+}
+
+func mustSig(t *testing.T, p *Problem) string {
+	t.Helper()
+	sig, err := Signature(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sig
+}
+
+// TestSignatureOrderIndependence: the signature is canonical — insertion
+// order of nodes and declaration order of devices must not matter.
+func TestSignatureOrderIndependence(t *testing.T) {
+	base := mustSig(t, sigFixture(t, []int{0, 1, 2}, []int{0, 1}, nil))
+	for _, tc := range []struct {
+		name  string
+		nodes []int
+		devs  []int
+	}{
+		{"nodes reversed", []int{2, 1, 0}, []int{0, 1}},
+		{"devices swapped", []int{0, 1, 2}, []int{1, 0}},
+		{"both permuted", []int{1, 2, 0}, []int{1, 0}},
+	} {
+		if got := mustSig(t, sigFixture(t, tc.nodes, tc.devs, nil)); got != base {
+			t.Errorf("%s: signature %s != base %s", tc.name, got, base)
+		}
+	}
+}
+
+// TestSignatureSensitivity: every input the solution depends on must
+// change the signature.
+func TestSignatureSensitivity(t *testing.T) {
+	base := mustSig(t, sigFixture(t, []int{0, 1, 2}, []int{0, 1}, nil))
+	mutations := map[string]func(p *Problem){
+		"device availability": func(p *Problem) { p.Devices[0].Avail[0] += 1 },
+		"link bandwidth":      func(p *Problem) { p.Bandwidth = func(a, b device.ID) float64 { return 39 } },
+		"weights": func(p *Problem) {
+			w, err := resource.NewWeights(0.4, 0.3, 0.3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p.Weights = w
+		},
+		"node resources":  func(p *Problem) { p.Graph.Node("mid").Resources[1] += 0.5 },
+		"edge throughput": func(p *Problem) { p.Graph.Edges(); mutateEdge(t, p) },
+		"node pin":        func(p *Problem) { p.Graph.Node("mid").Pin = "pc" },
+		"node qos":        func(p *Problem) { p.Graph.Node("src").Out = p.Graph.Node("src").Out.With("framerate", qos.Scalar(25)) },
+	}
+	for name, mutate := range mutations {
+		if got := mustSig(t, sigFixture(t, []int{0, 1, 2}, []int{0, 1}, mutate)); got == base {
+			t.Errorf("mutating %s did not change the signature", name)
+		}
+	}
+}
+
+// mutateEdge rebuilds the fixture graph with a different src→mid
+// throughput (edges are immutable once added).
+func mutateEdge(t *testing.T, p *Problem) {
+	t.Helper()
+	g := graph.New()
+	for _, n := range p.Graph.Nodes() {
+		cp := *n
+		g.MustAddNode(&cp)
+	}
+	for _, e := range p.Graph.Edges() {
+		tp := e.ThroughputMbps
+		if e.From == "src" {
+			tp += 0.25
+		}
+		g.MustAddEdge(e.From, e.To, tp)
+	}
+	p.Graph = g
+}
+
+// TestSignatureInvalidProblem: an unvalidatable problem has no signature.
+func TestSignatureInvalidProblem(t *testing.T) {
+	if _, err := Signature(&Problem{}); err == nil {
+		t.Error("empty problem should not produce a signature")
+	}
+}

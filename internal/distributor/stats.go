@@ -19,7 +19,8 @@ type WorkerStats struct {
 // pointed to by Problem.Stats (when non-nil) before returning; totals are
 // always set, PerWorker only by the parallel solver.
 type SearchStats struct {
-	// Algorithm is "heuristic", "optimal", or "optimal-parallel".
+	// Algorithm is "heuristic", "optimal", "optimal-parallel", or
+	// "optimal-warm".
 	Algorithm string `json:"algorithm"`
 	// Workers and FrontierDepth describe the parallel split (Workers is 1
 	// for sequential solvers); Tasks is the frontier task count.
@@ -46,6 +47,13 @@ type SearchStats struct {
 	// strictly worse than the winner — the margin the winner won by.
 	// Zero when the search saw no second-best solution.
 	RunnerUp float64 `json:"runnerUp,omitempty"`
+	// Warm marks a warm-started solve; SeedCost is the incumbent cost the
+	// search was seeded from, and Reused counts the components whose
+	// previous placement was still valid and was fixed first in the
+	// variable order.
+	Warm     bool    `json:"warm,omitempty"`
+	SeedCost float64 `json:"seedCost,omitempty"`
+	Reused   int     `json:"reused,omitempty"`
 }
 
 // TrajectoryCap bounds BoundTrajectory: trajectories keep the newest

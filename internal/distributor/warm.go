@@ -1,0 +1,123 @@
+package distributor
+
+import (
+	"ubiqos/internal/device"
+	"ubiqos/internal/graph"
+	"ubiqos/internal/obslog"
+	"ubiqos/internal/trace"
+)
+
+// Incumbent is a previously committed placement handed to OptimalWarm as
+// the warm-start seed after an environmental change.
+type Incumbent struct {
+	// Placement maps components to the device they were running on, keyed
+	// by device identity rather than index, because the device set (and
+	// hence Problem.Devices ordering) may have changed since the plan was
+	// computed. Entries naming devices absent from the new problem are
+	// ignored.
+	Placement map[graph.NodeID]device.ID
+	// Cost is the incumbent's cost aggregation in the environment it was
+	// solved for. It seeds the reported bound trajectory context
+	// ("warm-started from incumbent cost X") but is never used to prune:
+	// the new environment may not admit any plan that cheap, and pruning
+	// on it could cut off the true optimum.
+	Cost float64
+}
+
+// OptimalWarm is Optimal warm-started from a previous assignment. The
+// node order fixes still-valid placements first and the value order tries
+// each component's incumbent device before the others, so the very first
+// depth-first dive re-derives "keep everything that survived, re-place
+// only what was lost" and its cost becomes the initial pruning bound.
+// Only the lost components' subspace is then genuinely re-searched; the
+// ≥-prune on the searcher's own best means no equal-cost alternative can
+// displace that first incumbent-preserving optimum, so unaffected
+// components do not move on ties.
+//
+// A nil incumbent — or one with no surviving entry — degrades to a cold
+// solve that is bit-identical to Optimal (same code path, same order).
+// The result is always a true optimum of p; warm start changes only which
+// equal-cost optimum wins and how much of the tree is explored.
+func OptimalWarm(p *Problem, inc *Incumbent) (Assignment, float64, error) {
+	if inc == nil || len(inc.Placement) == 0 {
+		return Optimal(p)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, 0, err
+	}
+
+	// Keep only incumbent entries that still make sense: the node exists,
+	// the device is still offered, and any pin agrees.
+	warm := make(map[graph.NodeID]int, len(inc.Placement))
+	for id, dev := range inc.Placement {
+		n := p.Graph.Node(id)
+		if n == nil {
+			continue
+		}
+		di := p.deviceIndex(dev)
+		if di < 0 {
+			continue
+		}
+		if n.Pin != "" && device.ID(n.Pin) != dev {
+			continue
+		}
+		warm[id] = di
+	}
+	if len(warm) == 0 {
+		return Optimal(p)
+	}
+
+	// Variable order: still-valid placements first (stable within each
+	// group, preserving the big-first heuristic order), so the lost
+	// components sit at the bottom of the tree where backtracking is
+	// cheap.
+	def := p.sortedNodesByRequirement()
+	order := make([]*graph.Node, 0, len(def))
+	for _, n := range def {
+		if _, ok := warm[n.ID]; ok {
+			order = append(order, n)
+		}
+	}
+	for _, n := range def {
+		if _, ok := warm[n.ID]; !ok {
+			order = append(order, n)
+		}
+	}
+
+	s, err := newOBBStateOrdered(p, order)
+	if err != nil {
+		return nil, 0, err
+	}
+	s.pref = make([]int, len(s.nodes))
+	for i, n := range s.nodes {
+		s.pref[i] = -1
+		if di, ok := warm[n.ID]; ok {
+			s.pref[i] = di
+		}
+	}
+
+	sp := p.Span.Child("branch-and-bound-warm")
+	s.search(0, 0)
+	w := s.counters(0, 1)
+	sp.Set(trace.Int("explored", w.Explored), trace.Int("pruned", w.Pruned),
+		trace.Int("incumbents", w.Incumbents), trace.Int("reused", int64(len(warm))))
+	sp.End()
+	p.Log.Debug("warm branch-and-bound solved",
+		obslog.Int("explored", w.Explored), obslog.Int("pruned", w.Pruned),
+		obslog.Int("incumbents", w.Incumbents), obslog.Int("reused", int64(len(warm))))
+	if p.Stats != nil {
+		*p.Stats = SearchStats{
+			Algorithm:       "optimal-warm",
+			Workers:         1,
+			Explored:        w.Explored,
+			Pruned:          w.Pruned,
+			Incumbents:      w.Incumbents,
+			BoundTrajectory: append([]float64(nil), s.trajectory...),
+			RunnerUp:        runnerUp(s.trajectory),
+			Warm:            true,
+			SeedCost:        inc.Cost,
+			Reused:          len(warm),
+		}
+	}
+	return s.result()
+}

@@ -1,0 +1,245 @@
+package distributor
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"ubiqos/internal/device"
+	"ubiqos/internal/graph"
+	"ubiqos/internal/resource"
+)
+
+// incumbentOf converts a solved assignment into the device-identity form
+// the warm solver accepts.
+func incumbentOf(p *Problem, a Assignment, cost float64) *Incumbent {
+	inc := &Incumbent{Placement: make(map[graph.NodeID]device.ID, len(a)), Cost: cost}
+	for id, di := range a {
+		inc.Placement[id] = p.Devices[di].ID
+	}
+	return inc
+}
+
+// TestOptimalWarmKeepsIncumbentOnUnchangedProblem: warm-starting from the
+// problem's own optimum must return that optimum verbatim (no equal-cost
+// alternative may displace it) and never explore more than the cold solve
+// did in aggregate — the first dive already lands on the final bound.
+func TestOptimalWarmKeepsIncumbentOnUnchangedProblem(t *testing.T) {
+	rng := rand.New(rand.NewSource(31337))
+	devices := []DeviceInfo{
+		{ID: "desktop", Avail: resource.MB(128, 200)},
+		{ID: "laptop", Avail: resource.MB(64, 100)},
+		{ID: "pda", Avail: resource.MB(24, 60)},
+	}
+	var coldTotal, warmTotal int64
+	checked := 0
+	for trial := 0; trial < 25; trial++ {
+		p := randomTestProblem(rng, 9+rng.Intn(4), devices, 30)
+		p.Stats = &SearchStats{}
+		coldA, coldCost, err := Optimal(p)
+		if err != nil {
+			continue
+		}
+		coldStats := *p.Stats
+		inc := incumbentOf(p, coldA, coldCost)
+		p.Stats = &SearchStats{}
+		warmA, warmCost, err := OptimalWarm(p, inc)
+		if err != nil {
+			t.Fatalf("trial %d: warm solve failed on feasible problem: %v", trial, err)
+		}
+		warmStats := *p.Stats
+		if math.Float64bits(coldCost) != math.Float64bits(warmCost) {
+			t.Fatalf("trial %d: warm cost %v != cold %v (bits differ)", trial, warmCost, coldCost)
+		}
+		if !reflect.DeepEqual(coldA, warmA) {
+			t.Fatalf("trial %d: warm moved components on an unchanged problem:\n%v\n!= incumbent\n%v",
+				trial, warmA, coldA)
+		}
+		if !warmStats.Warm || warmStats.Algorithm != "optimal-warm" {
+			t.Fatalf("trial %d: stats not marked warm: %+v", trial, warmStats)
+		}
+		if warmStats.Reused != len(coldA) {
+			t.Fatalf("trial %d: reused %d, want all %d placements", trial, warmStats.Reused, len(coldA))
+		}
+		if math.Float64bits(warmStats.SeedCost) != math.Float64bits(coldCost) {
+			t.Fatalf("trial %d: seed cost %v, want %v", trial, warmStats.SeedCost, coldCost)
+		}
+		coldTotal += coldStats.Explored
+		warmTotal += warmStats.Explored
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no feasible instances drawn; adjust the seed")
+	}
+	if warmTotal > coldTotal {
+		t.Errorf("warm explored %d nodes vs cold %d across %d instances; warm start should not search more on unchanged problems",
+			warmTotal, coldTotal, checked)
+	}
+}
+
+// TestOptimalWarmAfterDeviceLoss replays the recovery scenario: solve,
+// lose the device hosting part of the plan, and warm-solve the shrunken
+// problem from the stale incumbent. The warm result must be a true
+// optimum of the new problem — equal to a cold solve's cost up to the
+// ULP-level reordering of the incremental cost sum (the warm node order
+// accumulates the same terms in a different order), with exactly the
+// surviving placements reported as reused.
+func TestOptimalWarmAfterDeviceLoss(t *testing.T) {
+	rng := rand.New(rand.NewSource(2002))
+	// Tight capacities: no single device can hold the whole graph, so the
+	// optimum genuinely splits and losing a device strands components.
+	devices := []DeviceInfo{
+		{ID: "desktop", Avail: resource.MB(64, 96)},
+		{ID: "laptop", Avail: resource.MB(56, 80)},
+		{ID: "pda", Avail: resource.MB(48, 72)},
+	}
+	checked := 0
+	for trial := 0; trial < 25; trial++ {
+		p := randomTestProblem(rng, 9+rng.Intn(4), devices, 30)
+		oldA, oldCost, err := Optimal(p)
+		if err != nil {
+			continue
+		}
+		// Lose the first device that hosts some but not all components.
+		lost := -1
+		used := make(map[int]int)
+		for _, di := range oldA {
+			used[di]++
+		}
+		for di := range p.Devices {
+			if n := used[di]; n > 0 && n < len(oldA) {
+				lost = di
+				break
+			}
+		}
+		if lost < 0 {
+			continue
+		}
+		p2 := &Problem{
+			Graph:     p.Graph,
+			Devices:   append(append([]DeviceInfo(nil), p.Devices[:lost]...), p.Devices[lost+1:]...),
+			Bandwidth: p.Bandwidth,
+			Weights:   p.Weights,
+		}
+		coldA, coldCost, coldErr := Optimal(p2)
+		p2.Stats = &SearchStats{}
+		// The incumbent is handed over stale — entries on the lost device
+		// included — and the solver must drop them itself.
+		warmA, warmCost, warmErr := OptimalWarm(p2, incumbentOf(p, oldA, oldCost))
+		if (coldErr == nil) != (warmErr == nil) {
+			t.Fatalf("trial %d: cold err %v, warm err %v", trial, coldErr, warmErr)
+		}
+		if coldErr != nil {
+			if !errors.Is(warmErr, ErrInfeasible) {
+				t.Fatalf("trial %d: want ErrInfeasible, got %v", trial, warmErr)
+			}
+			continue
+		}
+		if diff := math.Abs(coldCost - warmCost); diff > 1e-9*math.Max(coldCost, 1) {
+			t.Fatalf("trial %d: warm cost %v is not the optimum %v", trial, warmCost, coldCost)
+		}
+		if err := p2.FitInto(warmA); err != nil {
+			t.Fatalf("trial %d: warm assignment does not fit: %v", trial, err)
+		}
+		if want := len(oldA) - used[lost]; p2.Stats.Reused != want {
+			t.Fatalf("trial %d: reused %d, want the %d surviving placements", trial, p2.Stats.Reused, want)
+		}
+		checked++
+		_ = coldA
+	}
+	if checked == 0 {
+		t.Fatal("no recoverable instances drawn; adjust the seed")
+	}
+}
+
+// TestOptimalWarmKeepsUnaffectedOnTies pins down the tie-breaking
+// contract with exact arithmetic: two identical components on two
+// identical devices cost the same under any placement (all values are
+// powers of two, so the costs are bit-identical), the cold solver picks
+// the lexicographically-first optimum, and the warm solver must instead
+// keep the different — but equally cheap — incumbent placement.
+func TestOptimalWarmKeepsUnaffectedOnTies(t *testing.T) {
+	g := graph.New()
+	g.MustAddNode(&graph.Node{ID: "a", Type: "component", Resources: resource.MB(16, 16)})
+	g.MustAddNode(&graph.Node{ID: "b", Type: "component", Resources: resource.MB(16, 16)})
+	w, err := resource.NewWeights(0.25, 0.25, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &Problem{
+		Graph: g,
+		Devices: []DeviceInfo{
+			{ID: "d1", Avail: resource.MB(64, 64)},
+			{ID: "d2", Avail: resource.MB(64, 64)},
+		},
+		Bandwidth: func(a, b device.ID) float64 { return 100 },
+		Weights:   w,
+	}
+	coldA, coldCost, err := Optimal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc := &Incumbent{
+		Placement: map[graph.NodeID]device.ID{"a": "d2", "b": "d1"},
+		Cost:      coldCost,
+	}
+	want := Assignment{"a": 1, "b": 0}
+	if reflect.DeepEqual(coldA, want) {
+		t.Fatalf("test premise broken: cold solver already picked the incumbent %v", coldA)
+	}
+	warmA, warmCost, err := OptimalWarm(p, inc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(warmCost) != math.Float64bits(coldCost) {
+		t.Fatalf("tied optima should cost the same: warm %v, cold %v", warmCost, coldCost)
+	}
+	if !reflect.DeepEqual(warmA, want) {
+		t.Fatalf("warm solver moved unaffected components on a tie: got %v, want incumbent %v", warmA, want)
+	}
+}
+
+// TestOptimalWarmFiltersInvalidEntries: incumbent entries naming unknown
+// nodes, absent devices, or contradicting a pin are dropped rather than
+// trusted.
+func TestOptimalWarmFiltersInvalidEntries(t *testing.T) {
+	g := graph.New()
+	g.MustAddNode(&graph.Node{ID: "a", Type: "component", Resources: resource.MB(8, 8), Pin: "d1"})
+	g.MustAddNode(&graph.Node{ID: "b", Type: "component", Resources: resource.MB(8, 8)})
+	w, err := resource.NewWeights(0.25, 0.25, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &Problem{
+		Graph: g,
+		Devices: []DeviceInfo{
+			{ID: "d1", Avail: resource.MB(64, 64)},
+			{ID: "d2", Avail: resource.MB(64, 64)},
+		},
+		Bandwidth: func(a, b device.ID) float64 { return 100 },
+		Weights:   w,
+		Stats:     &SearchStats{},
+	}
+	inc := &Incumbent{Placement: map[graph.NodeID]device.ID{
+		"a":     "d2",   // contradicts the pin
+		"b":     "gone", // device no longer offered
+		"ghost": "d1",   // node no longer in the graph
+	}}
+	a, _, err := OptimalWarm(p, inc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Stats.Reused != 0 {
+		t.Fatalf("reused %d entries, want none (all invalid)", p.Stats.Reused)
+	}
+	if a["a"] != 0 {
+		t.Fatalf("pinned node placed on %d, want its pin", a["a"])
+	}
+	// With no surviving entry the solve degrades to cold and must not be
+	// labeled warm.
+	if p.Stats.Warm {
+		t.Error("an all-invalid incumbent must degrade to a cold solve")
+	}
+}

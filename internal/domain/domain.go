@@ -17,6 +17,7 @@ import (
 	"ubiqos/internal/composer"
 	"ubiqos/internal/core"
 	"ubiqos/internal/device"
+	"ubiqos/internal/distributor"
 	"ubiqos/internal/eventbus"
 	"ubiqos/internal/explain"
 	"ubiqos/internal/flight"
@@ -56,6 +57,9 @@ type Options struct {
 	// Place overrides the placement algorithm (default: the paper's
 	// greedy heuristic).
 	Place core.PlaceFunc
+	// PlanCacheCapacity bounds the plan cache (0 selects the distributor
+	// default; negative disables the cache entirely).
+	PlanCacheCapacity int
 }
 
 // Domain is one smart-space domain and its domain server.
@@ -90,6 +94,9 @@ type Domain struct {
 	SLO          *metrics.SLO
 	Composer     *composer.Composer
 	Configurator *core.Configurator
+	// PlanCache memoizes solved placements by problem signature and
+	// invalidates them off the event bus (nil when disabled).
+	PlanCache *distributor.PlanCache
 
 	tapCancel func()
 
@@ -153,6 +160,13 @@ func New(name string, opts Options) (*Domain, error) {
 		return nil, err
 	}
 	d.Composer = composer.New(&federatedDiscovery{domain: d})
+	if opts.PlanCacheCapacity >= 0 {
+		d.PlanCache = distributor.NewPlanCache(opts.PlanCacheCapacity)
+		d.PlanCache.Instrument(d.Metrics)
+		if err := d.PlanCache.Subscribe(d.Bus); err != nil {
+			return nil, err
+		}
+	}
 	cfg, err := core.New(core.Config{
 		Composer:       d.Composer,
 		Devices:        d.Devices,
@@ -166,6 +180,7 @@ func New(name string, opts Options) (*Domain, error) {
 		StateSizeFor:   opts.StateSizeFor,
 		DegradeFactors: opts.DegradeFactors,
 		Place:          opts.Place,
+		PlanCache:      d.PlanCache,
 		Profiler:       d.Profiler,
 		Metrics:        d.Metrics,
 		Tracer:         d.Tracer,
@@ -618,6 +633,20 @@ func (d *Domain) Migrate(sessionID string, target *Domain, newClient device.ID, 
 	return resumed, nil
 }
 
+// WireLeaseExpiry connects a leased registry's expiry sweeps to the
+// domain's event bus: each instance a Sweep removes is announced as a
+// TopicServiceExpired event (payload: the instance name), which in turn
+// flushes the plan cache — an expired lease means the discovered service
+// set changed, so memoized placements may reference instances that no
+// longer exist.
+func (d *Domain) WireLeaseExpiry(l *registry.LeasedRegistry) {
+	l.SetExpiryHook(func(names []string) {
+		for _, name := range names {
+			d.Bus.Publish(eventbus.TopicServiceExpired, name)
+		}
+	})
+}
+
 // MissingServiceNotice is the payload of a TopicUserNotification event
 // raised when composition fails for missing mandatory services: the user
 // may download and install an instance, or quit the application.
@@ -655,11 +684,14 @@ func (d *Domain) StopApp(sessionID string) error {
 	return nil
 }
 
-// Close stops the flight recorder's bus tap and shuts down the domain's
-// event bus.
+// Close stops the flight recorder's bus tap, detaches the plan cache,
+// and shuts down the domain's event bus.
 func (d *Domain) Close() {
 	if d.tapCancel != nil {
 		d.tapCancel()
 	}
 	d.Bus.Close()
+	if d.PlanCache != nil {
+		d.PlanCache.Close()
+	}
 }

@@ -38,6 +38,10 @@ const (
 	// TopicSessionRecovered fires when the recovery supervisor brings a
 	// session back after a fault (payload: session ID).
 	TopicSessionRecovered Topic = "session.recovered"
+	// TopicServiceExpired fires when a service instance's discovery lease
+	// expires without renewal (payload: instance name) — consumers holding
+	// plans that involve the instance must invalidate them.
+	TopicServiceExpired Topic = "service.expired"
 	// TopicUserNotification carries messages the user must act on — e.g.
 	// a mandatory service could not be discovered and the user may
 	// "download and install an instance for the missing service into the

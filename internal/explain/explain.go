@@ -99,6 +99,15 @@ type Search struct {
 	RunnerUp float64 `json:"runnerUp,omitempty"`
 	// Devices is how many devices the k-cut was computed over.
 	Devices int `json:"devices,omitempty"`
+	// CacheHit marks a placement served from the plan cache without any
+	// search.
+	CacheHit bool `json:"cacheHit,omitempty"`
+	// Warm marks a warm-started solve; SeedCost is the incumbent cost the
+	// search was seeded from and Reused counts the components whose
+	// previous placement was fixed first in the variable order.
+	Warm     bool    `json:"warm,omitempty"`
+	SeedCost float64 `json:"seedCost,omitempty"`
+	Reused   int     `json:"reused,omitempty"`
 }
 
 // Attempt is one run of the compose→distribute pipeline: the
@@ -126,6 +135,11 @@ type LadderStep struct {
 	Shed []string `json:"shed,omitempty"`
 	// PlacementFallback names the algorithm the rung fell back to.
 	PlacementFallback string `json:"placementFallback,omitempty"`
+	// Warm marks a full-quality rung that warm-started the exact solver
+	// from the broken session's incumbent placement; SeedCost is that
+	// incumbent's cost (recovered outcome only).
+	Warm     bool    `json:"warm,omitempty"`
+	SeedCost float64 `json:"seedCost,omitempty"`
 	// Outcome is "recovered", "retry", or "lost".
 	Outcome string `json:"outcome"`
 	// BackoffMs is the delay before the next retry (retry outcome only).
@@ -481,6 +495,11 @@ func renderLadder(b *strings.Builder, l *LadderStep) {
 		if l.PlacementFallback != "" {
 			fmt.Fprintf(b, " place=%s", l.PlacementFallback)
 		}
+	} else if l.Warm {
+		b.WriteString(" warm")
+		if l.SeedCost > 0 {
+			fmt.Fprintf(b, " warm-started from incumbent cost %.4f", l.SeedCost)
+		}
 	}
 	if l.Reason != "" {
 		fmt.Fprintf(b, " reason=%q", l.Reason)
@@ -537,7 +556,14 @@ func renderAttempt(b *strings.Builder, a *Attempt) {
 		if s.RunnerUp > 0 {
 			fmt.Fprintf(b, " runnerUp=%.4f", s.RunnerUp)
 		}
+		if s.CacheHit {
+			b.WriteString(" (served from plan cache)")
+		}
 		b.WriteByte('\n')
+		if s.Warm {
+			fmt.Fprintf(b, "      warm-started from incumbent cost %.4f (%d placements reused)\n",
+				s.SeedCost, s.Reused)
+		}
 		if len(s.BoundTrajectory) > 0 {
 			b.WriteString("      bound trajectory:")
 			for _, c := range s.BoundTrajectory {

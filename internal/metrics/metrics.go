@@ -426,6 +426,24 @@ const (
 	BnBExplored   = "bnb_nodes_explored_total"
 	BnBPruned     = "bnb_nodes_pruned_total"
 	BnBIncumbents = "bnb_incumbent_updates_total"
+
+	// PlanCacheHits/Misses count placement-cache consults by outcome;
+	// PlanCacheInvalidations counts entries dropped on domain mutations
+	// (device fail/rejoin, link change, lease expiry) and
+	// PlanCacheEvictions entries displaced by the LRU bound.
+	// PlanCacheEntries gauges the current cache population.
+	PlanCacheHits          = "plan_cache_hits_total"
+	PlanCacheMisses        = "plan_cache_misses_total"
+	PlanCacheInvalidations = "plan_cache_invalidations_total"
+	PlanCacheEvictions     = "plan_cache_evictions_total"
+	PlanCacheEntries       = "plan_cache_entries"
+
+	// WarmSolves/ColdSolves count exact solves by whether they were
+	// warm-started from an incumbent; WarmSpeedup gauges the most recent
+	// cold-explored/warm-explored ratio observed on a recovery re-solve.
+	WarmSolves  = "warm_solves_total"
+	ColdSolves  = "cold_solves_total"
+	WarmSpeedup = "warm_speedup_ratio"
 )
 
 // Metric names recorded by the event service.

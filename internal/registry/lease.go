@@ -18,6 +18,18 @@ type LeasedRegistry struct {
 
 	mu     sync.Mutex
 	expiry map[string]time.Time
+	// onExpire, when set, is called (outside the lock) with the names of
+	// the instances each Sweep removed — the hook wide-area deployments
+	// use to publish service.expired events so plan caches invalidate.
+	onExpire func(names []string)
+}
+
+// SetExpiryHook installs a callback invoked after every Sweep that
+// removed at least one expired instance. Pass nil to remove it.
+func (l *LeasedRegistry) SetExpiryHook(fn func(names []string)) {
+	l.mu.Lock()
+	l.onExpire = fn
+	l.mu.Unlock()
 }
 
 // NewLeased wraps a fresh registry. A nil clock uses time.Now.
@@ -77,9 +89,13 @@ func (l *LeasedRegistry) Sweep() []string {
 			delete(l.expiry, name)
 		}
 	}
+	hook := l.onExpire
 	l.mu.Unlock()
 	for _, name := range expired {
 		l.Registry.Unregister(name)
+	}
+	if hook != nil && len(expired) > 0 {
+		hook(expired)
 	}
 	return expired
 }

@@ -132,3 +132,40 @@ func TestNewLeasedDefaultClock(t *testing.T) {
 		t.Error("instance should be live under the wall clock")
 	}
 }
+
+func TestExpiryHook(t *testing.T) {
+	c := newFakeClock()
+	r := leased(c)
+	var calls [][]string
+	r.SetExpiryHook(func(names []string) { calls = append(calls, names) })
+	if err := r.RegisterWithTTL(inst("a", "player"), 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RegisterWithTTL(inst("b", "decoder"), 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	r.Sweep()
+	if len(calls) != 0 {
+		t.Fatalf("hook fired with nothing expired: %v", calls)
+	}
+	c.advance(6 * time.Second)
+	r.Sweep()
+	if len(calls) != 1 {
+		t.Fatalf("hook fired %d times, want once", len(calls))
+	}
+	got := append([]string(nil), calls[0]...)
+	sort.Strings(got)
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("hook received %v, want [a b]", got)
+	}
+	// A removed hook stays silent.
+	r.SetExpiryHook(nil)
+	if err := r.RegisterWithTTL(inst("c", "player"), time.Second); err != nil {
+		t.Fatal(err)
+	}
+	c.advance(2 * time.Second)
+	r.Sweep()
+	if len(calls) != 1 {
+		t.Fatalf("removed hook still fired: %d calls", len(calls))
+	}
+}

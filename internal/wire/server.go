@@ -149,6 +149,7 @@ var knownOps = map[string]bool{
 	OpSwitch: true, OpMetrics: true, OpTrace: true, OpCrashDevice: true,
 	OpRejoinDevice: true, OpCheck: true, OpRegister: true, OpUnregister: true,
 	OpFlight: true, OpSlo: true, OpExplain: true, OpVersion: true,
+	OpStats: true,
 }
 
 // Handle dispatches one request; it is exported so the daemon can be
@@ -226,6 +227,8 @@ func (s *Server) dispatch(req Request) Response {
 	case OpVersion:
 		info := buildinfo.Get()
 		return Response{OK: true, Version: &info}
+	case OpStats:
+		return s.statsInfo()
 	case OpRegister:
 		return s.registerService(req)
 	case OpUnregister:
@@ -398,6 +401,24 @@ func (s *Server) explainInfo(sessionID string) Response {
 		return errResponse(fmt.Errorf("wire: no explain record for session %q", sessionID))
 	}
 	return Response{OK: true, Explain: se}
+}
+
+// statsInfo snapshots the incremental-placement counters: plan cache
+// hit/miss ledger plus the warm/cold branch-and-bound solve split.
+func (s *Server) statsInfo() Response {
+	m := s.dom.Metrics
+	info := &StatsInfo{
+		WarmSolves: m.Counter(metrics.WarmSolves).Value(),
+		ColdSolves: m.Counter(metrics.ColdSolves).Value(),
+	}
+	if v, ok := m.Gauge(metrics.WarmSpeedup).Value(); ok {
+		info.WarmSpeedup = v
+	}
+	if s.dom.PlanCache != nil {
+		st := s.dom.PlanCache.Stats()
+		info.PlanCache = &st
+	}
+	return Response{OK: true, Stats: info}
 }
 
 func (s *Server) sessionInfo(id string) Response {

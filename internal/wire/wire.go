@@ -9,6 +9,7 @@ import (
 
 	"ubiqos/internal/buildinfo"
 	"ubiqos/internal/composer"
+	"ubiqos/internal/distributor"
 	"ubiqos/internal/explain"
 	"ubiqos/internal/flight"
 	"ubiqos/internal/metrics"
@@ -38,6 +39,7 @@ const (
 	OpSlo          = "slo"
 	OpExplain      = "explain"
 	OpVersion      = "version"
+	OpStats        = "stats"
 )
 
 // Request is one client request.
@@ -111,6 +113,21 @@ type SessionInfo struct {
 	DOT string `json:"dot,omitempty"`
 }
 
+// StatsInfo is the incremental-placement health snapshot (stats op): the
+// plan cache's hit/miss ledger plus the warm/cold solve split.
+type StatsInfo struct {
+	// PlanCache is the signature-keyed plan cache's ledger; nil when the
+	// daemon runs with the cache disabled.
+	PlanCache *distributor.PlanCacheStats `json:"planCache,omitempty"`
+	// WarmSolves counts branch-and-bound solves seeded from an incumbent.
+	WarmSolves int64 `json:"warmSolves"`
+	// ColdSolves counts from-scratch branch-and-bound solves.
+	ColdSolves int64 `json:"coldSolves"`
+	// WarmSpeedup is the explored-node ratio (previous cold solve over the
+	// warm re-solve) of the most recent warm recovery; 0 until one happens.
+	WarmSpeedup float64 `json:"warmSpeedup,omitempty"`
+}
+
 // Response is one server response.
 type Response struct {
 	OK       bool           `json:"ok"`
@@ -143,6 +160,8 @@ type Response struct {
 	ExplainSessions []explain.SessionInfo `json:"explainSessions,omitempty"`
 	// Version is the daemon's build identity (version op).
 	Version *buildinfo.Info `json:"version,omitempty"`
+	// Stats is the incremental-placement health snapshot (stats op).
+	Stats *StatsInfo `json:"stats,omitempty"`
 }
 
 func timingInfo(c, d, dl, ih time.Duration) TimingInfo {

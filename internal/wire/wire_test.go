@@ -461,3 +461,28 @@ func TestClientConcurrentCalls(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestStatsOp(t *testing.T) {
+	srv, _ := startServer(t)
+	resp := srv.Handle(Request{Op: OpStats})
+	if !resp.OK || resp.Stats == nil {
+		t.Fatalf("stats: ok=%v stats=%v err=%s", resp.OK, resp.Stats, resp.Error)
+	}
+	if resp.Stats.PlanCache == nil {
+		t.Fatal("plan cache stats missing from a cache-enabled domain")
+	}
+	before := resp.Stats.PlanCache.Misses
+
+	start := srv.Handle(Request{Op: OpStart, SessionID: "s1", App: experiments.AudioOnDemandApp(), ClientDevice: "desktop2"})
+	if !start.OK {
+		t.Fatalf("start: %s", start.Error)
+	}
+	resp = srv.Handle(Request{Op: OpStats})
+	if !resp.OK || resp.Stats.PlanCache.Misses != before+1 {
+		t.Errorf("misses = %d, want %d after one solve", resp.Stats.PlanCache.Misses, before+1)
+	}
+	if resp.Stats.WarmSolves != 0 {
+		t.Errorf("warm solves = %d before any recovery", resp.Stats.WarmSolves)
+	}
+	srv.Handle(Request{Op: OpStop, SessionID: "s1"})
+}
