@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify fmt-check vet build test race bench bench-faults bench-obs bench-warm clean
+.PHONY: verify fmt-check vet build test race bench bench-faults bench-obs bench-warm bench-capacity clean
 
 # verify is the tier-1 gate (ROADMAP.md): formatting, static checks,
 # build, and the full test suite.
@@ -25,9 +25,9 @@ test:
 # renew/expire, publish/subscribe fan-out, wire request handling,
 # multi-session configuration, the fault-injection/recovery path, and
 # the observability layer (tracer ring, metrics registry, structured
-# logging, flight recorder, explain recorder).
+# logging, flight recorder, explain recorder, capacity observatory).
 race:
-	$(GO) test -race ./internal/registry ./internal/eventbus ./internal/core ./internal/distributor ./internal/experiments ./internal/par ./internal/wire ./internal/faultinject ./internal/domain ./internal/trace ./internal/metrics ./internal/flight ./internal/obslog ./internal/explain
+	$(GO) test -race ./internal/registry ./internal/eventbus ./internal/core ./internal/distributor ./internal/experiments ./internal/par ./internal/wire ./internal/faultinject ./internal/domain ./internal/trace ./internal/metrics ./internal/flight ./internal/obslog ./internal/explain ./internal/capacity
 
 # bench times the parallel configuration engine against its sequential
 # equivalents, writing BENCH_parallel.json (ns/op + speedup per pair) and
@@ -59,6 +59,14 @@ bench-warm:
 # shows what disabled instrumentation costs (it must stay within noise).
 bench-obs:
 	$(GO) run ./cmd/benchobs -o BENCH_obs.json
+
+# bench-capacity times the capacity observatory's hot paths — labeled
+# series lookup+inc versus the unlabeled registry baseline, cached
+# handles, meter marks, time-series ring pushes — writing
+# BENCH_capacity.json. It exits non-zero if the labeled per-op lookup
+# costs more than 2x the unlabeled one.
+bench-capacity:
+	$(GO) run ./cmd/benchcapacity -o BENCH_capacity.json
 
 # clean removes build outputs only. Checked-in benchmark artifacts
 # (BENCH_*.json) are part of the repo's recorded results and are

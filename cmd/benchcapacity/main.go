@@ -1,0 +1,209 @@
+// Command benchcapacity measures the overhead of the capacity
+// observatory's hot paths (`make bench-capacity` emits
+// BENCH_capacity.json). The cases bracket what the instrumented daemon
+// pays per operation:
+//
+//   - labeled-counter-inc: one fam.With(label).Inc() — a sync.Map hit
+//     plus an atomic add, the per-request price of a labeled series
+//   - unlabeled-counter-inc: one reg.Counter(name).Inc() — the
+//     registry-lookup baseline the labeled path is compared against
+//   - cached-counter-inc / cached-labeled-inc: the atomic-add floor when
+//     the handle is resolved once and kept
+//   - meter-mark: one sliding-window Meter.Mark
+//   - observatory-record: one time-series ring push
+//   - labeled-overflow-inc: a With() past the cardinality cap (collapses
+//     into the overflow series — the worst-case label)
+//
+// The report fails (exit 1) when the labeled per-op lookup costs more
+// than double the unlabeled registry lookup, the acceptance bound for
+// keeping labels on the hot path.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"testing"
+	"time"
+
+	"ubiqos/internal/capacity"
+	"ubiqos/internal/metrics"
+)
+
+// Case is one benchmark result.
+type Case struct {
+	Name        string  `json:"name"`
+	Mode        string  `json:"mode"`
+	NsPerOp     float64 `json:"nsPerOp"`
+	AllocsPerOp int64   `json:"allocsPerOp"`
+	BytesPerOp  int64   `json:"bytesPerOp"`
+}
+
+// Report is the full BENCH_capacity.json document.
+type Report struct {
+	Generated string `json:"generated"`
+	Cases     []Case `json:"cases"`
+	// LabeledOverUnlabeled is the ns/op ratio of the labeled per-op
+	// lookup over the unlabeled registry lookup. The acceptance bound is
+	// 2.0: labels must not double the hot-path cost.
+	LabeledOverUnlabeled float64 `json:"labeledOverUnlabeled"`
+}
+
+// maxRatio is the acceptance bound on labeled/unlabeled lookup cost.
+const maxRatio = 2.0
+
+func main() {
+	log.SetFlags(0)
+	out := flag.String("o", "BENCH_capacity.json", "output file ('-' for stdout)")
+	flag.Parse()
+
+	cases := []struct {
+		name, mode string
+		fn         func(b *testing.B)
+	}{
+		{"labeled-counter-inc", "per-op lookup", benchLabeledCounter},
+		{"unlabeled-counter-inc", "per-op lookup", benchUnlabeledCounter},
+		{"labeled-gauge-set", "per-op lookup", benchLabeledGauge},
+		{"cached-counter-inc", "cached handle", benchCachedCounter},
+		{"cached-labeled-inc", "cached handle", benchCachedLabeled},
+		{"labeled-overflow-inc", "per-op lookup", benchLabeledOverflow},
+		{"meter-mark", "per-op lookup", benchMeterMark},
+		{"observatory-record", "cached handle", benchObservatoryRecord},
+	}
+
+	rep := Report{Generated: time.Now().UTC().Format(time.RFC3339)}
+	byName := map[string]float64{}
+	for _, c := range cases {
+		r := testing.Benchmark(c.fn)
+		cs := Case{
+			Name:        c.name,
+			Mode:        c.mode,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		rep.Cases = append(rep.Cases, cs)
+		byName[c.name] = cs.NsPerOp
+		fmt.Fprintf(os.Stderr, "%-24s %-14s %10.1f ns/op %6d allocs/op %8d B/op\n",
+			c.name, c.mode, cs.NsPerOp, cs.AllocsPerOp, cs.BytesPerOp)
+	}
+	if un := byName["unlabeled-counter-inc"]; un > 0 {
+		rep.LabeledOverUnlabeled = byName["labeled-counter-inc"] / un
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+	} else {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			log.Fatalf("benchcapacity: %v", err)
+		}
+		fmt.Fprintln(os.Stderr, "wrote", *out)
+	}
+	if rep.LabeledOverUnlabeled > maxRatio {
+		log.Fatalf("benchcapacity: labeled/unlabeled ratio %.2f exceeds %.1f",
+			rep.LabeledOverUnlabeled, maxRatio)
+	}
+	fmt.Fprintf(os.Stderr, "labeled/unlabeled ratio %.2f (bound %.1f)\n",
+		rep.LabeledOverUnlabeled, maxRatio)
+}
+
+// benchLabeledCounter is the instrumented hot path: resolve the series
+// by label and increment. The family is pre-warmed so the measurement is
+// the steady-state sync.Map hit, not series creation.
+func benchLabeledCounter(b *testing.B) {
+	reg := metrics.NewRegistry()
+	fam := reg.LabeledCounter("bench_requests", "device")
+	fam.With("desktop1").Inc()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fam.With("desktop1").Inc()
+	}
+}
+
+// benchUnlabeledCounter is the baseline the 2x bound compares against:
+// resolve an unlabeled counter from the registry by name and increment.
+func benchUnlabeledCounter(b *testing.B) {
+	reg := metrics.NewRegistry()
+	reg.Counter("bench_requests").Inc()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reg.Counter("bench_requests").Inc()
+	}
+}
+
+func benchLabeledGauge(b *testing.B) {
+	reg := metrics.NewRegistry()
+	fam := reg.LabeledGauge("bench_headroom", "device")
+	fam.With("desktop1").Set(0.5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fam.With("desktop1").Set(float64(i&1) * 0.5)
+	}
+}
+
+func benchCachedCounter(b *testing.B) {
+	reg := metrics.NewRegistry()
+	ctr := reg.Counter("bench_requests")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctr.Inc()
+	}
+}
+
+func benchCachedLabeled(b *testing.B) {
+	reg := metrics.NewRegistry()
+	ctr := reg.LabeledCounter("bench_requests", "device").With("desktop1")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctr.Inc()
+	}
+}
+
+// benchLabeledOverflow increments a label value past the cardinality
+// cap, exercising the collapsed overflow series — the cost a label-bomb
+// client pays per request.
+func benchLabeledOverflow(b *testing.B) {
+	reg := metrics.NewRegistry()
+	fam := reg.LabeledCounter("bench_requests", "device")
+	for i := 0; i < metrics.DefaultLabelCardinality+1; i++ {
+		fam.With(fmt.Sprintf("dev%d", i)).Inc()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fam.With("one-past-the-cap").Inc()
+	}
+}
+
+func benchMeterMark(b *testing.B) {
+	reg := metrics.NewRegistry()
+	m := reg.Meter("bench_arrivals")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Mark(1)
+	}
+}
+
+func benchObservatoryRecord(b *testing.B) {
+	o := capacity.New(capacity.Options{RingCapacity: 900})
+	t0 := time.Unix(1700000000, 0)
+	o.Record("bench_metric", t0, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o.Record("bench_metric", t0.Add(time.Duration(i)*time.Second), float64(i))
+	}
+}

@@ -18,9 +18,13 @@
 // internal/spec and testdata/lab.space).
 //
 // The -http listener serves the observability surface: /metrics
-// (Prometheus text), /healthz, /traces, /flight (per-session flight
+// (Prometheus text, including labeled per-device/per-link/per-class
+// capacity gauges), /healthz, /traces, /flight (per-session flight
 // recorder timelines), /explain (per-session decision provenance),
-// /slo (objective burn rates), and /debug/pprof.
+// /slo (objective burn rates), /timeseries (on-daemon capacity rings —
+// ?metric= one series, ?window= trailing duration), /saturation (the
+// capacity observatory's verdict; the payload behind `qosctl top`),
+// and /debug/pprof.
 // Set -http "" to disable it. The -log flag sets the minimum level of
 // the structured log stream on stderr.
 //
@@ -144,7 +148,7 @@ func run(addr, httpAddr, space, config string, scale float64, place, chaos strin
 		}
 		defer ln.Close()
 		go http.Serve(ln, wire.NewHTTPHandler(dom))
-		log.Printf("observability on http://%s (/metrics /healthz /traces /flight /explain /slo /debug/pprof)", ln.Addr())
+		log.Printf("observability on http://%s (/metrics /healthz /traces /flight /explain /slo /timeseries /saturation /debug/pprof)", ln.Addr())
 	}
 
 	sig := make(chan os.Signal, 1)

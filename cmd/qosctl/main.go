@@ -20,6 +20,11 @@
 //	qosctl rejoin  -to DEV                               (bring a crashed device back)
 //	qosctl register   -instance FILE.json [-installed "dev1,dev2"|"*"]
 //	qosctl unregister -name INSTANCE
+//	qosctl top        [-interval 2s] [-once] [-json]     (live capacity dashboard: devices, links,
+//	                                                      classes, saturation verdict; refreshes until
+//	                                                      interrupted)
+//	qosctl timeseries [-metric NAME] [-window 2m] [-json] (on-daemon capacity time series; no -metric
+//	                                                      lists the recorded series)
 //
 // The -app flag accepts the two built-in application graphs ("audio" for
 // mobile audio-on-demand, "conf" for video conferencing), a path to a
@@ -71,9 +76,13 @@ func main() {
 	name := flag.String("name", "", "instance name (unregister)")
 	timeout := flag.Duration("timeout", 5*time.Second, "per-request deadline (0 = wait forever)")
 	retries := flag.Int("retries", 0, "retry a timed-out/failed request this many times")
+	interval := flag.Duration("interval", 2*time.Second, "refresh interval (top)")
+	once := flag.Bool("once", false, "render a single frame and exit (top)")
+	metric := flag.String("metric", "", "capacity time-series metric (timeseries; empty lists recorded series)")
+	window := flag.String("window", "", `trailing window for timeseries, e.g. "2m" (empty = full ring)`)
 
 	if len(os.Args) < 2 || strings.HasPrefix(os.Args[1], "-") {
-		log.Fatal("usage: qosctl devices|services|sessions|metrics|trace|flight|slo|explain|stats|version|start|check|session|switch|stop|crash|rejoin|register|unregister [flags]\n" +
+		log.Fatal("usage: qosctl devices|services|sessions|metrics|trace|flight|slo|explain|stats|version|start|check|session|switch|stop|crash|rejoin|register|unregister|top|timeseries [flags]\n" +
 			"  common flags: -addr HOST:PORT  -timeout DUR (0 = wait forever)  -retries N\n" +
 			"  run 'go doc ubiqos/cmd/qosctl' for the full per-verb flag list")
 	}
@@ -86,6 +95,7 @@ func main() {
 		to: *to, userQoS: *userQoS, dot: *dot, asJSON: *asJSON,
 		instanceFile: *instanceFile, installed: *installed, name: *name,
 		timeout: *timeout, retries: *retries,
+		interval: *interval, once: *once, metric: *metric, window: *window,
 	}); err != nil {
 		log.Fatal(err)
 	}
@@ -98,6 +108,9 @@ type runArgs struct {
 	instanceFile, installed, name                 string
 	timeout                                       time.Duration
 	retries                                       int
+	interval                                      time.Duration
+	once                                          bool
+	metric, window                                string
 }
 
 func run(a runArgs) error {
@@ -371,10 +384,70 @@ func run(a runArgs) error {
 			return err
 		}
 		fmt.Printf("device %s rejoined the smart space\n", to)
+	case "top":
+		return top(c, a)
+	case "timeseries":
+		resp, err := c.Call(wire.Request{Op: wire.OpTimeseries, Metric: a.metric, Window: a.window})
+		if err != nil {
+			return err
+		}
+		if a.metric == "" {
+			for _, name := range resp.TimeseriesMetrics {
+				fmt.Println(name)
+			}
+			return nil
+		}
+		if a.asJSON {
+			out, err := json.MarshalIndent(resp.Timeseries, "", "  ")
+			if err != nil {
+				return err
+			}
+			fmt.Println(string(out))
+			return nil
+		}
+		fmt.Printf("%s (%d samples, every %.0fs)\n", resp.Timeseries.Metric,
+			len(resp.Timeseries.Samples), resp.Timeseries.IntervalSeconds)
+		for _, s := range resp.Timeseries.Samples {
+			fmt.Printf("%s %g\n", s.T.Format(time.RFC3339), s.V)
+		}
 	default:
 		return fmt.Errorf("unknown verb %q", verb)
 	}
 	return nil
+}
+
+// top renders the daemon's capacity dashboard, refreshing every
+// -interval until interrupted (-once renders one frame, -json emits the
+// raw report instead of the table).
+func top(c *wire.Client, a runArgs) error {
+	interval := a.interval
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	for {
+		resp, err := c.Call(wire.Request{Op: wire.OpSaturation})
+		if err != nil {
+			return err
+		}
+		if a.asJSON {
+			out, err := json.MarshalIndent(resp.Saturation, "", "  ")
+			if err != nil {
+				return err
+			}
+			fmt.Println(string(out))
+		} else {
+			if !a.once {
+				// Home the cursor and clear, like top(1), so the view
+				// refreshes in place.
+				fmt.Print("\033[H\033[2J")
+			}
+			fmt.Print(resp.Saturation.Render())
+		}
+		if a.once {
+			return nil
+		}
+		time.Sleep(interval)
+	}
 }
 
 // printVersion reports the client's build identity and, when a daemon is

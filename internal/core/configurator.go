@@ -129,6 +129,10 @@ type Configurator struct {
 	// pending holds session IDs whose pipeline is in flight, so the ID is
 	// claimed for the whole configure without holding mu across it.
 	pending map[string]bool
+	// classSeen caps the distinct session-class labels fed into the
+	// metrics registry (beyond the cap new classes collapse into
+	// metrics.OverflowLabel).
+	classSeen map[string]bool
 }
 
 // New validates the wiring and returns a Configurator.
@@ -159,9 +163,10 @@ func New(cfg Config) (*Configurator, error) {
 		cfg.StateSizeMB = 0.5
 	}
 	return &Configurator{
-		cfg:      cfg,
-		sessions: make(map[string]*ActiveSession),
-		pending:  make(map[string]bool),
+		cfg:       cfg,
+		sessions:  make(map[string]*ActiveSession),
+		pending:   make(map[string]bool),
+		classSeen: make(map[string]bool),
 	}, nil
 }
 
@@ -170,6 +175,11 @@ type Request struct {
 	// SessionID names the application session; re-configuring an existing
 	// ID performs a state handoff.
 	SessionID string
+	// Class buckets the session for per-class observability (arrival/
+	// completion rates, active counts). Empty derives the class from the
+	// abstract graph's first sink service type; the label set is capped so
+	// wire clients cannot blow up the metric cardinality.
+	Class string
 	// App is the abstract service graph.
 	App *composer.AbstractGraph
 	// UserQoS carries the user's QoS requirements.
@@ -231,6 +241,8 @@ func (t Timing) Total() time.Duration {
 // ActiveSession is one configured, running application.
 type ActiveSession struct {
 	ID string
+	// Class is the session's observability bucket (see Request.Class).
+	Class string
 	// Request is the configuration request that produced this session,
 	// kept so the domain can re-issue it on runtime changes (device crash,
 	// user mobility).
@@ -278,6 +290,7 @@ func (c *Configurator) reserve(id string) error {
 		return fmt.Errorf("core: session %q is already being configured", id)
 	}
 	c.pending[id] = true
+	c.publishPendingLocked()
 	return nil
 }
 
@@ -285,6 +298,7 @@ func (c *Configurator) reserve(id string) error {
 func (c *Configurator) unreserve(id string) {
 	c.mu.Lock()
 	delete(c.pending, id)
+	c.publishPendingLocked()
 	c.mu.Unlock()
 }
 
@@ -294,7 +308,80 @@ func (c *Configurator) commit(active *ActiveSession) {
 	c.mu.Lock()
 	delete(c.pending, active.ID)
 	c.sessions[active.ID] = active
+	c.publishPendingLocked()
 	c.mu.Unlock()
+}
+
+// publishPendingLocked mirrors the admission-queue depth into the
+// config_pending gauge. Callers hold c.mu.
+func (c *Configurator) publishPendingLocked() {
+	if c.cfg.Metrics != nil {
+		c.cfg.Metrics.Gauge(metrics.ConfigPending).Set(float64(len(c.pending)))
+	}
+}
+
+// Pending reports the number of in-flight configurations — the admission
+// queue depth the saturation analyzer folds into the space verdict.
+func (c *Configurator) Pending() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.pending)
+}
+
+// ClassCounts returns the number of active sessions per class.
+func (c *Configurator) ClassCounts() map[string]int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make(map[string]int)
+	for _, s := range c.sessions {
+		out[s.Class]++
+	}
+	return out
+}
+
+// sessionClass derives the observability class of a request: the explicit
+// Class, else the service type of the abstract graph's first sink (the
+// user-facing end of the pipeline), else "default".
+func sessionClass(req Request) string {
+	if req.Class != "" {
+		return req.Class
+	}
+	if req.App != nil {
+		if sinks := req.App.Sinks(); len(sinks) > 0 {
+			if n := req.App.Node(sinks[0]); n != nil && n.Spec.Type != "" {
+				return n.Spec.Type
+			}
+		}
+	}
+	return "default"
+}
+
+// maxClassLabels caps the distinct class labels the configurator feeds
+// into the metrics registry.
+const maxClassLabels = 32
+
+// classLabel admits a class into the bounded label set, collapsing
+// overflow into metrics.OverflowLabel.
+func (c *Configurator) classLabel(class string) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.classSeen[class] {
+		return class
+	}
+	if len(c.classSeen) >= maxClassLabels {
+		return metrics.OverflowLabel
+	}
+	c.classSeen[class] = true
+	return class
+}
+
+// classMeter returns the named per-class meter (nil registry yields nil;
+// callers must check).
+func (c *Configurator) classMeter(name, class string) *metrics.Meter {
+	if c.cfg.Metrics == nil {
+		return nil
+	}
+	return c.cfg.Metrics.Meter(metrics.WithLabel(name, "class", class))
 }
 
 // Configure runs the full pipeline for a new session: compose → distribute
@@ -336,6 +423,10 @@ func (c *Configurator) ConfigureAll(reqs []Request) (sessions []*ActiveSession, 
 // action labels the run for provenance: ActionConfigure, ActionResume,
 // ActionRecover, or ActionReconfigure.
 func (c *Configurator) configure(req Request, handoff bool, action string) (*ActiveSession, error) {
+	req.Class = c.classLabel(sessionClass(req))
+	if m := c.classMeter(metrics.SessionArrivals, req.Class); m != nil {
+		m.Mark(1)
+	}
 	tr := c.cfg.Tracer.StartCtx(req.TraceCtx, "configure", req.SessionID, trace.Bool("handoff", handoff))
 	log := c.cfg.Log.Named("core").ForSession(req.SessionID, tr.Context().TraceID)
 	log.Info("configure started", obslog.Bool("handoff", handoff))
@@ -377,12 +468,12 @@ func (c *Configurator) configure(req Request, handoff bool, action string) (*Act
 		}
 		c.cfg.Explain.Record(*xr)
 	}
-	c.recordOutcome(active, err)
+	c.recordOutcome(active, req.Class, err)
 	return active, err
 }
 
 // recordOutcome feeds the metrics registry after a configuration attempt.
-func (c *Configurator) recordOutcome(active *ActiveSession, err error) {
+func (c *Configurator) recordOutcome(active *ActiveSession, class string, err error) {
 	m := c.cfg.Metrics
 	if m == nil {
 		return
@@ -390,6 +481,7 @@ func (c *Configurator) recordOutcome(active *ActiveSession, err error) {
 	m.Counter(metrics.ConfigsTotal).Inc()
 	if err != nil {
 		m.Counter(metrics.ConfigsFailed).Inc()
+		c.classMeter(metrics.SessionFailures, class).Mark(1)
 		return
 	}
 	if active.DegradeFactor != 1 {
@@ -683,6 +775,7 @@ func (c *Configurator) configureOnce(req Request, handoff bool, parent *trace.Sp
 
 	active := &ActiveSession{
 		ID:             req.SessionID,
+		Class:          req.Class,
 		Request:        req,
 		Graph:          g,
 		Placement:      placement,
@@ -859,6 +952,9 @@ func (c *Configurator) Stop(sessionID string) error {
 	if c.cfg.Metrics != nil {
 		c.cfg.Metrics.Gauge(metrics.ActiveSessions).Set(float64(c.Sessions()))
 	}
+	if m := c.classMeter(metrics.SessionCompletions, active.Class); m != nil {
+		m.Mark(1)
+	}
 	c.cfg.Log.Named("core").ForSession(sessionID, active.Request.TraceCtx.TraceID).Info("session stopped")
 	return nil
 }
@@ -972,6 +1068,7 @@ func (c *Configurator) Reconfigure(req Request) (*ActiveSession, error) {
 	if ok {
 		delete(c.sessions, req.SessionID)
 		c.pending[req.SessionID] = true
+		c.publishPendingLocked()
 	}
 	c.mu.Unlock()
 	if !ok {
@@ -993,6 +1090,7 @@ func (c *Configurator) Reconfigure(req Request) (*ActiveSession, error) {
 		c.mu.Lock()
 		delete(c.pending, req.SessionID)
 		c.sessions[req.SessionID] = old
+		c.publishPendingLocked()
 		c.mu.Unlock()
 		return nil, err
 	}

@@ -119,6 +119,30 @@ func (l *Links) AvailFunc() func(a, b ID) float64 {
 	return l.Available
 }
 
+// LinkEntry is one declared pair's frozen bandwidth accounting.
+type LinkEntry struct {
+	A, B ID
+	// CapacityMbps is the declared total bandwidth.
+	CapacityMbps float64
+	// ReservedMbps is the booked bandwidth (it can exceed CapacityMbps
+	// when a link degraded below its existing reservations).
+	ReservedMbps float64
+}
+
+// Entries returns a frozen copy of the full capacity/reservation table,
+// one entry per declared pair in unspecified order — the capacity
+// observatory's per-link view, which needs totals as well as the
+// remainder Snapshot reports.
+func (l *Links) Entries() []LinkEntry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]LinkEntry, 0, len(l.capacity))
+	for k, c := range l.capacity {
+		out = append(out, LinkEntry{A: k[0], B: k[1], CapacityMbps: c, ReservedMbps: l.reserved[k]})
+	}
+	return out
+}
+
 // Snapshot returns a frozen copy of the available bandwidth for every
 // declared pair.
 func (l *Links) Snapshot() map[[2]ID]float64 {

@@ -1,0 +1,95 @@
+package domain
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"ubiqos/internal/capacity"
+	"ubiqos/internal/core"
+	"ubiqos/internal/metrics"
+)
+
+func TestSampleCapacityPublishesLabeledGauges(t *testing.T) {
+	d := newSpace(t)
+	if _, err := d.StartApp(core.Request{SessionID: "a1", App: audioApp(), ClientDevice: "desktop1"}); err != nil {
+		t.Fatal(err)
+	}
+	d.sampleCapacity(time.Now())
+
+	text := d.Metrics.Exposition()
+	for _, want := range []string{
+		`device_headroom_ratio{device="desktop1"}`,
+		`device_headroom_ratio{device="pda1"}`,
+		`device_utilization_ratio{device="desktop1",dim="cpu"}`,
+		`device_utilization_ratio{device="desktop1",dim="mem"}`,
+		`device_up{device="pda1"} 1`,
+		`link_residual_mbps{link="desktop1|desktop2"}`,
+		`sessions_by_class{class="audio-player"} 1`,
+		`session_arrivals_total{class="audio-player"} 1`,
+		"space_headroom_ratio ",
+		"saturation_state ",
+		`saturation_state{device="desktop1"}`,
+		"config_pending 0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+func TestSampleCapacityRecordsTimeSeries(t *testing.T) {
+	d := newSpace(t)
+	base := time.Now()
+	for i := 0; i < 5; i++ {
+		d.sampleCapacity(base.Add(time.Duration(i) * time.Second))
+	}
+	if got := len(d.Capacity.Series(metrics.SpaceHeadroom, 0)); got != 5 {
+		t.Errorf("space_headroom_ratio samples = %d, want 5", got)
+	}
+	if got := len(d.Capacity.Series(metrics.WithLabel(metrics.DeviceHeadroom, "device", "pda1"), 0)); got != 5 {
+		t.Errorf("per-device headroom samples = %d, want 5", got)
+	}
+	names := d.Capacity.Metrics()
+	if len(names) == 0 {
+		t.Fatal("observatory recorded no series")
+	}
+}
+
+func TestSaturationReportTracksSessions(t *testing.T) {
+	d := newSpace(t)
+	rep := d.SaturationReport()
+	if rep.Space != capacity.StateOK {
+		t.Fatalf("idle space state = %v, want ok", rep.Space)
+	}
+	if len(rep.Devices) != 3 {
+		t.Fatalf("report devices = %d, want 3", len(rep.Devices))
+	}
+
+	if _, err := d.StartApp(core.Request{SessionID: "a1", App: audioApp(), ClientDevice: "desktop1"}); err != nil {
+		t.Fatal(err)
+	}
+	d.sampleCapacity(time.Now())
+	d.repMu.Lock()
+	rep = d.lastReport
+	d.repMu.Unlock()
+	found := false
+	for _, c := range rep.Classes {
+		if c.Class == "audio-player" && c.Active == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("report classes missing audio-player: %+v", rep.Classes)
+	}
+
+	// Stop the session: the class gauge must drop to zero on the next pass,
+	// not freeze at its last value.
+	if err := d.StopApp("a1"); err != nil {
+		t.Fatal(err)
+	}
+	d.sampleCapacity(time.Now())
+	if !strings.Contains(d.Metrics.Exposition(), `sessions_by_class{class="audio-player"} 0`) {
+		t.Error("sessions_by_class gauge did not drop to 0 after stop")
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"ubiqos/internal/capacity"
 	"ubiqos/internal/checkpoint"
 	"ubiqos/internal/composer"
 	"ubiqos/internal/core"
@@ -60,6 +61,12 @@ type Options struct {
 	// PlanCacheCapacity bounds the plan cache (0 selects the distributor
 	// default; negative disables the cache entirely).
 	PlanCacheCapacity int
+	// SampleInterval is the capacity observatory's sampling period (0
+	// selects capacity.DefaultInterval).
+	SampleInterval time.Duration
+	// RingCapacity bounds each capacity time series (0 selects
+	// capacity.DefaultRingCapacity).
+	RingCapacity int
 }
 
 // Domain is one smart-space domain and its domain server.
@@ -97,6 +104,17 @@ type Domain struct {
 	// PlanCache memoizes solved placements by problem signature and
 	// invalidates them off the event bus (nil when disabled).
 	PlanCache *distributor.PlanCache
+	// Capacity is the capacity observatory: on-daemon time series sampled
+	// on a ticker, feeding the /timeseries surface and the saturation
+	// analyzer behind /saturation and `qosctl top`.
+	Capacity *capacity.Observatory
+
+	saturation *capacity.Analyzer
+	repMu      sync.Mutex
+	lastReport capacity.Report
+	// classesSeen remembers every class the sampler has published, so a
+	// class whose sessions all ended still gets its gauge zeroed.
+	classesSeen map[string]bool
 
 	tapCancel func()
 
@@ -198,6 +216,13 @@ func New(name string, opts Options) (*Domain, error) {
 	if err != nil {
 		return nil, err
 	}
+	d.Capacity = capacity.New(capacity.Options{
+		Interval:     opts.SampleInterval,
+		RingCapacity: opts.RingCapacity,
+	})
+	d.saturation = capacity.NewAnalyzer(capacity.Thresholds{})
+	d.Capacity.SetSampler(d.sampleCapacity)
+	d.Capacity.Start()
 	return d, nil
 }
 
@@ -684,9 +709,12 @@ func (d *Domain) StopApp(sessionID string) error {
 	return nil
 }
 
-// Close stops the flight recorder's bus tap, detaches the plan cache,
-// and shuts down the domain's event bus.
+// Close stops the capacity observatory and the flight recorder's bus
+// tap, detaches the plan cache, and shuts down the domain's event bus.
 func (d *Domain) Close() {
+	if d.Capacity != nil {
+		d.Capacity.Stop()
+	}
 	if d.tapCancel != nil {
 		d.tapCancel()
 	}

@@ -1,0 +1,105 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLabeledCounterBasics(t *testing.T) {
+	r := NewRegistry()
+	lc := r.LabeledCounter("requests", "device")
+	lc.With("pda1").Inc()
+	lc.With("pda1").Inc()
+	lc.With("desktop1").Add(3)
+	if got := lc.With("pda1").Value(); got != 2 {
+		t.Errorf("pda1 = %d", got)
+	}
+	if got := lc.With("desktop1").Value(); got != 3 {
+		t.Errorf("desktop1 = %d", got)
+	}
+	if got := lc.Series(); got != 2 {
+		t.Errorf("Series = %d", got)
+	}
+	// Memoized by name: same family back.
+	if r.LabeledCounter("requests", "device") != lc {
+		t.Error("registry did not memoize the family")
+	}
+}
+
+func TestLabeledSeriesRenderInExposition(t *testing.T) {
+	r := NewRegistry()
+	r.LabeledGauge("device_headroom_ratio", "device").With("pda1").Set(0.25)
+	r.LabeledCounter("sessions", "class").With("audio").Inc()
+	r.LabeledHistogram("place_latency", "class").With("audio").Observe(10 * time.Millisecond)
+	out := r.Exposition()
+	for _, want := range []string{
+		`device_headroom_ratio{device="pda1"} 0.25`,
+		`sessions{class="audio"} 1`,
+		`place_latency_count{class="audio"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// Exceeding the cardinality bound must not grow the map or panic: every
+// overflow value lands on the shared "other" series.
+func TestLabeledCardinalityCap(t *testing.T) {
+	r := NewRegistry()
+	lc := NewLabeledCounter(r, "hits", "peer", 4)
+	for i := 0; i < 100; i++ {
+		lc.With(fmt.Sprintf("peer-%d", i)).Inc()
+	}
+	// 4 real series + the overflow series.
+	if got := lc.Series(); got != 5 {
+		t.Fatalf("Series after overflow = %d, want 5", got)
+	}
+	if got := lc.With(OverflowLabel).Value(); got != 96 {
+		t.Fatalf("overflow series = %d, want 96", got)
+	}
+	// Known values still resolve to their own series.
+	if got := lc.With("peer-0").Value(); got != 1 {
+		t.Fatalf("peer-0 = %d, want 1", got)
+	}
+	// A fresh unseen value after the cap still lands on overflow.
+	lc.With("late-arrival").Inc()
+	if got := lc.Series(); got != 5 {
+		t.Fatalf("Series grew to %d after cap", got)
+	}
+}
+
+func TestLabeledCardinalityCapConcurrent(t *testing.T) {
+	r := NewRegistry()
+	lg := NewLabeledGauge(r, "util", "device", 8)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				lg.With(fmt.Sprintf("dev-%d-%d", i, j)).Set(1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := lg.Series(); got > 9 {
+		t.Fatalf("Series after concurrent overflow = %d, want ≤ 9", got)
+	}
+}
+
+func TestLabeledHistogramSeries(t *testing.T) {
+	r := NewRegistry()
+	lh := r.LabeledHistogram("op_latency", "op")
+	lh.With("place").Observe(5 * time.Millisecond)
+	lh.With("place").Observe(15 * time.Millisecond)
+	if got := lh.With("place").Count(); got != 2 {
+		t.Errorf("Count = %d", got)
+	}
+	if got := lh.Series(); got != 1 {
+		t.Errorf("Series = %d", got)
+	}
+}

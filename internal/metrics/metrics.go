@@ -203,18 +203,26 @@ func (g *Gauge) Value() (float64, bool) {
 // Registry is a named collection of metrics. All methods are safe for
 // concurrent use; metric instances are created on first use.
 type Registry struct {
-	mu         sync.Mutex
-	counters   map[string]*Counter
-	histograms map[string]*Histogram
-	gauges     map[string]*Gauge
+	mu                sync.Mutex
+	counters          map[string]*Counter
+	histograms        map[string]*Histogram
+	gauges            map[string]*Gauge
+	meters            map[string]*Meter
+	labeledCounters   map[string]*LabeledCounter
+	labeledGauges     map[string]*LabeledGauge
+	labeledHistograms map[string]*LabeledHistogram
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters:   make(map[string]*Counter),
-		histograms: make(map[string]*Histogram),
-		gauges:     make(map[string]*Gauge),
+		counters:          make(map[string]*Counter),
+		histograms:        make(map[string]*Histogram),
+		gauges:            make(map[string]*Gauge),
+		meters:            make(map[string]*Meter),
+		labeledCounters:   make(map[string]*LabeledCounter),
+		labeledGauges:     make(map[string]*LabeledGauge),
+		labeledHistograms: make(map[string]*LabeledHistogram),
 	}
 }
 
@@ -355,6 +363,37 @@ func (r *Registry) Exposition() string {
 			typ:     "summary",
 			lines:   lines,
 		})
+		// The streaming extremes render as their own _min/_max gauge
+		// families (a summary has no standard slot for them). Empty
+		// histograms omit them, like unset gauges.
+		if h.Count() > 0 {
+			for suffix, v := range map[string]time.Duration{"_min": h.Min(), "_max": h.Max()} {
+				entries = append(entries, entry{
+					sortKey: base + suffix + "\x00" + name,
+					base:    base + suffix,
+					typ:     "gauge",
+					lines:   []string{fmt.Sprintf("%s %s", joinName(base, suffix, labels, ""), formatFloat(v.Seconds()))},
+				})
+			}
+		}
+	}
+	for name, m := range r.meters {
+		base, labels := splitName(name)
+		for suffix, line := range map[string]struct {
+			typ string
+			val string
+		}{
+			"_total":        {"counter", fmt.Sprintf("%d", m.Total())},
+			"_rate_per_sec": {"gauge", formatFloat(m.Rate())},
+			"_ewma_per_sec": {"gauge", formatFloat(m.EWMA())},
+		} {
+			entries = append(entries, entry{
+				sortKey: base + suffix + "\x00" + name,
+				base:    base + suffix,
+				typ:     line.typ,
+				lines:   []string{fmt.Sprintf("%s %s", joinName(base, suffix, labels, ""), line.val)},
+			})
+		}
 	}
 	r.mu.Unlock()
 
@@ -484,6 +523,38 @@ const (
 	// FaultsInjected counts applied faults; per-kind series attach the
 	// fault kind with WithLabel(..., "kind", name).
 	FaultsInjected = "faults_injected_total"
+)
+
+// Metric names published by the capacity observatory (the domain's
+// per-tick sampler). Labeled series attach their dimension with the named
+// label key.
+const (
+	// DeviceUtilization is committed/capacity per resource dimension
+	// (labels: dim ∈ {mem, cpu}, device); DeviceHeadroom is the minimum
+	// over dimensions of available/capacity (label: device); DeviceUp is
+	// 1/0 reachability (label: device).
+	DeviceUtilization = "device_utilization_ratio"
+	DeviceHeadroom    = "device_headroom_ratio"
+	DeviceUp          = "device_up"
+	// LinkResidual is the unreserved end-to-end bandwidth per declared
+	// device pair (label: link = "a|b").
+	LinkResidual = "link_residual_mbps"
+	// SessionsByClass gauges active sessions per session class;
+	// SessionArrivals / SessionCompletions / SessionFailures are the
+	// per-class meters (rendered as _total/_rate_per_sec/_ewma_per_sec
+	// families) behind the windowed arrival and completion rates.
+	SessionsByClass    = "sessions_by_class"
+	SessionArrivals    = "session_arrivals"
+	SessionCompletions = "session_completions"
+	SessionFailures    = "session_failures"
+	// ConfigPending gauges the configurator's admission queue: session IDs
+	// reserved while their configure pipeline is still in flight.
+	ConfigPending = "config_pending"
+	// SpaceHeadroom is the minimum headroom across up devices;
+	// SaturationState is the analyzer's verdict (0 ok, 1 approaching,
+	// 2 saturated) — unlabeled for the space, labeled per device.
+	SpaceHeadroom   = "space_headroom_ratio"
+	SaturationState = "saturation_state"
 )
 
 // Metric names recorded by the wire server. Per-operation series attach

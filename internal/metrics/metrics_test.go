@@ -201,6 +201,32 @@ func TestExposition(t *testing.T) {
 	}
 }
 
+func TestExpositionHistogramMinMax(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram(CompositionTime)
+	h.Observe(2 * time.Millisecond)
+	h.Observe(8 * time.Millisecond)
+	r.Histogram(WithLabel(WireLatency, "op", "start")).Observe(time.Millisecond)
+	r.Histogram("empty_hist") // no observations: min/max omitted
+	text := r.Exposition()
+
+	for _, want := range []string{
+		"# TYPE composition_time_seconds_min gauge\n",
+		"composition_time_seconds_min 0.002\n",
+		"# TYPE composition_time_seconds_max gauge\n",
+		"composition_time_seconds_max 0.008\n",
+		"wire_request_duration_seconds_min{op=\"start\"} 0.001\n",
+		"wire_request_duration_seconds_max{op=\"start\"} 0.001\n",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Exposition missing %q:\n%s", want, text)
+		}
+	}
+	if strings.Contains(text, "empty_hist_min") || strings.Contains(text, "empty_hist_max") {
+		t.Errorf("Exposition must omit min/max for empty histograms:\n%s", text)
+	}
+}
+
 func TestFormatFloat(t *testing.T) {
 	if got := formatFloat(3); got != "3" {
 		t.Errorf("formatFloat(3) = %q", got)

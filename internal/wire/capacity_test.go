@@ -1,0 +1,138 @@
+package wire
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"ubiqos/internal/capacity"
+	"ubiqos/internal/experiments"
+	"ubiqos/internal/metrics"
+	"ubiqos/internal/qos"
+)
+
+// TestCapacityObservatoryEndToEnd drives the new capacity surface through
+// both transports: the saturation/timeseries wire ops and the /metrics,
+// /timeseries, /saturation HTTP endpoints.
+func TestCapacityObservatoryEndToEnd(t *testing.T) {
+	dom, err := experiments.BuildAudioSpace(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(dom.Close)
+	srv, err := NewServer(dom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	web := httptest.NewServer(NewHTTPHandler(dom))
+	t.Cleanup(web.Close)
+
+	resp := srv.Handle(Request{
+		Op:           OpStart,
+		SessionID:    "cap-1",
+		Class:        "audio",
+		App:          experiments.AudioOnDemandApp(),
+		UserQoS:      qos.V(qos.P(qos.DimFrameRate, qos.Range(35, 44))),
+		ClientDevice: "jornada",
+	})
+	if !resp.OK {
+		t.Fatalf("start: %s", resp.Error)
+	}
+	defer srv.Handle(Request{Op: OpStop, SessionID: "cap-1"})
+
+	// --- saturation op: the payload behind qosctl top. ---
+	sat := srv.Handle(Request{Op: OpSaturation})
+	if !sat.OK || sat.Saturation == nil {
+		t.Fatalf("saturation: %s", sat.Error)
+	}
+	if len(sat.Saturation.Devices) == 0 {
+		t.Fatal("saturation report has no devices")
+	}
+	if sat.Saturation.Space != capacity.StateOK {
+		t.Errorf("one session should leave the space ok, got %v", sat.Saturation.Space)
+	}
+	foundClass := false
+	for _, c := range sat.Saturation.Classes {
+		if c.Class == "audio" && c.Active == 1 {
+			foundClass = true
+		}
+	}
+	if !foundClass {
+		t.Errorf("saturation classes missing audio: %+v", sat.Saturation.Classes)
+	}
+
+	// --- timeseries op: list, then one series. ---
+	list := srv.Handle(Request{Op: OpTimeseries})
+	if !list.OK || len(list.TimeseriesMetrics) == 0 {
+		t.Fatalf("timeseries list: %s (%d metrics)", list.Error, len(list.TimeseriesMetrics))
+	}
+	ts := srv.Handle(Request{Op: OpTimeseries, Metric: metrics.SpaceHeadroom, Window: "5m"})
+	if !ts.OK || ts.Timeseries == nil || len(ts.Timeseries.Samples) == 0 {
+		t.Fatalf("timeseries query: %s", ts.Error)
+	}
+	if bad := srv.Handle(Request{Op: OpTimeseries, Metric: "nope"}); bad.OK {
+		t.Error("unknown metric should fail")
+	}
+	if bad := srv.Handle(Request{Op: OpTimeseries, Metric: metrics.SpaceHeadroom, Window: "bogus"}); bad.OK {
+		t.Error("bad window should fail")
+	}
+
+	// --- /metrics: labeled capacity gauges present in the exposition. ---
+	body := httpGet(t, web.URL+"/metrics")
+	for _, want := range []string{
+		`device_headroom_ratio{device="`,
+		`device_utilization_ratio{device="`,
+		`link_residual_mbps{link="`,
+		`sessions_by_class{class="audio"} 1`,
+		"space_headroom_ratio ",
+		"saturation_state ",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// --- /timeseries JSON shapes. ---
+	var listing struct {
+		Metrics []string `json:"metrics"`
+	}
+	if err := json.Unmarshal([]byte(httpGet(t, web.URL+"/timeseries")), &listing); err != nil {
+		t.Fatal(err)
+	}
+	if len(listing.Metrics) == 0 {
+		t.Fatal("/timeseries listed no metrics")
+	}
+	var series struct {
+		Metric  string            `json:"metric"`
+		Samples []capacity.Sample `json:"samples"`
+	}
+	if err := json.Unmarshal([]byte(httpGet(t, web.URL+"/timeseries?metric="+metrics.SpaceHeadroom+"&window=10m")), &series); err != nil {
+		t.Fatal(err)
+	}
+	if series.Metric != metrics.SpaceHeadroom || len(series.Samples) == 0 {
+		t.Fatalf("/timeseries series = %+v", series)
+	}
+	if code := httpStatus(t, web.URL+"/timeseries?metric=nope"); code != http.StatusNotFound {
+		t.Errorf("/timeseries unknown metric status = %d", code)
+	}
+	if code := httpStatus(t, web.URL+"/timeseries?metric="+metrics.SpaceHeadroom+"&window=bogus"); code != http.StatusBadRequest {
+		t.Errorf("/timeseries bad window status = %d", code)
+	}
+
+	// --- /saturation in both formats. ---
+	var rep capacity.Report
+	if err := json.Unmarshal([]byte(httpGet(t, web.URL+"/saturation")), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Devices) == 0 || rep.SpaceStr == "" {
+		t.Fatalf("/saturation report = %+v", rep)
+	}
+	text := httpGet(t, web.URL+"/saturation?format=text")
+	for _, want := range []string{"capacity observatory", "DEVICE", "space:"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/saturation?format=text missing %q:\n%s", want, text)
+		}
+	}
+}

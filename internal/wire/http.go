@@ -38,6 +38,12 @@ const tracesDefault = 16
 //	                   recovery ladder, placement diffs (?format=text)
 //	/slo               burn-rate status of the declared service-level
 //	                   objectives (?format=text renders the table)
+//	/timeseries        capacity time series: ?metric= one series (with
+//	                   optional ?window= trailing duration, e.g. 2m), no
+//	                   metric lists the recorded series
+//	/saturation        the capacity observatory's saturation verdict —
+//	                   devices, links, classes, space state
+//	                   (?format=text renders the `qosctl top` view)
 //	/debug/pprof       the standard Go profiling endpoints
 //
 // All endpoints are read-only: anything but GET/HEAD gets a 405.
@@ -60,6 +66,9 @@ func NewHTTPHandler(dom *domain.Domain) http.Handler {
 	}
 	handle("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		metrics.CollectRuntime(dom.Metrics, start)
+		// Refresh the capacity gauges too, so a scrape between sampling
+		// ticks still sees current headroom/residual values.
+		dom.SampleCapacityNow()
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		io.WriteString(w, dom.Metrics.Exposition())
 	})
@@ -171,6 +180,50 @@ func NewHTTPHandler(dom *domain.Domain) http.Handler {
 			statuses = []metrics.Status{}
 		}
 		writeJSON(w, http.StatusOK, statuses)
+	})
+	handle("/timeseries", func(w http.ResponseWriter, r *http.Request) {
+		dom.SampleCapacityNow()
+		metric := r.URL.Query().Get("metric")
+		if metric == "" {
+			names := dom.Capacity.Metrics()
+			if names == nil {
+				names = []string{}
+			}
+			writeJSON(w, http.StatusOK, map[string]any{"metrics": names})
+			return
+		}
+		var window time.Duration
+		if q := r.URL.Query().Get("window"); q != "" {
+			d, err := time.ParseDuration(q)
+			if err != nil || d < 0 {
+				writeJSON(w, http.StatusBadRequest, map[string]any{
+					"ok": false, "error": "window must be a Go duration, e.g. 2m",
+				})
+				return
+			}
+			window = d
+		}
+		samples := dom.Capacity.Series(metric, window)
+		if samples == nil {
+			writeJSON(w, http.StatusNotFound, map[string]any{
+				"ok": false, "error": "no series " + metric + " (omit metric= to list)",
+			})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"metric":          metric,
+			"intervalSeconds": dom.Capacity.Interval().Seconds(),
+			"samples":         samples,
+		})
+	})
+	handle("/saturation", func(w http.ResponseWriter, r *http.Request) {
+		rep := dom.SaturationReport()
+		if r.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			io.WriteString(w, rep.Render())
+			return
+		}
+		writeJSON(w, http.StatusOK, rep)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -149,7 +149,7 @@ var knownOps = map[string]bool{
 	OpSwitch: true, OpMetrics: true, OpTrace: true, OpCrashDevice: true,
 	OpRejoinDevice: true, OpCheck: true, OpRegister: true, OpUnregister: true,
 	OpFlight: true, OpSlo: true, OpExplain: true, OpVersion: true,
-	OpStats: true,
+	OpStats: true, OpTimeseries: true, OpSaturation: true,
 }
 
 // Handle dispatches one request; it is exported so the daemon can be
@@ -229,6 +229,11 @@ func (s *Server) dispatch(req Request) Response {
 		return Response{OK: true, Version: &info}
 	case OpStats:
 		return s.statsInfo()
+	case OpTimeseries:
+		return s.timeseries(req)
+	case OpSaturation:
+		rep := s.dom.SaturationReport()
+		return Response{OK: true, Saturation: &rep}
 	case OpRegister:
 		return s.registerService(req)
 	case OpUnregister:
@@ -275,6 +280,7 @@ func (s *Server) start(req Request) Response {
 	}
 	active, err := s.dom.StartApp(core.Request{
 		SessionID:    req.SessionID,
+		Class:        req.Class,
 		App:          req.App,
 		UserQoS:      req.UserQoS,
 		ClientDevice: device.ID(req.ClientDevice),
@@ -401,6 +407,34 @@ func (s *Server) explainInfo(sessionID string) Response {
 		return errResponse(fmt.Errorf("wire: no explain record for session %q", sessionID))
 	}
 	return Response{OK: true, Explain: se}
+}
+
+// timeseries answers a capacity time-series query: one named series
+// (optionally restricted to a trailing window), or the recorded series
+// list when no metric is named. A sampling pass runs first so the ring is
+// fresh even between ticks.
+func (s *Server) timeseries(req Request) Response {
+	s.dom.SampleCapacityNow()
+	if req.Metric == "" {
+		return Response{OK: true, TimeseriesMetrics: s.dom.Capacity.Metrics()}
+	}
+	var window time.Duration
+	if req.Window != "" {
+		d, err := time.ParseDuration(req.Window)
+		if err != nil || d < 0 {
+			return errResponse(fmt.Errorf("wire: bad window %q (want a Go duration, e.g. \"2m\")", req.Window))
+		}
+		window = d
+	}
+	samples := s.dom.Capacity.Series(req.Metric, window)
+	if samples == nil {
+		return errResponse(fmt.Errorf("wire: no series %q (omit the metric to list recorded series)", req.Metric))
+	}
+	return Response{OK: true, Timeseries: &TimeseriesInfo{
+		Metric:          req.Metric,
+		IntervalSeconds: s.dom.Capacity.Interval().Seconds(),
+		Samples:         samples,
+	}}
 }
 
 // statsInfo snapshots the incremental-placement counters: plan cache

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"ubiqos/internal/buildinfo"
+	"ubiqos/internal/capacity"
 	"ubiqos/internal/composer"
 	"ubiqos/internal/distributor"
 	"ubiqos/internal/explain"
@@ -40,6 +41,8 @@ const (
 	OpExplain      = "explain"
 	OpVersion      = "version"
 	OpStats        = "stats"
+	OpTimeseries   = "timeseries"
+	OpSaturation   = "saturation"
 )
 
 // Request is one client request.
@@ -65,6 +68,15 @@ type Request struct {
 	// InstalledOn optionally marks the registered instance pre-installed
 	// on these devices ("*" = everywhere).
 	InstalledOn []string `json:"installedOn,omitempty"`
+	// Class buckets the session for per-class observability (start; empty
+	// derives the class from the app graph's sink service type).
+	Class string `json:"class,omitempty"`
+	// Metric names a capacity time series (timeseries op; empty lists the
+	// recorded series).
+	Metric string `json:"metric,omitempty"`
+	// Window restricts a timeseries query to the trailing duration, in
+	// Go duration syntax, e.g. "2m" (timeseries op; empty = full ring).
+	Window string `json:"window,omitempty"`
 	// TraceID carries the client-originated trace context so the server's
 	// spans join the caller's trace (start/switch). The client fills it in
 	// automatically when empty.
@@ -128,6 +140,14 @@ type StatsInfo struct {
 	WarmSpeedup float64 `json:"warmSpeedup,omitempty"`
 }
 
+// TimeseriesInfo is one capacity time series (timeseries op).
+type TimeseriesInfo struct {
+	Metric string `json:"metric"`
+	// IntervalSeconds is the observatory's sampling period.
+	IntervalSeconds float64           `json:"intervalSeconds"`
+	Samples         []capacity.Sample `json:"samples"`
+}
+
 // Response is one server response.
 type Response struct {
 	OK       bool           `json:"ok"`
@@ -162,6 +182,14 @@ type Response struct {
 	Version *buildinfo.Info `json:"version,omitempty"`
 	// Stats is the incremental-placement health snapshot (stats op).
 	Stats *StatsInfo `json:"stats,omitempty"`
+	// Timeseries is one capacity time series (timeseries op with a metric).
+	Timeseries *TimeseriesInfo `json:"timeseries,omitempty"`
+	// TimeseriesMetrics lists the recorded series (timeseries op with no
+	// metric named).
+	TimeseriesMetrics []string `json:"timeseriesMetrics,omitempty"`
+	// Saturation is the space's saturation verdict (saturation op) — the
+	// payload behind `qosctl top`.
+	Saturation *capacity.Report `json:"saturation,omitempty"`
 }
 
 func timingInfo(c, d, dl, ih time.Duration) TimingInfo {
