@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify fmt-check vet build test race bench bench-faults bench-obs bench-warm bench-capacity clean
+.PHONY: verify fmt-check vet build test race bench bench-faults bench-obs bench-warm bench-capacity bench-autoscale clean
 
 # verify is the tier-1 gate (ROADMAP.md): formatting, static checks,
 # build, and the full test suite.
@@ -27,7 +27,7 @@ test:
 # the observability layer (tracer ring, metrics registry, structured
 # logging, flight recorder, explain recorder, capacity observatory).
 race:
-	$(GO) test -race ./internal/registry ./internal/eventbus ./internal/core ./internal/distributor ./internal/experiments ./internal/par ./internal/wire ./internal/faultinject ./internal/domain ./internal/trace ./internal/metrics ./internal/flight ./internal/obslog ./internal/explain ./internal/capacity
+	$(GO) test -race ./internal/registry ./internal/eventbus ./internal/core ./internal/distributor ./internal/experiments ./internal/par ./internal/wire ./internal/faultinject ./internal/domain ./internal/trace ./internal/metrics ./internal/flight ./internal/obslog ./internal/explain ./internal/capacity ./internal/admission ./internal/autoscale
 
 # bench times the parallel configuration engine against its sequential
 # equivalents, writing BENCH_parallel.json (ns/op + speedup per pair) and
@@ -67,6 +67,14 @@ bench-obs:
 # costs more than 2x the unlabeled one.
 bench-capacity:
 	$(GO) run ./cmd/benchcapacity -o BENCH_capacity.json
+
+# bench-autoscale runs the flash-crowd drill — a 5x arrival-rate spike
+# against a space sized for a quarter of it — open loop and closed loop
+# (admission gate + instance autoscaler), writing BENCH_autoscale.json.
+# It exits non-zero unless the closed-loop run loses zero sessions to
+# capacity exhaustion and ends with the configure-latency SLO unburned.
+bench-autoscale:
+	$(GO) run ./cmd/benchautoscale -o BENCH_autoscale.json
 
 # clean removes build outputs only. Checked-in benchmark artifacts
 # (BENCH_*.json) are part of the repo's recorded results and are

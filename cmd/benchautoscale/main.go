@@ -1,0 +1,103 @@
+// Command benchautoscale runs the flash-crowd drill twice (`make
+// bench-autoscale` emits BENCH_autoscale.json): once as the paper's
+// open-loop configurator (baseline), once with the closed capacity loop —
+// saturation-aware admission gate in front of the pipeline, instance
+// autoscaler behind the registry.
+//
+// The arrival schedule is a steady voice-class trickle followed by a
+// background-class crowd at 5× the steady rate, against a space sized
+// for roughly a quarter of the spike. The report fails (exit 1) unless
+// the closed-loop run meets the acceptance criterion:
+//
+//   - zero sessions lost to capacity exhaustion (pipeline failures);
+//     gate rejections with retry-after hints and degraded admissions are
+//     controlled outcomes and do not count
+//   - the configure-latency SLO (configure-p95) ends the drill unburned
+//     (burn rate ≤ 1)
+//
+// The baseline run is reported alongside for contrast: it pays the
+// dynamic-downloading latency on first use and turns overload into
+// infeasible-placement failures.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"ubiqos/internal/experiments"
+)
+
+// Report is the full BENCH_autoscale.json document.
+type Report struct {
+	Generated string `json:"generated"`
+	// SpikeRatio is the crowd arrival rate over the steady rate.
+	SpikeRatio float64                       `json:"spikeRatio"`
+	Baseline   *experiments.FlashCrowdResult `json:"baseline"`
+	ClosedLoop *experiments.FlashCrowdResult `json:"closedLoop"`
+}
+
+func main() {
+	log.SetFlags(0)
+	out := flag.String("o", "BENCH_autoscale.json", "output file ('-' for stdout)")
+	flag.Parse()
+
+	baseCfg := experiments.DefaultFlashCrowdConfig(false)
+	closedCfg := experiments.DefaultFlashCrowdConfig(true)
+	rep := Report{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		SpikeRatio: float64(baseCfg.SteadyGap) / float64(baseCfg.CrowdGap),
+	}
+
+	fmt.Fprintln(os.Stderr, "baseline (open loop)...")
+	base, err := experiments.RunFlashCrowd(baseCfg)
+	if err != nil {
+		log.Fatalf("benchautoscale: baseline: %v", err)
+	}
+	rep.Baseline = base
+	summarize("baseline", base)
+
+	fmt.Fprintln(os.Stderr, "closed loop (gate + autoscaler)...")
+	closed, err := experiments.RunFlashCrowd(closedCfg)
+	if err != nil {
+		log.Fatalf("benchautoscale: closed loop: %v", err)
+	}
+	rep.ClosedLoop = closed
+	summarize("closed-loop", closed)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+	} else {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			log.Fatalf("benchautoscale: %v", err)
+		}
+		fmt.Fprintln(os.Stderr, "wrote", *out)
+	}
+
+	if rep.SpikeRatio < 5 {
+		log.Fatalf("benchautoscale: spike ratio %.1f below the required 5×", rep.SpikeRatio)
+	}
+	if !closed.MeetsCriterion {
+		log.Fatalf("benchautoscale: closed loop missed the criterion: lostToCapacity=%d configureBurn=%.2f",
+			closed.LostToCapacity, closed.ConfigureBurn)
+	}
+	fmt.Fprintf(os.Stderr, "criterion met: 0 capacity losses, configure burn %.2f ≤ 1 (baseline: %d lost, burn %.2f)\n",
+		closed.ConfigureBurn, base.LostToCapacity, base.ConfigureBurn)
+}
+
+func summarize(label string, r *experiments.FlashCrowdResult) {
+	for _, c := range r.Classes {
+		fmt.Fprintf(os.Stderr, "  %-11s %-10s offered %3d  admitted %3d  degraded %3d  rejected %3d  lost %3d\n",
+			label, c.Class, c.Offered, c.Admitted, c.Degraded, c.Rejected, c.LostToCapacity)
+	}
+	fmt.Fprintf(os.Stderr, "  %-11s burn %.2f  downloads %.0f ms  ups %d  downs %d\n",
+		label, r.ConfigureBurn, r.DownloadsMs, r.ScaleUps, r.ScaleDowns)
+}

@@ -8,7 +8,7 @@
 //
 //	qosconfigd [-addr 127.0.0.1:7420] [-http 127.0.0.1:7421] [-space audio|conf]
 //	           [-config FILE.space] [-scale 0.1] [-place heuristic|optimal|optimal-parallel]
-//	           [-chaos "seed=7,crashes=2,window=30s,recover=10s"]
+//	           [-chaos "seed=7,crashes=2,window=30s,recover=10s"] [-admission]
 //
 // The daemon boots one of the paper's two testbed smart spaces — "audio"
 // (three desktops + a Jornada PDA with the mobile audio-on-demand
@@ -24,9 +24,17 @@
 // /slo (objective burn rates), /timeseries (on-daemon capacity rings —
 // ?metric= one series, ?window= trailing duration), /saturation (the
 // capacity observatory's verdict; the payload behind `qosctl top`),
-// and /debug/pprof.
+// /admission (the admission gate's status and class previews; the
+// payload behind `qosctl admit`), and /debug/pprof.
 // Set -http "" to disable it. The -log flag sets the minimum level of
 // the structured log stream on stderr.
+//
+// With -admission, a saturation-aware admission gate (stock per-class
+// policies: voice admits at full quality until the space saturates,
+// background sheds optionals once capacity is approaching) fronts the
+// configuration pipeline: rejected starts fail with a retry-after hint
+// instead of burning the configure-latency objective. Inspect it with
+// `qosctl admit` or GET /admission.
 //
 // The daemon always runs a recovery supervisor: sessions broken by device
 // churn or resource fluctuations are re-configured automatically with
@@ -69,14 +77,15 @@ func main() {
 	chaos := flag.String("chaos", "", `fault-injection spec, e.g. "seed=7,crashes=2,window=30s" ("" disables)`)
 	chaosOn := flag.Bool("chaos-default", false, "inject the default fault schedule (same as -chaos with an empty spec)")
 	logLevel := flag.String("log", "info", "minimum structured-log level on stderr: debug, info, warn, or error")
+	admit := flag.Bool("admission", false, "front the pipeline with the saturation-aware admission gate (stock per-class policies)")
 	flag.Parse()
 
-	if err := run(*addr, *httpAddr, *space, *config, *scale, *place, *chaos, *chaosOn, *logLevel); err != nil {
+	if err := run(*addr, *httpAddr, *space, *config, *scale, *place, *chaos, *chaosOn, *logLevel, *admit); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(addr, httpAddr, space, config string, scale float64, place, chaos string, chaosOn bool, logLevel string) error {
+func run(addr, httpAddr, space, config string, scale float64, place, chaos string, chaosOn bool, logLevel string, admit bool) error {
 	placeFn, err := experiments.PlaceByName(place)
 	if err != nil {
 		return err
@@ -111,6 +120,13 @@ func run(addr, httpAddr, space, config string, scale float64, place, chaos strin
 			stderr.Write(rec)
 		}
 	}))
+
+	if admit {
+		// Stock policies; installed before the server listens, so no
+		// Configure can race the un-synchronized gate swap.
+		dom.EnableAdmissionGate(nil, nil)
+		log.Print("admission gate fronting the pipeline (stock per-class policies)")
+	}
 
 	srv, err := wire.NewServer(dom)
 	if err != nil {
@@ -148,7 +164,7 @@ func run(addr, httpAddr, space, config string, scale float64, place, chaos strin
 		}
 		defer ln.Close()
 		go http.Serve(ln, wire.NewHTTPHandler(dom))
-		log.Printf("observability on http://%s (/metrics /healthz /traces /flight /explain /slo /timeseries /saturation /debug/pprof)", ln.Addr())
+		log.Printf("observability on http://%s (/metrics /healthz /traces /flight /explain /slo /timeseries /saturation /admission /debug/pprof)", ln.Addr())
 	}
 
 	sig := make(chan os.Signal, 1)

@@ -25,6 +25,12 @@
 //	                                                      interrupted)
 //	qosctl timeseries [-metric NAME] [-window 2m] [-json] (on-daemon capacity time series; no -metric
 //	                                                      lists the recorded series)
+//	qosctl admit      [-class NAME] [-json]              (admission-gate status: effective saturation
+//	                                                      state, SLO burn, per-class policies and decision
+//	                                                      tallies; -class previews one class's verdict
+//	                                                      without recording it)
+//	qosctl scale      [-group NAME -replicas N] [-json]  (autoscaler status; -group/-replicas pins a
+//	                                                      group's replica count, clamped to [0,max])
 //
 // The -app flag accepts the two built-in application graphs ("audio" for
 // mobile audio-on-demand, "conf" for video conferencing), a path to a
@@ -50,7 +56,9 @@ import (
 	"strings"
 	"time"
 
+	"ubiqos/internal/admission"
 	"ubiqos/internal/buildinfo"
+	"ubiqos/internal/capacity"
 	"ubiqos/internal/composer"
 	"ubiqos/internal/experiments"
 	"ubiqos/internal/metrics"
@@ -80,9 +88,12 @@ func main() {
 	once := flag.Bool("once", false, "render a single frame and exit (top)")
 	metric := flag.String("metric", "", "capacity time-series metric (timeseries; empty lists recorded series)")
 	window := flag.String("window", "", `trailing window for timeseries, e.g. "2m" (empty = full ring)`)
+	class := flag.String("class", "", "session class (start); class to preview (admit)")
+	group := flag.String("group", "", "autoscale group to pin (scale)")
+	replicas := flag.Int("replicas", -1, "replica count for -group (scale)")
 
 	if len(os.Args) < 2 || strings.HasPrefix(os.Args[1], "-") {
-		log.Fatal("usage: qosctl devices|services|sessions|metrics|trace|flight|slo|explain|stats|version|start|check|session|switch|stop|crash|rejoin|register|unregister|top|timeseries [flags]\n" +
+		log.Fatal("usage: qosctl devices|services|sessions|metrics|trace|flight|slo|explain|stats|version|start|check|session|switch|stop|crash|rejoin|register|unregister|top|timeseries|admit|scale [flags]\n" +
 			"  common flags: -addr HOST:PORT  -timeout DUR (0 = wait forever)  -retries N\n" +
 			"  run 'go doc ubiqos/cmd/qosctl' for the full per-verb flag list")
 	}
@@ -96,6 +107,7 @@ func main() {
 		instanceFile: *instanceFile, installed: *installed, name: *name,
 		timeout: *timeout, retries: *retries,
 		interval: *interval, once: *once, metric: *metric, window: *window,
+		class: *class, group: *group, replicas: *replicas,
 	}); err != nil {
 		log.Fatal(err)
 	}
@@ -111,6 +123,8 @@ type runArgs struct {
 	interval                                      time.Duration
 	once                                          bool
 	metric, window                                string
+	class, group                                  string
+	replicas                                      int
 }
 
 func run(a runArgs) error {
@@ -171,6 +185,7 @@ func run(a runArgs) error {
 			App:          ag,
 			UserQoS:      uq,
 			ClientDevice: client,
+			Class:        a.class,
 		})
 		if err != nil {
 			return err
@@ -384,6 +399,44 @@ func run(a runArgs) error {
 			return err
 		}
 		fmt.Printf("device %s rejoined the smart space\n", to)
+	case "admit":
+		resp, err := c.Call(wire.Request{Op: wire.OpAdmission, Class: a.class})
+		if err != nil {
+			return err
+		}
+		if a.asJSON {
+			out, err := json.MarshalIndent(resp.Admission, "", "  ")
+			if err != nil {
+				return err
+			}
+			fmt.Println(string(out))
+			return nil
+		}
+		printAdmission(resp.Admission)
+	case "scale":
+		if (a.group == "") != (a.replicas < 0) {
+			return fmt.Errorf("scale requires -group and -replicas together")
+		}
+		req := wire.Request{Op: wire.OpScale, Group: a.group}
+		if a.group != "" {
+			req.Replicas = &a.replicas
+		}
+		resp, err := c.Call(req)
+		if err != nil {
+			return err
+		}
+		if a.asJSON {
+			out, err := json.MarshalIndent(resp.Autoscale, "", "  ")
+			if err != nil {
+				return err
+			}
+			fmt.Println(string(out))
+			return nil
+		}
+		if a.group != "" {
+			fmt.Printf("group %s pinned to %d replica(s)\n", a.group, a.replicas)
+		}
+		fmt.Print(resp.Autoscale.Render())
 	case "top":
 		return top(c, a)
 	case "timeseries":
@@ -575,6 +628,73 @@ func printSession(s *wire.SessionInfo) {
 	if s.Summary != "" {
 		fmt.Printf("  composition summary: %s\n", s.Summary)
 	}
+}
+
+// printAdmission renders the gate snapshot or a class preview.
+func printAdmission(info *wire.AdmissionInfo) {
+	if info == nil || !info.Enabled {
+		fmt.Println("admission gate: disabled")
+		return
+	}
+	if d := info.Decision; d != nil {
+		fmt.Printf("class %-12s verdict %-14s state %s", d.Class, d.Verdict, d.StateStr)
+		if d.Escalated {
+			fmt.Print(" (escalated by SLO burn)")
+		}
+		fmt.Printf("  burn %.2f\n", d.SLOBurn)
+		if d.RetryAfterMs > 0 {
+			fmt.Printf("  retry after %s\n", d.RetryAfter())
+		}
+		if d.Reason != "" {
+			fmt.Printf("  %s\n", d.Reason)
+		}
+		return
+	}
+	st := info.Status
+	fmt.Printf("effective state %s  configure-SLO burn %.2f\n", st.StateStr, st.SLOBurn)
+	fmt.Printf("%-12s %-14s %-14s %-10s %9s %9s %9s\n",
+		"CLASS", "DEGRADE-AT", "REJECT-AT", "RETRY", "ADMITTED", "DEGRADED", "REJECTED")
+	tally := make(map[string]admission.ClassCounts, len(st.Classes))
+	for _, c := range st.Classes {
+		tally[c.Class] = c
+	}
+	names := make([]string, 0, len(st.Policies))
+	for name := range st.Policies {
+		names = append(names, name)
+	}
+	for name := range tally {
+		if _, ok := st.Policies[name]; !ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pol, ok := st.Policies[name]
+		if !ok {
+			pol = st.Default
+		}
+		c := tally[name]
+		fmt.Printf("%-12s %-14s %-14s %-10s %9d %9d %9d\n",
+			name, stateOrNever(pol.DegradeAt), stateOrNever(pol.RejectAt),
+			retryOrDefault(pol.RetryAfter), c.Admitted, c.Degraded, c.Rejected)
+	}
+	fmt.Printf("%-12s %-14s %-14s %-10s\n", "(default)",
+		stateOrNever(st.Default.DegradeAt), stateOrNever(st.Default.RejectAt),
+		retryOrDefault(st.Default.RetryAfter))
+}
+
+func stateOrNever(s capacity.State) string {
+	if s >= admission.Never {
+		return "never"
+	}
+	return s.String()
+}
+
+func retryOrDefault(d time.Duration) string {
+	if d <= 0 {
+		d = admission.DefaultRetryAfter
+	}
+	return d.String()
 }
 
 func vec(v []float64) string {

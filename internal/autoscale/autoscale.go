@@ -1,0 +1,497 @@
+// Package autoscale closes the capacity loop from the supply side: a
+// control loop in the collector → analyzer → optimizer → actuator shape
+// that watches the same signals as the admission gate (per-class arrival
+// meters, the saturation analyzer's verdict) and scales service-instance
+// replicas up and down. Replicas live in a LeasedRegistry — the loop
+// renews their leases every tick, so a dead autoscaler's replicas age out
+// of discovery on their own — and scale-up pre-publishes and pre-installs
+// the replica's package so admitted sessions skip the download that
+// dominates configuration latency (the paper's Figure 4). Anti-cascade
+// guards — per-group cooldown, hysteresis via the analyzer states, a max
+// step size — keep a noisy signal from whipsawing the replica set.
+package autoscale
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"ubiqos/internal/capacity"
+	"ubiqos/internal/metrics"
+	"ubiqos/internal/registry"
+	"ubiqos/internal/repository"
+)
+
+// Defaults for the control loop.
+const (
+	DefaultInterval       = time.Second
+	DefaultMaxStep        = 2
+	DefaultScaleDownAfter = 3
+	// rateAlpha smooths the measured per-tick arrival rate.
+	rateAlpha = 0.5
+)
+
+// GroupSpec declares one scaling group: a replica template and the demand
+// it is sized for.
+type GroupSpec struct {
+	// Name prefixes replica instance names ("<name>-r<i>").
+	Name string
+	// Template is the instance each replica clones (Name is overwritten).
+	Template registry.Instance
+	// Class is the session class whose arrival rate drives this group.
+	Class string
+	// Min and Max bound the replica count. Min 0 allows scale-to-zero.
+	Min, Max int
+	// TargetPerReplica is the arrival rate (sessions/sec) one replica is
+	// sized for: desired = ceil(rate / TargetPerReplica).
+	TargetPerReplica float64
+	// InstallOn lists the devices each replica's package is pre-installed
+	// on; empty means every device the Devices dep reports.
+	InstallOn []string
+}
+
+// Options tunes the loop.
+type Options struct {
+	// Interval is the control period (0 selects DefaultInterval).
+	Interval time.Duration
+	// Cooldown is the minimum gap between scaling actions on one group
+	// (0 selects 3×Interval).
+	Cooldown time.Duration
+	// MaxStep bounds the replica delta of one action (0 selects 2).
+	MaxStep int
+	// ScaleDownAfter is how many consecutive under-demand ticks — with the
+	// space analyzer reporting ok — must pass before a scale-down (0
+	// selects 3). Scale-ups act immediately; this is the hysteresis that
+	// stops a brief lull from shedding warm replicas.
+	ScaleDownAfter int
+	// TTL is each replica's lease (0 selects 3×Interval). Leases are
+	// renewed every tick.
+	TTL time.Duration
+	// Clock is injectable for tests (nil selects time.Now).
+	Clock func() time.Time
+}
+
+// Signals are the collector inputs, wired by the domain.
+type Signals struct {
+	// Report returns the saturation analyzer's verdict.
+	Report func() capacity.Report
+	// Arrivals returns the cumulative arrival count for a class; the loop
+	// differences it across ticks to measure offered load.
+	Arrivals func(class string) int64
+}
+
+// Deps are the actuator outputs: where replicas register and install.
+type Deps struct {
+	Registry *registry.LeasedRegistry
+	Repo     *repository.Repository
+	// Devices lists install targets for groups without InstallOn.
+	Devices func() []string
+	Signals Signals
+	// Metrics, when set, receives scale counters and replica gauges.
+	Metrics *metrics.Registry
+}
+
+// group is the per-group controller state.
+type group struct {
+	spec       GroupSpec
+	replicas   int
+	maxSeen    int
+	desired    int
+	rate       float64
+	rateOK     bool
+	lastTotal  int64
+	lastAction time.Time
+	underTicks int
+	ups, downs int64
+}
+
+// GroupStatus is one group's slice of a Status snapshot.
+type GroupStatus struct {
+	Name             string    `json:"name"`
+	Class            string    `json:"class"`
+	Replicas         int       `json:"replicas"`
+	Desired          int       `json:"desired"`
+	MaxSeen          int       `json:"maxSeen"`
+	Min              int       `json:"min"`
+	Max              int       `json:"max"`
+	RatePerSec       float64   `json:"ratePerSec"`
+	TargetPerReplica float64   `json:"targetPerReplica"`
+	Ups              int64     `json:"ups"`
+	Downs            int64     `json:"downs"`
+	LastAction       time.Time `json:"lastAction,omitempty"`
+}
+
+// Status is the autoscaler's introspection snapshot (`qosctl scale`).
+type Status struct {
+	Running         bool          `json:"running"`
+	IntervalSeconds float64       `json:"intervalSeconds"`
+	Groups          []GroupStatus `json:"groups"`
+}
+
+// Autoscaler runs the control loop. Construct with New; Start launches
+// the ticker, or call Tick directly for deterministic stepping.
+type Autoscaler struct {
+	interval       time.Duration
+	cooldown       time.Duration
+	maxStep        int
+	scaleDownAfter int
+	ttl            time.Duration
+	clock          func() time.Time
+	deps           Deps
+
+	mu      sync.Mutex
+	groups  []*group
+	running bool
+	stop    chan struct{}
+	done    chan struct{}
+}
+
+// New validates the specs, brings every group up to its Min replicas
+// (pre-provisioning — the warm floor admitted sessions bind without a
+// download), and returns the idle loop.
+func New(opts Options, deps Deps, specs ...GroupSpec) (*Autoscaler, error) {
+	if deps.Registry == nil || deps.Repo == nil {
+		return nil, fmt.Errorf("autoscale: registry and repository deps are required")
+	}
+	if deps.Signals.Report == nil || deps.Signals.Arrivals == nil {
+		return nil, fmt.Errorf("autoscale: report and arrivals signals are required")
+	}
+	if opts.Interval <= 0 {
+		opts.Interval = DefaultInterval
+	}
+	if opts.Cooldown <= 0 {
+		opts.Cooldown = 3 * opts.Interval
+	}
+	if opts.MaxStep <= 0 {
+		opts.MaxStep = DefaultMaxStep
+	}
+	if opts.ScaleDownAfter <= 0 {
+		opts.ScaleDownAfter = DefaultScaleDownAfter
+	}
+	if opts.TTL <= 0 {
+		opts.TTL = 3 * opts.Interval
+	}
+	if opts.Clock == nil {
+		opts.Clock = time.Now
+	}
+	a := &Autoscaler{
+		interval:       opts.Interval,
+		cooldown:       opts.Cooldown,
+		maxStep:        opts.MaxStep,
+		scaleDownAfter: opts.ScaleDownAfter,
+		ttl:            opts.TTL,
+		clock:          opts.Clock,
+		deps:           deps,
+	}
+	seen := make(map[string]bool, len(specs))
+	for _, spec := range specs {
+		if spec.Name == "" || spec.Template.Type == "" {
+			return nil, fmt.Errorf("autoscale: group needs a name and a template type")
+		}
+		if seen[spec.Name] {
+			return nil, fmt.Errorf("autoscale: duplicate group %q", spec.Name)
+		}
+		seen[spec.Name] = true
+		if spec.Min < 0 || spec.Max < spec.Min || spec.Max == 0 {
+			return nil, fmt.Errorf("autoscale: group %q needs 0 ≤ min ≤ max with max > 0", spec.Name)
+		}
+		if spec.TargetPerReplica <= 0 {
+			return nil, fmt.Errorf("autoscale: group %q needs a positive TargetPerReplica", spec.Name)
+		}
+		g := &group{spec: spec, lastTotal: deps.Signals.Arrivals(spec.Class)}
+		a.groups = append(a.groups, g)
+		if err := a.addReplicas(g, spec.Min); err != nil {
+			return nil, err
+		}
+		g.desired = spec.Min
+		a.publishGauges(g)
+	}
+	return a, nil
+}
+
+// replicaName is the instance name of a group's i-th replica (1-based).
+func replicaName(g *group, i int) string { return fmt.Sprintf("%s-r%d", g.spec.Name, i) }
+
+// installTargets resolves where a group's packages land.
+func (a *Autoscaler) installTargets(g *group) []string {
+	if len(g.spec.InstallOn) > 0 {
+		return g.spec.InstallOn
+	}
+	if a.deps.Devices != nil {
+		return a.deps.Devices()
+	}
+	return nil
+}
+
+// addReplicas registers and pre-provisions n new replicas. Callers hold
+// a.mu (or run before the loop starts).
+func (a *Autoscaler) addReplicas(g *group, n int) error {
+	targets := a.installTargets(g)
+	for i := 0; i < n; i++ {
+		name := replicaName(g, g.replicas+1)
+		in := g.spec.Template
+		in.Name = name
+		if err := a.deps.Registry.RegisterWithTTL(&in, a.ttl); err != nil {
+			return fmt.Errorf("autoscale: group %q: %w", g.spec.Name, err)
+		}
+		// Pre-provision: publish the package and install it everywhere the
+		// group serves, so no admitted session ever pays the download.
+		if in.SizeMB > 0 {
+			a.deps.Repo.Publish(repository.Package{Name: name, SizeMB: in.SizeMB})
+		}
+		for _, dev := range targets {
+			a.deps.Repo.MarkInstalled(dev, name)
+		}
+		g.replicas++
+		if g.replicas > g.maxSeen {
+			g.maxSeen = g.replicas
+		}
+	}
+	return nil
+}
+
+// dropReplicas retires the n highest-numbered replicas by collapsing
+// their leases: the next sweep expires them through the normal hook, so
+// plan caches hear service.expired exactly as for any departing service.
+// Callers hold a.mu.
+func (a *Autoscaler) dropReplicas(g *group, n int) {
+	targets := a.installTargets(g)
+	for i := 0; i < n && g.replicas > 0; i++ {
+		name := replicaName(g, g.replicas)
+		a.deps.Registry.Renew(name, time.Nanosecond)
+		for _, dev := range targets {
+			a.deps.Repo.Uninstall(dev, name)
+		}
+		g.replicas--
+	}
+}
+
+// publishGauges refreshes one group's replica gauges. Callers hold a.mu.
+func (a *Autoscaler) publishGauges(g *group) {
+	if a.deps.Metrics == nil {
+		return
+	}
+	a.deps.Metrics.Gauge(metrics.WithLabel(metrics.AutoscaleReplicas, "group", g.spec.Name)).Set(float64(g.replicas))
+	a.deps.Metrics.Gauge(metrics.WithLabel(metrics.AutoscaleDesired, "group", g.spec.Name)).Set(float64(g.desired))
+}
+
+// Tick runs one control pass: measure demand, compute the desired
+// replica count, actuate within the anti-cascade guards, renew leases,
+// and sweep lapsed ones.
+func (a *Autoscaler) Tick() {
+	now := a.clock()
+	rep := a.deps.Signals.Report()
+
+	a.mu.Lock()
+	for _, g := range a.groups {
+		// Collector: difference the class arrival counter across ticks and
+		// smooth it into the demand estimate.
+		total := a.deps.Signals.Arrivals(g.spec.Class)
+		if g.rateOK {
+			// The tick cadence is the interval (Start's ticker or a test
+			// driving Tick); using it directly keeps the measure clock-skew
+			// free under an injected clock.
+			inst := float64(total-g.lastTotal) / a.interval.Seconds()
+			g.rate = rateAlpha*inst + (1-rateAlpha)*g.rate
+		} else {
+			g.rateOK = true
+		}
+		g.lastTotal = total
+
+		// Optimizer: size for the smoothed demand, floor at Min, cap at Max.
+		desired := int(math.Ceil(g.rate / g.spec.TargetPerReplica))
+		if desired < g.spec.Min {
+			desired = g.spec.Min
+		}
+		if desired > g.spec.Max {
+			desired = g.spec.Max
+		}
+		// Hysteresis via the analyzer states: a pressured space never
+		// scales down, and a saturated one gets a step up even before the
+		// arrival estimate catches up.
+		if rep.Space >= capacity.StateApproaching && desired < g.replicas {
+			desired = g.replicas
+		}
+		if rep.Space == capacity.StateSaturated && g.replicas < g.spec.Max {
+			up := g.replicas + a.maxStep
+			if up > g.spec.Max {
+				up = g.spec.Max
+			}
+			if desired < up {
+				desired = up
+			}
+		}
+		g.desired = desired
+
+		// Actuator, inside the anti-cascade guards.
+		cooled := g.lastAction.IsZero() || now.Sub(g.lastAction) >= a.cooldown
+		switch {
+		case desired > g.replicas:
+			g.underTicks = 0
+			if cooled {
+				step := desired - g.replicas
+				if step > a.maxStep {
+					step = a.maxStep
+				}
+				if err := a.addReplicas(g, step); err == nil {
+					g.ups++
+					g.lastAction = now
+					if a.deps.Metrics != nil {
+						a.deps.Metrics.Counter(metrics.WithLabel(metrics.ScaleUps, "group", g.spec.Name)).Inc()
+					}
+				}
+			}
+		case desired < g.replicas:
+			g.underTicks++
+			if cooled && g.underTicks >= a.scaleDownAfter && rep.Space == capacity.StateOK {
+				step := g.replicas - desired
+				if step > a.maxStep {
+					step = a.maxStep
+				}
+				a.dropReplicas(g, step)
+				g.downs++
+				g.lastAction = now
+				g.underTicks = 0
+				if a.deps.Metrics != nil {
+					a.deps.Metrics.Counter(metrics.WithLabel(metrics.ScaleDowns, "group", g.spec.Name)).Inc()
+				}
+			}
+		default:
+			g.underTicks = 0
+		}
+
+		// Liveness: renew the survivors' leases.
+		for i := 1; i <= g.replicas; i++ {
+			a.deps.Registry.Renew(replicaName(g, i), a.ttl)
+		}
+		a.publishGauges(g)
+	}
+	a.mu.Unlock()
+
+	// Expire collapsed leases (and anything else that lapsed), firing the
+	// registry's expiry hook outside our lock.
+	a.deps.Registry.Sweep()
+}
+
+// Start launches the control loop (idempotent).
+func (a *Autoscaler) Start() {
+	a.mu.Lock()
+	if a.running {
+		a.mu.Unlock()
+		return
+	}
+	a.running = true
+	a.stop = make(chan struct{})
+	a.done = make(chan struct{})
+	stop, done := a.stop, a.done
+	a.mu.Unlock()
+
+	go func() {
+		defer close(done)
+		t := time.NewTicker(a.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				a.Tick()
+			case <-stop:
+				return
+			}
+		}
+	}()
+}
+
+// Stop halts the loop and waits for it (idempotent). Replica leases stop
+// being renewed and age out of discovery on their own.
+func (a *Autoscaler) Stop() {
+	a.mu.Lock()
+	if !a.running {
+		a.mu.Unlock()
+		return
+	}
+	a.running = false
+	stop, done := a.stop, a.done
+	a.mu.Unlock()
+	close(stop)
+	<-done
+}
+
+// SetReplicas pins a group to n replicas right now (clamped to [0, Max]),
+// bypassing cooldown — the `qosctl scale -group -replicas` override. The
+// loop's own optimizer may move the group again on later ticks.
+func (a *Autoscaler) SetReplicas(groupName string, n int) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, g := range a.groups {
+		if g.spec.Name != groupName {
+			continue
+		}
+		if n < 0 {
+			n = 0
+		}
+		if n > g.spec.Max {
+			n = g.spec.Max
+		}
+		switch {
+		case n > g.replicas:
+			if err := a.addReplicas(g, n-g.replicas); err != nil {
+				return err
+			}
+			g.ups++
+		case n < g.replicas:
+			a.dropReplicas(g, g.replicas-n)
+			g.downs++
+		}
+		g.desired = n
+		g.lastAction = a.clock()
+		g.underTicks = 0
+		a.publishGauges(g)
+		return nil
+	}
+	return fmt.Errorf("autoscale: no group %q", groupName)
+}
+
+// Status snapshots every group's controller state.
+func (a *Autoscaler) Status() Status {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st := Status{Running: a.running, IntervalSeconds: a.interval.Seconds()}
+	for _, g := range a.groups {
+		st.Groups = append(st.Groups, GroupStatus{
+			Name:             g.spec.Name,
+			Class:            g.spec.Class,
+			Replicas:         g.replicas,
+			Desired:          g.desired,
+			MaxSeen:          g.maxSeen,
+			Min:              g.spec.Min,
+			Max:              g.spec.Max,
+			RatePerSec:       g.rate,
+			TargetPerReplica: g.spec.TargetPerReplica,
+			Ups:              g.ups,
+			Downs:            g.downs,
+			LastAction:       g.lastAction,
+		})
+	}
+	sort.Slice(st.Groups, func(i, j int) bool { return st.Groups[i].Name < st.Groups[j].Name })
+	return st
+}
+
+// Render formats the status as a fixed-width table (`qosctl scale`).
+func (st Status) Render() string {
+	var b strings.Builder
+	state := "stopped"
+	if st.Running {
+		state = "running"
+	}
+	fmt.Fprintf(&b, "autoscaler %s — interval %.2fs\n\n", state, st.IntervalSeconds)
+	fmt.Fprintf(&b, "%-18s %-12s %8s %8s %8s %9s %6s %6s\n",
+		"GROUP", "CLASS", "REPLICAS", "DESIRED", "MAX-SEEN", "ARR/S", "UPS", "DOWNS")
+	for _, g := range st.Groups {
+		fmt.Fprintf(&b, "%-18s %-12s %8d %8d %8d %9.2f %6d %6d\n",
+			g.Name, g.Class, g.Replicas, g.Desired, g.MaxSeen, g.RatePerSec, g.Ups, g.Downs)
+	}
+	return b.String()
+}

@@ -1,0 +1,291 @@
+package autoscale
+
+import (
+	"testing"
+	"time"
+
+	"ubiqos/internal/capacity"
+	"ubiqos/internal/netsim"
+	"ubiqos/internal/registry"
+	"ubiqos/internal/repository"
+)
+
+// newRepo builds a repository over a fresh simulated network.
+func newRepo(t *testing.T) *repository.Repository {
+	t.Helper()
+	net, err := netsim.New(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repo, err := repository.New("repo-host", net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return repo
+}
+
+// harness wires an autoscaler over fake signals and an injectable clock,
+// driven by explicit Tick calls.
+type harness struct {
+	reg      *registry.LeasedRegistry
+	repo     *repository.Repository
+	now      time.Time
+	arrivals map[string]int64
+	state    capacity.State
+	a        *Autoscaler
+}
+
+func newHarness(t *testing.T, opts Options, specs ...GroupSpec) *harness {
+	t.Helper()
+	h := &harness{
+		now:      time.Unix(0, 0),
+		arrivals: make(map[string]int64),
+	}
+	h.reg = registry.NewLeased(func() time.Time { return h.now })
+	h.repo = newRepo(t)
+	opts.Clock = func() time.Time { return h.now }
+	a, err := New(opts, Deps{
+		Registry: h.reg,
+		Repo:     h.repo,
+		Devices:  func() []string { return []string{"dev-a", "dev-b"} },
+		Signals: Signals{
+			Report:   func() capacity.Report { return capacity.Report{Space: h.state} },
+			Arrivals: func(class string) int64 { return h.arrivals[class] },
+		},
+	}, specs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.a = a
+	return h
+}
+
+// tick advances the fake clock by the control interval and runs one pass,
+// mirroring the ticker cadence.
+func (h *harness) tick() {
+	h.now = h.now.Add(h.a.interval)
+	h.a.Tick()
+}
+
+func (h *harness) replicas(t *testing.T, group string) int {
+	t.Helper()
+	for _, g := range h.a.Status().Groups {
+		if g.Name == group {
+			return g.Replicas
+		}
+	}
+	t.Fatalf("no group %q in status", group)
+	return 0
+}
+
+func spec(name, class string, min, max int, target float64) GroupSpec {
+	return GroupSpec{
+		Name:             name,
+		Template:         registry.Instance{Type: "mpeg-server", SizeMB: 4},
+		Class:            class,
+		Min:              min,
+		Max:              max,
+		TargetPerReplica: target,
+	}
+}
+
+// TestPreProvisionMin: New brings the group to its Min floor, with the
+// replica registered, its package published, and installed on every
+// target device.
+func TestPreProvisionMin(t *testing.T) {
+	h := newHarness(t, Options{Interval: time.Second}, spec("mpeg", "video", 2, 5, 1))
+	if got := h.replicas(t, "mpeg"); got != 2 {
+		t.Fatalf("replicas = %d, want pre-provisioned Min 2", got)
+	}
+	for _, name := range []string{"mpeg-r1", "mpeg-r2"} {
+		if h.reg.Get(name) == nil {
+			t.Fatalf("replica %s not registered", name)
+		}
+		if !h.repo.Has(name) {
+			t.Fatalf("replica %s package not published", name)
+		}
+		for _, dev := range []string{"dev-a", "dev-b"} {
+			if !h.repo.Installed(dev, name) {
+				t.Fatalf("replica %s not pre-installed on %s", name, dev)
+			}
+		}
+	}
+}
+
+// TestScaleUpOnDemand: arrival-rate pressure raises the replica count,
+// bounded per action by MaxStep.
+func TestScaleUpOnDemand(t *testing.T) {
+	h := newHarness(t, Options{Interval: time.Second, Cooldown: time.Second, MaxStep: 2},
+		spec("mpeg", "video", 1, 6, 1))
+	h.tick() // arms the rate estimator
+	// 10 arrivals/sec against 1/sec/replica: desired sprints toward 5+.
+	h.arrivals["video"] += 10
+	h.tick()
+	if got := h.replicas(t, "mpeg"); got != 3 {
+		t.Fatalf("replicas after first pressure tick = %d, want 1+MaxStep = 3", got)
+	}
+	h.arrivals["video"] += 10
+	h.tick()
+	if got := h.replicas(t, "mpeg"); got != 5 {
+		t.Fatalf("replicas after second pressure tick = %d, want 5", got)
+	}
+	if h.reg.Get("mpeg-r5") == nil {
+		t.Fatal("scaled-up replica mpeg-r5 not registered")
+	}
+}
+
+// TestCooldownBlocksConsecutiveActions: a second scale-up within the
+// cooldown window is deferred.
+func TestCooldownBlocksConsecutiveActions(t *testing.T) {
+	h := newHarness(t, Options{Interval: time.Second, Cooldown: 10 * time.Second, MaxStep: 1},
+		spec("mpeg", "video", 1, 6, 1))
+	h.tick()
+	h.arrivals["video"] += 10
+	h.tick()
+	if got := h.replicas(t, "mpeg"); got != 2 {
+		t.Fatalf("replicas = %d, want 2 after first action", got)
+	}
+	h.arrivals["video"] += 10
+	h.tick()
+	if got := h.replicas(t, "mpeg"); got != 2 {
+		t.Fatalf("replicas = %d, want still 2 inside cooldown", got)
+	}
+}
+
+// TestSaturationForcesScaleUp: a saturated space steps the group up even
+// while the arrival estimate reads zero demand.
+func TestSaturationForcesScaleUp(t *testing.T) {
+	h := newHarness(t, Options{Interval: time.Second, Cooldown: time.Second, MaxStep: 2},
+		spec("mpeg", "video", 1, 6, 1))
+	h.state = capacity.StateSaturated
+	h.tick()
+	if got := h.replicas(t, "mpeg"); got != 3 {
+		t.Fatalf("replicas = %d, want 3 (saturation step-up)", got)
+	}
+}
+
+// TestScaleDownNeedsQuietAndOKState: scale-down waits for ScaleDownAfter
+// consecutive under-demand ticks AND an ok analyzer verdict — an
+// approaching space pins the floor.
+func TestScaleDownNeedsQuietAndOKState(t *testing.T) {
+	h := newHarness(t, Options{Interval: time.Second, Cooldown: time.Second, MaxStep: 4, ScaleDownAfter: 2},
+		spec("mpeg", "video", 1, 6, 1))
+	h.a.SetReplicas("mpeg", 4)
+	// Pressured space: under-demand ticks accrue but nothing sheds.
+	h.state = capacity.StateApproaching
+	for i := 0; i < 4; i++ {
+		h.tick()
+	}
+	if got := h.replicas(t, "mpeg"); got != 4 {
+		t.Fatalf("replicas = %d, want 4 held while approaching", got)
+	}
+	// Quiet, ok space: the hysteresis count restarts, then sheds.
+	h.state = capacity.StateOK
+	h.tick()
+	if got := h.replicas(t, "mpeg"); got != 4 {
+		t.Fatalf("replicas = %d, want 4 after one quiet tick (ScaleDownAfter=2)", got)
+	}
+	h.tick()
+	if got := h.replicas(t, "mpeg"); got != 1 {
+		t.Fatalf("replicas = %d, want 1 after hysteresis elapsed", got)
+	}
+}
+
+// TestScaleToZeroAndLeaseCollapse: a Min=0 group sheds its last replica
+// when idle, and the retired replica is gone from discovery after the
+// tick's sweep.
+func TestScaleToZeroAndLeaseCollapse(t *testing.T) {
+	h := newHarness(t, Options{Interval: time.Second, Cooldown: time.Second, ScaleDownAfter: 1},
+		spec("enh", "background", 0, 3, 1))
+	h.a.SetReplicas("enh", 2)
+	if h.reg.Get("enh-r2") == nil {
+		t.Fatal("manual scale-up did not register enh-r2")
+	}
+	h.tick() // arm
+	h.tick() // zero demand, ok state → shed
+	h.tick()
+	if got := h.replicas(t, "enh"); got != 0 {
+		t.Fatalf("replicas = %d, want scale-to-zero", got)
+	}
+	for _, name := range []string{"enh-r1", "enh-r2"} {
+		if h.reg.Get(name) != nil {
+			t.Fatalf("retired replica %s still discoverable", name)
+		}
+		if h.repo.Installed("dev-a", name) {
+			t.Fatalf("retired replica %s still installed", name)
+		}
+	}
+}
+
+// TestLeaseRenewalKeepsReplicasAlive: surviving replicas outlive their
+// TTL because every tick renews them.
+func TestLeaseRenewalKeepsReplicasAlive(t *testing.T) {
+	h := newHarness(t, Options{Interval: time.Second, TTL: 2 * time.Second},
+		spec("mpeg", "video", 1, 3, 1))
+	for i := 0; i < 10; i++ { // 10s of ticks ≫ the 2s TTL
+		h.tick()
+	}
+	if h.reg.Get("mpeg-r1") == nil {
+		t.Fatal("renewed replica lapsed")
+	}
+	// Stop renewing: the lease ages out on its own.
+	h.now = h.now.Add(5 * time.Second)
+	h.reg.Sweep()
+	if h.reg.Get("mpeg-r1") != nil {
+		t.Fatal("unrenewed replica survived its TTL")
+	}
+}
+
+// TestSetReplicasClampsAndOverrides: the manual override clamps to
+// [0, Max] and bypasses cooldown.
+func TestSetReplicasClampsAndOverrides(t *testing.T) {
+	h := newHarness(t, Options{Interval: time.Second, Cooldown: time.Hour},
+		spec("mpeg", "video", 1, 4, 1))
+	if err := h.a.SetReplicas("mpeg", 99); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.replicas(t, "mpeg"); got != 4 {
+		t.Fatalf("replicas = %d, want clamped to Max 4", got)
+	}
+	if err := h.a.SetReplicas("mpeg", -5); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.replicas(t, "mpeg"); got != 0 {
+		t.Fatalf("replicas = %d, want clamped to 0", got)
+	}
+	if err := h.a.SetReplicas("nope", 1); err == nil {
+		t.Fatal("SetReplicas on unknown group did not error")
+	}
+}
+
+// TestNewValidation rejects malformed specs.
+func TestNewValidation(t *testing.T) {
+	base := func() (Options, Deps) {
+		reg := registry.NewLeased(nil)
+		return Options{}, Deps{
+			Registry: reg,
+			Repo:     newRepo(t),
+			Signals: Signals{
+				Report:   func() capacity.Report { return capacity.Report{} },
+				Arrivals: func(string) int64 { return 0 },
+			},
+		}
+	}
+	bad := []GroupSpec{
+		{Name: "", Template: registry.Instance{Type: "t"}, Max: 1, TargetPerReplica: 1},
+		{Name: "g", Template: registry.Instance{}, Max: 1, TargetPerReplica: 1},
+		{Name: "g", Template: registry.Instance{Type: "t"}, Min: 2, Max: 1, TargetPerReplica: 1},
+		{Name: "g", Template: registry.Instance{Type: "t"}, Max: 1, TargetPerReplica: 0},
+	}
+	for i, s := range bad {
+		opts, deps := base()
+		if _, err := New(opts, deps, s); err == nil {
+			t.Fatalf("case %d: bad spec %+v accepted", i, s)
+		}
+	}
+	opts, deps := base()
+	if _, err := New(opts, deps,
+		spec("g", "c", 0, 1, 1), spec("g", "c", 0, 1, 1)); err == nil {
+		t.Fatal("duplicate group names accepted")
+	}
+}

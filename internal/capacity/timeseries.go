@@ -129,7 +129,7 @@ func (o *Observatory) Start() {
 		for {
 			select {
 			case now := <-t.C:
-				o.samplePass(now, false)
+				o.samplePass(now)
 			case <-stop:
 				return
 			}
@@ -156,14 +156,14 @@ func (o *Observatory) Stop() {
 // so /metrics and /saturation are fresh even between ticks. Passes are
 // rate-limited to half the interval, so a scrape racing the ticker does
 // not double-sample the rings.
-func (o *Observatory) SampleNow() { o.samplePass(o.now(), false) }
+func (o *Observatory) SampleNow() { o.samplePass(o.now()) }
 
 // samplePass invokes the sampler outside the lock (the sampler Records
 // back into the observatory).
-func (o *Observatory) samplePass(now time.Time, force bool) {
+func (o *Observatory) samplePass(now time.Time) {
 	o.mu.Lock()
 	fn := o.sampler
-	if fn == nil || (!force && now.Sub(o.last) < o.interval/2) {
+	if fn == nil || now.Sub(o.last) < o.interval/2 {
 		o.mu.Unlock()
 		return
 	}
@@ -195,11 +195,15 @@ func (o *Observatory) Series(metric string, window time.Duration) []Sample {
 		return nil
 	}
 	out := r.all()
+	now := o.now()
 	o.mu.Unlock()
 	if window <= 0 || len(out) == 0 {
 		return out
 	}
-	cutoff := out[len(out)-1].T.Add(-window)
+	// Anchor the trailing window to the wall clock, not the last sample's
+	// timestamp: if sampling stalls, an anchor on the last sample would
+	// silently return stale history as if it were current.
+	cutoff := now.Add(-window)
 	i := sort.Search(len(out), func(i int) bool { return !out[i].T.Before(cutoff) })
 	return out[i:]
 }

@@ -25,6 +25,7 @@ func TestRingWrapAround(t *testing.T) {
 func TestSeriesWindowFilter(t *testing.T) {
 	o := New(Options{})
 	base := time.Unix(100, 0)
+	o.now = func() time.Time { return base.Add(9 * time.Second) }
 	for i := 0; i < 10; i++ {
 		o.Record("m", base.Add(time.Duration(i)*time.Second), float64(i))
 	}
@@ -97,4 +98,27 @@ func TestStartStopTicker(t *testing.T) {
 		time.Sleep(5 * time.Millisecond)
 	}
 	t.Fatal("ticker produced no samples within deadline")
+}
+
+func TestSeriesWindowAnchoredToClock(t *testing.T) {
+	// Regression: the trailing-window cutoff used to be anchored to the
+	// last sample's timestamp, so when the sampler stalled the window kept
+	// returning stale history as if it were current. The anchor is the
+	// wall clock now: once samples age out, the window empties.
+	o := New(Options{})
+	base := time.Unix(100, 0)
+	now := base
+	o.now = func() time.Time { return now }
+	for i := 0; i < 10; i++ {
+		o.Record("m", base.Add(time.Duration(i)*time.Second), float64(i))
+	}
+	now = base.Add(9 * time.Second)
+	if got := o.Series("m", 3*time.Second); len(got) != 4 {
+		t.Fatalf("live window has %d samples, want 4", len(got))
+	}
+	// The sampler stalls: the clock moves on but no new samples arrive.
+	now = base.Add(time.Hour)
+	if got := o.Series("m", 3*time.Second); len(got) != 0 {
+		t.Fatalf("stalled sampler: window returned %d stale samples, want 0", len(got))
+	}
 }

@@ -17,6 +17,7 @@ import (
 	"sync"
 	"time"
 
+	"ubiqos/internal/admission"
 	"ubiqos/internal/checkpoint"
 	"ubiqos/internal/composer"
 	"ubiqos/internal/device"
@@ -39,6 +40,14 @@ import (
 // PlaceFunc chooses a placement for a composed graph; the default is the
 // paper's greedy heuristic.
 type PlaceFunc func(p *distributor.Problem) (distributor.Assignment, float64, error)
+
+// AdmissionGate is the saturation-aware admission decision point
+// (implemented by admission.Gate): it classifies one arriving request as
+// admit, admit-degraded, or reject from the space's current capacity
+// signals.
+type AdmissionGate interface {
+	Admit(class string) admission.Decision
+}
 
 // Config wires a Configurator to the domain's infrastructure services.
 type Config struct {
@@ -101,6 +110,15 @@ type Config struct {
 	// summary, and the winning placement. Nil disables provenance at zero
 	// cost on the pipeline's hot path.
 	Explain *explain.Recorder
+	// Admission, when set, is the saturation-aware gate consulted at the
+	// top of Configure (and therefore ConfigureAll) before a new session's
+	// pipeline runs: rejected requests return *admission.RejectedError
+	// without touching the pipeline, and degraded admissions re-enter it
+	// with optional components shed and heuristic placement — the recovery
+	// ladder's shed rung applied at admission time. Reconfigure, Recover,
+	// and ResumeFrom bypass the gate: saturation throttles new arrivals,
+	// never sessions the space has already committed to.
+	Admission AdmissionGate
 	// Parallelism bounds the worker pool of the batched ConfigureAll
 	// entry point (0 = all usable CPUs, 1 = serial). Individual
 	// Configure/Reconfigure calls may always run concurrently; this knob
@@ -384,6 +402,13 @@ func (c *Configurator) classMeter(name, class string) *metrics.Meter {
 	return c.cfg.Metrics.Meter(metrics.WithLabel(name, "class", class))
 }
 
+// SetAdmission installs (or, with nil, removes) the admission gate after
+// construction. It is not synchronized against in-flight Configures —
+// call it at boot, before the configurator serves traffic.
+func (c *Configurator) SetAdmission(g AdmissionGate) {
+	c.cfg.Admission = g
+}
+
 // Configure runs the full pipeline for a new session: compose → distribute
 // → admit → download → deploy. If the session ID already has a saved
 // checkpoint (from a prior Reconfigure), playback resumes from the
@@ -393,11 +418,84 @@ func (c *Configurator) Configure(req Request) (*ActiveSession, error) {
 	if err := c.reserve(req.SessionID); err != nil {
 		return nil, err
 	}
+	if c.cfg.Admission != nil {
+		var rejected error
+		if req, rejected = c.admit(req); rejected != nil {
+			c.unreserve(req.SessionID)
+			return nil, rejected
+		}
+	}
 	active, err := c.configure(req, false, explain.ActionConfigure)
 	if err != nil {
 		c.unreserve(req.SessionID)
 	}
 	return active, err
+}
+
+// admit consults the admission gate before the pipeline runs. A rejected
+// request comes back with *admission.RejectedError (carrying the
+// retry-after hint); a degraded admission comes back with optional
+// components shed and heuristic placement. Either way the decision lands
+// on the session's provenance timeline.
+func (c *Configurator) admit(req Request) (Request, error) {
+	dec := c.cfg.Admission.Admit(c.classLabel(sessionClass(req)))
+	if dec.Verdict == admission.Admit {
+		return req, nil
+	}
+	xd := &explain.AdmissionDecision{
+		Verdict:      string(dec.Verdict),
+		State:        dec.StateStr,
+		Escalated:    dec.Escalated,
+		SLOBurn:      dec.SLOBurn,
+		Reason:       dec.Reason,
+		RetryAfterMs: dec.RetryAfterMs,
+	}
+	log := c.cfg.Log.Named("core").ForSession(req.SessionID, "")
+	if dec.Verdict == admission.Reject {
+		// The request never reaches the pipeline's own arrival mark, so
+		// record the offered load here — the autoscaler's demand signal
+		// must see rejected arrivals too.
+		if m := c.classMeter(metrics.SessionArrivals, dec.Class); m != nil {
+			m.Mark(1)
+		}
+		err := &admission.RejectedError{Decision: dec}
+		if c.cfg.Explain != nil {
+			c.cfg.Explain.Record(explain.Record{
+				Session:   req.SessionID,
+				Action:    explain.ActionAdmission,
+				Admission: xd,
+				Err:       err.Error(),
+			})
+		}
+		log.Info("admission rejected",
+			obslog.String("class", dec.Class), obslog.String("reason", dec.Reason))
+		return req, err
+	}
+	// Admit-degraded: the recovery ladder's shed rung, applied before the
+	// pipeline instead of after a failure — optional components dropped,
+	// placement on the cheap heuristic.
+	if req.App != nil {
+		for _, n := range req.App.Nodes() {
+			if n.Optional {
+				xd.Shed = append(xd.Shed, string(n.ID))
+			}
+		}
+		sort.Strings(xd.Shed)
+		req.App = shedOptional(req.App)
+	}
+	if req.Place == nil {
+		req.Place = distributor.Heuristic
+	}
+	if c.cfg.Explain != nil {
+		c.cfg.Explain.Record(explain.Record{
+			Session:   req.SessionID,
+			Action:    explain.ActionAdmission,
+			Admission: xd,
+		})
+	}
+	log.Info("admission degraded",
+		obslog.String("class", dec.Class), obslog.String("reason", dec.Reason))
+	return req, nil
 }
 
 // ConfigureAll configures a batch of sessions over a worker pool bounded

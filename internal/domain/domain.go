@@ -13,6 +13,8 @@ import (
 	"sync"
 	"time"
 
+	"ubiqos/internal/admission"
+	"ubiqos/internal/autoscale"
 	"ubiqos/internal/capacity"
 	"ubiqos/internal/checkpoint"
 	"ubiqos/internal/composer"
@@ -67,6 +69,21 @@ type Options struct {
 	// RingCapacity bounds each capacity time series (0 selects
 	// capacity.DefaultRingCapacity).
 	RingCapacity int
+	// SaturationThresholds tunes the saturation analyzer (zero value
+	// selects capacity.DefaultThresholds).
+	SaturationThresholds capacity.Thresholds
+	// EnableAdmission wires the saturation-aware admission gate into the
+	// configure path: new sessions are admitted, admitted degraded, or
+	// rejected with a retry-after hint from the analyzer verdict, the SLO
+	// burn rate, and the per-class policies. Off by default — existing
+	// spaces keep the paper's admit-then-degrade-on-failure behavior
+	// unless they opt in.
+	EnableAdmission bool
+	// AdmissionPolicies overrides the gate's per-class policy table (nil
+	// selects admission.DefaultPolicies); AdmissionDefault overrides the
+	// fallback policy for unlisted classes.
+	AdmissionPolicies map[string]admission.ClassPolicy
+	AdmissionDefault  *admission.ClassPolicy
 }
 
 // Domain is one smart-space domain and its domain server.
@@ -108,6 +125,12 @@ type Domain struct {
 	// on a ticker, feeding the /timeseries surface and the saturation
 	// analyzer behind /saturation and `qosctl top`.
 	Capacity *capacity.Observatory
+	// Admission is the saturation-aware admission gate (nil unless
+	// Options.EnableAdmission).
+	Admission *admission.Gate
+	// Autoscaler is the instance autoscaler control loop (nil until
+	// EnableAutoscaler).
+	Autoscaler *autoscale.Autoscaler
 
 	saturation *capacity.Analyzer
 	repMu      sync.Mutex
@@ -185,7 +208,7 @@ func New(name string, opts Options) (*Domain, error) {
 			return nil, err
 		}
 	}
-	cfg, err := core.New(core.Config{
+	ccfg := core.Config{
 		Composer:       d.Composer,
 		Devices:        d.Devices,
 		Links:          d.Links,
@@ -205,11 +228,15 @@ func New(name string, opts Options) (*Domain, error) {
 		Log:            d.Log,
 		Flight:         d.Flight,
 		Explain:        d.Explain,
-	})
+	}
+	cfg, err := core.New(ccfg)
 	if err != nil {
 		return nil, err
 	}
 	d.Configurator = cfg
+	if opts.EnableAdmission {
+		d.EnableAdmissionGate(opts.AdmissionPolicies, opts.AdmissionDefault)
+	}
 	// The flight recorder taps the control-plane topics, attributing each
 	// event to the sessions it concerns.
 	d.tapCancel, err = d.Flight.Tap(d.Bus, d.resolveFlightSessions)
@@ -220,7 +247,7 @@ func New(name string, opts Options) (*Domain, error) {
 		Interval:     opts.SampleInterval,
 		RingCapacity: opts.RingCapacity,
 	})
-	d.saturation = capacity.NewAnalyzer(capacity.Thresholds{})
+	d.saturation = capacity.NewAnalyzer(opts.SaturationThresholds)
 	d.Capacity.SetSampler(d.sampleCapacity)
 	d.Capacity.Start()
 	return d, nil
@@ -658,6 +685,74 @@ func (d *Domain) Migrate(sessionID string, target *Domain, newClient device.ID, 
 	return resumed, nil
 }
 
+// configureBurn reads the configure-latency objective's burn rate from
+// the SLO tracker (0 when the objective has no data yet).
+func (d *Domain) configureBurn() float64 {
+	for _, st := range d.SLO.Evaluate() {
+		if st.Name == "configure-p95" {
+			return st.BurnRate
+		}
+	}
+	return 0
+}
+
+// EnableAdmissionGate builds the saturation-aware admission gate over
+// this domain's capacity signals and installs it on the configurator.
+// The gate's signals are closures over d, so nothing is evaluated until
+// the first Configure. Call before serving traffic: the configurator
+// reads the gate un-synchronized on the configure path.
+func (d *Domain) EnableAdmissionGate(policies map[string]admission.ClassPolicy, def *admission.ClassPolicy) *admission.Gate {
+	d.Admission = admission.New(admission.Options{
+		Signals: admission.Signals{
+			Report:  func() capacity.Report { return d.SaturationReport() },
+			SLOBurn: d.configureBurn,
+		},
+		Policies: policies,
+		Default:  def,
+		Metrics:  d.Metrics,
+	})
+	d.Configurator.SetAdmission(d.Admission)
+	return d.Admission
+}
+
+// EnableAutoscaler starts an instance autoscaler over this domain's
+// registry and repository. Replicas live in a leased overlay of the
+// domain registry (expiry wired to the event bus, so a lapsed replica
+// flushes memoized placements naming it), demand is read from the
+// per-class session-arrival meters the configurator marks, and the
+// saturation analyzer's verdict gates scale direction. The returned
+// autoscaler is already started; Close stops it.
+func (d *Domain) EnableAutoscaler(opts autoscale.Options, specs ...autoscale.GroupSpec) (*autoscale.Autoscaler, error) {
+	leased := registry.NewLeasedOver(d.Registry, nil)
+	d.WireLeaseExpiry(leased)
+	a, err := autoscale.New(opts, autoscale.Deps{
+		Registry: leased,
+		Repo:     d.Repo,
+		Devices: func() []string {
+			devs := d.Devices.All()
+			ids := make([]string, len(devs))
+			for i, dev := range devs {
+				ids[i] = string(dev.ID)
+			}
+			return ids
+		},
+		Signals: autoscale.Signals{
+			Report: func() capacity.Report { return d.SaturationReport() },
+			Arrivals: func(class string) int64 {
+				name := metrics.WithLabel(metrics.SessionArrivals, "class", class)
+				return d.Metrics.Meter(name).Total()
+			},
+		},
+		Metrics: d.Metrics,
+	}, specs...)
+	if err != nil {
+		return nil, err
+	}
+	a.Start()
+	d.Autoscaler = a
+	return a, nil
+}
+
 // WireLeaseExpiry connects a leased registry's expiry sweeps to the
 // domain's event bus: each instance a Sweep removes is announced as a
 // TopicServiceExpired event (payload: the instance name), which in turn
@@ -712,6 +807,9 @@ func (d *Domain) StopApp(sessionID string) error {
 // Close stops the capacity observatory and the flight recorder's bus
 // tap, detaches the plan cache, and shuts down the domain's event bus.
 func (d *Domain) Close() {
+	if d.Autoscaler != nil {
+		d.Autoscaler.Stop()
+	}
 	if d.Capacity != nil {
 		d.Capacity.Stop()
 	}

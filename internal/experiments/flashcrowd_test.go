@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"ubiqos/internal/core"
+)
+
+// quickFlashCrowdConfig shrinks the drill for the test suite: same 5×
+// arrival-rate spike, fewer sessions and shorter holds.
+func quickFlashCrowdConfig() FlashCrowdConfig {
+	cfg := DefaultFlashCrowdConfig(true)
+	cfg.Steady = 5
+	cfg.Crowd = 30
+	cfg.VoiceHold = 500 * time.Millisecond
+	cfg.CrowdHold = 250 * time.Millisecond
+	cfg.Settle = 300 * time.Millisecond
+	return cfg
+}
+
+// TestFlashCrowdClosedLoop: the drill's acceptance criterion — a 5×
+// spike costs zero sessions to capacity exhaustion and leaves the
+// configure-latency SLO unburned, with the pressure absorbed as
+// controlled rejections/degradations and autoscaler growth.
+func TestFlashCrowdClosedLoop(t *testing.T) {
+	res, err := RunFlashCrowd(quickFlashCrowdConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LostToCapacity != 0 {
+		t.Errorf("lost %d sessions to capacity exhaustion, want 0 (%+v)", res.LostToCapacity, res.Classes)
+	}
+	if res.ConfigureBurn > 1 {
+		t.Errorf("configure SLO burned: %.2f > 1", res.ConfigureBurn)
+	}
+	if res.ScaleUps < 1 {
+		t.Errorf("autoscaler never scaled up under a 5× spike (status %+v)", res.MaxReplicas)
+	}
+	if !res.MeetsCriterion {
+		t.Errorf("criterion not met: %+v", res)
+	}
+	offered := 0
+	for _, c := range res.Classes {
+		if c.Offered != c.Admitted+c.Degraded+c.Rejected+c.LostToCapacity {
+			t.Errorf("class %s tally does not add up: %+v", c.Class, c)
+		}
+		offered += c.Offered
+	}
+	// Spike interleaving adds one voice arrival per Crowd/Steady crowd
+	// arrivals: 30/(30/5) = 5 extras.
+	if want := 30 + 5 + 5; offered != want {
+		t.Errorf("offered = %d, want %d", offered, want)
+	}
+}
+
+// TestCrowdSpaceBaselinePaysDownloads: the open-loop space leaves the
+// server package uninstalled, so the first session on a device pays the
+// modeled download — the latency the autoscaler's pre-provisioning
+// removes.
+func TestCrowdSpaceBaselinePaysDownloads(t *testing.T) {
+	dom, err := BuildCrowdSpace(0.001, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dom.Close()
+	active, err := dom.StartApp(core.Request{
+		SessionID: "dl-1", Class: "voice", App: CrowdVoiceApp(), ClientDevice: "portal",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if active.Timing.Downloading <= 0 {
+		t.Fatalf("baseline session paid no download (timing %+v)", active.Timing)
+	}
+	if dom.Admission != nil || dom.Autoscaler != nil {
+		t.Fatal("baseline space must not wire the gate or autoscaler")
+	}
+}
+
+// TestCrowdSpaceClosedLoopPreInstalls: the autoscaler's pre-provisioned
+// floor means an admitted session pays no download at all.
+func TestCrowdSpaceClosedLoopPreInstalls(t *testing.T) {
+	dom, err := BuildCrowdSpace(0.001, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dom.Close()
+	if _, err := dom.EnableAutoscaler(DefaultAutoscaleDrillOptions(), CrowdGroups()...); err != nil {
+		t.Fatal(err)
+	}
+	active, err := dom.StartApp(core.Request{
+		SessionID: "warm-1", Class: "voice", App: CrowdVoiceApp(), ClientDevice: "portal",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if active.Timing.Downloading != 0 {
+		t.Fatalf("pre-installed session still downloaded (timing %+v)", active.Timing)
+	}
+}

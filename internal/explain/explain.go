@@ -27,13 +27,16 @@ import (
 )
 
 // Actions a Record can describe. The first four are configuration
-// pipeline runs; the ladder actions are recovery-supervisor steps.
+// pipeline runs; the ladder actions are recovery-supervisor steps, and
+// ActionAdmission marks an admission-gate decision that changed a
+// request's fate (degraded or rejected it) before the pipeline ran.
 const (
 	ActionConfigure    = "configure"
 	ActionReconfigure  = "reconfigure"
 	ActionRecover      = "recover"
 	ActionResume       = "resume"
 	ActionRecoveryStep = "recovery-step"
+	ActionAdmission    = "admission"
 )
 
 // Discovery is the provenance of one service-discovery binding: the
@@ -148,6 +151,25 @@ type LadderStep struct {
 	Detail string `json:"detail,omitempty"`
 }
 
+// AdmissionDecision is the provenance of one admission-gate verdict
+// (ActionAdmission records).
+type AdmissionDecision struct {
+	// Verdict is admit-degraded or reject (plain admits leave no separate
+	// record — the configure record itself is the provenance).
+	Verdict string `json:"verdict"`
+	// State is the effective saturation state the gate decided with;
+	// Escalated marks it as bumped one level by SLO burn.
+	State     string `json:"state"`
+	Escalated bool   `json:"escalated,omitempty"`
+	// SLOBurn is the configure-latency burn rate at decision time.
+	SLOBurn float64 `json:"sloBurn,omitempty"`
+	Reason  string  `json:"reason,omitempty"`
+	// RetryAfterMs is the back-off hint handed to a rejected requester.
+	RetryAfterMs float64 `json:"retryAfterMs,omitempty"`
+	// Shed lists the optional components a degraded admission dropped.
+	Shed []string `json:"shed,omitempty"`
+}
+
 // Record is one entry on a session's provenance timeline: a
 // configuration pipeline run (Attempts filled, Placement on success) or
 // a recovery-supervisor ladder step (Ladder filled).
@@ -172,6 +194,8 @@ type Record struct {
 	DegradeFactor float64           `json:"degradeFactor,omitempty"`
 	// Ladder is the recovery-supervisor step (ActionRecoveryStep only).
 	Ladder *LadderStep `json:"ladder,omitempty"`
+	// Admission is the admission-gate decision (ActionAdmission only).
+	Admission *AdmissionDecision `json:"admission,omitempty"`
 	// Err is why the action failed.
 	Err string `json:"err,omitempty"`
 }
@@ -468,6 +492,9 @@ func renderRecord(b *strings.Builder, rec *Record) {
 	if rec.Ladder != nil {
 		renderLadder(b, rec.Ladder)
 	}
+	if rec.Admission != nil {
+		renderAdmission(b, rec.Admission)
+	}
 	for i := range rec.Attempts {
 		renderAttempt(b, &rec.Attempts[i])
 	}
@@ -509,6 +536,23 @@ func renderLadder(b *strings.Builder, l *LadderStep) {
 	}
 	if l.Detail != "" {
 		fmt.Fprintf(b, " detail=%q", l.Detail)
+	}
+	b.WriteByte('\n')
+}
+
+func renderAdmission(b *strings.Builder, d *AdmissionDecision) {
+	fmt.Fprintf(b, "  admission %s: space %s", d.Verdict, d.State)
+	if d.Escalated {
+		fmt.Fprintf(b, " (escalated by slo burn %.2f)", d.SLOBurn)
+	}
+	if len(d.Shed) > 0 {
+		fmt.Fprintf(b, " shed=%s", strings.Join(d.Shed, ","))
+	}
+	if d.RetryAfterMs > 0 {
+		fmt.Fprintf(b, " retry-after=%.0fms", d.RetryAfterMs)
+	}
+	if d.Reason != "" {
+		fmt.Fprintf(b, " reason=%q", d.Reason)
 	}
 	b.WriteByte('\n')
 }

@@ -557,6 +557,25 @@ const (
 	SaturationState = "saturation_state"
 )
 
+// Metric names recorded by the admission gate and the instance
+// autoscaler — the actuation tier that closes the loop over the capacity
+// observatory's signals.
+const (
+	// AdmissionsTotal counts gate decisions (labels: class, verdict ∈
+	// {admit, admit-degraded, reject}); AdmissionState gauges the
+	// effective saturation state the gate last decided with (the analyzer
+	// verdict, possibly escalated by SLO burn).
+	AdmissionsTotal = "admissions_total"
+	AdmissionState  = "admission_state"
+	// ScaleUps/ScaleDowns count autoscaler actions per instance group
+	// (label: group); AutoscaleReplicas and AutoscaleDesired gauge the
+	// actual and computed replica counts per group.
+	ScaleUps          = "autoscale_ups_total"
+	ScaleDowns        = "autoscale_downs_total"
+	AutoscaleReplicas = "autoscale_replicas"
+	AutoscaleDesired  = "autoscale_desired_replicas"
+)
+
 // Metric names recorded by the wire server. Per-operation series attach
 // the operation with WithLabel(..., "op", name).
 const (

@@ -68,11 +68,18 @@ func (m *Meter) advance(now time.Time) {
 	}
 	steps := int(elapsed / m.bucketDur)
 	if steps > len(m.buckets) {
-		// The meter idled past a full window: every bucket expired, and the
-		// EWMA decays as if that many zero-rate buckets had completed.
-		if m.ewmaOK {
-			m.ewma *= math.Pow(1-meterAlpha, float64(steps))
+		// The meter idled past a full window. The head bucket was still
+		// accumulating events when the meter went idle, so its rate folds
+		// into the EWMA first — exactly as the step-by-step path below would
+		// have done — and only the remaining steps-1 expired buckets decay
+		// the average as zero-rate completions.
+		rate := float64(m.buckets[m.head]) / m.bucketDur.Seconds()
+		if !m.ewmaOK {
+			m.ewma, m.ewmaOK = rate, true
+		} else {
+			m.ewma = meterAlpha*rate + (1-meterAlpha)*m.ewma
 		}
+		m.ewma *= math.Pow(1-meterAlpha, float64(steps-1))
 		for i := range m.buckets {
 			m.buckets[i] = 0
 		}

@@ -94,3 +94,19 @@ func TestMeterExposition(t *testing.T) {
 		t.Error("registry did not memoize the meter")
 	}
 }
+
+func TestMeterBurstThenIdleFoldsHeadBucket(t *testing.T) {
+	// Regression: the idle fast-path decayed the EWMA as if `steps`
+	// zero-rate buckets completed, without first folding in the head
+	// bucket that was accumulating events when the meter went idle — a
+	// burst followed by idle understated the EWMA (to exactly 0 when the
+	// burst landed in the very first bucket, as ewmaOK was never set).
+	m, clock := testMeter(time.Minute, 12)
+	m.Mark(50) // head bucket: 50 events over a 5s bucket = 10/s
+	*clock = clock.Add(65 * time.Second)
+	burstRate := 50.0 / 5.0
+	want := burstRate * math.Pow(1-meterAlpha, 12) // fold head, then 12 zero buckets decay
+	if got := m.EWMA(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("EWMA after burst-then-idle = %v, want %v", got, want)
+	}
+}

@@ -16,6 +16,12 @@ type LeasedRegistry struct {
 
 	now func() time.Time
 
+	// mu is the outer lock for every lease mutation: it is held across
+	// both the expiry-map update and the embedded Registry call, so a
+	// Sweep's expiry decision and its unregistration are atomic with
+	// respect to a concurrent RegisterWithTTL/Renew of the same name.
+	// (Lock order is always l.mu → Registry.mu; the Registry never calls
+	// back into the lease layer, so the order cannot invert.)
 	mu     sync.Mutex
 	expiry map[string]time.Time
 	// onExpire, when set, is called (outside the lock) with the names of
@@ -34,11 +40,20 @@ func (l *LeasedRegistry) SetExpiryHook(fn func(names []string)) {
 
 // NewLeased wraps a fresh registry. A nil clock uses time.Now.
 func NewLeased(clock func() time.Time) *LeasedRegistry {
+	return NewLeasedOver(New(), clock)
+}
+
+// NewLeasedOver wraps an existing registry, so leased instances (e.g. an
+// autoscaler's replicas) share discovery with the registry's permanent
+// registrations. Only instances registered through RegisterWithTTL are
+// lease-managed; the rest are untouched by Sweep. A nil clock uses
+// time.Now.
+func NewLeasedOver(r *Registry, clock func() time.Time) *LeasedRegistry {
 	if clock == nil {
 		clock = time.Now
 	}
 	return &LeasedRegistry{
-		Registry: New(),
+		Registry: r,
 		now:      clock,
 		expiry:   make(map[string]time.Time),
 	}
@@ -50,23 +65,26 @@ func (l *LeasedRegistry) RegisterWithTTL(in *Instance, ttl time.Duration) error 
 	if ttl <= 0 {
 		return fmt.Errorf("registry: lease TTL must be positive, got %v", ttl)
 	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	if err := l.Registry.Register(in); err != nil {
 		return err
 	}
-	l.mu.Lock()
 	l.expiry[in.Name] = l.now().Add(ttl)
-	l.mu.Unlock()
 	return nil
 }
 
 // Renew extends an existing lease and reports whether the instance was
 // still registered.
 func (l *LeasedRegistry) Renew(name string, ttl time.Duration) bool {
-	if ttl <= 0 || l.Registry.Get(name) == nil {
+	if ttl <= 0 {
 		return false
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.Registry.Get(name) == nil {
+		return false
+	}
 	if _, leased := l.expiry[name]; !leased {
 		// A permanent registration (via the embedded Register) cannot be
 		// converted to a lease by Renew.
@@ -80,20 +98,22 @@ func (l *LeasedRegistry) Renew(name string, ttl time.Duration) bool {
 // names (sorted by expiry order of discovery — map order is not
 // guaranteed, so callers needing determinism should sort).
 func (l *LeasedRegistry) Sweep() []string {
-	now := l.now()
 	l.mu.Lock()
+	now := l.now()
 	var expired []string
 	for name, at := range l.expiry {
 		if !at.After(now) {
 			expired = append(expired, name)
 			delete(l.expiry, name)
+			// Unregister while still holding l.mu: releasing it between the
+			// expiry decision and the unregistration opens a window where a
+			// concurrent RegisterWithTTL of the same name re-registers a live
+			// instance only to have this sweep tear it down.
+			l.Registry.Unregister(name)
 		}
 	}
 	hook := l.onExpire
 	l.mu.Unlock()
-	for _, name := range expired {
-		l.Registry.Unregister(name)
-	}
 	if hook != nil && len(expired) > 0 {
 		hook(expired)
 	}
@@ -116,7 +136,7 @@ func (l *LeasedRegistry) Best(spec Spec) *Instance {
 // Unregister drops the lease along with the instance.
 func (l *LeasedRegistry) Unregister(name string) bool {
 	l.mu.Lock()
+	defer l.mu.Unlock()
 	delete(l.expiry, name)
-	l.mu.Unlock()
 	return l.Registry.Unregister(name)
 }

@@ -1,7 +1,10 @@
 package registry
 
 import (
+	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 	"testing"
 	"time"
 )
@@ -167,5 +170,78 @@ func TestExpiryHook(t *testing.T) {
 	r.Sweep()
 	if len(calls) != 1 {
 		t.Fatalf("removed hook still fired: %d calls", len(calls))
+	}
+}
+
+// lockedClock is a goroutine-safe adjustable clock for the race test.
+type lockedClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *lockedClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *lockedClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func TestSweepAtomicWithReRegister(t *testing.T) {
+	// Regression: Sweep used to decide expiry under l.mu but call
+	// Registry.Unregister after releasing it. A RegisterWithTTL of the
+	// same name in that window re-registered a live instance only to have
+	// the in-flight sweep tear it down, leaving a future-dated lease with
+	// no instance behind it. Run sweeps against concurrent re-registration
+	// and check the invariant: every unexpired lease has a live instance.
+	// Spread the goroutines over several OS threads (even on a one-CPU
+	// host) and make the sweep long enough that the kernel preempts it
+	// mid-pass, so the re-registering goroutines genuinely overlap it.
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	const n = 50000
+	for iter := 0; iter < 3; iter++ {
+		clock := &lockedClock{t: time.Unix(1000, 0)}
+		r := NewLeased(clock.now)
+		for i := 0; i < n; i++ {
+			if err := r.RegisterWithTTL(inst(fmt.Sprintf("svc-%d", i), "player"), time.Second); err != nil {
+				t.Fatal(err)
+			}
+		}
+		clock.advance(2 * time.Second) // every lease is now expired
+		// A start gate lines the goroutines up so the sweep and the
+		// re-registrations actually overlap instead of running back to back.
+		start := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(3)
+		go func() {
+			defer wg.Done()
+			<-start
+			r.Sweep()
+		}()
+		for g := 0; g < 2; g++ {
+			go func(parity int) {
+				defer wg.Done()
+				<-start
+				// Reverse order widens the overlap with the sweep's iteration.
+				for i := n - 1 - parity; i >= 0; i -= 2 {
+					r.RegisterWithTTL(inst(fmt.Sprintf("svc-%d", i), "player"), time.Hour)
+				}
+			}(g)
+		}
+		close(start)
+		wg.Wait()
+		now := clock.now()
+		r.mu.Lock()
+		for name, at := range r.expiry {
+			if at.After(now) && r.Get(name) == nil {
+				r.mu.Unlock()
+				t.Fatalf("iter %d: lease %q is live until %v but its instance was torn down by a concurrent sweep", iter, name, at)
+			}
+		}
+		r.mu.Unlock()
 	}
 }

@@ -44,6 +44,11 @@ const tracesDefault = 16
 //	/saturation        the capacity observatory's saturation verdict —
 //	                   devices, links, classes, space state
 //	                   (?format=text renders the `qosctl top` view)
+//	/admission         the admission gate's status — effective state, SLO
+//	                   burn, per-class policies and decision tallies
+//	                   (?class= previews one class's verdict without
+//	                   recording it; {"enabled": false} when the domain
+//	                   runs without a gate)
 //	/debug/pprof       the standard Go profiling endpoints
 //
 // All endpoints are read-only: anything but GET/HEAD gets a 405.
@@ -224,6 +229,23 @@ func NewHTTPHandler(dom *domain.Domain) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, rep)
+	})
+	handle("/admission", func(w http.ResponseWriter, r *http.Request) {
+		if dom.Admission == nil {
+			writeJSON(w, http.StatusOK, map[string]any{"enabled": false})
+			return
+		}
+		if class := r.URL.Query().Get("class"); class != "" {
+			writeJSON(w, http.StatusOK, map[string]any{
+				"enabled":  true,
+				"decision": dom.Admission.Preview(class),
+			})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"enabled": true,
+			"status":  dom.Admission.Status(),
+		})
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

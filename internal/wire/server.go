@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"ubiqos/internal/admission"
 	"ubiqos/internal/buildinfo"
 	"ubiqos/internal/composer"
 	"ubiqos/internal/core"
@@ -150,6 +151,7 @@ var knownOps = map[string]bool{
 	OpRejoinDevice: true, OpCheck: true, OpRegister: true, OpUnregister: true,
 	OpFlight: true, OpSlo: true, OpExplain: true, OpVersion: true,
 	OpStats: true, OpTimeseries: true, OpSaturation: true,
+	OpAdmission: true, OpScale: true,
 }
 
 // Handle dispatches one request; it is exported so the daemon can be
@@ -234,6 +236,10 @@ func (s *Server) dispatch(req Request) Response {
 	case OpSaturation:
 		rep := s.dom.SaturationReport()
 		return Response{OK: true, Saturation: &rep}
+	case OpAdmission:
+		return s.admissionInfo(req)
+	case OpScale:
+		return s.scaleInfo(req)
 	case OpRegister:
 		return s.registerService(req)
 	case OpUnregister:
@@ -288,9 +294,56 @@ func (s *Server) start(req Request) Response {
 		TraceCtx:     trace.Context{TraceID: req.TraceID, ParentSpan: req.SpanID},
 	})
 	if err != nil {
-		return errResponse(err)
+		resp := errResponse(err)
+		// A gate rejection carries its decision — verdict, effective state,
+		// and the retry-after hint — alongside the error text, so callers
+		// can back off instead of hammering a saturated space.
+		var rej *admission.RejectedError
+		if errors.As(err, &rej) {
+			resp.Admission = &AdmissionInfo{Enabled: true, Decision: &rej.Decision}
+		}
+		return resp
 	}
 	return Response{OK: true, Session: sessionInfoOf(active)}
+}
+
+// admissionInfo answers the admission op: the gate status when no class
+// is named, or a dry-run decision for one class. A domain without a gate
+// reports Enabled=false rather than erroring, so `qosctl admit` degrades
+// gracefully.
+func (s *Server) admissionInfo(req Request) Response {
+	g := s.dom.Admission
+	if g == nil {
+		return Response{OK: true, Admission: &AdmissionInfo{}}
+	}
+	info := &AdmissionInfo{Enabled: true}
+	if req.Class != "" {
+		d := g.Preview(req.Class)
+		info.Decision = &d
+	} else {
+		st := g.Status()
+		info.Status = &st
+	}
+	return Response{OK: true, Admission: info}
+}
+
+// scaleInfo answers the scale op: status, or a manual replica override
+// when a group and count are given.
+func (s *Server) scaleInfo(req Request) Response {
+	a := s.dom.Autoscaler
+	if a == nil {
+		return errResponse(errors.New("wire: autoscaler not enabled on this domain"))
+	}
+	if req.Group != "" {
+		if req.Replicas == nil {
+			return errResponse(errors.New("wire: scale with a group requires a replica count"))
+		}
+		if err := a.SetReplicas(req.Group, *req.Replicas); err != nil {
+			return errResponse(err)
+		}
+	}
+	st := a.Status()
+	return Response{OK: true, Autoscale: &st}
 }
 
 // registerService announces a new service instance in the domain's

@@ -7,6 +7,8 @@ package wire
 import (
 	"time"
 
+	"ubiqos/internal/admission"
+	"ubiqos/internal/autoscale"
 	"ubiqos/internal/buildinfo"
 	"ubiqos/internal/capacity"
 	"ubiqos/internal/composer"
@@ -43,6 +45,8 @@ const (
 	OpStats        = "stats"
 	OpTimeseries   = "timeseries"
 	OpSaturation   = "saturation"
+	OpAdmission    = "admission"
+	OpScale        = "scale"
 )
 
 // Request is one client request.
@@ -77,6 +81,10 @@ type Request struct {
 	// Window restricts a timeseries query to the trailing duration, in
 	// Go duration syntax, e.g. "2m" (timeseries op; empty = full ring).
 	Window string `json:"window,omitempty"`
+	// Group addresses an autoscaling group (scale op); Replicas, when set,
+	// pins the group's replica count (nil just reads status).
+	Group    string `json:"group,omitempty"`
+	Replicas *int   `json:"replicas,omitempty"`
 	// TraceID carries the client-originated trace context so the server's
 	// spans join the caller's trace (start/switch). The client fills it in
 	// automatically when empty.
@@ -190,6 +198,23 @@ type Response struct {
 	// Saturation is the space's saturation verdict (saturation op) — the
 	// payload behind `qosctl top`.
 	Saturation *capacity.Report `json:"saturation,omitempty"`
+	// Admission is the gate's answer (admission op), and rides along on a
+	// rejected start so the client sees the verdict and retry-after hint.
+	Admission *AdmissionInfo `json:"admission,omitempty"`
+	// Autoscale is the autoscaler's status snapshot (scale op).
+	Autoscale *autoscale.Status `json:"autoscale,omitempty"`
+}
+
+// AdmissionInfo is the admission gate's wire payload: the gate status
+// (admission op with no class), a dry-run decision (admission op with a
+// class), or the decision that rejected a start.
+type AdmissionInfo struct {
+	// Enabled reports whether the domain runs with an admission gate.
+	Enabled bool `json:"enabled"`
+	// Decision is a single class's verdict (preview or rejection).
+	Decision *admission.Decision `json:"decision,omitempty"`
+	// Status is the gate snapshot: effective state, policies, tallies.
+	Status *admission.Status `json:"status,omitempty"`
 }
 
 func timingInfo(c, d, dl, ih time.Duration) TimingInfo {
