@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify fmt-check vet build test race bench bench-faults bench-obs bench-warm bench-capacity bench-autoscale clean
+.PHONY: verify fmt-check vet build test race bench bench-faults bench-obs bench-warm bench-capacity bench-autoscale bench-ledger clean
 
 # verify is the tier-1 gate (ROADMAP.md): formatting, static checks,
 # build, and the full test suite.
@@ -25,9 +25,10 @@ test:
 # renew/expire, publish/subscribe fan-out, wire request handling,
 # multi-session configuration, the fault-injection/recovery path, and
 # the observability layer (tracer ring, metrics registry, structured
-# logging, flight recorder, explain recorder, capacity observatory).
+# logging, flight recorder, explain recorder, capacity observatory,
+# outcome ledger).
 race:
-	$(GO) test -race ./internal/registry ./internal/eventbus ./internal/core ./internal/distributor ./internal/experiments ./internal/par ./internal/wire ./internal/faultinject ./internal/domain ./internal/trace ./internal/metrics ./internal/flight ./internal/obslog ./internal/explain ./internal/capacity ./internal/admission ./internal/autoscale
+	$(GO) test -race ./internal/registry ./internal/eventbus ./internal/core ./internal/distributor ./internal/experiments ./internal/par ./internal/wire ./internal/faultinject ./internal/domain ./internal/trace ./internal/metrics ./internal/flight ./internal/obslog ./internal/explain ./internal/capacity ./internal/admission ./internal/autoscale ./internal/ledger
 
 # bench times the parallel configuration engine against its sequential
 # equivalents, writing BENCH_parallel.json (ns/op + speedup per pair) and
@@ -75,6 +76,15 @@ bench-capacity:
 # capacity exhaustion and ends with the configure-latency SLO unburned.
 bench-autoscale:
 	$(GO) run ./cmd/benchautoscale -o BENCH_autoscale.json
+
+# bench-ledger runs the mixed-class outcome drill — voice / media /
+# background sessions on the chaos space, one clean completion per class,
+# seeded faults mid-stream — and writes BENCH_ledger.json with the
+# outcome ledger's per-class scorecards (recovered/degraded/lost ratios,
+# availability, per-axis QoS-deficit quantiles). It exits non-zero if any
+# class is missing its scorecard or a ratio leaves [0,1].
+bench-ledger:
+	$(GO) run ./cmd/benchledger -o BENCH_ledger.json
 
 # clean removes build outputs only. Checked-in benchmark artifacts
 # (BENCH_*.json) are part of the repo's recorded results and are

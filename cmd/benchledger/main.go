@@ -1,0 +1,123 @@
+// Command benchledger runs the mixed-class outcome drill and writes the
+// per-class scorecards as JSON (`make bench-ledger` emits
+// BENCH_ledger.json). The drill streams audio sessions in three traffic
+// classes (voice / media / background, each with a distinct QoS ask) on
+// the six-device chaos space, completes one session per class cleanly,
+// injects a seeded fault schedule mid-stream, waits for the recovery
+// supervisor to settle, and reads the per-class scorecards — recovered /
+// degraded / lost ratios, availability, time-in-degraded, per-axis
+// QoS-deficit quantiles, configure/recovery latency quantiles — off the
+// QoS outcome ledger.
+//
+// With -validate FILE the drill is skipped: the named report is parsed
+// and checked for the acceptance shape (a scorecard per driven class,
+// ratios in [0,1], non-empty per-axis deficit quantiles). CI runs this
+// against the checked-in BENCH_ledger.json.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"ubiqos/internal/experiments"
+)
+
+// Report is the full BENCH_ledger.json document.
+type Report struct {
+	Generated    string                         `json:"generated"`
+	Scale        float64                        `json:"scale"`
+	Seed         int64                          `json:"seed"`
+	Window       string                         `json:"window"`
+	RecoverAfter string                         `json:"recoverAfter"`
+	Result       *experiments.LedgerDrillResult `json:"result"`
+}
+
+func main() {
+	log.SetFlags(0)
+	def := experiments.DefaultLedgerDrillConfig()
+	out := flag.String("o", "BENCH_ledger.json", "output file ('-' for stdout)")
+	validate := flag.String("validate", "", "validate an existing report file and exit")
+	scale := flag.Float64("scale", def.Scale, "emulation time scale")
+	perClass := flag.Int("per-class", def.PerClass, "sessions per traffic class")
+	seed := flag.Int64("seed", def.Seed, "schedule and jitter seed")
+	crashes := flag.Int("crashes", def.Crashes, "device crashes to schedule")
+	degrades := flag.Int("degrades", def.Degrades, "link degradations to schedule")
+	stalls := flag.Int("stalls", def.Stalls, "transcoder stalls to schedule")
+	window := flag.Duration("window", def.Window, "modeled fault window")
+	recoverAfter := flag.Duration("recover", def.RecoverAfter, "delay before paired undo faults (0 = faults are permanent)")
+	flag.Parse()
+
+	if *validate != "" {
+		if err := validateFile(*validate); err != nil {
+			log.Fatalf("benchledger: %v", err)
+		}
+		log.Printf("%s is well-formed", *validate)
+		return
+	}
+
+	cfg := def
+	cfg.Scale = *scale
+	cfg.PerClass = *perClass
+	cfg.Seed = *seed
+	cfg.Crashes = *crashes
+	cfg.Degrades = *degrades
+	cfg.Stalls = *stalls
+	cfg.Window = *window
+	cfg.RecoverAfter = *recoverAfter
+
+	res, err := experiments.RunLedgerDrill(cfg)
+	if err != nil {
+		log.Fatalf("benchledger: %v", err)
+	}
+	if err := experiments.ValidateLedgerDrill(res); err != nil {
+		log.Fatalf("benchledger: bad drill result: %v", err)
+	}
+	rep := Report{
+		Generated:    time.Now().UTC().Format(time.RFC3339),
+		Scale:        cfg.Scale,
+		Seed:         cfg.Seed,
+		Window:       cfg.Window.String(),
+		RecoverAfter: cfg.RecoverAfter.String(),
+		Result:       res,
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+	} else {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s", *out)
+	}
+
+	for _, sc := range res.Scorecards {
+		fmt.Printf("class=%-12s sessions=%d done=%d lost=%d avail=%.3f deg-frac=%.3f deficit=%.3f\n",
+			sc.Class, sc.Sessions, sc.Completed, sc.Lost,
+			sc.Availability, sc.TimeDegradedFrac, sc.DeficitRatio)
+	}
+}
+
+// validateFile parses a checked-in report and re-runs the acceptance
+// checks on its result.
+func validateFile(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return fmt.Errorf("parse %s: %w", path, err)
+	}
+	if rep.Result == nil {
+		return fmt.Errorf("%s has no result", path)
+	}
+	return experiments.ValidateLedgerDrill(rep.Result)
+}

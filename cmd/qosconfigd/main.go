@@ -21,11 +21,13 @@
 // (Prometheus text, including labeled per-device/per-link/per-class
 // capacity gauges), /healthz, /traces, /flight (per-session flight
 // recorder timelines), /explain (per-session decision provenance),
-// /slo (objective burn rates), /timeseries (on-daemon capacity rings —
-// ?metric= one series, ?window= trailing duration), /saturation (the
-// capacity observatory's verdict; the payload behind `qosctl top`),
-// /admission (the admission gate's status and class previews; the
-// payload behind `qosctl admit`), and /debug/pprof.
+// /ledger (per-session delivered-vs-requested outcome reports),
+// /scorecard (per-class QoS outcome scorecards; the payload behind
+// `qosctl report`), /slo (objective burn rates), /timeseries (on-daemon
+// capacity rings — ?metric= one series, ?window= trailing duration),
+// /saturation (the capacity observatory's verdict; the payload behind
+// `qosctl top`), /admission (the admission gate's status and class
+// previews; the payload behind `qosctl admit`), and /debug/pprof.
 // Set -http "" to disable it. The -log flag sets the minimum level of
 // the structured log stream on stderr.
 //
@@ -164,7 +166,7 @@ func run(addr, httpAddr, space, config string, scale float64, place, chaos strin
 		}
 		defer ln.Close()
 		go http.Serve(ln, wire.NewHTTPHandler(dom))
-		log.Printf("observability on http://%s (/metrics /healthz /traces /flight /explain /slo /timeseries /saturation /admission /debug/pprof)", ln.Addr())
+		log.Printf("observability on http://%s (/metrics /healthz /traces /flight /explain /ledger /scorecard /slo /timeseries /saturation /admission /debug/pprof)", ln.Addr())
 	}
 
 	sig := make(chan os.Signal, 1)

@@ -31,6 +31,15 @@
 //	                                                      without recording it)
 //	qosctl scale      [-group NAME -replicas N] [-json]  (autoscaler status; -group/-replicas pins a
 //	                                                      group's replica count, clamped to [0,max])
+//	qosctl report     [-class NAME] [-window 2m] [-json] (per-class QoS outcome scorecards: recovered/
+//	                                                      degraded/lost ratios, availability, per-axis
+//	                                                      deficit quantiles; -window restricts the
+//	                                                      latency/deficit quantiles to the trailing
+//	                                                      duration)
+//	qosctl ledger     [-session ID] [-json]              (per-session delivered-vs-requested report:
+//	                                                      admission verdict, degradation episodes,
+//	                                                      deficit integrals, MTTR; no -session lists
+//	                                                      recorded sessions)
 //
 // The -app flag accepts the two built-in application graphs ("audio" for
 // mobile audio-on-demand, "conf" for video conferencing), a path to a
@@ -61,6 +70,7 @@ import (
 	"ubiqos/internal/capacity"
 	"ubiqos/internal/composer"
 	"ubiqos/internal/experiments"
+	"ubiqos/internal/ledger"
 	"ubiqos/internal/metrics"
 	"ubiqos/internal/qos"
 	"ubiqos/internal/registry"
@@ -93,7 +103,7 @@ func main() {
 	replicas := flag.Int("replicas", -1, "replica count for -group (scale)")
 
 	if len(os.Args) < 2 || strings.HasPrefix(os.Args[1], "-") {
-		log.Fatal("usage: qosctl devices|services|sessions|metrics|trace|flight|slo|explain|stats|version|start|check|session|switch|stop|crash|rejoin|register|unregister|top|timeseries|admit|scale [flags]\n" +
+		log.Fatal("usage: qosctl devices|services|sessions|metrics|trace|flight|slo|explain|stats|version|start|check|session|switch|stop|crash|rejoin|register|unregister|top|timeseries|admit|scale|report|ledger [flags]\n" +
 			"  common flags: -addr HOST:PORT  -timeout DUR (0 = wait forever)  -retries N\n" +
 			"  run 'go doc ubiqos/cmd/qosctl' for the full per-verb flag list")
 	}
@@ -437,6 +447,48 @@ func run(a runArgs) error {
 			fmt.Printf("group %s pinned to %d replica(s)\n", a.group, a.replicas)
 		}
 		fmt.Print(resp.Autoscale.Render())
+	case "report":
+		resp, err := c.Call(wire.Request{Op: wire.OpScorecard, Class: a.class, Window: a.window})
+		if err != nil {
+			return err
+		}
+		if a.asJSON {
+			out, err := json.MarshalIndent(resp.Scorecards, "", "  ")
+			if err != nil {
+				return err
+			}
+			fmt.Println(string(out))
+			return nil
+		}
+		fmt.Print(ledger.RenderScorecards(resp.Scorecards))
+	case "ledger":
+		resp, err := c.Call(wire.Request{Op: wire.OpLedger, SessionID: session})
+		if err != nil {
+			return err
+		}
+		if a.asJSON {
+			var v any = resp.Ledger
+			if session == "" {
+				v = resp.LedgerSessions
+			}
+			out, err := json.MarshalIndent(v, "", "  ")
+			if err != nil {
+				return err
+			}
+			fmt.Println(string(out))
+			return nil
+		}
+		if session == "" {
+			fmt.Printf("%-16s %-12s %-10s %6s %5s %5s %9s %9s\n",
+				"SESSION", "CLASS", "OUTCOME", "CFGS", "REC", "RST", "BROKEN-S", "DEGRAD-S")
+			for _, r := range resp.LedgerSessions {
+				fmt.Printf("%-16s %-12s %-10s %6d %5d %5d %9.3f %9.3f\n",
+					r.Session, r.Class, r.Outcome, r.Configures, r.Recoveries,
+					r.Restorations, r.BrokenSec, r.DegradedSec)
+			}
+			return nil
+		}
+		fmt.Print(resp.Ledger.Render())
 	case "top":
 		return top(c, a)
 	case "timeseries":

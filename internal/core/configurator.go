@@ -25,6 +25,7 @@ import (
 	"ubiqos/internal/explain"
 	"ubiqos/internal/flight"
 	"ubiqos/internal/graph"
+	"ubiqos/internal/ledger"
 	"ubiqos/internal/metrics"
 	"ubiqos/internal/netsim"
 	"ubiqos/internal/obslog"
@@ -110,6 +111,12 @@ type Config struct {
 	// summary, and the winning placement. Nil disables provenance at zero
 	// cost on the pipeline's hot path.
 	Explain *explain.Recorder
+	// Ledger, when set, receives the per-session outcome accounting:
+	// admission verdicts, every successful (re)configuration with the
+	// requested QoS vector and delivered degrade factor, configure
+	// failures, and clean stops. The recovery supervisor feeds it the
+	// broken/recovered/lost edges. Nil disables outcome accounting.
+	Ledger *ledger.Ledger
 	// Admission, when set, is the saturation-aware gate consulted at the
 	// top of Configure (and therefore ConfigureAll) before a new session's
 	// pipeline runs: rejected requests return *admission.RejectedError
@@ -439,6 +446,7 @@ func (c *Configurator) Configure(req Request) (*ActiveSession, error) {
 // on the session's provenance timeline.
 func (c *Configurator) admit(req Request) (Request, error) {
 	dec := c.cfg.Admission.Admit(c.classLabel(sessionClass(req)))
+	c.cfg.Ledger.RecordAdmission(req.SessionID, dec.Class, string(dec.Verdict), dec.Reason)
 	if dec.Verdict == admission.Admit {
 		return req, nil
 	}
@@ -567,6 +575,12 @@ func (c *Configurator) configure(req Request, handoff bool, action string) (*Act
 		c.cfg.Explain.Record(*xr)
 	}
 	c.recordOutcome(active, req.Class, err)
+	if err != nil {
+		c.cfg.Ledger.RecordConfigureFailed(req.SessionID, req.Class, err.Error())
+	} else {
+		c.cfg.Ledger.RecordConfigured(req.SessionID, req.Class, req.UserQoS,
+			active.DegradeFactor, active.Timing.Total(), action)
+	}
 	return active, err
 }
 
@@ -1053,6 +1067,7 @@ func (c *Configurator) Stop(sessionID string) error {
 	if m := c.classMeter(metrics.SessionCompletions, active.Class); m != nil {
 		m.Mark(1)
 	}
+	c.cfg.Ledger.RecordStopped(sessionID)
 	c.cfg.Log.Named("core").ForSession(sessionID, active.Request.TraceCtx.TraceID).Info("session stopped")
 	return nil
 }

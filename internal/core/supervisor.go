@@ -75,6 +75,11 @@ type SupervisorStats struct {
 	// Degraded counts recoveries that had to shed optional components or
 	// fall back to heuristic placement.
 	Degraded int64
+	// Restored counts degraded→restored transitions: sessions previously
+	// recovered on the degraded path that a later full-QoS recovery
+	// brought back to their original request (optionals re-placed,
+	// exact placement restored).
+	Restored int64
 	// Lost counts sessions given up on (portal gone, or MaxAttempts
 	// exhausted).
 	Lost int64
@@ -122,6 +127,11 @@ type Supervisor struct {
 	tasks map[string]*recoveryTask
 	busy  bool
 	stats SupervisorStats
+	// degraded remembers, per session recovered on the degraded path,
+	// the original full-quality request (captured before optionals were
+	// shed), so a later recovery can try to restore the session — and so
+	// the restoration can be detected and counted when it succeeds.
+	degraded map[string]Request
 
 	stopOnce sync.Once
 	stopped  chan struct{}
@@ -147,13 +157,14 @@ func NewSupervisor(c *Configurator, opts SupervisorOptions) (*Supervisor, error)
 		return nil, err
 	}
 	s := &Supervisor{
-		c:       c,
-		opts:    opts,
-		sub:     sub,
-		rng:     rand.New(rand.NewSource(opts.Seed)),
-		tasks:   make(map[string]*recoveryTask),
-		stopped: make(chan struct{}),
-		exited:  make(chan struct{}),
+		c:        c,
+		opts:     opts,
+		sub:      sub,
+		rng:      rand.New(rand.NewSource(opts.Seed)),
+		tasks:    make(map[string]*recoveryTask),
+		degraded: make(map[string]Request),
+		stopped:  make(chan struct{}),
+		exited:   make(chan struct{}),
 	}
 	go s.run()
 	return s, nil
@@ -324,6 +335,14 @@ func (s *Supervisor) enqueue(sid string, req Request, dev device.ID, reason stri
 		t.dev, t.reason = dev, reason
 		return
 	}
+	// A session recovered degraded carries a shed request; recover from
+	// the remembered original instead, so a healthier space restores the
+	// optionals rather than cementing the degraded shape.
+	restoring := false
+	if orig, ok := s.degraded[sid]; ok {
+		req = orig
+		restoring = true
+	}
 	task := &recoveryTask{
 		sessionID: sid,
 		req:       req,
@@ -332,7 +351,9 @@ func (s *Supervisor) enqueue(sid string, req Request, dev device.ID, reason stri
 		firstSeen: at,
 		due:       time.Now(),
 	}
-	if active := s.c.Session(sid); active != nil && len(active.Placement) > 0 {
+	// The warm-start incumbent only helps when it covers the same graph;
+	// a restoration re-solves the full (un-shed) graph cold.
+	if active := s.c.Session(sid); active != nil && len(active.Placement) > 0 && !restoring {
 		placement := make(map[graph.NodeID]device.ID, len(active.Placement))
 		for id, d := range active.Placement {
 			placement[id] = d
@@ -341,6 +362,7 @@ func (s *Supervisor) enqueue(sid string, req Request, dev device.ID, reason stri
 		task.prevExplored = active.SearchExplored
 	}
 	s.tasks[sid] = task
+	s.c.cfg.Ledger.RecordBroken(sid, reason)
 	s.logFor(sid, req).Warn("recovery queued",
 		obslog.String("reason", reason), obslog.String("device", string(dev)))
 }
@@ -433,9 +455,25 @@ func (s *Supervisor) attempt(t *recoveryTask) {
 
 	if err == nil {
 		s.count(func(st *SupervisorStats) { st.Recovered++ }, metrics.SessionsRecovered)
+		restored := false
 		if degraded {
 			s.count(func(st *SupervisorStats) { st.Degraded++ }, metrics.RecoveriesDegraded)
+			s.mu.Lock()
+			s.degraded[t.sessionID] = t.req
+			s.mu.Unlock()
+		} else {
+			// A full-quality recovery of a session previously recovered
+			// degraded is a restoration: the original request (optionals
+			// included) is running again.
+			s.mu.Lock()
+			_, restored = s.degraded[t.sessionID]
+			delete(s.degraded, t.sessionID)
+			s.mu.Unlock()
+			if restored {
+				s.count(func(st *SupervisorStats) { st.Restored++ }, metrics.SessionsRestored)
+			}
 		}
+		s.c.cfg.Ledger.RecordRecovered(t.sessionID, time.Since(t.firstSeen), degraded, shed, fallback)
 		var seedCost float64
 		if warm {
 			seedCost = t.incumbent.Cost
@@ -452,13 +490,19 @@ func (s *Supervisor) attempt(t *recoveryTask) {
 			obslog.Bool("degraded", degraded),
 			obslog.Bool("warm", warm),
 			obslog.Duration("downMs", time.Since(t.firstSeen)))
+		if restored {
+			log.Info("session restored to full QoS")
+		}
 		s.recordLadder(t.sessionID, tr.Context().TraceID, explain.LadderStep{
 			Attempt: t.attempts + 1, Reason: t.reason, Degraded: degraded,
 			Shed: shed, PlacementFallback: fallback, Outcome: "recovered",
-			Warm: warm, SeedCost: seedCost,
+			Warm: warm, SeedCost: seedCost, Restored: restored,
 		})
 		s.finish(t.sessionID)
 		s.opts.Bus.Publish(eventbus.TopicSessionRecovered, t.sessionID)
+		if restored {
+			s.opts.Bus.Publish(eventbus.TopicSessionRestored, t.sessionID)
+		}
 		return
 	}
 
@@ -516,12 +560,19 @@ func (s *Supervisor) backoff(attempt int) time.Duration {
 // giveUp abandons the session: whatever is left of it is stopped, its
 // checkpoint discarded, and the user notified that intervention is needed.
 func (s *Supervisor) giveUp(t *recoveryTask, reason string) {
+	// Settle the ledger before Stop: Stop's RecordStopped hook would
+	// otherwise finalize the session as completed and the lost verdict
+	// would land on an already-folded record.
+	s.c.cfg.Ledger.RecordLost(t.sessionID, reason)
 	if s.c.Session(t.sessionID) != nil {
 		_ = s.c.Stop(t.sessionID)
 	} else {
 		s.c.Discard(t.sessionID)
 	}
 	s.finish(t.sessionID)
+	s.mu.Lock()
+	delete(s.degraded, t.sessionID)
+	s.mu.Unlock()
 	s.count(func(st *SupervisorStats) { st.Lost++ }, metrics.SessionsLost)
 	s.logFor(t.sessionID, t.req).Error("session lost", obslog.String("reason", reason))
 	s.recordLadder(t.sessionID, t.req.TraceCtx.TraceID, explain.LadderStep{

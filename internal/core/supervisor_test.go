@@ -347,3 +347,122 @@ func TestShedOptional(t *testing.T) {
 		t.Error("shedOptional mutated its input")
 	}
 }
+
+// TestSupervisorRestoredAfterDegradedRecovery drives the full
+// degrade-then-restore arc: a crash forces a degraded recovery (the
+// optional visualizer is shed), the original host rejoins, a second
+// crash re-breaks the session, and the supervisor — remembering the
+// original full-quality request — restores it, bumping Restored and
+// publishing session.restored.
+func TestSupervisorRestoredAfterDegradedRecovery(t *testing.T) {
+	f := newFixture(t)
+	met := metrics.NewRegistry()
+	f.cfg.Metrics = met
+	c, err := New(f.cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.c = c
+
+	// A second desktop too small for the visualizer: full-quality
+	// recovery attempts there must fail, forcing the shed rung.
+	dsk2 := device.MustNew("desktop2", device.ClassDesktop, resource.MB(100, 100), map[string]string{"platform": "pc"})
+	if err := f.cfg.Devices.Add(dsk2); err != nil {
+		t.Fatal(err)
+	}
+	f.net.MustSetLink("desktop1", "desktop2", netsim.Ethernet)
+	f.net.MustSetLink("desktop2", "pda1", netsim.WLAN)
+	f.net.MustSetLink("repo-host", "desktop2", netsim.Ethernet)
+	f.cfg.Links.MustSet("desktop1", "desktop2", 100)
+	f.cfg.Links.MustSet("desktop2", "pda1", 5)
+
+	// The optional visualizer only fits on desktop1 (256MB/300%).
+	f.reg.MustRegister(&registry.Instance{
+		Name:      "visualizer-1",
+		Type:      "audio-visualizer",
+		Attrs:     map[string]string{"platform": "pc"},
+		Input:     qos.V(qos.P(qos.DimFormat, qos.Symbol(qos.FormatMP3)), qos.P(qos.DimFrameRate, qos.Range(5, 60))),
+		Resources: resource.MB(150, 200),
+		SizeMB:    1,
+	})
+	f.repo.MustPublish(repository.Package{Name: "visualizer-1", SizeMB: 1})
+
+	bus := eventbus.New()
+	t.Cleanup(bus.Close)
+	sup, err := NewSupervisor(f.c, fastOpts(bus))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sup.Stop()
+
+	app := audioApp()
+	app.MustAddNode(&composer.AbstractNode{
+		ID:       "viz",
+		Spec:     registry.Spec{Type: "audio-visualizer"},
+		Optional: true,
+	})
+	app.MustAddEdge("server", "viz", 0.5)
+	req := pdaRequest("a1")
+	req.App = app
+	if _, err := f.c.Configure(req); err != nil {
+		t.Fatal(err)
+	}
+	if dev, ok := f.c.Session("a1").Placement["viz"]; !ok || dev != "desktop1" {
+		t.Fatalf("visualizer placed on %q (ok=%v), want desktop1", dev, ok)
+	}
+
+	// Crash desktop1: the visualizer has nowhere to go, so attempts at
+	// full quality fail and the recovery lands degraded on desktop2.
+	f.dsk.SetUp(false)
+	bus.Publish(eventbus.TopicDeviceLeft, "desktop1")
+	if !sup.AwaitIdle(5 * time.Second) {
+		t.Fatal("supervisor did not settle after first crash")
+	}
+	if st := sup.Stats(); st.Degraded != 1 || st.Recovered != 1 || st.Restored != 0 {
+		t.Fatalf("after degraded recovery: stats = %+v", st)
+	}
+	if _, ok := f.c.Session("a1").Placement["viz"]; ok {
+		t.Fatal("degraded recovery kept the optional visualizer")
+	}
+
+	restored, err := bus.Subscribe(eventbus.TopicSessionRestored)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.Cancel()
+
+	// Desktop1 rejoins; the second crash re-breaks the session and the
+	// supervisor retries the remembered original (un-shed) request.
+	f.dsk.SetUp(true)
+	dsk2.SetUp(false)
+	bus.Publish(eventbus.TopicDeviceLeft, "desktop2")
+	if !sup.AwaitIdle(5 * time.Second) {
+		t.Fatal("supervisor did not settle after second crash")
+	}
+
+	st := sup.Stats()
+	if st.Restored != 1 {
+		t.Fatalf("Restored = %d, want 1 (stats = %+v)", st.Restored, st)
+	}
+	if st.Recovered != 2 || st.Lost != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	active := f.c.Session("a1")
+	if active == nil {
+		t.Fatal("session lost; want full restoration")
+	}
+	if dev, ok := active.Placement["viz"]; !ok || dev != "desktop1" {
+		t.Fatalf("visualizer on %q (ok=%v) after restoration, want desktop1", dev, ok)
+	}
+	if v := met.Counter(metrics.SessionsRestored).Value(); v != 1 {
+		t.Errorf("%s = %d, want 1", metrics.SessionsRestored, v)
+	}
+	select {
+	case ev := <-restored.C():
+		if sid, _ := ev.Payload.(string); sid != "a1" {
+			t.Errorf("session.restored payload = %v, want a1", ev.Payload)
+		}
+	case <-time.After(2 * time.Second):
+		t.Error("no session.restored event published")
+	}
+}

@@ -139,6 +139,11 @@ func (d *Domain) sampleCapacity(now time.Time) {
 	d.repMu.Lock()
 	d.lastReport = rep
 	d.repMu.Unlock()
+
+	// Refresh the outcome ledger's per-class gauges (session_deficit_*,
+	// class_availability_ratio) on the same cadence, so /metrics scrapes
+	// — which force a sampling pass — always see current accounting.
+	d.Ledger.PublishMetrics()
 }
 
 // SampleCapacityNow forces a sampling pass (rate-limited by the

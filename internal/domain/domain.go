@@ -24,6 +24,7 @@ import (
 	"ubiqos/internal/eventbus"
 	"ubiqos/internal/explain"
 	"ubiqos/internal/flight"
+	"ubiqos/internal/ledger"
 	"ubiqos/internal/metrics"
 	"ubiqos/internal/netsim"
 	"ubiqos/internal/obslog"
@@ -109,6 +110,11 @@ type Domain struct {
 	// configure/reconfigure/recover action and recovery-ladder step,
 	// cross-linked to the session's trace IDs and flight timeline.
 	Explain *explain.Recorder
+	// Ledger is the QoS outcome ledger: per-session delivered-vs-
+	// requested accounting (admission verdicts, degradation episodes,
+	// deficit integrals, recovery MTTR) aggregated into per-class
+	// scorecards behind /ledger, /scorecard, and `qosctl report`.
+	Ledger *ledger.Ledger
 	// Log is the domain's structured logger. It writes into Flight by
 	// default; the daemon attaches an os.Stderr sink (and any other) with
 	// Log.AddSink.
@@ -139,7 +145,8 @@ type Domain struct {
 	// class whose sessions all ended still gets its gauge zeroed.
 	classesSeen map[string]bool
 
-	tapCancel func()
+	tapCancel    func()
+	ledgerCancel func()
 
 	mu       sync.Mutex
 	parent   *Domain
@@ -182,6 +189,7 @@ func New(name string, opts Options) (*Domain, error) {
 		Explain:     explain.New(explain.Options{}),
 		children:    make(map[string]*Domain),
 	}
+	d.Ledger = ledger.New(ledger.Options{Metrics: d.Metrics})
 	d.Log = obslog.New(obslog.LevelDebug, d.Flight)
 	d.SLO = metrics.NewSLO(d.Metrics, metrics.DefaultObjectives()...)
 	d.Bus.Instrument(d.Metrics)
@@ -228,6 +236,7 @@ func New(name string, opts Options) (*Domain, error) {
 		Log:            d.Log,
 		Flight:         d.Flight,
 		Explain:        d.Explain,
+		Ledger:         d.Ledger,
 	}
 	cfg, err := core.New(ccfg)
 	if err != nil {
@@ -240,6 +249,13 @@ func New(name string, opts Options) (*Domain, error) {
 	// The flight recorder taps the control-plane topics, attributing each
 	// event to the sessions it concerns.
 	d.tapCancel, err = d.Flight.Tap(d.Bus, d.resolveFlightSessions)
+	if err != nil {
+		return nil, err
+	}
+	// The outcome ledger taps the session lifecycle topics losslessly
+	// too, so stops and losses land in the accounting even when a code
+	// path bypasses the configurator/supervisor hooks.
+	d.ledgerCancel, err = d.Ledger.Tap(d.Bus, d.resolveFlightSessions)
 	if err != nil {
 		return nil, err
 	}
@@ -278,7 +294,8 @@ func (d *Domain) resolveFlightSessions(ev eventbus.Event) []string {
 	case string:
 		switch ev.Topic {
 		case eventbus.TopicSessionStarted, eventbus.TopicSessionStopped,
-			eventbus.TopicSessionRecovered, eventbus.TopicUserMoved:
+			eventbus.TopicSessionRecovered, eventbus.TopicSessionRestored,
+			eventbus.TopicUserMoved:
 			return []string{p}
 		case eventbus.TopicDeviceJoined, eventbus.TopicDeviceLeft,
 			eventbus.TopicDeviceSwitched, eventbus.TopicResourceChanged:
@@ -815,6 +832,9 @@ func (d *Domain) Close() {
 	}
 	if d.tapCancel != nil {
 		d.tapCancel()
+	}
+	if d.ledgerCancel != nil {
+		d.ledgerCancel()
 	}
 	d.Bus.Close()
 	if d.PlanCache != nil {

@@ -38,6 +38,10 @@ const (
 	// TopicSessionRecovered fires when the recovery supervisor brings a
 	// session back after a fault (payload: session ID).
 	TopicSessionRecovered Topic = "session.recovered"
+	// TopicSessionRestored fires when a later full-QoS reconfiguration
+	// restores a session that had previously been recovered degraded
+	// (payload: session ID).
+	TopicSessionRestored Topic = "session.restored"
 	// TopicServiceExpired fires when a service instance's discovery lease
 	// expires without renewal (payload: instance name) — consumers holding
 	// plans that involve the instance must invalidate them.

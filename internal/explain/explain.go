@@ -143,6 +143,10 @@ type LadderStep struct {
 	// incumbent's cost (recovered outcome only).
 	Warm     bool    `json:"warm,omitempty"`
 	SeedCost float64 `json:"seedCost,omitempty"`
+	// Restored marks a full-quality recovery that brought a previously
+	// degraded session back to its original request (recovered outcome
+	// only).
+	Restored bool `json:"restored,omitempty"`
 	// Outcome is "recovered", "retry", or "lost".
 	Outcome string `json:"outcome"`
 	// BackoffMs is the delay before the next retry (retry outcome only).
@@ -527,6 +531,9 @@ func renderLadder(b *strings.Builder, l *LadderStep) {
 		if l.SeedCost > 0 {
 			fmt.Fprintf(b, " warm-started from incumbent cost %.4f", l.SeedCost)
 		}
+	}
+	if l.Restored {
+		b.WriteString(" restored-to-full-qos")
 	}
 	if l.Reason != "" {
 		fmt.Fprintf(b, " reason=%q", l.Reason)

@@ -336,6 +336,7 @@ var TapTopics = []eventbus.Topic{
 	eventbus.TopicSessionStarted,
 	eventbus.TopicSessionStopped,
 	eventbus.TopicSessionRecovered,
+	eventbus.TopicSessionRestored,
 	eventbus.TopicUserNotification,
 }
 

@@ -1,0 +1,520 @@
+package ledger
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"ubiqos/internal/eventbus"
+	"ubiqos/internal/metrics"
+	"ubiqos/internal/qos"
+)
+
+// clock is a manually advanced test clock for deterministic integrals.
+type clock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newClock() *clock {
+	return &clock{t: time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)}
+}
+
+func (c *clock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *clock) advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+func near(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func askFramerate() qos.Vector {
+	return qos.V(qos.P(qos.DimFrameRate, qos.Range(30, 44)))
+}
+
+func TestNilLedgerIsNoOp(t *testing.T) {
+	var l *Ledger
+	l.RecordAdmission("s", "c", "admit", "")
+	l.RecordConfigured("s", "c", askFramerate(), 1, time.Millisecond, "configure")
+	l.RecordConfigureFailed("s", "c", "boom")
+	l.RecordBroken("s", "device lost")
+	l.RecordRecovered("s", time.Millisecond, false, nil, "")
+	l.RecordLost("s", "gone")
+	l.RecordStopped("s")
+	l.PublishMetrics()
+	if got := l.Scorecards(0); got != nil {
+		t.Fatalf("nil ledger Scorecards = %v, want nil", got)
+	}
+	if got := l.Sessions(); got != nil {
+		t.Fatalf("nil ledger Sessions = %v, want nil", got)
+	}
+	if _, ok := l.Report("s"); ok {
+		t.Fatal("nil ledger Report reported a session")
+	}
+	cancel, err := l.Tap(nil, nil)
+	if err != nil {
+		t.Fatalf("nil ledger Tap: %v", err)
+	}
+	cancel()
+}
+
+func TestDeficitIntegralAndRestoration(t *testing.T) {
+	ck := newClock()
+	l := New(Options{Now: ck.now})
+
+	l.RecordAdmission("s1", "voice", "admit", "")
+	// Configure lands degraded: factor 0.8 => deficit fraction 0.2.
+	l.RecordConfigured("s1", "voice", askFramerate(), 0.8, 5*time.Millisecond, "configure")
+	ck.advance(10 * time.Second)
+	// Reconfigured back to full quality: the degraded episode closes and
+	// a restoration is stamped.
+	l.RecordConfigured("s1", "voice", askFramerate(), 1, 5*time.Millisecond, "reconfigure")
+
+	rep, ok := l.Report("s1")
+	if !ok {
+		t.Fatal("no report for s1")
+	}
+	if !near(rep.DeficitSec[qos.DimFrameRate], 2.0) {
+		t.Fatalf("deficit = %v, want 2.0 (0.2 x 10s)", rep.DeficitSec[qos.DimFrameRate])
+	}
+	if !near(rep.DegradedSec, 10) {
+		t.Fatalf("degradedSec = %v, want 10", rep.DegradedSec)
+	}
+	if rep.Restorations != 1 {
+		t.Fatalf("restorations = %d, want 1", rep.Restorations)
+	}
+	if rep.Outcome != OutcomeRunning {
+		t.Fatalf("outcome = %q, want running", rep.Outcome)
+	}
+	if len(rep.Requested) != 1 || rep.Requested[0] != qos.DimFrameRate+"=[30,44]" {
+		t.Fatalf("requested = %v", rep.Requested)
+	}
+
+	ck.advance(time.Second)
+	l.RecordStopped("s1")
+	rep, _ = l.Report("s1")
+	if rep.Outcome != OutcomeCompleted {
+		t.Fatalf("outcome = %q, want completed", rep.Outcome)
+	}
+	cards := l.Scorecards(0)
+	if len(cards) != 1 || cards[0].Class != "voice" {
+		t.Fatalf("scorecards = %+v", cards)
+	}
+	sc := cards[0]
+	if sc.Sessions != 1 || sc.Completed != 1 || sc.Restorations != 1 {
+		t.Fatalf("scorecard = %+v", sc)
+	}
+	if !near(sc.TotalDeficitSec, 2.0) {
+		t.Fatalf("total deficit = %v, want 2.0", sc.TotalDeficitSec)
+	}
+	// 11s lifetime, 10s degraded.
+	if !near(sc.LifetimeSec, 11) || !near(sc.DegradedSec, 10) {
+		t.Fatalf("lifetime=%v degraded=%v", sc.LifetimeSec, sc.DegradedSec)
+	}
+	if !near(sc.Availability, 1) {
+		t.Fatalf("availability = %v, want 1 (never broken)", sc.Availability)
+	}
+	q, ok := sc.DeficitPerAxis[qos.DimFrameRate]
+	if !ok || q.Count != 1 || !near(q.Max, 2.0) {
+		t.Fatalf("deficit quantiles = %+v", q)
+	}
+}
+
+func TestBrokenEpisodeAndMTTR(t *testing.T) {
+	ck := newClock()
+	l := New(Options{Now: ck.now})
+
+	l.RecordConfigured("s1", "media", askFramerate(), 1, time.Millisecond, "configure")
+	ck.advance(5 * time.Second)
+	l.RecordBroken("s1", "device lost")
+	l.RecordBroken("s1", "device lost again") // idempotent: no reopen
+	ck.advance(2 * time.Second)
+	l.RecordRecovered("s1", 2*time.Second, false, nil, "")
+
+	rep, _ := l.Report("s1")
+	if !near(rep.BrokenSec, 2) {
+		t.Fatalf("brokenSec = %v, want 2", rep.BrokenSec)
+	}
+	if rep.Recoveries != 1 || !near(rep.MTTRMsAvg, 2000) {
+		t.Fatalf("recoveries=%d mttr=%v", rep.Recoveries, rep.MTTRMsAvg)
+	}
+	// Broken time is full deficit across the requested axes.
+	if !near(rep.DeficitSec[qos.DimFrameRate], 2) {
+		t.Fatalf("deficit = %v, want 2 (1.0 x 2s)", rep.DeficitSec[qos.DimFrameRate])
+	}
+	// A session that was never degraded does not count a restoration.
+	if rep.Restorations != 0 {
+		t.Fatalf("restorations = %d, want 0", rep.Restorations)
+	}
+
+	ck.advance(3 * time.Second)
+	l.RecordStopped("s1")
+	sc := l.Scorecards(0)[0]
+	// 10s lifetime, 2s broken => availability 0.8.
+	if !near(sc.Availability, 0.8) {
+		t.Fatalf("availability = %v, want 0.8", sc.Availability)
+	}
+	if sc.RecoveredRatio != 1 {
+		t.Fatalf("recoveredRatio = %v, want 1", sc.RecoveredRatio)
+	}
+}
+
+func TestRestorationSurvivesBreakage(t *testing.T) {
+	ck := newClock()
+	l := New(Options{Now: ck.now})
+
+	// Degraded configure, then breakage closes the degraded episode but
+	// remembers it; a degraded recovery keeps the session degraded; the
+	// final full recovery counts exactly one restoration.
+	l.RecordConfigured("s1", "voice", askFramerate(), 0.9, time.Millisecond, "configure")
+	ck.advance(time.Second)
+	l.RecordBroken("s1", "crash")
+	ck.advance(time.Second)
+	l.RecordRecovered("s1", time.Second, true, []string{"visualizer"}, "heuristic")
+	ck.advance(time.Second)
+	l.RecordBroken("s1", "crash again")
+	ck.advance(time.Second)
+	l.RecordRecovered("s1", time.Second, false, nil, "")
+
+	rep, _ := l.Report("s1")
+	if rep.Restorations != 1 {
+		t.Fatalf("restorations = %d, want 1", rep.Restorations)
+	}
+	if !near(rep.BrokenSec, 2) {
+		t.Fatalf("brokenSec = %v, want 2", rep.BrokenSec)
+	}
+	// Degraded union: 1s ladder-degraded + 1s shed/fallback.
+	if !near(rep.DegradedSec, 2) {
+		t.Fatalf("degradedSec = %v, want 2", rep.DegradedSec)
+	}
+	var restoredMarkers int
+	for _, ep := range rep.Episodes {
+		if ep.Kind == EpisodeRestored {
+			restoredMarkers++
+		}
+	}
+	if restoredMarkers != 1 {
+		t.Fatalf("restored markers = %d, want 1", restoredMarkers)
+	}
+}
+
+func TestAdmissionOutcomes(t *testing.T) {
+	ck := newClock()
+	l := New(Options{Now: ck.now})
+
+	l.RecordAdmission("ok", "voice", "admit", "")
+	l.RecordConfigured("ok", "voice", askFramerate(), 1, time.Millisecond, "configure")
+	l.RecordAdmission("no", "voice", "reject", "space saturated")
+	l.RecordAdmission("deg", "voice", "admit-degraded", "approaching saturation")
+	l.RecordConfigured("deg", "voice", askFramerate(), 1, time.Millisecond, "configure")
+
+	if _, ok := l.Report("no"); ok {
+		t.Fatal("rejected session occupies a table slot")
+	}
+	rep, _ := l.Report("deg")
+	if len(rep.Open) != 1 || rep.Open[0].Kind != EpisodeShed {
+		t.Fatalf("admit-degraded open episodes = %+v, want one shed-optional", rep.Open)
+	}
+	sc := l.Scorecards(0)[0]
+	if sc.Rejected != 1 {
+		t.Fatalf("rejected = %d, want 1", sc.Rejected)
+	}
+	if sc.Sessions != 2 {
+		t.Fatalf("sessions = %d, want 2 (reject does not dilute the base)", sc.Sessions)
+	}
+}
+
+func TestConfigureFailedFinalizesOnlyFreshSessions(t *testing.T) {
+	ck := newClock()
+	l := New(Options{Now: ck.now})
+
+	l.RecordConfigureFailed("fresh", "voice", "no fit")
+	rep, _ := l.Report("fresh")
+	if rep.Outcome != OutcomeFailed {
+		t.Fatalf("outcome = %q, want failed", rep.Outcome)
+	}
+
+	l.RecordConfigured("run", "voice", askFramerate(), 1, time.Millisecond, "configure")
+	l.RecordConfigureFailed("run", "voice", "transient recovery failure")
+	rep, _ = l.Report("run")
+	if rep.Outcome != OutcomeRunning {
+		t.Fatalf("outcome = %q, want running (configured sessions survive failed attempts)", rep.Outcome)
+	}
+
+	sc := l.Scorecards(0)[0]
+	if sc.Failed != 1 {
+		t.Fatalf("failed = %d, want 1", sc.Failed)
+	}
+}
+
+// TestBoundedEpisodeHistory drives table-driven episode loads through
+// one session and checks the retained history stays within PerSession
+// while the lifetime counter keeps the true total.
+func TestBoundedEpisodeHistory(t *testing.T) {
+	cases := []struct {
+		name       string
+		perSession int
+		cycles     int
+	}{
+		{"under cap", 16, 4},
+		{"at cap", 8, 4},
+		{"over cap", 4, 50},
+		{"tiny cap", 2, 100},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ck := newClock()
+			l := New(Options{PerSession: tc.perSession, Now: ck.now})
+			for i := 0; i < tc.cycles; i++ {
+				l.RecordBroken("s", "crash")
+				ck.advance(time.Second)
+				l.RecordRecovered("s", time.Second, false, nil, "")
+				ck.advance(time.Second)
+			}
+			rep, _ := l.Report("s")
+			if len(rep.Episodes) > tc.perSession {
+				t.Fatalf("retained %d episodes, cap %d", len(rep.Episodes), tc.perSession)
+			}
+			// One broken episode closes per cycle.
+			if rep.EpisodesTotal != uint64(tc.cycles) {
+				t.Fatalf("episodesTotal = %d, want %d", rep.EpisodesTotal, tc.cycles)
+			}
+			if !near(rep.BrokenSec, float64(tc.cycles)) {
+				t.Fatalf("brokenSec = %v, want %d (trimmed episodes keep their integrals)",
+					rep.BrokenSec, tc.cycles)
+			}
+		})
+	}
+}
+
+func TestSessionTableEviction(t *testing.T) {
+	ck := newClock()
+	l := New(Options{MaxSessions: 4, Now: ck.now})
+
+	for i := 0; i < 8; i++ {
+		sid := fmt.Sprintf("s%d", i)
+		l.RecordConfigured(sid, "voice", askFramerate(), 1, time.Millisecond, "configure")
+		ck.advance(time.Second)
+		if i < 6 {
+			l.RecordStopped(sid)
+		}
+	}
+	if got := len(l.Sessions()); got > 4 {
+		t.Fatalf("table holds %d sessions, cap 4", got)
+	}
+	// Eviction must not lose class accounting: all 8 sessions admitted,
+	// 6 completed, 2 still live.
+	sc := l.Scorecards(0)[0]
+	if sc.Sessions != 8 || sc.Completed != 6 || sc.Live != 2 {
+		t.Fatalf("scorecard after eviction = sessions %d completed %d live %d, want 8/6/2",
+			sc.Sessions, sc.Completed, sc.Live)
+	}
+}
+
+func TestEvictionFoldsLiveVictims(t *testing.T) {
+	ck := newClock()
+	l := New(Options{MaxSessions: 2, Now: ck.now})
+
+	// All live: evicting must fold the victim (as lost) first.
+	for i := 0; i < 5; i++ {
+		l.RecordConfigured(fmt.Sprintf("s%d", i), "voice", askFramerate(), 1, time.Millisecond, "configure")
+		ck.advance(time.Second)
+	}
+	sc := l.Scorecards(0)[0]
+	if sc.Sessions != 5 {
+		t.Fatalf("sessions = %d, want 5", sc.Sessions)
+	}
+	if sc.Lost != 3 || sc.Live != 2 {
+		t.Fatalf("lost=%d live=%d, want 3 evicted-lost and 2 live", sc.Lost, sc.Live)
+	}
+}
+
+// TestOutOfOrderArrival feeds events in scrambled orders; durations must
+// clamp at zero and the ledger must not panic or go negative.
+func TestOutOfOrderArrival(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func(l *Ledger, ck *clock)
+	}{
+		{"recover before configure", func(l *Ledger, ck *clock) {
+			l.RecordRecovered("s", time.Second, false, nil, "")
+			l.RecordConfigured("s", "voice", askFramerate(), 1, time.Millisecond, "recover")
+		}},
+		{"broken after stop", func(l *Ledger, ck *clock) {
+			l.RecordConfigured("s", "voice", askFramerate(), 1, time.Millisecond, "configure")
+			l.RecordStopped("s")
+			l.RecordBroken("s", "late event")
+			l.RecordLost("s", "late loss")
+		}},
+		{"stop unknown session", func(l *Ledger, ck *clock) {
+			l.RecordStopped("never-seen")
+		}},
+		{"lost before configure", func(l *Ledger, ck *clock) {
+			l.RecordLost("s", "immediate loss")
+			l.RecordConfigured("s", "voice", askFramerate(), 1, time.Millisecond, "configure")
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ck := newClock()
+			l := New(Options{Now: ck.now})
+			tc.run(l, ck)
+			for _, sc := range l.Scorecards(0) {
+				if sc.BrokenSec < 0 || sc.DegradedSec < 0 || sc.TotalDeficitSec < 0 {
+					t.Fatalf("negative accounting: %+v", sc)
+				}
+				if sc.Availability < 0 || sc.Availability > 1 {
+					t.Fatalf("availability %v out of [0,1]", sc.Availability)
+				}
+			}
+		})
+	}
+
+	t.Run("stop wins over late lost", func(t *testing.T) {
+		ck := newClock()
+		l := New(Options{Now: ck.now})
+		l.RecordConfigured("s", "voice", askFramerate(), 1, time.Millisecond, "configure")
+		l.RecordStopped("s")
+		l.RecordLost("s", "late")
+		rep, _ := l.Report("s")
+		if rep.Outcome != OutcomeCompleted {
+			t.Fatalf("outcome = %q, want completed (first finalize wins)", rep.Outcome)
+		}
+		sc := l.Scorecards(0)[0]
+		if sc.Completed != 1 || sc.Lost != 0 {
+			t.Fatalf("completed=%d lost=%d, want 1/0", sc.Completed, sc.Lost)
+		}
+	})
+}
+
+func TestClassCardinalityCap(t *testing.T) {
+	ck := newClock()
+	l := New(Options{MaxSessions: 4096, Now: ck.now})
+	for i := 0; i < metrics.DefaultLabelCardinality+10; i++ {
+		l.RecordConfigured(fmt.Sprintf("s%d", i), fmt.Sprintf("class%03d", i), askFramerate(), 1, time.Millisecond, "configure")
+	}
+	cards := l.Scorecards(0)
+	if len(cards) > metrics.DefaultLabelCardinality+1 {
+		t.Fatalf("%d classes tracked, cap %d + overflow", len(cards), metrics.DefaultLabelCardinality)
+	}
+	var overflow bool
+	for _, sc := range cards {
+		if sc.Class == metrics.OverflowLabel {
+			overflow = true
+			if sc.Sessions < 10 {
+				t.Fatalf("overflow class holds %d sessions, want >= 10", sc.Sessions)
+			}
+		}
+	}
+	if !overflow {
+		t.Fatal("no overflow class despite exceeding the cardinality cap")
+	}
+}
+
+func TestScorecardWindow(t *testing.T) {
+	ck := newClock()
+	l := New(Options{Now: ck.now})
+
+	l.RecordConfigured("old", "voice", askFramerate(), 1, 100*time.Millisecond, "configure")
+	l.RecordStopped("old")
+	ck.advance(time.Hour)
+	l.RecordConfigured("new", "voice", askFramerate(), 1, 5*time.Millisecond, "configure")
+	l.RecordStopped("new")
+
+	all := l.Scorecards(0)[0]
+	if all.ConfigureMs.Count != 2 {
+		t.Fatalf("unwindowed configure count = %d, want 2", all.ConfigureMs.Count)
+	}
+	recent := l.Scorecards(time.Minute)[0]
+	if recent.ConfigureMs.Count != 1 || !near(recent.ConfigureMs.Max, 5) {
+		t.Fatalf("windowed configure quantiles = %+v, want only the 5ms sample", recent.ConfigureMs)
+	}
+	// Counters are lifetime regardless of window.
+	if recent.Completed != 2 {
+		t.Fatalf("windowed completed = %d, want 2", recent.Completed)
+	}
+}
+
+func TestPublishMetrics(t *testing.T) {
+	ck := newClock()
+	reg := metrics.NewRegistry()
+	l := New(Options{Metrics: reg, Now: ck.now})
+
+	l.RecordConfigured("s", "voice", askFramerate(), 1, time.Millisecond, "configure")
+	ck.advance(10 * time.Second)
+	l.RecordBroken("s", "crash")
+	ck.advance(10 * time.Second)
+	l.RecordRecovered("s", time.Second, false, nil, "")
+	l.RecordStopped("s")
+	l.PublishMetrics()
+
+	avail, ok := reg.Gauge(metrics.WithLabel(metrics.ClassAvailability, "class", "voice")).Value()
+	if !ok || !near(avail, 0.5) {
+		t.Fatalf("class_availability_ratio = %v/%v, want 0.5", avail, ok)
+	}
+	def, ok := reg.Gauge(metrics.WithLabel(metrics.SessionDeficitSeconds, "class", "voice")).Value()
+	if !ok || !near(def, 10) {
+		t.Fatalf("session_deficit_seconds = %v/%v, want 10", def, ok)
+	}
+}
+
+// TestConcurrentEpisodeWrites mirrors flight's lossless-tap stress: many
+// goroutines hammer the hooks while a Tap drains lifecycle events, under
+// -race.
+func TestConcurrentEpisodeWrites(t *testing.T) {
+	bus := eventbus.New()
+	defer bus.Close()
+	l := New(Options{MaxSessions: 32})
+	resolve := func(ev eventbus.Event) []string {
+		if sid, ok := ev.Payload.(string); ok {
+			return []string{sid}
+		}
+		return nil
+	}
+	cancel, err := l.Tap(bus, resolve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+
+	const workers = 8
+	const perWorker = 64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				sid := fmt.Sprintf("w%d-s%d", w, i%16)
+				class := fmt.Sprintf("class%d", w%3)
+				l.RecordAdmission(sid, class, "admit", "")
+				l.RecordConfigured(sid, class, askFramerate(), 0.9, time.Millisecond, "configure")
+				l.RecordBroken(sid, "crash")
+				l.RecordRecovered(sid, time.Millisecond, i%2 == 0, []string{"opt"}, "heuristic")
+				bus.Publish(eventbus.TopicSessionRecovered, sid)
+				if i%4 == 0 {
+					bus.Publish(eventbus.TopicSessionStopped, sid)
+				}
+				_ = l.Scorecards(0)
+				_, _ = l.Report(sid)
+			}
+		}(w)
+	}
+	wg.Wait()
+	cancel()
+	cancel() // idempotent
+
+	for _, sc := range l.Scorecards(0) {
+		if sc.BrokenSec < 0 || sc.TotalDeficitSec < 0 || sc.Availability < 0 || sc.Availability > 1 {
+			t.Fatalf("inconsistent scorecard after stress: %+v", sc)
+		}
+	}
+}

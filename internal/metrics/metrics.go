@@ -516,6 +516,10 @@ const (
 	SessionsRecovered  = "sessions_recovered_total"
 	RecoveriesDegraded = "recoveries_degraded_total"
 	SessionsLost       = "sessions_lost_total"
+	// SessionsRestored counts degraded→restored transitions: sessions
+	// previously recovered on the degraded path that a later full-QoS
+	// reconfiguration brought back to their original request.
+	SessionsRestored = "sessions_restored_total"
 	// RecoveryLatency is fault detection → session healthy, in seconds.
 	RecoveryLatency = "recovery_latency_seconds"
 	// RecoveryBacklog gauges sessions currently queued for recovery.
@@ -574,6 +578,20 @@ const (
 	ScaleDowns        = "autoscale_downs_total"
 	AutoscaleReplicas = "autoscale_replicas"
 	AutoscaleDesired  = "autoscale_desired_replicas"
+)
+
+// Metric names published by the QoS outcome ledger (internal/ledger).
+// All are labeled gauges with key "class", refreshed by the domain's
+// capacity sampler.
+const (
+	// SessionDeficitSeconds is the per-class total QoS-deficit integral
+	// (deficit fraction × seconds, summed over numeric axes and
+	// sessions); SessionDeficitRatio normalizes it by lifetime × axis
+	// count into a 0..1 "share of asked-for QoS-time not delivered".
+	SessionDeficitSeconds = "session_deficit_seconds"
+	SessionDeficitRatio   = "session_deficit_ratio"
+	// ClassAvailability is 1 − broken-time/lifetime per class.
+	ClassAvailability = "class_availability_ratio"
 )
 
 // Metric names recorded by the wire server. Per-operation series attach

@@ -13,6 +13,7 @@ import (
 	"ubiqos/internal/domain"
 	"ubiqos/internal/explain"
 	"ubiqos/internal/flight"
+	"ubiqos/internal/ledger"
 	"ubiqos/internal/metrics"
 	"ubiqos/internal/trace"
 )
@@ -32,6 +33,16 @@ const tracesDefault = 16
 //	/flight            index of sessions with flight-recorder timelines
 //	/flight/<session>  one session's fused timeline (?format=text renders
 //	                   the human-readable form)
+//	/ledger            index of sessions with QoS outcome records, most
+//	                   recently active first
+//	/ledger/<session>  one session's delivered-vs-requested report —
+//	                   admission verdict, degradation episodes, per-axis
+//	                   deficit integrals, MTTR (?format=text)
+//	/scorecard         per-class QoS outcome scorecards — recovered/
+//	                   degraded/lost ratios, availability, deficit and
+//	                   latency quantiles (?class= one class, ?window=
+//	                   trailing latency window, ?format=text renders
+//	                   the `qosctl report` table)
 //	/explain           index of sessions with decision-provenance records
 //	/explain/<session> one session's decision provenance — discovery
 //	                   candidates, OC corrections, solver search stats,
@@ -144,6 +155,73 @@ func NewHTTPHandler(dom *domain.Domain) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, entries)
+	})
+	handle("/ledger", func(w http.ResponseWriter, r *http.Request) {
+		sessions := dom.Ledger.Sessions()
+		if sessions == nil {
+			sessions = []ledger.SessionReport{}
+		}
+		writeJSON(w, http.StatusOK, sessions)
+	})
+	handle("/ledger/", func(w http.ResponseWriter, r *http.Request) {
+		session := strings.TrimPrefix(r.URL.Path, "/ledger/")
+		if session == "" {
+			writeJSON(w, http.StatusBadRequest, map[string]any{
+				"ok": false, "error": "missing session: GET /ledger/<session>",
+			})
+			return
+		}
+		rep, ok := dom.Ledger.Report(session)
+		if !ok {
+			writeJSON(w, http.StatusNotFound, map[string]any{
+				"ok": false, "error": "no ledger record for session " + session,
+			})
+			return
+		}
+		if r.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			io.WriteString(w, dom.Ledger.Render(session))
+			return
+		}
+		writeJSON(w, http.StatusOK, rep)
+	})
+	handle("/scorecard", func(w http.ResponseWriter, r *http.Request) {
+		var window time.Duration
+		if q := r.URL.Query().Get("window"); q != "" {
+			d, err := time.ParseDuration(q)
+			if err != nil || d < 0 {
+				writeJSON(w, http.StatusBadRequest, map[string]any{
+					"ok": false, "error": "window must be a Go duration, e.g. 2m",
+				})
+				return
+			}
+			window = d
+		}
+		cards := dom.Ledger.Scorecards(window)
+		if class := r.URL.Query().Get("class"); class != "" {
+			filtered := cards[:0]
+			for _, c := range cards {
+				if c.Class == class {
+					filtered = append(filtered, c)
+				}
+			}
+			if len(filtered) == 0 {
+				writeJSON(w, http.StatusNotFound, map[string]any{
+					"ok": false, "error": "no scorecard for class " + class,
+				})
+				return
+			}
+			cards = filtered
+		}
+		if r.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			io.WriteString(w, ledger.RenderScorecards(cards))
+			return
+		}
+		if cards == nil {
+			cards = []ledger.Scorecard{}
+		}
+		writeJSON(w, http.StatusOK, cards)
 	})
 	handle("/explain", func(w http.ResponseWriter, r *http.Request) {
 		sessions := dom.Explain.Sessions()

@@ -1,0 +1,156 @@
+package wire
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"ubiqos/internal/experiments"
+	"ubiqos/internal/ledger"
+	"ubiqos/internal/qos"
+)
+
+// startLedgerSession runs one PDA audio session to completion so the
+// outcome ledger holds a finalized record in class "media".
+func startLedgerSession(t *testing.T, srv *Server, sid string) {
+	t.Helper()
+	resp := srv.Handle(Request{
+		Op:           OpStart,
+		SessionID:    sid,
+		Class:        "media",
+		App:          experiments.AudioOnDemandApp(),
+		UserQoS:      qos.V(qos.P(qos.DimFrameRate, qos.Range(30, 44))),
+		ClientDevice: "jornada",
+	})
+	if !resp.OK {
+		t.Fatalf("start %s: %s", sid, resp.Error)
+	}
+	if resp = srv.Handle(Request{Op: OpStop, SessionID: sid}); !resp.OK {
+		t.Fatalf("stop %s: %s", sid, resp.Error)
+	}
+}
+
+// TestLedgerOps drives the ledger and scorecard wire ops: the session
+// index, the per-session outcome report, and the per-class scorecards
+// with the -class and -window filters qosctl report forwards.
+func TestLedgerOps(t *testing.T) {
+	srv, _ := startServer(t)
+	startLedgerSession(t, srv, "led-1")
+
+	// Per-session report.
+	resp := srv.Handle(Request{Op: OpLedger, SessionID: "led-1"})
+	if !resp.OK || resp.Ledger == nil {
+		t.Fatalf("ledger op: ok=%v err=%s", resp.OK, resp.Error)
+	}
+	rep := resp.Ledger
+	if rep.Session != "led-1" || rep.Class != "media" || rep.Outcome != ledger.OutcomeCompleted {
+		t.Errorf("report = %s/%s/%s", rep.Session, rep.Class, rep.Outcome)
+	}
+	if rep.Configures != 1 || len(rep.Requested) == 0 {
+		t.Errorf("report configures=%d requested=%v", rep.Configures, rep.Requested)
+	}
+	if rep.Render() == "" || !strings.Contains(rep.Render(), "led-1") {
+		t.Errorf("report rendering = %q", rep.Render())
+	}
+
+	// Index: every tracked session, newest first.
+	resp = srv.Handle(Request{Op: OpLedger})
+	if !resp.OK || len(resp.LedgerSessions) != 1 || resp.LedgerSessions[0].Session != "led-1" {
+		t.Errorf("ledger index = %+v", resp.LedgerSessions)
+	}
+
+	if resp = srv.Handle(Request{Op: OpLedger, SessionID: "ghost"}); resp.OK {
+		t.Error("unknown session accepted")
+	}
+
+	// Scorecards.
+	resp = srv.Handle(Request{Op: OpScorecard})
+	if !resp.OK || len(resp.Scorecards) != 1 {
+		t.Fatalf("scorecard op: ok=%v cards=%+v", resp.OK, resp.Scorecards)
+	}
+	sc := resp.Scorecards[0]
+	if sc.Class != "media" || sc.Sessions != 1 || sc.Completed != 1 {
+		t.Errorf("scorecard = %+v", sc)
+	}
+	if sc.Availability != 1 {
+		t.Errorf("availability = %g, want 1 (clean session)", sc.Availability)
+	}
+
+	// Class filter and window parsing.
+	if resp = srv.Handle(Request{Op: OpScorecard, Class: "media", Window: "1h"}); !resp.OK || len(resp.Scorecards) != 1 {
+		t.Errorf("filtered scorecard: ok=%v cards=%d err=%s", resp.OK, len(resp.Scorecards), resp.Error)
+	}
+	if resp = srv.Handle(Request{Op: OpScorecard, Class: "ghost"}); resp.OK {
+		t.Error("unknown class accepted")
+	}
+	if resp = srv.Handle(Request{Op: OpScorecard, Window: "soon"}); resp.OK {
+		t.Error("bad window accepted")
+	}
+}
+
+// TestLedgerHTTP covers the /ledger and /scorecard HTTP endpoints: JSON
+// and text renderings plus the error statuses.
+func TestLedgerHTTP(t *testing.T) {
+	srv, _ := startServer(t)
+	web := httptest.NewServer(NewHTTPHandler(srv.dom))
+	t.Cleanup(web.Close)
+
+	// Empty surfaces render as empty JSON collections, not errors.
+	if body := httpGet(t, web.URL+"/ledger"); strings.TrimSpace(body) != "[]" {
+		t.Errorf("empty ledger index = %q", body)
+	}
+	if body := httpGet(t, web.URL+"/scorecard"); strings.TrimSpace(body) != "[]" {
+		t.Errorf("empty scorecards = %q", body)
+	}
+
+	startLedgerSession(t, srv, "led-http")
+
+	var index []ledger.SessionReport
+	if err := json.Unmarshal([]byte(httpGet(t, web.URL+"/ledger")), &index); err != nil {
+		t.Fatal(err)
+	}
+	if len(index) != 1 || index[0].Session != "led-http" {
+		t.Errorf("ledger index = %+v", index)
+	}
+	var rep ledger.SessionReport
+	if err := json.Unmarshal([]byte(httpGet(t, web.URL+"/ledger/led-http")), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Outcome != ledger.OutcomeCompleted || rep.Ended == nil {
+		t.Errorf("report = outcome %q ended %v", rep.Outcome, rep.Ended)
+	}
+	text := httpGet(t, web.URL+"/ledger/led-http?format=text")
+	for _, want := range []string{"ledger led-http", "outcome=completed", "requested"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("text report missing %q:\n%s", want, text)
+		}
+	}
+	if code := httpStatus(t, web.URL+"/ledger/ghost"); code != http.StatusNotFound {
+		t.Errorf("unknown ledger session status = %d", code)
+	}
+	if code := httpStatus(t, web.URL+"/ledger/"); code != http.StatusBadRequest {
+		t.Errorf("missing session status = %d", code)
+	}
+
+	var cards []ledger.Scorecard
+	if err := json.Unmarshal([]byte(httpGet(t, web.URL+"/scorecard?class=media&window=1h")), &cards); err != nil {
+		t.Fatal(err)
+	}
+	if len(cards) != 1 || cards[0].Class != "media" || cards[0].Sessions != 1 {
+		t.Errorf("scorecards = %+v", cards)
+	}
+	ctext := httpGet(t, web.URL+"/scorecard?format=text")
+	for _, want := range []string{"CLASS", "AVAIL", "media"} {
+		if !strings.Contains(ctext, want) {
+			t.Errorf("text scorecards missing %q:\n%s", want, ctext)
+		}
+	}
+	if code := httpStatus(t, web.URL+"/scorecard?window=soon"); code != http.StatusBadRequest {
+		t.Errorf("bad window status = %d", code)
+	}
+	if code := httpStatus(t, web.URL+"/scorecard?class=ghost"); code != http.StatusNotFound {
+		t.Errorf("unknown class status = %d", code)
+	}
+}

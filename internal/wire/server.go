@@ -142,8 +142,8 @@ func (s *Server) serve(conn net.Conn) {
 func errResponse(err error) Response { return Response{Error: err.Error()} }
 
 // knownOps is the accepted operation set; per-op metric labels for
-// anything else collapse into op="unknown" so a misbehaving client
-// cannot grow the label space without bound.
+// anything else collapse into the registry's overflow label ("other")
+// so a misbehaving client cannot grow the label space without bound.
 var knownOps = map[string]bool{
 	OpPing: true, OpListDevices: true, OpListInst: true,
 	OpSessions: true, OpSession: true, OpStart: true, OpStop: true,
@@ -151,7 +151,7 @@ var knownOps = map[string]bool{
 	OpRejoinDevice: true, OpCheck: true, OpRegister: true, OpUnregister: true,
 	OpFlight: true, OpSlo: true, OpExplain: true, OpVersion: true,
 	OpStats: true, OpTimeseries: true, OpSaturation: true,
-	OpAdmission: true, OpScale: true,
+	OpAdmission: true, OpScale: true, OpLedger: true, OpScorecard: true,
 }
 
 // Handle dispatches one request; it is exported so the daemon can be
@@ -161,7 +161,7 @@ var knownOps = map[string]bool{
 func (s *Server) Handle(req Request) Response {
 	op := req.Op
 	if !knownOps[op] {
-		op = "unknown"
+		op = metrics.OverflowLabel
 	}
 	start := time.Now()
 	resp := s.dispatch(req)
@@ -222,6 +222,10 @@ func (s *Server) dispatch(req Request) Response {
 		return s.check(req)
 	case OpFlight:
 		return s.flightInfo(req.SessionID)
+	case OpLedger:
+		return s.ledgerInfo(req.SessionID)
+	case OpScorecard:
+		return s.scorecardInfo(req)
 	case OpSlo:
 		return Response{OK: true, SLO: s.dom.SLO.Publish()}
 	case OpExplain:
@@ -447,6 +451,46 @@ func (s *Server) flightInfo(sessionID string) Response {
 		return errResponse(fmt.Errorf("wire: no flight timeline for session %q", sessionID))
 	}
 	return Response{OK: true, Flight: entries}
+}
+
+// ledgerInfo returns one session's delivered-vs-requested outcome
+// report, or the index of recorded sessions when no session is named.
+func (s *Server) ledgerInfo(sessionID string) Response {
+	if sessionID == "" {
+		return Response{OK: true, LedgerSessions: s.dom.Ledger.Sessions()}
+	}
+	rep, ok := s.dom.Ledger.Report(sessionID)
+	if !ok {
+		return errResponse(fmt.Errorf("wire: no ledger record for session %q", sessionID))
+	}
+	return Response{OK: true, Ledger: &rep}
+}
+
+// scorecardInfo returns the per-class QoS outcome scorecards, optionally
+// restricted to one class and/or a trailing latency window.
+func (s *Server) scorecardInfo(req Request) Response {
+	var window time.Duration
+	if req.Window != "" {
+		d, err := time.ParseDuration(req.Window)
+		if err != nil || d < 0 {
+			return errResponse(fmt.Errorf("wire: bad window %q (want a Go duration, e.g. \"2m\")", req.Window))
+		}
+		window = d
+	}
+	cards := s.dom.Ledger.Scorecards(window)
+	if req.Class != "" {
+		filtered := cards[:0]
+		for _, c := range cards {
+			if c.Class == req.Class {
+				filtered = append(filtered, c)
+			}
+		}
+		if len(filtered) == 0 {
+			return errResponse(fmt.Errorf("wire: no scorecard for class %q", req.Class))
+		}
+		cards = filtered
+	}
+	return Response{OK: true, Scorecards: cards}
 }
 
 // explainInfo returns one session's decision-provenance report, or the

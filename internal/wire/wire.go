@@ -15,6 +15,7 @@ import (
 	"ubiqos/internal/distributor"
 	"ubiqos/internal/explain"
 	"ubiqos/internal/flight"
+	"ubiqos/internal/ledger"
 	"ubiqos/internal/metrics"
 	"ubiqos/internal/qos"
 	"ubiqos/internal/registry"
@@ -47,6 +48,8 @@ const (
 	OpSaturation   = "saturation"
 	OpAdmission    = "admission"
 	OpScale        = "scale"
+	OpLedger       = "ledger"
+	OpScorecard    = "scorecard"
 )
 
 // Request is one client request.
@@ -203,6 +206,15 @@ type Response struct {
 	Admission *AdmissionInfo `json:"admission,omitempty"`
 	// Autoscale is the autoscaler's status snapshot (scale op).
 	Autoscale *autoscale.Status `json:"autoscale,omitempty"`
+	// Ledger is one session's delivered-vs-requested outcome report
+	// (ledger op with a session named).
+	Ledger *ledger.SessionReport `json:"ledger,omitempty"`
+	// LedgerSessions lists sessions with outcome records (ledger op with
+	// no session named), most recently active first.
+	LedgerSessions []ledger.SessionReport `json:"ledgerSessions,omitempty"`
+	// Scorecards holds the per-class QoS outcome scorecards (scorecard
+	// op) — the payload behind `qosctl report`.
+	Scorecards []ledger.Scorecard `json:"scorecards,omitempty"`
 }
 
 // AdmissionInfo is the admission gate's wire payload: the gate status

@@ -3,6 +3,7 @@ package wire
 import (
 	"bufio"
 	"bytes"
+	"fmt"
 	"net"
 	"strings"
 	"sync"
@@ -364,12 +365,13 @@ func TestPerOpMetrics(t *testing.T) {
 	if got := m.Counter(metrics.WithLabel(metrics.WireRequests, "op", "ping")).Value(); got != 2 {
 		t.Errorf("ping requests = %d, want 2", got)
 	}
-	// Unknown ops collapse into one label value; the error is counted too.
-	if got := m.Counter(metrics.WithLabel(metrics.WireRequests, "op", "unknown")).Value(); got != 1 {
-		t.Errorf("unknown requests = %d, want 1", got)
+	// Unknown ops collapse into the registry's overflow label; the error
+	// is counted too.
+	if got := m.Counter(metrics.WithLabel(metrics.WireRequests, "op", metrics.OverflowLabel)).Value(); got != 1 {
+		t.Errorf("overflow requests = %d, want 1", got)
 	}
-	if got := m.Counter(metrics.WithLabel(metrics.WireErrors, "op", "unknown")).Value(); got != 1 {
-		t.Errorf("unknown errors = %d, want 1", got)
+	if got := m.Counter(metrics.WithLabel(metrics.WireErrors, "op", metrics.OverflowLabel)).Value(); got != 1 {
+		t.Errorf("overflow errors = %d, want 1", got)
 	}
 	if got := m.Counter(metrics.WithLabel(metrics.WireErrors, "op", "session")).Value(); got != 1 {
 		t.Errorf("session errors = %d, want 1", got)
@@ -380,12 +382,40 @@ func TestPerOpMetrics(t *testing.T) {
 	snap := m.Snapshot()
 	for _, want := range []string{
 		`wire_requests_total{op="ping"} 2`,
-		`wire_request_errors_total{op="unknown"} 1`,
+		`wire_request_errors_total{op="` + metrics.OverflowLabel + `"} 1`,
 		`wire_request_duration_seconds_count{op="ping"} 2`,
 	} {
 		if !strings.Contains(snap, want) {
 			t.Errorf("exposition missing %q", want)
 		}
+	}
+}
+
+// TestUnknownOpLabelCardinality floods the server with bogus op names
+// and checks the per-op label space stays bounded: every invented op
+// lands on the single overflow label instead of minting its own series.
+func TestUnknownOpLabelCardinality(t *testing.T) {
+	srv, _ := startServer(t)
+	n := metrics.DefaultLabelCardinality + 32
+	for i := 0; i < n; i++ {
+		resp := srv.Handle(Request{Op: fmt.Sprintf("bogus-%d", i)})
+		if resp.OK {
+			t.Fatalf("bogus op %d accepted", i)
+		}
+	}
+	m := srv.dom.Metrics
+	if got := m.Counter(metrics.WithLabel(metrics.WireRequests, "op", metrics.OverflowLabel)).Value(); got != int64(n) {
+		t.Errorf("overflow requests = %d, want %d", got, n)
+	}
+	snap := m.Snapshot()
+	if strings.Contains(snap, `op="bogus-`) {
+		t.Error("exposition leaked a per-bogus-op series")
+	}
+	// One series per known op at most, plus the overflow bucket: far
+	// below the registry's cardinality cap.
+	series := strings.Count(snap, "wire_requests_total{")
+	if series > len(knownOps)+1 {
+		t.Errorf("wire_requests_total series = %d, want <= %d", series, len(knownOps)+1)
 	}
 }
 
