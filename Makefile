@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify fmt-check vet build test race bench bench-faults bench-obs bench-warm bench-capacity bench-autoscale bench-ledger clean
+.PHONY: verify fmt-check vet build test race bench bench-faults bench-obs bench-warm bench-capacity bench-autoscale bench-ledger bench-incident clean
 
 # verify is the tier-1 gate (ROADMAP.md): formatting, static checks,
 # build, and the full test suite.
@@ -28,7 +28,7 @@ test:
 # logging, flight recorder, explain recorder, capacity observatory,
 # outcome ledger).
 race:
-	$(GO) test -race ./internal/registry ./internal/eventbus ./internal/core ./internal/distributor ./internal/experiments ./internal/par ./internal/wire ./internal/faultinject ./internal/domain ./internal/trace ./internal/metrics ./internal/flight ./internal/obslog ./internal/explain ./internal/capacity ./internal/admission ./internal/autoscale ./internal/ledger
+	$(GO) test -race ./internal/registry ./internal/eventbus ./internal/core ./internal/distributor ./internal/experiments ./internal/par ./internal/wire ./internal/faultinject ./internal/domain ./internal/trace ./internal/metrics ./internal/flight ./internal/obslog ./internal/explain ./internal/capacity ./internal/admission ./internal/autoscale ./internal/ledger ./internal/incident
 
 # bench times the parallel configuration engine against its sequential
 # equivalents, writing BENCH_parallel.json (ns/op + speedup per pair) and
@@ -85,6 +85,16 @@ bench-autoscale:
 # class is missing its scorecard or a ratio leaves [0,1].
 bench-ledger:
 	$(GO) run ./cmd/benchledger -o BENCH_ledger.json
+
+# bench-incident runs the incident-correlation chaos drill — mixed-class
+# sessions, seeded faults with paired undos, a damped recovery supervisor
+# — and writes BENCH_incident.json with the incident log, the wall-clock
+# detection latency, and the engine's idle-path microbenchmarks. It exits
+# non-zero unless an incident opens citing >= 3 signal sources, passes
+# through mitigating, resolves with nonzero impact, and the idle Observe
+# path stays allocation-free.
+bench-incident:
+	$(GO) run ./cmd/benchincident -o BENCH_incident.json
 
 # clean removes build outputs only. Checked-in benchmark artifacts
 # (BENCH_*.json) are part of the repo's recorded results and are

@@ -1,0 +1,215 @@
+// Command benchincident runs the incident-correlation chaos drill and
+// writes the incident log plus detection-latency and idle-overhead
+// measurements as JSON (`make bench-incident` emits
+// BENCH_incident.json). The drill streams mixed-class audio sessions on
+// the six-device chaos space, injects a seeded fault schedule whose
+// faults are all undone after a modeled delay, and watches the incident
+// correlation engine end to end: an incident must open citing at least
+// three distinct signal sources, pass through mitigating while the
+// recovery supervisor works, and resolve with nonzero impact accounting
+// once the storm clears. A poller records the wall-clock latency from
+// the first applied fault to the first open incident.
+//
+// Two microbenchmark cases bracket the engine's always-on cost:
+//
+//   - observe-idle: one Engine.Observe with a benign observation and
+//     metrics attached — the per-sampling-pass price every healthy
+//     daemon pays. The report fails (exit 1) if this path allocates.
+//   - observe-nil: Observe on a nil engine — the disabled-path floor.
+//
+// With -validate FILE the drill is skipped: the named report is parsed
+// and checked for the acceptance shape (incident opened and resolved,
+// ≥3 evidence sources, mitigating transition, nonzero impact, zero-alloc
+// idle path). CI runs this against the checked-in BENCH_incident.json.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"testing"
+	"time"
+
+	"ubiqos/internal/experiments"
+	"ubiqos/internal/incident"
+	"ubiqos/internal/metrics"
+)
+
+// Case is one microbenchmark result.
+type Case struct {
+	Name        string  `json:"name"`
+	Mode        string  `json:"mode"`
+	NsPerOp     float64 `json:"nsPerOp"`
+	AllocsPerOp int64   `json:"allocsPerOp"`
+	BytesPerOp  int64   `json:"bytesPerOp"`
+}
+
+// Report is the full BENCH_incident.json document.
+type Report struct {
+	Generated    string                           `json:"generated"`
+	Scale        float64                          `json:"scale"`
+	Seed         int64                            `json:"seed"`
+	Window       string                           `json:"window"`
+	RecoverAfter string                           `json:"recoverAfter"`
+	Result       *experiments.IncidentDrillResult `json:"result"`
+	Cases        []Case                           `json:"cases"`
+}
+
+func main() {
+	log.SetFlags(0)
+	def := experiments.DefaultIncidentDrillConfig()
+	out := flag.String("o", "BENCH_incident.json", "output file ('-' for stdout)")
+	validate := flag.String("validate", "", "validate an existing report file and exit")
+	scale := flag.Float64("scale", def.Scale, "emulation time scale")
+	perClass := flag.Int("per-class", def.PerClass, "sessions per traffic class")
+	seed := flag.Int64("seed", def.Seed, "schedule and jitter seed")
+	crashes := flag.Int("crashes", def.Crashes, "device crashes to schedule")
+	degrades := flag.Int("degrades", def.Degrades, "link degradations to schedule")
+	stalls := flag.Int("stalls", def.Stalls, "transcoder stalls to schedule")
+	window := flag.Duration("window", def.Window, "modeled fault window")
+	recoverAfter := flag.Duration("recover", def.RecoverAfter, "delay before paired undo faults")
+	flag.Parse()
+
+	if *validate != "" {
+		if err := validateFile(*validate); err != nil {
+			log.Fatalf("benchincident: %v", err)
+		}
+		log.Printf("%s is well-formed", *validate)
+		return
+	}
+
+	cfg := def
+	cfg.Scale = *scale
+	cfg.PerClass = *perClass
+	cfg.Seed = *seed
+	cfg.Crashes = *crashes
+	cfg.Degrades = *degrades
+	cfg.Stalls = *stalls
+	cfg.Window = *window
+	cfg.RecoverAfter = *recoverAfter
+
+	res, err := experiments.RunIncidentDrill(cfg)
+	if err != nil {
+		log.Fatalf("benchincident: %v", err)
+	}
+	if err := experiments.ValidateIncidentDrill(res); err != nil {
+		log.Fatalf("benchincident: bad drill result: %v", err)
+	}
+
+	rep := Report{
+		Generated:    time.Now().UTC().Format(time.RFC3339),
+		Scale:        cfg.Scale,
+		Seed:         cfg.Seed,
+		Window:       cfg.Window.String(),
+		RecoverAfter: cfg.RecoverAfter.String(),
+		Result:       res,
+	}
+	cases := []struct {
+		name, mode string
+		fn         func(b *testing.B)
+	}{
+		{"observe-idle", "instrumented", benchObserveIdle},
+		{"observe-nil", "disabled", benchObserveNil},
+	}
+	for _, c := range cases {
+		r := testing.Benchmark(c.fn)
+		cs := Case{
+			Name:        c.name,
+			Mode:        c.mode,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		rep.Cases = append(rep.Cases, cs)
+		fmt.Fprintf(os.Stderr, "%-16s %-12s %10.1f ns/op %6d allocs/op %8d B/op\n",
+			c.name, c.mode, cs.NsPerOp, cs.AllocsPerOp, cs.BytesPerOp)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+	} else {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			log.Fatalf("benchincident: %v", err)
+		}
+		fmt.Fprintln(os.Stderr, "wrote", *out)
+	}
+
+	if err := checkCases(rep.Cases); err != nil {
+		log.Fatalf("benchincident: %v", err)
+	}
+	sc := res.Showcase
+	fmt.Fprintf(os.Stderr, "detection %.0fms; %d opened, %d resolved; showcase %s (%s) sources=%v broken=%.3fs deficit=%.3fs\n",
+		res.DetectionMs, res.Opened, res.Resolved, sc.ID, sc.Rule,
+		sc.Evidence.Sources, sc.Impact.BrokenSec, sc.Impact.TotalDeficitSec)
+}
+
+// checkCases enforces the idle-path acceptance bound: the per-pass
+// Observe with metrics attached must not allocate.
+func checkCases(cases []Case) error {
+	for _, c := range cases {
+		if c.Name == "observe-idle" && c.AllocsPerOp != 0 {
+			return fmt.Errorf("idle Observe allocates %d/op, want 0", c.AllocsPerOp)
+		}
+	}
+	return nil
+}
+
+// validateFile parses a checked-in report and re-runs the acceptance
+// checks on its result and benchmark cases.
+func validateFile(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return fmt.Errorf("parse %s: %w", path, err)
+	}
+	if rep.Result == nil {
+		return fmt.Errorf("%s has no result", path)
+	}
+	if err := experiments.ValidateIncidentDrill(rep.Result); err != nil {
+		return err
+	}
+	return checkCases(rep.Cases)
+}
+
+// benchObserveIdle is the always-on hot path: a full default-rule
+// engine, metrics registry attached, fed a healthy observation each
+// pass. The acceptance bound is zero allocations per op.
+func benchObserveIdle(b *testing.B) {
+	en := incident.New(incident.Options{Metrics: metrics.NewRegistry()})
+	base := time.Unix(1700000000, 0)
+	obs := incident.Observation{
+		Now:               base,
+		SpaceHeadroom:     0.8,
+		ActiveSessions:    6,
+		WorstAvailability: 1,
+	}
+	en.Observe(obs)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		obs.Now = base.Add(time.Duration(i) * time.Second)
+		en.Observe(obs)
+	}
+}
+
+// benchObserveNil is the disabled-path floor: every call short-circuits
+// on the nil receiver.
+func benchObserveNil(b *testing.B) {
+	var en *incident.Engine
+	obs := incident.Observation{WorstAvailability: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		en.Observe(obs)
+	}
+}

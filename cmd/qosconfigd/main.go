@@ -27,7 +27,10 @@
 // capacity rings — ?metric= one series, ?window= trailing duration),
 // /saturation (the capacity observatory's verdict; the payload behind
 // `qosctl top`), /admission (the admission gate's status and class
-// previews; the payload behind `qosctl admit`), and /debug/pprof.
+// previews; the payload behind `qosctl admit`), /incidents (the
+// correlated incident log — /incidents/<id> one incident's evidence
+// bundle, ?format=postmortem the markdown document; the payload behind
+// `qosctl incidents` and `qosctl postmortem`), and /debug/pprof.
 // Set -http "" to disable it. The -log flag sets the minimum level of
 // the structured log stream on stderr.
 //
@@ -166,7 +169,7 @@ func run(addr, httpAddr, space, config string, scale float64, place, chaos strin
 		}
 		defer ln.Close()
 		go http.Serve(ln, wire.NewHTTPHandler(dom))
-		log.Printf("observability on http://%s (/metrics /healthz /traces /flight /explain /ledger /scorecard /slo /timeseries /saturation /admission /debug/pprof)", ln.Addr())
+		log.Printf("observability on http://%s (/metrics /healthz /traces /flight /explain /ledger /scorecard /slo /timeseries /saturation /admission /incidents /debug/pprof)", ln.Addr())
 	}
 
 	sig := make(chan os.Signal, 1)

@@ -40,6 +40,11 @@
 //	                                                      admission verdict, degradation episodes,
 //	                                                      deficit integrals, MTTR; no -session lists
 //	                                                      recorded sessions)
+//	qosctl incidents  [-id INC-N] [-json]                (correlated incident log: SLO burn, saturation,
+//	                                                      fault storms, admission pressure, availability
+//	                                                      drops; -id shows one incident's timeline,
+//	                                                      evidence bundle and impact accounting)
+//	qosctl postmortem INC-N [-json]                      (shareable markdown postmortem for one incident)
 //
 // The -app flag accepts the two built-in application graphs ("audio" for
 // mobile audio-on-demand, "conf" for video conferencing), a path to a
@@ -70,6 +75,7 @@ import (
 	"ubiqos/internal/capacity"
 	"ubiqos/internal/composer"
 	"ubiqos/internal/experiments"
+	"ubiqos/internal/incident"
 	"ubiqos/internal/ledger"
 	"ubiqos/internal/metrics"
 	"ubiqos/internal/qos"
@@ -101,9 +107,15 @@ func main() {
 	class := flag.String("class", "", "session class (start); class to preview (admit)")
 	group := flag.String("group", "", "autoscale group to pin (scale)")
 	replicas := flag.Int("replicas", -1, "replica count for -group (scale)")
+	incidentID := flag.String("id", "", "incident ID, e.g. INC-3 (incidents/postmortem)")
 
 	if len(os.Args) < 2 || strings.HasPrefix(os.Args[1], "-") {
-		log.Fatal("usage: qosctl devices|services|sessions|metrics|trace|flight|slo|explain|stats|version|start|check|session|switch|stop|crash|rejoin|register|unregister|top|timeseries|admit|scale|report|ledger [flags]\n" +
+		log.Fatal("usage: qosctl VERB [flags]\n\n" +
+			"  session ops:    start  check  session  sessions  switch  stop\n" +
+			"                  devices  services  register  unregister  crash  rejoin\n" +
+			"  observability:  metrics  trace  flight  slo  explain  stats  ledger\n" +
+			"                  report  incidents  postmortem  version\n" +
+			"  capacity:       top  timeseries  admit  scale\n\n" +
 			"  common flags: -addr HOST:PORT  -timeout DUR (0 = wait forever)  -retries N\n" +
 			"  run 'go doc ubiqos/cmd/qosctl' for the full per-verb flag list")
 	}
@@ -111,13 +123,19 @@ func main() {
 	if err := flag.CommandLine.Parse(os.Args[2:]); err != nil {
 		log.Fatal(err)
 	}
+	id := *incidentID
+	if id == "" {
+		// `qosctl postmortem INC-3` reads better than -id; accept the
+		// first positional argument as the incident ID.
+		id = flag.CommandLine.Arg(0)
+	}
 	if err := run(runArgs{
 		verb: verb, addr: *addr, session: *session, app: *app, client: *client,
 		to: *to, userQoS: *userQoS, dot: *dot, asJSON: *asJSON,
 		instanceFile: *instanceFile, installed: *installed, name: *name,
 		timeout: *timeout, retries: *retries,
 		interval: *interval, once: *once, metric: *metric, window: *window,
-		class: *class, group: *group, replicas: *replicas,
+		class: *class, group: *group, replicas: *replicas, id: id,
 	}); err != nil {
 		log.Fatal(err)
 	}
@@ -135,6 +153,7 @@ type runArgs struct {
 	metric, window                                string
 	class, group                                  string
 	replicas                                      int
+	id                                            string
 }
 
 func run(a runArgs) error {
@@ -489,6 +508,45 @@ func run(a runArgs) error {
 			return nil
 		}
 		fmt.Print(resp.Ledger.Render())
+	case "incidents":
+		resp, err := c.Call(wire.Request{Op: wire.OpIncidents, Incident: a.id})
+		if err != nil {
+			return err
+		}
+		if a.asJSON {
+			var v any = resp.Incidents
+			if a.id != "" {
+				v = resp.Incident
+			}
+			out, err := json.MarshalIndent(v, "", "  ")
+			if err != nil {
+				return err
+			}
+			fmt.Println(string(out))
+			return nil
+		}
+		if a.id != "" {
+			fmt.Print(incident.RenderIncident(*resp.Incident))
+			return nil
+		}
+		fmt.Print(incident.Render(resp.Incidents))
+	case "postmortem":
+		if a.id == "" {
+			return fmt.Errorf("postmortem requires an incident ID: qosctl postmortem INC-3")
+		}
+		resp, err := c.Call(wire.Request{Op: wire.OpPostmortem, Incident: a.id})
+		if err != nil {
+			return err
+		}
+		if a.asJSON {
+			out, err := json.MarshalIndent(resp.Incident, "", "  ")
+			if err != nil {
+				return err
+			}
+			fmt.Println(string(out))
+			return nil
+		}
+		fmt.Print(resp.Postmortem)
 	case "top":
 		return top(c, a)
 	case "timeseries":
@@ -546,6 +604,7 @@ func top(c *wire.Client, a runArgs) error {
 				// refreshes in place.
 				fmt.Print("\033[H\033[2J")
 			}
+			fmt.Println(incidentsHeader(c))
 			fmt.Print(resp.Saturation.Render())
 		}
 		if a.once {
@@ -553,6 +612,32 @@ func top(c *wire.Client, a runArgs) error {
 		}
 		time.Sleep(interval)
 	}
+}
+
+// incidentsHeader summarizes the incident log for the top dashboard:
+// open count plus the worst open severity. A daemon predating the
+// incidents op (or a transport hiccup) degrades to a quiet placeholder
+// rather than killing the dashboard loop.
+func incidentsHeader(c *wire.Client) string {
+	resp, err := c.Call(wire.Request{Op: wire.OpIncidents})
+	if err != nil {
+		return "incidents: unavailable"
+	}
+	open := 0
+	worst := incident.SevNone
+	for _, inc := range resp.Incidents {
+		if inc.State == incident.StateResolved {
+			continue
+		}
+		open++
+		if inc.Severity > worst {
+			worst = inc.Severity
+		}
+	}
+	if open == 0 {
+		return "incidents: none"
+	}
+	return fmt.Sprintf("incidents: %d open (worst %s)", open, worst)
 }
 
 // printVersion reports the client's build identity and, when a daemon is

@@ -41,6 +41,11 @@ type SupervisorOptions struct {
 	// session still unplaceable after MaxAttempts is stopped, its
 	// checkpoint discarded, and the user notified.
 	MaxAttempts int
+	// InitialDelay postpones a newly queued task's first recovery
+	// attempt (default 0 = attempt immediately). It damps recovery on
+	// flapping devices and lets chaos drills model operator-scale
+	// repair times instead of sub-millisecond heals.
+	InitialDelay time.Duration
 	// Seed makes the retry jitter deterministic for reproducible
 	// experiments.
 	Seed int64
@@ -349,7 +354,7 @@ func (s *Supervisor) enqueue(sid string, req Request, dev device.ID, reason stri
 		dev:       dev,
 		reason:    reason,
 		firstSeen: at,
-		due:       time.Now(),
+		due:       time.Now().Add(s.opts.InitialDelay),
 	}
 	// The warm-start incumbent only helps when it covers the same graph;
 	// a restoration re-solves the full (un-shed) graph cold.

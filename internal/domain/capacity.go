@@ -34,9 +34,13 @@ func utilization(committed, cap float64) float64 {
 // on demand from the scrape surfaces (rate-limited by the observatory).
 func (d *Domain) sampleCapacity(now time.Time) {
 	violations := 0
+	worstBurn := 0.0
 	for _, st := range d.SLO.Publish() {
 		if st.State == metrics.StateViolated {
 			violations++
+		}
+		if st.BurnRate > worstBurn {
+			worstBurn = st.BurnRate
 		}
 	}
 
@@ -46,6 +50,7 @@ func (d *Domain) sampleCapacity(now time.Time) {
 		SLOViolations: violations,
 	}
 
+	devicesDown := 0
 	headroomG := d.Metrics.LabeledGauge(metrics.DeviceHeadroom, "device")
 	upG := d.Metrics.LabeledGauge(metrics.DeviceUp, "device")
 	for _, dev := range d.Devices.All() {
@@ -69,6 +74,7 @@ func (d *Domain) sampleCapacity(now time.Time) {
 			upG.With(ds.ID).Set(1)
 		} else {
 			upG.With(ds.ID).Set(0)
+			devicesDown++
 		}
 		d.Capacity.Record(metrics.WithLabel(metrics.DeviceHeadroom, "device", ds.ID), now, ds.Headroom)
 		in.Devices = append(in.Devices, ds)
@@ -144,6 +150,11 @@ func (d *Domain) sampleCapacity(now time.Time) {
 	// class_availability_ratio) on the same cadence, so /metrics scrapes
 	// — which force a sampling pass — always see current accounting.
 	d.Ledger.PublishMetrics()
+
+	// Feed the incident correlation engine last, with repMu released:
+	// its evidence hooks may read lastReport and the admission/autoscale
+	// snapshots.
+	d.observeIncidents(now, rep, worstBurn, violations, devicesDown)
 }
 
 // SampleCapacityNow forces a sampling pass (rate-limited by the

@@ -24,6 +24,7 @@ import (
 	"ubiqos/internal/eventbus"
 	"ubiqos/internal/explain"
 	"ubiqos/internal/flight"
+	"ubiqos/internal/incident"
 	"ubiqos/internal/ledger"
 	"ubiqos/internal/metrics"
 	"ubiqos/internal/netsim"
@@ -137,6 +138,10 @@ type Domain struct {
 	// Autoscaler is the instance autoscaler control loop (nil until
 	// EnableAutoscaler).
 	Autoscaler *autoscale.Autoscaler
+	// Incidents is the incident correlation engine: it fuses SLO burn,
+	// saturation, fault, admission, autoscale, and ledger signals into
+	// operator-grade incidents with evidence bundles and postmortems.
+	Incidents *incident.Engine
 
 	saturation *capacity.Analyzer
 	repMu      sync.Mutex
@@ -264,6 +269,9 @@ func New(name string, opts Options) (*Domain, error) {
 		RingCapacity: opts.RingCapacity,
 	})
 	d.saturation = capacity.NewAnalyzer(opts.SaturationThresholds)
+	// The incident engine must exist before the observatory starts: the
+	// sampler feeds it one Observation per pass.
+	d.initIncidents()
 	d.Capacity.SetSampler(d.sampleCapacity)
 	d.Capacity.Start()
 	return d, nil
@@ -719,7 +727,7 @@ func (d *Domain) configureBurn() float64 {
 // the first Configure. Call before serving traffic: the configurator
 // reads the gate un-synchronized on the configure path.
 func (d *Domain) EnableAdmissionGate(policies map[string]admission.ClassPolicy, def *admission.ClassPolicy) *admission.Gate {
-	d.Admission = admission.New(admission.Options{
+	g := admission.New(admission.Options{
 		Signals: admission.Signals{
 			Report:  func() capacity.Report { return d.SaturationReport() },
 			SLOBurn: d.configureBurn,
@@ -728,8 +736,13 @@ func (d *Domain) EnableAdmissionGate(policies map[string]admission.ClassPolicy, 
 		Default:  def,
 		Metrics:  d.Metrics,
 	})
-	d.Configurator.SetAdmission(d.Admission)
-	return d.Admission
+	// The sampler goroutine reads d.Admission through admissionGate, so
+	// the late-bound assignment needs the same lock.
+	d.repMu.Lock()
+	d.Admission = g
+	d.repMu.Unlock()
+	d.Configurator.SetAdmission(g)
+	return g
 }
 
 // EnableAutoscaler starts an instance autoscaler over this domain's
@@ -766,7 +779,9 @@ func (d *Domain) EnableAutoscaler(opts autoscale.Options, specs ...autoscale.Gro
 		return nil, err
 	}
 	a.Start()
+	d.repMu.Lock()
 	d.Autoscaler = a
+	d.repMu.Unlock()
 	return a, nil
 }
 

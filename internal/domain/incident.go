@@ -1,0 +1,130 @@
+// Incident correlation glue: the engine itself (internal/incident)
+// stays free of domain knowledge; this file injects the evidence hooks
+// (saturation report, SLO statuses, capacity rings, flight excerpts,
+// admission/autoscale snapshots, ledger scorecards) and assembles the
+// per-pass Observation the capacity sampler feeds it.
+package domain
+
+import (
+	"time"
+
+	"ubiqos/internal/admission"
+	"ubiqos/internal/autoscale"
+	"ubiqos/internal/capacity"
+	"ubiqos/internal/flight"
+	"ubiqos/internal/incident"
+	"ubiqos/internal/ledger"
+	"ubiqos/internal/metrics"
+)
+
+// initIncidents constructs the incident correlation engine. Must run
+// before the capacity observatory starts: the sampler feeds the engine
+// one Observation per pass.
+//
+// Hook safety: the hooks run while the engine holds its own mutex,
+// inside a sampling pass. Anything they call that forces another
+// sampling pass (admission/autoscale Status → SaturationReport →
+// SampleNow) is harmless because the observatory rate-limits re-entrant
+// passes to a no-op, and none of the hooks are called with repMu held.
+func (d *Domain) initIncidents() {
+	d.Incidents = incident.New(incident.Options{
+		Metrics: d.Metrics,
+		Sources: incident.Sources{
+			Saturation: func() *capacity.Report {
+				d.repMu.Lock()
+				rep := d.lastReport
+				d.repMu.Unlock()
+				return &rep
+			},
+			SLO: func() []metrics.Status { return d.SLO.Evaluate() },
+			Series: func(metric string, window time.Duration) []capacity.Sample {
+				return d.Capacity.Series(metric, window)
+			},
+			SeriesNames: []string{
+				metrics.SpaceHeadroom, metrics.SaturationState,
+				metrics.ConfigPending, metrics.ActiveSessions,
+			},
+			Sessions: func() []flight.SessionInfo { return d.Flight.Sessions() },
+			Excerpt: func(session string, from, to time.Time, max int) []flight.Entry {
+				return d.Flight.Excerpt(session, from, to, max)
+			},
+			Scorecards: func() []ledger.Scorecard { return d.Ledger.Scorecards(0) },
+			Admission: func() *admission.Status {
+				if g := d.admissionGate(); g != nil {
+					st := g.Status()
+					return &st
+				}
+				return nil
+			},
+			Autoscale: func() *autoscale.Status {
+				if a := d.autoscaler(); a != nil {
+					st := a.Status()
+					return &st
+				}
+				return nil
+			},
+		},
+	})
+}
+
+// admissionGate / autoscaler read the late-bound subsystem pointers
+// under repMu: EnableAdmissionGate / EnableAutoscaler may run after the
+// sampler goroutine has started.
+func (d *Domain) admissionGate() *admission.Gate {
+	d.repMu.Lock()
+	defer d.repMu.Unlock()
+	return d.Admission
+}
+
+func (d *Domain) autoscaler() *autoscale.Autoscaler {
+	d.repMu.Lock()
+	defer d.repMu.Unlock()
+	return d.Autoscaler
+}
+
+// observeIncidents builds the per-pass Observation from state the
+// sampler already computed plus the cumulative counters, and feeds the
+// engine. Called at the end of every sampling pass, after repMu is
+// released.
+func (d *Domain) observeIncidents(now time.Time, rep capacity.Report, worstBurn float64, violations, devicesDown int) {
+	if d.Incidents == nil {
+		return
+	}
+	obs := incident.Observation{
+		Now:               now,
+		WorstBurn:         worstBurn,
+		SLOViolations:     violations,
+		SpaceState:        rep.Space,
+		SpaceHeadroom:     rep.SpaceHeadroom,
+		DevicesDown:       devicesDown,
+		FaultsTotal:       d.Metrics.Counter(metrics.FaultsInjected).Value(),
+		Recovered:         d.Metrics.Counter(metrics.SessionsRecovered).Value(),
+		Restored:          d.Metrics.Counter(metrics.SessionsRestored).Value(),
+		ActiveSessions:    d.Configurator.Sessions(),
+		WorstAvailability: 1,
+	}
+	if g := d.admissionGate(); g != nil {
+		st := g.Status()
+		for _, cc := range st.Classes {
+			obs.AdmissionRejects += cc.Rejected
+			obs.AdmissionDegrades += cc.Degraded
+		}
+	}
+	if a := d.autoscaler(); a != nil {
+		st := a.Status()
+		for _, gr := range st.Groups {
+			obs.ScaleUps += gr.Ups
+			obs.ScaleDowns += gr.Downs
+		}
+	}
+	for _, sc := range d.Ledger.Scorecards(0) {
+		if sc.Sessions == 0 {
+			continue
+		}
+		if sc.Availability < obs.WorstAvailability {
+			obs.WorstAvailability = sc.Availability
+			obs.WorstAvailClass = sc.Class
+		}
+	}
+	d.Incidents.Observe(obs)
+}

@@ -284,6 +284,45 @@ func (r *Recorder) Timeline(session string) []Entry {
 	return append([]Entry(nil), tl.entries...)
 }
 
+// Excerpt returns up to max of the session's entries whose timestamps
+// fall inside [from, to], oldest first, without copying the rest of the
+// timeline. When the window holds more than max entries the newest max
+// are kept — an evidence bundle wants the activity closest to the
+// incident. A zero from means "no lower bound" and a zero to means "no
+// upper bound". It returns nil for an unknown session, a nil recorder,
+// or a non-positive max.
+func (r *Recorder) Excerpt(session string, from, to time.Time, max int) []Entry {
+	if r == nil || max <= 0 {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	tl := r.sessions[session]
+	if tl == nil {
+		return nil
+	}
+	// Entries are appended in time order, so scan backward from the
+	// newest: skip past the upper bound, stop at the lower bound.
+	out := make([]Entry, 0, max)
+	for i := len(tl.entries) - 1; i >= 0 && len(out) < max; i-- {
+		e := tl.entries[i]
+		if !to.IsZero() && e.Time.After(to) {
+			continue
+		}
+		if e.Time.Before(from) {
+			break
+		}
+		out = append(out, e)
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
 // Sessions lists the recorded sessions, most recently touched first.
 func (r *Recorder) Sessions() []SessionInfo {
 	if r == nil {

@@ -233,3 +233,47 @@ func TestConcurrentRecording(t *testing.T) {
 		}
 	}
 }
+
+func TestExcerptWindow(t *testing.T) {
+	r := New(Options{})
+	base := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	for i := 0; i < 10; i++ {
+		r.Write(obslog.Record{
+			Time:    base.Add(time.Duration(i) * time.Second),
+			Msg:     fmt.Sprintf("e%d", i),
+			Session: "s",
+			TraceID: fmt.Sprintf("t%d", i%2),
+		})
+	}
+
+	// Window [t2, t6] holds e2..e6; cap 3 keeps the newest three.
+	got := r.Excerpt("s", base.Add(2*time.Second), base.Add(6*time.Second), 3)
+	if len(got) != 3 {
+		t.Fatalf("excerpt len = %d, want 3", len(got))
+	}
+	for i, want := range []string{"e4", "e5", "e6"} {
+		if got[i].Message != want {
+			t.Fatalf("excerpt[%d] = %q, want %q (oldest first, newest kept)", i, got[i].Message, want)
+		}
+	}
+
+	// Zero bounds: no lower/upper limit.
+	if got := r.Excerpt("s", time.Time{}, time.Time{}, 100); len(got) != 10 {
+		t.Fatalf("unbounded excerpt len = %d, want 10", len(got))
+	}
+	// Window entirely after the data.
+	if got := r.Excerpt("s", base.Add(time.Hour), time.Time{}, 5); got != nil {
+		t.Fatalf("future window = %v, want nil", got)
+	}
+	// Unknown session, nil recorder, bad cap.
+	if got := r.Excerpt("nope", time.Time{}, time.Time{}, 5); got != nil {
+		t.Fatalf("unknown session = %v, want nil", got)
+	}
+	var nilRec *Recorder
+	if got := nilRec.Excerpt("s", time.Time{}, time.Time{}, 5); got != nil {
+		t.Fatalf("nil recorder = %v, want nil", got)
+	}
+	if got := r.Excerpt("s", time.Time{}, time.Time{}, 0); got != nil {
+		t.Fatalf("max=0 = %v, want nil", got)
+	}
+}

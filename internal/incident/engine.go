@@ -1,0 +1,741 @@
+package incident
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"ubiqos/internal/admission"
+	"ubiqos/internal/autoscale"
+	"ubiqos/internal/capacity"
+	"ubiqos/internal/flight"
+	"ubiqos/internal/ledger"
+	"ubiqos/internal/metrics"
+)
+
+// Observation is one flat sample of every signal family the rules
+// watch, gathered by the domain's capacity sampler once per pass. It
+// must stay a plain value type (no slices or maps): building and
+// ingesting one allocates nothing, which keeps the engine's hot path
+// free when no incident is opening or closing. Counter fields are
+// cumulative; the engine diffs them against the previous observation.
+type Observation struct {
+	Now time.Time
+
+	// WorstBurn is the highest SLO burn rate across objectives and
+	// SLOViolations the count of objectives currently in "violated".
+	WorstBurn     float64
+	SLOViolations int
+
+	// SpaceState / SpaceHeadroom mirror the saturation analyzer's space
+	// verdict; DevicesDown counts devices currently down.
+	SpaceState    capacity.State
+	SpaceHeadroom float64
+	DevicesDown   int
+
+	// Cumulative counters: injected faults, admission verdicts,
+	// autoscaler actions, recovery outcomes.
+	FaultsTotal       int64
+	AdmissionRejects  int64
+	AdmissionDegrades int64
+	ScaleUps          int64
+	ScaleDowns        int64
+	Recovered         int64
+	Restored          int64
+
+	// WorstAvailability is the lowest per-class availability on the
+	// ledger (1 when no class has sessions), WorstAvailClass its class.
+	WorstAvailability float64
+	WorstAvailClass   string
+
+	// ActiveSessions sizes the blast radius for titles.
+	ActiveSessions int
+}
+
+// deltas are the per-observation increments of the cumulative counters
+// (zero on the first observation, which only records the baseline).
+type deltas struct {
+	faults    float64
+	rejects   float64
+	degrades  float64
+	scale     float64
+	recovered float64
+	restored  float64
+}
+
+// Sources are the evidence-assembly hooks the domain injects. Every
+// hook is optional (nil hooks are skipped); they are called only when
+// an incident opens or resolves, never on the per-observation fast
+// path. Hooks run under the engine mutex and must not call back into
+// the engine.
+type Sources struct {
+	// Saturation returns the analyzer's latest report.
+	Saturation func() *capacity.Report
+	// SLO evaluates every objective.
+	SLO func() []metrics.Status
+	// Series returns a capacity ring excerpt; SeriesNames lists the
+	// metrics worth excerpting.
+	Series      func(metric string, window time.Duration) []capacity.Sample
+	SeriesNames []string
+	// Sessions lists recorded sessions (most recent first) and Excerpt
+	// returns one session's bounded window of flight entries.
+	Sessions func() []flight.SessionInfo
+	Excerpt  func(session string, from, to time.Time, max int) []flight.Entry
+	// Scorecards returns the ledger's per-class accounting.
+	Scorecards func() []ledger.Scorecard
+	// Admission / Autoscale snapshot the gate and the autoscaler (nil
+	// result when the subsystem is not enabled).
+	Admission func() *admission.Status
+	Autoscale func() *autoscale.Status
+}
+
+// Rule names of the default rule set.
+const (
+	RuleSLOBurn      = "slo-burn"
+	RuleSaturation   = "saturation"
+	RuleFaultStorm   = "fault-storm"
+	RuleAdmission    = "admission-pressure"
+	RuleAvailability = "availability-drop"
+)
+
+// RuleConfig is one detection rule: which signal it watches (fixed by
+// Name), its thresholds, and its hysteresis dwells. The signal
+// convention is "higher is worse".
+type RuleConfig struct {
+	// Name selects the signal (one of the Rule* constants) and Source
+	// names the signal family cited in evidence bundles.
+	Name        string
+	Source      string
+	Description string
+	// WarnAt opens a warning incident, CritAt opens (or escalates to) a
+	// critical one, CloseBelow resolves it. CloseBelow < WarnAt gives
+	// the detector its hysteresis band.
+	WarnAt     float64
+	CritAt     float64
+	CloseBelow float64
+	// OpenDwell / CloseDwell are the consecutive observations the
+	// signal must hold beyond the threshold before transitioning.
+	OpenDwell  int
+	CloseDwell int
+	// Alpha EWMA-smooths the signal before thresholding (0 = raw).
+	Alpha float64
+}
+
+// DefaultRules is the stock rule set: one rule per signal family.
+func DefaultRules() []RuleConfig {
+	return []RuleConfig{
+		{
+			Name: RuleSLOBurn, Source: "slo",
+			Description: "worst SLO burn rate, EWMA-smoothed; 1.0 spends error budget exactly as fast as allowed",
+			WarnAt:      1.0, CritAt: 2.0, CloseBelow: 0.8,
+			OpenDwell: 2, CloseDwell: 2, Alpha: 0.5,
+		},
+		{
+			Name: RuleSaturation, Source: "saturation",
+			Description: "saturation analyzer space verdict (0 ok, 1 approaching, 2 saturated); already hysteretic upstream",
+			WarnAt:      1.0, CritAt: 2.0, CloseBelow: 0.5,
+			OpenDwell: 2, CloseDwell: 2,
+		},
+		{
+			Name: RuleFaultStorm, Source: "faults",
+			Description: "devices down plus EWMA of injected-fault rate; opens fast (dwell 1) so detection latency stays low",
+			WarnAt:      1.0, CritAt: 2.0, CloseBelow: 0.5,
+			OpenDwell: 1, CloseDwell: 2, Alpha: 0.5,
+		},
+		{
+			Name: RuleAdmission, Source: "admission",
+			Description: "EWMA of admission rejects (plus half-weighted degrades) per observation",
+			WarnAt:      1.0, CritAt: 4.0, CloseBelow: 0.25,
+			OpenDwell: 2, CloseDwell: 2, Alpha: 0.5,
+		},
+		{
+			Name: RuleAvailability, Source: "ledger",
+			Description: "worst per-class unavailability in percentage points, EWMA-smoothed",
+			WarnAt:      0.5, CritAt: 5.0, CloseBelow: 0.25,
+			OpenDwell: 2, CloseDwell: 2, Alpha: 0.5,
+		},
+	}
+}
+
+// Engine bounds and evidence caps.
+const (
+	DefaultMaxIncidents     = 64
+	DefaultEvidenceWindow   = 2 * time.Minute
+	DefaultMaxSeriesSamples = 60
+	DefaultMaxSessions      = 4
+	DefaultMaxEntries       = 16
+	maxTraceIDs             = 16
+	maxMitigators           = 8
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Rules overrides the rule set (nil selects DefaultRules).
+	Rules []RuleConfig
+	// MaxIncidents bounds the in-memory incident log (oldest evicted).
+	MaxIncidents int
+	// EvidenceWindow is the lookback the evidence bundle covers.
+	EvidenceWindow time.Duration
+	// MaxSeriesSamples / MaxSessions / MaxEntries cap each series
+	// excerpt, the sampled sessions, and each session's entries.
+	MaxSeriesSamples int
+	MaxSessions      int
+	MaxEntries       int
+	// Metrics receives incidents_open{severity} and
+	// incidents_total{rule} (nil disables publication).
+	Metrics *metrics.Registry
+	// Sources are the evidence hooks.
+	Sources Sources
+}
+
+// rule is a RuleConfig plus its detector state. All fields are scalars
+// so the per-observation update allocates nothing.
+type rule struct {
+	cfg      RuleConfig
+	smoothed float64
+	seen     bool
+	above    int
+	below    int
+	open     *Incident
+	total    *metrics.Counter
+}
+
+// Engine ingests Observations, runs the rules, and keeps the bounded
+// incident log. All methods are safe for concurrent use and no-ops on
+// a nil receiver.
+type Engine struct {
+	window       time.Duration
+	maxIncidents int
+	maxSamples   int
+	maxSessions  int
+	maxEntries   int
+	src          Sources
+
+	warnG *metrics.Gauge
+	critG *metrics.Gauge
+
+	mu        sync.Mutex
+	rules     []*rule
+	log       []*Incident // oldest first
+	nextID    int
+	openCount int
+	openWarn  int
+	openCrit  int
+	prev      Observation
+	prevSeen  bool
+}
+
+// New builds an engine. Metric handles are resolved once here so the
+// per-observation path never touches the label-concatenation slow path.
+func New(opts Options) *Engine {
+	cfgs := opts.Rules
+	if cfgs == nil {
+		cfgs = DefaultRules()
+	}
+	e := &Engine{
+		window:       opts.EvidenceWindow,
+		maxIncidents: opts.MaxIncidents,
+		maxSamples:   opts.MaxSeriesSamples,
+		maxSessions:  opts.MaxSessions,
+		maxEntries:   opts.MaxEntries,
+		src:          opts.Sources,
+	}
+	if e.window <= 0 {
+		e.window = DefaultEvidenceWindow
+	}
+	if e.maxIncidents <= 0 {
+		e.maxIncidents = DefaultMaxIncidents
+	}
+	if e.maxSamples <= 0 {
+		e.maxSamples = DefaultMaxSeriesSamples
+	}
+	if e.maxSessions <= 0 {
+		e.maxSessions = DefaultMaxSessions
+	}
+	if e.maxEntries <= 0 {
+		e.maxEntries = DefaultMaxEntries
+	}
+	for _, cfg := range cfgs {
+		r := &rule{cfg: cfg}
+		if opts.Metrics != nil {
+			r.total = opts.Metrics.LabeledCounter(metrics.IncidentsTotal, "rule").With(cfg.Name)
+		}
+		e.rules = append(e.rules, r)
+	}
+	if opts.Metrics != nil {
+		g := opts.Metrics.LabeledGauge(metrics.IncidentsOpen, "severity")
+		e.warnG = g.With(SevWarning.String())
+		e.critG = g.With(SevCritical.String())
+		e.warnG.Set(0)
+		e.critG.Set(0)
+	}
+	return e
+}
+
+// Observe ingests one observation, advancing every rule's detector and
+// any open incidents' lifecycles. When nothing transitions the path is
+// allocation-free.
+func (e *Engine) Observe(obs Observation) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	var d deltas
+	if e.prevSeen {
+		d.faults = counterDelta(obs.FaultsTotal, e.prev.FaultsTotal)
+		d.rejects = counterDelta(obs.AdmissionRejects, e.prev.AdmissionRejects)
+		d.degrades = counterDelta(obs.AdmissionDegrades, e.prev.AdmissionDegrades)
+		d.scale = counterDelta(obs.ScaleUps, e.prev.ScaleUps) + counterDelta(obs.ScaleDowns, e.prev.ScaleDowns)
+		d.recovered = counterDelta(obs.Recovered, e.prev.Recovered)
+		d.restored = counterDelta(obs.Restored, e.prev.Restored)
+	}
+	e.prev = obs
+	e.prevSeen = true
+
+	for _, r := range e.rules {
+		level := rawSignal(r.cfg.Name, obs, d)
+		if r.cfg.Alpha > 0 {
+			if !r.seen {
+				r.smoothed = level
+				r.seen = true
+			} else {
+				r.smoothed = r.cfg.Alpha*level + (1-r.cfg.Alpha)*r.smoothed
+			}
+			level = r.smoothed
+		}
+
+		if r.open == nil {
+			if level >= r.cfg.WarnAt {
+				r.above++
+				if r.above >= r.cfg.OpenDwell {
+					r.above, r.below = 0, 0
+					e.openIncident(r, obs, d, level)
+				}
+			} else {
+				r.above = 0
+			}
+			continue
+		}
+
+		inc := r.open
+		inc.LastSignal = level
+		if level > inc.PeakSignal {
+			inc.PeakSignal = level
+		}
+		if level >= r.cfg.CritAt && inc.Severity < SevCritical {
+			e.escalate(inc, obs.Now, level)
+		}
+		if level < r.cfg.CloseBelow {
+			r.below++
+			if r.below >= r.cfg.CloseDwell {
+				r.above, r.below = 0, 0
+				e.resolveIncident(r, obs, level)
+			}
+		} else {
+			r.below = 0
+		}
+	}
+
+	if e.openCount > 0 && (d.scale > 0 || d.recovered > 0 || d.restored > 0) {
+		e.markMitigating(obs.Now, d)
+	}
+}
+
+// counterDelta is cur−prev clamped at zero (counter resets never go
+// negative).
+func counterDelta(cur, prev int64) float64 {
+	if cur <= prev {
+		return 0
+	}
+	return float64(cur - prev)
+}
+
+// rawSignal extracts a rule's unsmoothed signal from the observation.
+// Unknown rule names read as 0 and therefore never fire.
+func rawSignal(name string, obs Observation, d deltas) float64 {
+	switch name {
+	case RuleSLOBurn:
+		return obs.WorstBurn
+	case RuleSaturation:
+		return float64(obs.SpaceState)
+	case RuleFaultStorm:
+		return float64(obs.DevicesDown) + d.faults
+	case RuleAdmission:
+		return d.rejects + 0.5*d.degrades
+	case RuleAvailability:
+		return (1 - obs.WorstAvailability) * 100
+	}
+	return 0
+}
+
+// title composes the one-line operator summary for a new incident.
+func title(cfg RuleConfig, obs Observation, level float64) string {
+	switch cfg.Name {
+	case RuleSLOBurn:
+		return fmt.Sprintf("SLO burn rate elevated: worst objective burning %.2fx its error budget", obs.WorstBurn)
+	case RuleSaturation:
+		return fmt.Sprintf("space %s (headroom %.2f, %d active sessions)", obs.SpaceState, obs.SpaceHeadroom, obs.ActiveSessions)
+	case RuleFaultStorm:
+		return fmt.Sprintf("fault storm: %d device(s) down, fault signal %.2f", obs.DevicesDown, level)
+	case RuleAdmission:
+		return fmt.Sprintf("admission pressure: smoothed reject/degrade rate %.2f per sample", level)
+	case RuleAvailability:
+		return fmt.Sprintf("availability drop: class %q at %.2f%%", obs.WorstAvailClass, obs.WorstAvailability*100)
+	}
+	return cfg.Name
+}
+
+// openIncident fires a rule: allocate the incident, capture evidence,
+// snapshot the ledger baseline, and publish metrics.
+func (e *Engine) openIncident(r *rule, obs Observation, d deltas, level float64) {
+	e.nextID++
+	sev := SevWarning
+	if level >= r.cfg.CritAt {
+		sev = SevCritical
+	}
+	inc := &Incident{
+		ID:          fmt.Sprintf("INC-%d", e.nextID),
+		Rule:        r.cfg.Name,
+		Source:      r.cfg.Source,
+		Title:       title(r.cfg, obs, level),
+		Severity:    sev,
+		SeverityStr: sev.String(),
+		State:       StateOpen,
+		OpenedAt:    obs.Now,
+		OpenSignal:  level,
+		PeakSignal:  level,
+		LastSignal:  level,
+	}
+	inc.Timeline = append(inc.Timeline, Transition{
+		Time: obs.Now, State: StateOpen,
+		Note: fmt.Sprintf("%s signal %.2f held >= %.2f for %d observation(s)", r.cfg.Source, level, r.cfg.WarnAt, r.cfg.OpenDwell),
+	})
+	inc.Evidence = e.assemble(obs, d)
+	for _, sc := range inc.Evidence.Scorecards {
+		inc.openBroken += sc.BrokenSec
+		inc.openDegraded += sc.DegradedSec
+		for axis, v := range sc.DeficitSec {
+			if inc.openDeficits == nil {
+				inc.openDeficits = make(map[string]float64, len(sc.DeficitSec))
+			}
+			inc.openDeficits[axis] += v
+		}
+	}
+	r.open = inc
+	e.log = append(e.log, inc)
+	if excess := len(e.log) - e.maxIncidents; excess > 0 {
+		e.log = append([]*Incident(nil), e.log[excess:]...)
+	}
+	e.openCount++
+	if r.total != nil {
+		r.total.Inc()
+	}
+	e.bumpOpenGauge(sev, +1)
+}
+
+// escalate raises an open incident to critical.
+func (e *Engine) escalate(inc *Incident, now time.Time, level float64) {
+	e.bumpOpenGauge(inc.Severity, -1)
+	inc.Severity = SevCritical
+	inc.SeverityStr = SevCritical.String()
+	e.bumpOpenGauge(SevCritical, +1)
+	inc.Timeline = append(inc.Timeline, Transition{
+		Time: now, State: inc.State,
+		Note: fmt.Sprintf("escalated to critical: signal %.2f", level),
+	})
+}
+
+// markMitigating records mitigation actors on every open incident and
+// transitions still-open ones to mitigating.
+func (e *Engine) markMitigating(now time.Time, d deltas) {
+	var actors [2]string
+	n := 0
+	if d.recovered > 0 || d.restored > 0 {
+		actors[n] = "recovery-supervisor"
+		n++
+	}
+	if d.scale > 0 {
+		actors[n] = "autoscaler"
+		n++
+	}
+	for _, r := range e.rules {
+		inc := r.open
+		if inc == nil {
+			continue
+		}
+		for _, a := range actors[:n] {
+			addUnique(&inc.MitigatedBy, a, maxMitigators)
+		}
+		if inc.State == StateOpen {
+			inc.State = StateMitigating
+			inc.MitigatingAt = now
+			inc.Timeline = append(inc.Timeline, Transition{
+				Time: now, State: StateMitigating,
+				Note: "mitigation under way: " + strings.Join(actors[:n], " + "),
+			})
+		}
+	}
+}
+
+// resolveIncident closes a rule's open incident, attributing the cause
+// and attaching impact accounting.
+func (e *Engine) resolveIncident(r *rule, obs Observation, level float64) {
+	inc := r.open
+	r.open = nil
+	e.openCount--
+	e.bumpOpenGauge(inc.Severity, -1)
+	inc.State = StateResolved
+	inc.ResolvedAt = obs.Now
+	inc.LastSignal = level
+	if len(inc.MitigatedBy) > 0 {
+		inc.ResolutionCause = fmt.Sprintf("%s signal cleared after %s intervention", r.cfg.Source, strings.Join(inc.MitigatedBy, " + "))
+	} else {
+		inc.ResolutionCause = r.cfg.Source + " signal cleared without intervention"
+	}
+	inc.Timeline = append(inc.Timeline, Transition{
+		Time: obs.Now, State: StateResolved,
+		Note: fmt.Sprintf("signal %.2f held < %.2f for %d observation(s)", level, r.cfg.CloseBelow, r.cfg.CloseDwell),
+	})
+	inc.Impact = e.impact(inc, obs)
+}
+
+// impact diffs the ledger's accounting against the open-time baseline.
+func (e *Engine) impact(inc *Incident, obs Observation) *Impact {
+	im := &Impact{DurationSec: obs.Now.Sub(inc.OpenedAt).Seconds()}
+	var cards []ledger.Scorecard
+	if e.src.Scorecards != nil {
+		cards = e.src.Scorecards()
+	}
+	for _, sc := range cards {
+		if im.ClassAvailability == nil {
+			im.ClassAvailability = make(map[string]float64, len(cards))
+		}
+		im.ClassAvailability[sc.Class] = sc.Availability
+		im.BrokenSec += sc.BrokenSec
+		im.DegradedSec += sc.DegradedSec
+		for axis, v := range sc.DeficitSec {
+			if im.DeficitSec == nil {
+				im.DeficitSec = make(map[string]float64)
+			}
+			im.DeficitSec[axis] += v
+		}
+	}
+	im.BrokenSec = clampPos(im.BrokenSec - inc.openBroken)
+	im.DegradedSec = clampPos(im.DegradedSec - inc.openDegraded)
+	for axis := range im.DeficitSec {
+		im.DeficitSec[axis] = clampPos(im.DeficitSec[axis] - inc.openDeficits[axis])
+		im.TotalDeficitSec += im.DeficitSec[axis]
+	}
+	if e.src.Sessions != nil {
+		for _, info := range e.src.Sessions() {
+			if !info.Last.Before(inc.OpenedAt) {
+				im.SessionsAffected++
+			}
+		}
+	} else if inc.Evidence != nil {
+		im.SessionsAffected = len(inc.Evidence.Sessions)
+	}
+	return im
+}
+
+func clampPos(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// assemble captures the evidence bundle from the injected hooks.
+func (e *Engine) assemble(obs Observation, d deltas) *Evidence {
+	ev := &Evidence{From: obs.Now.Add(-e.window), To: obs.Now}
+	if e.src.Saturation != nil {
+		ev.Saturation = e.src.Saturation()
+	}
+	if e.src.SLO != nil {
+		ev.SLO = e.src.SLO()
+	}
+	if e.src.Series != nil {
+		for _, m := range e.src.SeriesNames {
+			s := e.src.Series(m, e.window)
+			if len(s) == 0 {
+				continue
+			}
+			if len(s) > e.maxSamples {
+				s = s[len(s)-e.maxSamples:]
+			}
+			ev.Series = append(ev.Series, SeriesExcerpt{Metric: m, Samples: s})
+		}
+	}
+	if e.src.Sessions != nil && e.src.Excerpt != nil {
+		for _, info := range e.src.Sessions() {
+			if len(ev.Sessions) >= e.maxSessions {
+				break
+			}
+			entries := e.src.Excerpt(info.Session, ev.From, ev.To, e.maxEntries)
+			if len(entries) == 0 {
+				continue
+			}
+			ev.Sessions = append(ev.Sessions, FlightExcerpt{Session: info.Session, Entries: entries})
+			for _, en := range entries {
+				if en.TraceID != "" {
+					addUnique(&ev.TraceIDs, en.TraceID, maxTraceIDs)
+				}
+			}
+		}
+	}
+	if e.src.Admission != nil {
+		ev.Admission = e.src.Admission()
+	}
+	if e.src.Autoscale != nil {
+		ev.Autoscale = e.src.Autoscale()
+	}
+	if e.src.Scorecards != nil {
+		ev.Scorecards = e.src.Scorecards()
+	}
+	ev.Sources = citeSources(obs, d, ev)
+	return ev
+}
+
+// citeSources names the signal families that are abnormal at onset —
+// the "≥3 distinct signal sources" an incident correlates.
+func citeSources(obs Observation, d deltas, ev *Evidence) []string {
+	var src []string
+	if obs.WorstBurn > 0.8 || obs.SLOViolations > 0 {
+		src = append(src, "slo")
+	}
+	satAbnormal := obs.SpaceState >= capacity.StateApproaching
+	if ev.Saturation != nil {
+		for _, dev := range ev.Saturation.Devices {
+			if !dev.Up || dev.State >= capacity.StateApproaching {
+				satAbnormal = true
+				break
+			}
+		}
+	}
+	if satAbnormal {
+		src = append(src, "saturation")
+	}
+	if obs.DevicesDown > 0 || d.faults > 0 {
+		src = append(src, "faults")
+	}
+	if d.rejects > 0 || d.degrades > 0 {
+		src = append(src, "admission")
+	}
+	if d.scale > 0 {
+		src = append(src, "autoscale")
+	}
+	if obs.WorstAvailability < 1 {
+		src = append(src, "ledger")
+	}
+	if len(ev.Sessions) > 0 {
+		src = append(src, "flight")
+	}
+	return src
+}
+
+// addUnique appends s to *list unless present or the cap is reached.
+func addUnique(list *[]string, s string, limit int) {
+	for _, have := range *list {
+		if have == s {
+			return
+		}
+	}
+	if len(*list) < limit {
+		*list = append(*list, s)
+	}
+}
+
+// bumpOpenGauge maintains the incidents_open{severity} gauges.
+func (e *Engine) bumpOpenGauge(sev Severity, delta int) {
+	switch sev {
+	case SevWarning:
+		e.openWarn += delta
+		if e.warnG != nil {
+			e.warnG.Set(float64(e.openWarn))
+		}
+	case SevCritical:
+		e.openCrit += delta
+		if e.critG != nil {
+			e.critG.Set(float64(e.openCrit))
+		}
+	}
+}
+
+// List returns snapshots of the retained incidents, newest first. The
+// Evidence and Impact pointers are shared (write-once).
+func (e *Engine) List() []Incident {
+	if e == nil {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]Incident, 0, len(e.log))
+	for i := len(e.log) - 1; i >= 0; i-- {
+		out = append(out, snapshot(e.log[i]))
+	}
+	return out
+}
+
+// Get returns a snapshot of one incident by ID.
+func (e *Engine) Get(id string) (Incident, bool) {
+	if e == nil {
+		return Incident{}, false
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, inc := range e.log {
+		if inc.ID == id {
+			return snapshot(inc), true
+		}
+	}
+	return Incident{}, false
+}
+
+// Open reports the open-incident count and the worst open severity.
+func (e *Engine) Open() (int, Severity) {
+	if e == nil {
+		return 0, SevNone
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	worst := SevNone
+	if e.openWarn > 0 {
+		worst = SevWarning
+	}
+	if e.openCrit > 0 {
+		worst = SevCritical
+	}
+	return e.openCount, worst
+}
+
+// Rules returns the engine's rule configurations, sorted by name (for
+// rendering and docs).
+func (e *Engine) Rules() []RuleConfig {
+	if e == nil {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]RuleConfig, 0, len(e.rules))
+	for _, r := range e.rules {
+		out = append(out, r.cfg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// snapshot copies an incident's mutable slices so callers can retain
+// the value across engine updates.
+func snapshot(inc *Incident) Incident {
+	c := *inc
+	c.Timeline = append([]Transition(nil), inc.Timeline...)
+	if inc.MitigatedBy != nil {
+		c.MitigatedBy = append([]string(nil), inc.MitigatedBy...)
+	}
+	c.openDeficits = nil
+	return c
+}

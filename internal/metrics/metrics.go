@@ -594,6 +594,17 @@ const (
 	ClassAvailability = "class_availability_ratio"
 )
 
+// Metric names published by the incident correlation engine
+// (internal/incident).
+const (
+	// IncidentsOpen gauges the currently open incidents, labeled by
+	// severity ("warning" / "critical").
+	IncidentsOpen = "incidents_open"
+	// IncidentsTotal counts every incident ever opened, labeled by the
+	// detection rule that opened it.
+	IncidentsTotal = "incidents_total"
+)
+
 // Metric names recorded by the wire server. Per-operation series attach
 // the operation with WithLabel(..., "op", name).
 const (

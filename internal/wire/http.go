@@ -13,6 +13,7 @@ import (
 	"ubiqos/internal/domain"
 	"ubiqos/internal/explain"
 	"ubiqos/internal/flight"
+	"ubiqos/internal/incident"
 	"ubiqos/internal/ledger"
 	"ubiqos/internal/metrics"
 	"ubiqos/internal/trace"
@@ -43,6 +44,11 @@ const tracesDefault = 16
 //	                   latency quantiles (?class= one class, ?window=
 //	                   trailing latency window, ?format=text renders
 //	                   the `qosctl report` table)
+//	/incidents         the incident log, newest first, evidence stripped
+//	                   (?format=text renders the `qosctl incidents` table)
+//	/incidents/<id>    one incident in full — timeline, evidence bundle,
+//	                   impact accounting (?format=text renders the detail
+//	                   view, ?format=postmortem the markdown document)
 //	/explain           index of sessions with decision-provenance records
 //	/explain/<session> one session's decision provenance — discovery
 //	                   candidates, OC corrections, solver search stats,
@@ -222,6 +228,47 @@ func NewHTTPHandler(dom *domain.Domain) http.Handler {
 			cards = []ledger.Scorecard{}
 		}
 		writeJSON(w, http.StatusOK, cards)
+	})
+	handle("/incidents", func(w http.ResponseWriter, r *http.Request) {
+		list := dom.Incidents.List()
+		if r.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			io.WriteString(w, incident.Render(list))
+			return
+		}
+		if list == nil {
+			list = []incident.Incident{}
+		}
+		for i := range list {
+			list[i].Evidence = nil
+		}
+		writeJSON(w, http.StatusOK, list)
+	})
+	handle("/incidents/", func(w http.ResponseWriter, r *http.Request) {
+		id := strings.TrimPrefix(r.URL.Path, "/incidents/")
+		if id == "" {
+			writeJSON(w, http.StatusBadRequest, map[string]any{
+				"ok": false, "error": "missing incident: GET /incidents/<id>",
+			})
+			return
+		}
+		inc, ok := dom.Incidents.Get(id)
+		if !ok {
+			writeJSON(w, http.StatusNotFound, map[string]any{
+				"ok": false, "error": "no incident " + id,
+			})
+			return
+		}
+		switch r.URL.Query().Get("format") {
+		case "text":
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			io.WriteString(w, incident.RenderIncident(inc))
+		case "postmortem":
+			w.Header().Set("Content-Type", "text/markdown; charset=utf-8")
+			io.WriteString(w, incident.Postmortem(inc))
+		default:
+			writeJSON(w, http.StatusOK, inc)
+		}
 	})
 	handle("/explain", func(w http.ResponseWriter, r *http.Request) {
 		sessions := dom.Explain.Sessions()

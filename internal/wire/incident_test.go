@@ -1,0 +1,257 @@
+package wire
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"ubiqos/internal/core"
+	"ubiqos/internal/device"
+	"ubiqos/internal/domain"
+	"ubiqos/internal/experiments"
+	"ubiqos/internal/faultinject"
+	"ubiqos/internal/incident"
+	"ubiqos/internal/qos"
+)
+
+// pollIncident forces sampling passes (rate-limited by the observatory)
+// and re-reads the incident log over the wire until pred is satisfied or
+// the deadline passes. It returns the matching incident from the list
+// view (evidence stripped).
+func pollIncident(t *testing.T, dom *domain.Domain, c *Client, deadline time.Duration, pred func(incident.Incident) bool) (incident.Incident, bool) {
+	t.Helper()
+	stop := time.Now().Add(deadline)
+	for time.Now().Before(stop) {
+		dom.SampleCapacityNow()
+		resp, err := c.Call(Request{Op: OpIncidents})
+		if err != nil {
+			t.Fatalf("incidents: %v", err)
+		}
+		for _, inc := range resp.Incidents {
+			if pred(inc) {
+				return inc, true
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return incident.Incident{}, false
+}
+
+// TestIncidentLifecycleOverWire is the chaos acceptance path for the
+// correlation engine: a session is started over TCP, its hosting device
+// is crashed (twice, so QoS breakage accrues while the incident is
+// open), the supervisor heals it each time, and the devices rejoin. The
+// fault-storm incident must open citing at least three distinct signal
+// sources, pass through mitigating with the supervisor credited, and
+// resolve with nonzero impact accounting — all observed through the
+// incidents and postmortem wire ops.
+func TestIncidentLifecycleOverWire(t *testing.T) {
+	dom, addr := startChaosServer(t)
+	sup, err := core.NewSupervisor(dom.Configurator, core.SupervisorOptions{
+		Bus:         dom.Bus,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sup.Stop)
+
+	c, err := DialWith(addr, Options{Timeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Establish the engine's counter baselines before any chaos.
+	dom.SampleCapacityNow()
+
+	resp, err := c.Call(Request{
+		Op:           OpStart,
+		SessionID:    "inc-1",
+		Class:        "media",
+		App:          experiments.ChaosAudioApp(),
+		UserQoS:      qos.V(qos.P(qos.DimFrameRate, qos.Range(30, 44))),
+		ClientDevice: "jornada",
+	})
+	if err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	victim := resp.Session.Placement["server"]
+	if victim == "" || victim == "jornada" {
+		t.Fatalf("server placed on %q", victim)
+	}
+
+	inj, err := faultinject.NewInjector(dom, faultinject.Schedule{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inj.Apply(faultinject.Fault{Kind: faultinject.DeviceCrash, Device: device.ID(victim)}); err != nil {
+		t.Fatalf("inject crash: %v", err)
+	}
+
+	isFaultStorm := func(inc incident.Incident) bool { return inc.Rule == incident.RuleFaultStorm }
+	opened, ok := pollIncident(t, dom, c, 15*time.Second, isFaultStorm)
+	if !ok {
+		t.Fatal("no fault-storm incident opened after the crash")
+	}
+	if opened.State == incident.StateResolved {
+		t.Fatalf("incident %s resolved while the device is still down", opened.ID)
+	}
+
+	// Heal, then break the session again while the incident is open so
+	// the impact window spans real QoS breakage.
+	if !sup.AwaitIdle(10 * time.Second) {
+		t.Fatal("supervisor never went idle after the first crash")
+	}
+	resp, err = c.Call(Request{Op: OpSession, SessionID: "inc-1"})
+	if err != nil {
+		t.Fatalf("session: %v", err)
+	}
+	victim2 := resp.Session.Placement["server"]
+	if victim2 == victim {
+		t.Fatalf("session still placed on crashed device %s", victim)
+	}
+	if err := inj.Apply(faultinject.Fault{Kind: faultinject.DeviceCrash, Device: device.ID(victim2)}); err != nil {
+		t.Fatalf("inject second crash: %v", err)
+	}
+	if !sup.AwaitIdle(10 * time.Second) {
+		t.Fatal("supervisor never went idle after the second crash")
+	}
+	if sup.Stats().Recovered == 0 {
+		t.Fatalf("no recoveries recorded; stats = %+v", sup.Stats())
+	}
+
+	// Let the engine see the storm at its peak, then clear it.
+	dom.SampleCapacityNow()
+	for _, dev := range []string{victim, victim2} {
+		if _, err := c.Call(Request{Op: OpRejoinDevice, ToDevice: dev}); err != nil {
+			t.Fatalf("rejoin %s: %v", dev, err)
+		}
+	}
+	resolved, ok := pollIncident(t, dom, c, 30*time.Second, func(inc incident.Incident) bool {
+		return isFaultStorm(inc) && inc.State == incident.StateResolved
+	})
+	if !ok {
+		t.Fatal("fault-storm incident never resolved after the devices rejoined")
+	}
+
+	// Full record (evidence included) via the ID form of the op.
+	resp, err = c.Call(Request{Op: OpIncidents, Incident: resolved.ID})
+	if err != nil {
+		t.Fatalf("incident by ID: %v", err)
+	}
+	if resp.Incident == nil {
+		t.Fatal("no incident payload for the ID form")
+	}
+	inc := *resp.Incident
+	if inc.Evidence == nil || len(inc.Evidence.Sources) < 3 {
+		t.Fatalf("evidence sources = %v, want at least 3", evidenceSources(inc))
+	}
+	for _, want := range []string{"saturation", "faults", "flight"} {
+		found := false
+		for _, s := range inc.Evidence.Sources {
+			if s == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("evidence sources %v missing %q", inc.Evidence.Sources, want)
+		}
+	}
+	sawMitigating := false
+	for _, tr := range inc.Timeline {
+		if tr.State == incident.StateMitigating {
+			sawMitigating = true
+		}
+	}
+	if !sawMitigating {
+		t.Errorf("timeline %+v never passed through mitigating", inc.Timeline)
+	}
+	credited := false
+	for _, a := range inc.MitigatedBy {
+		if a == "recovery-supervisor" {
+			credited = true
+		}
+	}
+	if !credited {
+		t.Errorf("mitigated by %v, want the recovery supervisor credited", inc.MitigatedBy)
+	}
+	if inc.ResolutionCause == "" || !strings.Contains(inc.ResolutionCause, "signal cleared") {
+		t.Errorf("resolution cause = %q", inc.ResolutionCause)
+	}
+	if inc.Impact == nil {
+		t.Fatal("resolved incident carries no impact accounting")
+	}
+	if inc.Impact.DurationSec <= 0 {
+		t.Errorf("impact duration = %g, want > 0", inc.Impact.DurationSec)
+	}
+	if inc.Impact.SessionsAffected < 1 {
+		t.Errorf("sessions affected = %d, want at least 1", inc.Impact.SessionsAffected)
+	}
+	if inc.Impact.BrokenSec <= 0 && inc.Impact.TotalDeficitSec <= 0 {
+		t.Errorf("impact records no QoS loss: broken=%g deficit=%g",
+			inc.Impact.BrokenSec, inc.Impact.TotalDeficitSec)
+	}
+
+	// The list form strips evidence bundles.
+	resp, err = c.Call(Request{Op: OpIncidents})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, li := range resp.Incidents {
+		if li.Evidence != nil {
+			t.Errorf("list view of %s carries an evidence bundle", li.ID)
+		}
+	}
+
+	// Postmortem export.
+	resp, err = c.Call(Request{Op: OpPostmortem, Incident: inc.ID})
+	if err != nil {
+		t.Fatalf("postmortem: %v", err)
+	}
+	for _, want := range []string{"# Postmortem " + inc.ID, "## Timeline", "## Evidence", "## Impact", "## Resolution"} {
+		if !strings.Contains(resp.Postmortem, want) {
+			t.Errorf("postmortem missing %q", want)
+		}
+	}
+
+	// Unknown / missing IDs surface as op errors.
+	if resp, err := c.Call(Request{Op: OpIncidents, Incident: "INC-999"}); err == nil && resp.OK {
+		t.Error("unknown incident ID accepted")
+	}
+	if resp, err := c.Call(Request{Op: OpPostmortem}); err == nil && resp.OK {
+		t.Error("postmortem without an ID accepted")
+	}
+}
+
+func evidenceSources(inc incident.Incident) []string {
+	if inc.Evidence == nil {
+		return nil
+	}
+	return inc.Evidence.Sources
+}
+
+// TestIncidentHTTP covers the /incidents endpoints: empty list, JSON
+// list with evidence stripped, the detail/text/postmortem renderings,
+// and the error statuses.
+func TestIncidentHTTP(t *testing.T) {
+	srv, _ := startServer(t)
+	web := httptest.NewServer(NewHTTPHandler(srv.dom))
+	t.Cleanup(web.Close)
+
+	if body := httpGet(t, web.URL+"/incidents"); strings.TrimSpace(body) != "[]" {
+		t.Errorf("empty incident log = %q", body)
+	}
+	text := httpGet(t, web.URL+"/incidents?format=text")
+	if !strings.Contains(text, "no incidents recorded") {
+		t.Errorf("empty text log = %q", text)
+	}
+	if code := httpStatus(t, web.URL+"/incidents/"); code != 400 {
+		t.Errorf("missing ID status = %d", code)
+	}
+	if code := httpStatus(t, web.URL+"/incidents/INC-999"); code != 404 {
+		t.Errorf("unknown ID status = %d", code)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"ubiqos/internal/device"
 	"ubiqos/internal/domain"
 	"ubiqos/internal/graph"
+	"ubiqos/internal/incident"
 	"ubiqos/internal/metrics"
 	"ubiqos/internal/repository"
 	"ubiqos/internal/trace"
@@ -152,6 +153,7 @@ var knownOps = map[string]bool{
 	OpFlight: true, OpSlo: true, OpExplain: true, OpVersion: true,
 	OpStats: true, OpTimeseries: true, OpSaturation: true,
 	OpAdmission: true, OpScale: true, OpLedger: true, OpScorecard: true,
+	OpIncidents: true, OpPostmortem: true,
 }
 
 // Handle dispatches one request; it is exported so the daemon can be
@@ -226,6 +228,10 @@ func (s *Server) dispatch(req Request) Response {
 		return s.ledgerInfo(req.SessionID)
 	case OpScorecard:
 		return s.scorecardInfo(req)
+	case OpIncidents:
+		return s.incidentsInfo(req.Incident)
+	case OpPostmortem:
+		return s.postmortemInfo(req.Incident)
 	case OpSlo:
 		return Response{OK: true, SLO: s.dom.SLO.Publish()}
 	case OpExplain:
@@ -464,6 +470,35 @@ func (s *Server) ledgerInfo(sessionID string) Response {
 		return errResponse(fmt.Errorf("wire: no ledger record for session %q", sessionID))
 	}
 	return Response{OK: true, Ledger: &rep}
+}
+
+// incidentsInfo lists the incident log (evidence bundles stripped to
+// keep the listing light) or returns one incident in full by ID.
+func (s *Server) incidentsInfo(id string) Response {
+	if id == "" {
+		list := s.dom.Incidents.List()
+		for i := range list {
+			list[i].Evidence = nil
+		}
+		return Response{OK: true, Incidents: list}
+	}
+	inc, ok := s.dom.Incidents.Get(id)
+	if !ok {
+		return errResponse(fmt.Errorf("wire: no incident %q", id))
+	}
+	return Response{OK: true, Incident: &inc}
+}
+
+// postmortemInfo renders one incident's shareable markdown postmortem.
+func (s *Server) postmortemInfo(id string) Response {
+	if id == "" {
+		return errResponse(fmt.Errorf("wire: postmortem needs an incident ID, e.g. \"INC-1\""))
+	}
+	inc, ok := s.dom.Incidents.Get(id)
+	if !ok {
+		return errResponse(fmt.Errorf("wire: no incident %q", id))
+	}
+	return Response{OK: true, Incident: &inc, Postmortem: incident.Postmortem(inc)}
 }
 
 // scorecardInfo returns the per-class QoS outcome scorecards, optionally

@@ -15,6 +15,7 @@ import (
 	"ubiqos/internal/distributor"
 	"ubiqos/internal/explain"
 	"ubiqos/internal/flight"
+	"ubiqos/internal/incident"
 	"ubiqos/internal/ledger"
 	"ubiqos/internal/metrics"
 	"ubiqos/internal/qos"
@@ -50,6 +51,8 @@ const (
 	OpScale        = "scale"
 	OpLedger       = "ledger"
 	OpScorecard    = "scorecard"
+	OpIncidents    = "incidents"
+	OpPostmortem   = "postmortem"
 )
 
 // Request is one client request.
@@ -84,6 +87,9 @@ type Request struct {
 	// Window restricts a timeseries query to the trailing duration, in
 	// Go duration syntax, e.g. "2m" (timeseries op; empty = full ring).
 	Window string `json:"window,omitempty"`
+	// Incident addresses one incident by ID, e.g. "INC-3" (incidents /
+	// postmortem ops; empty incidents op lists all).
+	Incident string `json:"incident,omitempty"`
 	// Group addresses an autoscaling group (scale op); Replicas, when set,
 	// pins the group's replica count (nil just reads status).
 	Group    string `json:"group,omitempty"`
@@ -215,6 +221,15 @@ type Response struct {
 	// Scorecards holds the per-class QoS outcome scorecards (scorecard
 	// op) — the payload behind `qosctl report`.
 	Scorecards []ledger.Scorecard `json:"scorecards,omitempty"`
+	// Incidents lists the incident log, newest first, with evidence
+	// bundles stripped (incidents op with no ID).
+	Incidents []incident.Incident `json:"incidents,omitempty"`
+	// Incident is one incident in full, evidence bundle included
+	// (incidents op with an ID).
+	Incident *incident.Incident `json:"incident,omitempty"`
+	// Postmortem is the incident's shareable markdown document
+	// (postmortem op).
+	Postmortem string `json:"postmortem,omitempty"`
 }
 
 // AdmissionInfo is the admission gate's wire payload: the gate status
